@@ -1,0 +1,166 @@
+//! Criterion benchmarks over the simulator's hot paths, so that
+//! performance regressions in the simulator itself are visible.
+
+use batmem::{policies, Simulation};
+use batmem_graph::gen;
+use batmem_types::policy::PcieCompression;
+use batmem_types::{PageId, SimConfig, SmId, FrameId};
+use batmem_uvm::{FaultBuffer, MemoryManager, PciePipes, TreePrefetcher, UvmRuntime};
+use batmem_vmem::Mmu;
+use batmem_workloads::registry;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::collections::HashSet;
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench_fault_buffer(c: &mut Criterion) {
+    c.bench_function("fault_buffer/record_drain_1024", |b| {
+        b.iter_batched(
+            || FaultBuffer::new(1024),
+            |mut buf| {
+                for i in 0..1024u64 {
+                    buf.record(PageId::new(i * 7 % 997), i);
+                }
+                black_box(buf.drain_sorted())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_prefetcher(c: &mut Criterion) {
+    let faulted: Vec<PageId> = (0..512u64).map(|i| PageId::new(i * 2)).collect();
+    c.bench_function("prefetcher/expand_512_faults", |b| {
+        b.iter_batched(
+            || TreePrefetcher::new(32, 50),
+            |mut pf| black_box(pf.expand(&faulted, |_| false, 100_000)),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_memory_manager(c: &mut Criterion) {
+    c.bench_function("memmgr/fill_evict_4096", |b| {
+        b.iter_batched(
+            || MemoryManager::new(Some(4096), Default::default(), 32),
+            |mut m| {
+                let pinned = HashSet::new();
+                for i in 0..8192u64 {
+                    let frame = match m.take_frame() {
+                        Some(f) => f,
+                        None => {
+                            let (v, _) = m.pick_victims(&pinned);
+                            let f = m.remove(v[0]);
+                            m.release_frame(f);
+                            m.take_frame().unwrap()
+                        }
+                    };
+                    m.mark_resident(PageId::new(i), frame);
+                }
+                black_box(m.resident_count())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_mmu_translate(c: &mut Criterion) {
+    c.bench_function("mmu/translate_hit_path", |b| {
+        let mut mmu = Mmu::new(&SimConfig::default());
+        for i in 0..64u64 {
+            mmu.install(PageId::new(i), FrameId::new(i as u32));
+            let _ = mmu.translate(SmId::new(0), PageId::new(i), 0);
+        }
+        let mut now = 0;
+        b.iter(|| {
+            now += 1;
+            black_box(mmu.translate(SmId::new(0), PageId::new(now % 64), now))
+        })
+    });
+}
+
+fn bench_pcie(c: &mut Criterion) {
+    c.bench_function("pcie/schedule_1024_pages", |b| {
+        b.iter_batched(
+            || PciePipes::new(15_750_000_000, 17_300_000_000, PcieCompression::default()),
+            |mut p| {
+                for _ in 0..1024 {
+                    black_box(p.schedule_h2d(0, 65_536));
+                }
+                p.h2d_free_at()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_uvm_batch(c: &mut Criterion) {
+    let cfg = batmem_types::config::UvmConfig { gpu_mem_pages: Some(256), ..Default::default() };
+    let policy = batmem_types::policy::PolicyConfig::baseline();
+    c.bench_function("uvm/batch_512_faults", |b| {
+        b.iter_batched(
+            || UvmRuntime::new(&cfg, &policy, 100_000),
+            |mut rt| {
+                let mut outs = Vec::new();
+                for i in 0..512u64 {
+                    outs.extend(rt.record_fault(PageId::new(i * 3), 0));
+                }
+                // Drive the runtime's own events to completion.
+                let mut queue: Vec<(u64, batmem_uvm::UvmEvent)> = Vec::new();
+                let push = |os: Vec<batmem_uvm::UvmOutput>, q: &mut Vec<_>| {
+                    for o in os {
+                        if let batmem_uvm::UvmOutput::Schedule { at, event } = o {
+                            q.push((at, event));
+                        }
+                    }
+                };
+                push(outs, &mut queue);
+                while !queue.is_empty() {
+                    queue.sort_by_key(|&(t, _)| t);
+                    let (t, e) = queue.remove(0);
+                    let os = rt.on_event(e, t);
+                    push(os, &mut queue);
+                }
+                black_box(rt.stats().num_batches())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_graph_gen(c: &mut Criterion) {
+    c.bench_function("graph/rmat_scale12", |b| {
+        b.iter(|| black_box(gen::rmat(12, 8, 42)))
+    });
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let graph = Arc::new(gen::rmat(10, 8, 42));
+    let mut g = c.benchmark_group("end_to_end");
+    g.sample_size(10);
+    g.bench_function("bfs_ttc_scale10_to_ue", |b| {
+        b.iter(|| {
+            let w = registry::build("BFS-TTC", Arc::clone(&graph)).unwrap();
+            black_box(
+                Simulation::builder()
+                    .policy(policies::to_ue())
+                    .memory_ratio(0.5)
+                    .run(w),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fault_buffer,
+    bench_prefetcher,
+    bench_memory_manager,
+    bench_mmu_translate,
+    bench_pcie,
+    bench_uvm_batch,
+    bench_graph_gen,
+    bench_end_to_end,
+);
+criterion_main!(benches);

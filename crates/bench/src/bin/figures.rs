@@ -1,0 +1,89 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! cargo run -p batmem-bench --release --bin figures -- all
+//! cargo run -p batmem-bench --release --bin figures -- fig11
+//! BATMEM_SCALE=16 cargo run -p batmem-bench --release --bin figures -- fig17
+//! ```
+
+use batmem_bench::figures;
+use batmem_bench::runner::{suite_results, ConfigName, SuiteConfig};
+
+const USAGE: &str = "usage: figures -- <table1|fig1|fig3|fig5|fig8|fig11|fig12|fig13|fig14|fig15|fig16|fig17|fig18|ctxswitch|pe|all> ...
+environment: BATMEM_SCALE (default 15), BATMEM_EDGE_FACTOR (default 16)";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("{USAGE}");
+        std::process::exit(2);
+    }
+    let suite = SuiteConfig::default();
+    println!(
+        "suite: R-MAT scale {} (2^{} vertices, edge factor {}), oversubscription ratio {}",
+        suite.scale, suite.scale, suite.edge_factor, suite.ratio
+    );
+
+    // Figures 8 and 11-16 share one set of simulation runs.
+    let needs_suite = |a: &str| {
+        matches!(a, "fig8" | "fig11" | "fig12" | "fig13" | "fig14" | "fig15" | "fig16" | "all")
+    };
+    let results = if args.iter().any(|a| needs_suite(a)) {
+        let configs = [
+            ConfigName::Baseline,
+            ConfigName::BaselineCompressed,
+            ConfigName::To,
+            ConfigName::Ue,
+            ConfigName::ToUe,
+            ConfigName::Etc,
+            ConfigName::IdealEviction,
+            ConfigName::Unlimited,
+        ];
+        eprintln!("running the shared suite ({} configs x 11 workloads)...", configs.len());
+        Some(suite_results(&configs, &suite))
+    } else {
+        None
+    };
+
+    for arg in &args {
+        match arg.as_str() {
+            "table1" => figures::table1(&suite),
+            "fig1" => figures::fig1(&suite),
+            "fig3" => figures::fig3(&suite),
+            "fig5" => figures::fig5(&suite),
+            "fig8" => figures::fig8(results.as_ref().unwrap()),
+            "fig11" => figures::fig11(results.as_ref().unwrap()),
+            "fig12" => figures::fig12(results.as_ref().unwrap()),
+            "fig13" => figures::fig13(results.as_ref().unwrap()),
+            "fig14" => figures::fig14(results.as_ref().unwrap()),
+            "fig15" => figures::fig15(results.as_ref().unwrap()),
+            "fig16" => figures::fig16(results.as_ref().unwrap()),
+            "fig17" => figures::fig17(&suite),
+            "fig18" => figures::fig18(&suite),
+            "ctxswitch" => figures::ctxswitch(&suite),
+            "pe" => figures::pe_ablation(&suite),
+            "all" => {
+                let r = results.as_ref().unwrap();
+                figures::table1(&suite);
+                figures::fig1(&suite);
+                figures::fig3(&suite);
+                figures::fig5(&suite);
+                figures::fig8(r);
+                figures::fig11(r);
+                figures::fig12(r);
+                figures::fig13(r);
+                figures::fig14(r);
+                figures::fig15(r);
+                figures::fig16(r);
+                figures::fig17(&suite);
+                figures::fig18(&suite);
+                figures::ctxswitch(&suite);
+                figures::pe_ablation(&suite);
+            }
+            other => {
+                eprintln!("unknown figure `{other}`\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+}

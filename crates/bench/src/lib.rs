@@ -1,0 +1,13 @@
+//! Shared harness for regenerating the paper's figures and tables.
+//!
+//! The `figures` binary (`cargo run -p batmem-bench --bin figures --release
+//! -- <fig>`) drives [`suite_results`] and the per-figure printers; the
+//! Criterion benches in `benches/` cover the simulator's hot paths.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod figures;
+pub mod runner;
+
+pub use runner::{suite_results, ConfigName, SuiteConfig, SuiteResults};

@@ -1,0 +1,252 @@
+//! Parallel execution of the evaluation suite.
+
+use batmem::{policies, EtcConfig, PolicyConfig, RunMetrics, Simulation, SimConfig};
+use batmem_graph::{gen, Csr};
+use batmem_workloads::registry;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The named configurations of Fig. 11, in presentation order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ConfigName {
+    /// `BASELINE` (tree prefetching, serialized eviction).
+    Baseline,
+    /// `BASELINE with PCIe Compression`.
+    BaselineCompressed,
+    /// `TO`.
+    To,
+    /// `UE`.
+    Ue,
+    /// `TO+UE`.
+    ToUe,
+    /// `ETC`.
+    Etc,
+    /// `IDEAL EVICTION` (Fig. 8).
+    IdealEviction,
+    /// Unlimited GPU memory (the Fig. 8 normalization point).
+    Unlimited,
+}
+
+impl ConfigName {
+    /// Display label matching the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            ConfigName::Baseline => "BASELINE",
+            ConfigName::BaselineCompressed => "BASELINE+PCIeC",
+            ConfigName::To => "TO",
+            ConfigName::Ue => "UE",
+            ConfigName::ToUe => "TO+UE",
+            ConfigName::Etc => "ETC",
+            ConfigName::IdealEviction => "IDEAL-EVICT",
+            ConfigName::Unlimited => "UNLIMITED",
+        }
+    }
+
+    fn policy(self) -> (PolicyConfig, Option<EtcConfig>) {
+        match self {
+            ConfigName::Baseline | ConfigName::Unlimited => (policies::baseline(), None),
+            ConfigName::BaselineCompressed => (policies::baseline_with_compression(), None),
+            ConfigName::To => (policies::to_only(), None),
+            ConfigName::Ue => (policies::ue_only(), None),
+            ConfigName::ToUe => (policies::to_ue(), None),
+            ConfigName::Etc => {
+                let (p, e) = policies::etc();
+                (p, Some(e))
+            }
+            ConfigName::IdealEviction => (policies::ideal_eviction(), None),
+        }
+    }
+}
+
+/// Suite-wide parameters (graph scale, oversubscription ratio, ...).
+#[derive(Debug, Clone)]
+pub struct SuiteConfig {
+    /// R-MAT scale (vertices = 2^scale). Overridable via `BATMEM_SCALE`.
+    pub scale: u32,
+    /// R-MAT edge factor. Overridable via `BATMEM_EDGE_FACTOR`.
+    pub edge_factor: u32,
+    /// Graph seed.
+    pub seed: u64,
+    /// Memory oversubscription ratio (paper default: 0.5).
+    pub ratio: f64,
+    /// Base system configuration.
+    pub sim: SimConfig,
+}
+
+impl Default for SuiteConfig {
+    fn default() -> Self {
+        let scale = std::env::var("BATMEM_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(15);
+        let edge_factor =
+            std::env::var("BATMEM_EDGE_FACTOR").ok().and_then(|s| s.parse().ok()).unwrap_or(16);
+        Self { scale, edge_factor, seed: 42, ratio: 0.5, sim: SimConfig::default() }
+    }
+}
+
+impl SuiteConfig {
+    /// The shared input graph.
+    pub fn graph(&self) -> Arc<Csr> {
+        Arc::new(gen::rmat(self.scale, self.edge_factor, self.seed))
+    }
+
+    /// The input graph for `workload`. Like the paper (whose GraphBIG
+    /// datasets differ per benchmark), the coloring workloads run a
+    /// smaller input: their kernels re-expand every still-uncolored hub
+    /// each round, which costs quadratically more simulation work per
+    /// vertex than the traversal workloads.
+    pub fn graph_for(&self, workload: &str) -> Arc<Csr> {
+        if workload.starts_with("GC-") {
+            Arc::new(gen::rmat(self.scale.saturating_sub(3).max(8), self.edge_factor, self.seed))
+        } else {
+            self.graph()
+        }
+    }
+}
+
+/// All metrics produced by one suite invocation, keyed by
+/// `(workload, config)`.
+#[derive(Debug)]
+pub struct SuiteResults {
+    /// Workload display names, in figure order.
+    pub workloads: Vec<&'static str>,
+    results: HashMap<(String, ConfigName), RunMetrics>,
+}
+
+impl SuiteResults {
+    /// The metrics of `(workload, config)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pair was not part of the suite invocation.
+    pub fn get(&self, workload: &str, config: ConfigName) -> &RunMetrics {
+        self.results
+            .get(&(workload.to_string(), config))
+            .unwrap_or_else(|| panic!("no result for {workload}/{config:?}"))
+    }
+
+    /// Geometric mean of `f` over all workloads.
+    pub fn geomean<F: Fn(&str) -> f64>(&self, f: F) -> f64 {
+        let logs: f64 = self.workloads.iter().map(|w| f(w).ln()).sum();
+        (logs / self.workloads.len() as f64).exp()
+    }
+}
+
+/// Runs one workload under one configuration.
+pub fn run_one(
+    name: &str,
+    config: ConfigName,
+    suite: &SuiteConfig,
+    graph: &Arc<Csr>,
+) -> RunMetrics {
+    let (policy, etc) = config.policy();
+    let graph = if name.starts_with("GC-") { suite.graph_for(name) } else { Arc::clone(graph) };
+    let workload = registry::build(name, graph).expect("known workload");
+    let mut b = Simulation::builder().config(suite.sim.clone()).policy(policy);
+    if config != ConfigName::Unlimited {
+        b = b.memory_ratio(suite.ratio);
+    }
+    if let Some(e) = etc {
+        b = b.etc(e);
+    }
+    b.run(workload)
+}
+
+/// Runs `f` over `items` on a thread pool, preserving order.
+pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send + Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4).min(16);
+    crossbeam::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let Some(item) = items.get(i) else { break };
+                *slots[i].lock() = Some(f(item));
+            });
+        }
+    })
+    .expect("parallel workers panicked");
+    slots.into_iter().map(|s| s.into_inner().expect("slot filled")).collect()
+}
+
+/// Runs `configs` × the 11-workload suite in parallel and collects results.
+pub fn suite_results(configs: &[ConfigName], suite: &SuiteConfig) -> SuiteResults {
+    let graph = suite.graph();
+    let workloads = registry::irregular_names();
+    let mut jobs: Vec<(&'static str, ConfigName)> = Vec::new();
+    for &w in workloads {
+        for &c in configs {
+            jobs.push((w, c));
+        }
+    }
+    let results = Mutex::new(HashMap::new());
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(16);
+    crossbeam::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let Some(&(w, c)) = jobs.get(i) else { break };
+                let m = run_one(w, c, suite, &graph);
+                results.lock().insert((w.to_string(), c), m);
+            });
+        }
+    })
+    .expect("suite workers panicked");
+    SuiteResults { workloads: workloads.to_vec(), results: results.into_inner() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let out = parallel_map((0..100u64).collect(), |&x| x * 2);
+        assert_eq!(out, (0..100u64).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn config_labels_match_paper_vocabulary() {
+        assert_eq!(ConfigName::Baseline.label(), "BASELINE");
+        assert_eq!(ConfigName::ToUe.label(), "TO+UE");
+        assert_eq!(ConfigName::Etc.label(), "ETC");
+    }
+
+    #[test]
+    fn etc_config_carries_framework() {
+        let (_, etc) = ConfigName::Etc.policy();
+        assert!(etc.unwrap().enabled);
+        assert!(ConfigName::Baseline.policy().1.is_none());
+    }
+
+    #[test]
+    fn suite_runs_one_small_workload() {
+        let suite = SuiteConfig { scale: 8, edge_factor: 4, seed: 1, ratio: 0.5, sim: SimConfig::default() };
+        let graph = suite.graph();
+        let m = run_one("BFS-TTC", ConfigName::Baseline, &suite, &graph);
+        assert!(m.cycles > 0);
+        let unlimited = run_one("BFS-TTC", ConfigName::Unlimited, &suite, &graph);
+        assert!(unlimited.memory_pages.is_none());
+    }
+
+    #[test]
+    fn geomean_of_constants_is_the_constant() {
+        let suite = SuiteConfig { scale: 8, edge_factor: 4, seed: 1, ratio: 0.5, sim: SimConfig::default() };
+        let graph = suite.graph();
+        let m = run_one("PR", ConfigName::Baseline, &suite, &graph);
+        let mut results = HashMap::new();
+        for w in registry::irregular_names() {
+            results.insert((w.to_string(), ConfigName::Baseline), m.clone());
+        }
+        let r = SuiteResults { workloads: registry::irregular_names().to_vec(), results };
+        let g = r.geomean(|_| 3.0);
+        assert!((g - 3.0).abs() < 1e-12);
+    }
+}

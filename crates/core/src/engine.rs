@@ -1,0 +1,788 @@
+//! The end-to-end simulation engine.
+//!
+//! Wires the GPU core model (`batmem-sim`) to the MMU (`batmem-vmem`), the
+//! UVM runtime (`batmem-uvm`), and the ETC baseline (`batmem-etc`), and
+//! drives them with a single deterministic event loop.
+
+use crate::metrics::RunMetrics;
+use batmem_etc::{CapacityCompression, EtcConfig, ThrottleController};
+use batmem_sim::block::{BlockContext, BlockResidency};
+use batmem_sim::cache::MemPath;
+use batmem_sim::events::EventQueue;
+use batmem_sim::ops::{Kernel, KernelSpec, Workload, WarpOp};
+use batmem_sim::sm::{occupancy, Occupancy, Sm};
+use batmem_sim::warp::{WarpContext, WarpPhase};
+use batmem_types::policy::PolicyConfig;
+use batmem_types::{BlockId, Cycle, KernelId, PageId, SimConfig, SmId};
+use batmem_uvm::{OversubController, UvmEvent, UvmOutput, UvmRuntime};
+use batmem_vmem::{Mmu, TranslationOutcome};
+use std::collections::{HashMap, HashSet};
+
+/// Entry point: configure with [`Simulation::builder`], then
+/// [`SimulationBuilder::run`].
+#[derive(Debug)]
+pub struct Simulation;
+
+impl Simulation {
+    /// Starts building a simulation.
+    pub fn builder() -> SimulationBuilder {
+        SimulationBuilder::default()
+    }
+}
+
+/// Builder for a simulation run.
+#[derive(Debug, Clone, Default)]
+pub struct SimulationBuilder {
+    config: SimConfig,
+    etc: EtcConfig,
+    memory_ratio: Option<f64>,
+}
+
+impl SimulationBuilder {
+    /// Replaces the full system configuration (defaults to Table 1).
+    pub fn config(mut self, config: SimConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Sets the policy knobs (see [`crate::policies`]).
+    pub fn policy(mut self, policy: PolicyConfig) -> Self {
+        self.config.policy = policy;
+        self
+    }
+
+    /// Enables the ETC framework with `etc`.
+    pub fn etc(mut self, etc: EtcConfig) -> Self {
+        self.etc = etc;
+        self
+    }
+
+    /// Sizes GPU memory as `ratio` × the workload footprint (the paper's
+    /// oversubscription ratio; 0.5 = "50% memory oversubscription", 1.0 or
+    /// more = everything fits).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ratio` is not positive.
+    pub fn memory_ratio(mut self, ratio: f64) -> Self {
+        assert!(ratio > 0.0, "memory ratio must be positive");
+        self.memory_ratio = Some(ratio);
+        self
+    }
+
+    /// Sizes GPU memory to an absolute number of pages.
+    pub fn memory_pages(mut self, pages: u64) -> Self {
+        self.config.uvm.gpu_mem_pages = Some(pages);
+        self
+    }
+
+    /// Runs `workload` to completion and returns the metrics.
+    ///
+    /// # Panics
+    ///
+    /// Panics on internal invariant violations (deadlock, page-table
+    /// inconsistencies) — these indicate engine bugs, not user errors.
+    pub fn run(mut self, workload: Box<dyn Workload>) -> RunMetrics {
+        let footprint = workload.footprint_bytes();
+        let page_bytes = self.config.uvm.page_bytes();
+        let footprint_pages = footprint.div_ceil(page_bytes).max(1);
+        if let Some(ratio) = self.memory_ratio {
+            let pages = ((footprint_pages as f64 * ratio).ceil() as u64).max(1);
+            self.config.uvm.gpu_mem_pages = Some(pages);
+        }
+        if self.etc.enabled {
+            if let Some(p) = self.config.uvm.gpu_mem_pages {
+                // Capacity compression inflates effective capacity.
+                self.config.uvm.gpu_mem_pages = Some(self.etc.effective_capacity(p));
+            }
+            if self.etc.proactive_eviction {
+                self.config.policy.proactive_eviction = true;
+            }
+        }
+        Engine::new(self.config, self.etc, workload, footprint_pages).run()
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Event {
+    WarpWake { block: usize, warp: usize },
+    RaiseFault { page: PageId },
+    Uvm(UvmEvent),
+    SwitchInDone { sm: usize, block: usize },
+    Sample,
+    EtcTick,
+}
+
+struct Engine {
+    cfg: SimConfig,
+    clock: Cycle,
+    events: EventQueue<Event>,
+    mmu: Mmu,
+    mem: MemPath,
+    uvm: UvmRuntime,
+    oversub: OversubController,
+    throttle: ThrottleController,
+    cc: CapacityCompression,
+    etc_enabled: bool,
+    workload: Box<dyn Workload>,
+    kernel_idx: u32,
+    kernel: Option<Box<dyn Kernel>>,
+    spec: KernelSpec,
+    occ: Occupancy,
+    blocks: Vec<BlockContext>,
+    block_sm: Vec<usize>,
+    sms: Vec<Sm>,
+    grid_cursor: u32,
+    blocks_remaining: u32,
+    waiters: HashMap<PageId, Vec<(usize, usize)>>,
+    seen_fault_pages: HashSet<PageId>,
+    throttled_count: u16,
+    // metrics
+    finished_at: Option<Cycle>,
+    memory_pages: Option<u64>,
+    blocks_retired: u64,
+    warps_retired: u64,
+    mem_ops: u64,
+    ctx_switches: u64,
+    ctx_switch_cycles: Cycle,
+}
+
+impl Engine {
+    fn new(cfg: SimConfig, etc: EtcConfig, workload: Box<dyn Workload>, footprint_pages: u64) -> Self {
+        let uvm = UvmRuntime::new(&cfg.uvm, &cfg.policy, footprint_pages);
+        let mmu = Mmu::new(&cfg);
+        let mem = MemPath::new(&cfg.mem, cfg.gpu.num_sms);
+        let oversub = OversubController::new(cfg.policy.oversubscription);
+        let throttle = ThrottleController::new(etc, cfg.gpu.num_sms);
+        let cc = CapacityCompression::new(&etc);
+        let num_sms = cfg.gpu.num_sms as usize;
+        let memory_pages = cfg.uvm.gpu_mem_pages;
+        Self {
+            cfg,
+            clock: 0,
+            events: EventQueue::new(),
+            mmu,
+            mem,
+            uvm,
+            oversub,
+            throttle,
+            cc,
+            etc_enabled: etc.enabled,
+            workload,
+            kernel_idx: 0,
+            kernel: None,
+            spec: KernelSpec { num_blocks: 0, threads_per_block: 32, regs_per_thread: 0 },
+            occ: Occupancy { active_limit: 1, warps_per_block: 1 },
+            blocks: Vec::new(),
+            block_sm: Vec::new(),
+            sms: (0..num_sms).map(|_| Sm::new()).collect(),
+            grid_cursor: 0,
+            blocks_remaining: 0,
+            waiters: HashMap::new(),
+            seen_fault_pages: HashSet::new(),
+            throttled_count: 0,
+            finished_at: None,
+            memory_pages,
+            blocks_retired: 0,
+            warps_retired: 0,
+            mem_ops: 0,
+            ctx_switches: 0,
+            ctx_switch_cycles: 0,
+        }
+    }
+
+    fn to_enabled(&self) -> bool {
+        self.cfg.policy.oversubscription.enabled
+    }
+
+    fn run(mut self) -> RunMetrics {
+        assert!(self.workload.num_kernels() > 0, "workload launches no kernels");
+        self.launch_kernel(0);
+        if self.to_enabled() {
+            let period = self.cfg.policy.oversubscription.lifetime_sample_period;
+            self.events.push(period, Event::Sample);
+        }
+        if self.etc_enabled {
+            self.events.push(self.throttle.next_tick(), Event::EtcTick);
+        }
+        while let Some((t, ev)) = self.events.pop() {
+            debug_assert!(t >= self.clock, "time went backwards");
+            self.clock = t;
+            match ev {
+                Event::WarpWake { block, warp } => self.on_warp_wake(block, warp),
+                Event::RaiseFault { page } => self.on_raise_fault(page),
+                Event::Uvm(e) => {
+                    let outs = self.uvm.on_event(e, self.clock);
+                    self.apply_outputs(outs);
+                }
+                Event::SwitchInDone { sm, block } => self.on_switch_in_done(sm, block),
+                Event::Sample => self.on_sample(),
+                Event::EtcTick => self.on_etc_tick(),
+            }
+        }
+        assert!(
+            self.blocks_remaining == 0 && self.kernel_idx >= self.workload.num_kernels(),
+            "simulation deadlocked: kernel {} of {}, {} blocks outstanding, {} pages awaited",
+            self.kernel_idx,
+            self.workload.num_kernels(),
+            self.blocks_remaining,
+            self.waiters.len(),
+        );
+        let mmu_stats = self.mmu.stats();
+        RunMetrics {
+            cycles: self.finished_at.expect("finish time recorded"),
+            workload: self.workload.name(),
+            footprint_bytes: self.workload.footprint_bytes(),
+            memory_pages: self.memory_pages,
+            kernels: self.workload.num_kernels(),
+            blocks_retired: self.blocks_retired,
+            warps_retired: self.warps_retired,
+            mem_ops: self.mem_ops,
+            uvm: self.uvm.stats(),
+            mmu: mmu_stats,
+            l1d: self.mem.l1_stats(),
+            l2d: self.mem.l2_stats(),
+            ctx_switches: self.ctx_switches,
+            ctx_switch_cycles: self.ctx_switch_cycles,
+            final_oversub_degree: self.oversub.degree(),
+            oversub_decrements: self.oversub.decrements(),
+            throttle_engagements: self.throttle.engagements(),
+        }
+    }
+
+    // ---- kernel lifecycle -------------------------------------------------
+
+    fn launch_kernel(&mut self, k: u32) {
+        debug_assert!(self.waiters.is_empty(), "stale page waiters across kernels");
+        let kernel = self.workload.kernel(KernelId::new(k));
+        self.spec = kernel.spec();
+        self.occ = occupancy(&self.cfg.gpu, &self.spec);
+        self.kernel = Some(kernel);
+        self.kernel_idx = k;
+        self.blocks.clear();
+        self.block_sm.clear();
+        self.grid_cursor = 0;
+        self.blocks_remaining = self.spec.num_blocks;
+        for sm in &mut self.sms {
+            debug_assert_eq!(sm.resident_blocks(), 0, "blocks left over from prior kernel");
+            *sm = Sm::new();
+        }
+        let num_sms = self.sms.len();
+        // Fill each SM's active slots round-robin, one slot depth at a time,
+        // as the hardware block dispatcher does.
+        for _slot in 0..self.occ.active_limit {
+            for sm in 0..num_sms {
+                self.dispatch_block(sm, true);
+            }
+        }
+        // Thread oversubscription: provision extra inactive blocks (§4.1,
+        // Fig. 6 step 1).
+        if self.to_enabled() {
+            self.top_up_inactive();
+        }
+    }
+
+    fn next_kernel(&mut self) {
+        let next = self.kernel_idx + 1;
+        if next < self.workload.num_kernels() {
+            self.launch_kernel(next);
+        } else {
+            // Execution time is when the last block retires; stray periodic
+            // events (controller ticks, in-flight UVM work) may still drain
+            // from the queue afterwards but do not count.
+            self.kernel_idx = next;
+            self.finished_at = Some(self.clock);
+        }
+    }
+
+    /// Dispatches the next grid block onto `sm`. Returns false if the grid
+    /// is exhausted.
+    fn dispatch_block(&mut self, sm: usize, active: bool) -> bool {
+        if self.grid_cursor >= self.spec.num_blocks {
+            return false;
+        }
+        let id = BlockId::new(self.grid_cursor);
+        self.grid_cursor += 1;
+        let idx = self.blocks.len();
+        self.blocks.push(BlockContext::new(id));
+        self.block_sm.push(sm);
+        if active {
+            self.sms[sm].active.push(idx);
+            self.activate_block(idx);
+        } else {
+            self.sms[sm].inactive.push(idx);
+        }
+        true
+    }
+
+    /// Marks `idx` active and (on first activation) builds its warps and
+    /// schedules them.
+    fn activate_block(&mut self, idx: usize) {
+        self.blocks[idx].residency = BlockResidency::Active;
+        if !self.blocks[idx].started {
+            let kernel = self.kernel.as_ref().expect("kernel in flight");
+            let id = self.blocks[idx].id;
+            let warps: Vec<WarpContext> = (0..self.occ.warps_per_block)
+                .map(|w| WarpContext::new(kernel.warp_stream(id, w as u16)))
+                .collect();
+            self.blocks[idx].warps = warps;
+            self.blocks[idx].started = true;
+            for w in 0..self.occ.warps_per_block as usize {
+                self.events.push(self.clock, Event::WarpWake { block: idx, warp: w });
+            }
+        } else {
+            for w in self.blocks[idx].ready_inactive_warps() {
+                self.blocks[idx].warps[w].phase = WarpPhase::Ready;
+                self.events.push(self.clock, Event::WarpWake { block: idx, warp: w });
+            }
+        }
+    }
+
+    fn top_up_inactive(&mut self) {
+        let degree = self.oversub.degree() as usize;
+        for sm in 0..self.sms.len() {
+            while self.sms[sm].inactive.len() < degree {
+                if !self.dispatch_block(sm, false) {
+                    return;
+                }
+            }
+        }
+    }
+
+    // ---- warp execution ---------------------------------------------------
+
+    fn is_throttled(&self, sm: usize) -> bool {
+        sm >= self.sms.len() - self.throttled_count as usize
+    }
+
+    fn on_warp_wake(&mut self, b: usize, w: usize) {
+        match self.blocks[b].residency {
+            BlockResidency::Active => {}
+            BlockResidency::Retired => panic!("wake for retired block"),
+            _ => {
+                self.blocks[b].warps[w].phase = WarpPhase::ReadyInactive;
+                return;
+            }
+        }
+        let sm = self.block_sm[b];
+        if self.is_throttled(sm) {
+            // ETC memory-aware throttling: the SM is disabled; park the warp.
+            self.blocks[b].warps[w].phase = WarpPhase::Ready;
+            return;
+        }
+        match self.blocks[b].warps[w].take_next_op() {
+            None => {
+                self.blocks[b].warps[w].phase = WarpPhase::Finished;
+                self.warps_retired += 1;
+                if self.blocks[b].all_finished() {
+                    self.retire_block(b);
+                } else {
+                    self.maybe_switch(sm);
+                }
+            }
+            Some(WarpOp::Compute(c)) => {
+                self.blocks[b].warps[w].phase = WarpPhase::Computing;
+                self.events.push(self.clock + Cycle::from(c), Event::WarpWake { block: b, warp: w });
+            }
+            Some(op) => self.exec_mem(b, w, op),
+        }
+    }
+
+    fn exec_mem(&mut self, b: usize, w: usize, op: WarpOp) {
+        self.mem_ops += 1;
+        let sm = self.block_sm[b];
+        let page_shift = self.cfg.uvm.page_shift;
+        let l1_hit = self.cfg.tlb.l1_hit_latency;
+        // Translate each distinct page once (the coalescer and TLB port
+        // would collapse the duplicates anyway).
+        let mut page_lat: Vec<(PageId, Cycle)> = Vec::new();
+        let mut faulted: Vec<(PageId, Cycle)> = Vec::new();
+        for a in op.addrs() {
+            let page = a.page(page_shift);
+            if page_lat.iter().any(|&(p, _)| p == page) || faulted.iter().any(|&(p, _)| p == page)
+            {
+                continue;
+            }
+            let t = self.mmu.translate(SmId::new(sm as u16), page, self.clock);
+            if t.latency > l1_hit {
+                // L1 TLB miss: refresh the page's LRU stamp (the manager's
+                // aged-LRU approximation).
+                self.uvm.touch(page);
+            }
+            match t.outcome {
+                TranslationOutcome::Resident(_) => page_lat.push((page, t.latency)),
+                TranslationOutcome::Fault => faulted.push((page, t.latency)),
+            }
+        }
+        if faulted.is_empty() {
+            let cc = self.cc.access_penalty();
+            let mut total: Cycle = 0;
+            for a in op.addrs() {
+                let page = a.page(page_shift);
+                let tl = page_lat
+                    .iter()
+                    .find(|&&(p, _)| p == page)
+                    .map(|&(_, l)| l)
+                    .expect("translated page");
+                let dl = self.mem.access(sm, *a) + cc;
+                total = total.max(tl + dl);
+            }
+            self.blocks[b].warps[w].phase = WarpPhase::MemWait;
+            self.events.push(self.clock + total, Event::WarpWake { block: b, warp: w });
+        } else {
+            // The warp stalls on its faulting pages. Replay is per-lane, as
+            // on real hardware: lanes whose pages were resident complete
+            // now, and only the faulted addresses re-issue — this also
+            // guarantees forward progress when capacity is smaller than a
+            // single op's page set (each replay resolves at least the page
+            // that just arrived).
+            let retry_addrs: Vec<_> = op
+                .addrs()
+                .iter()
+                .filter(|a| faulted.iter().any(|&(p, _)| p == a.page(page_shift)))
+                .copied()
+                .collect();
+            let retry_op = match &op {
+                WarpOp::Store(_) => WarpOp::Store(retry_addrs),
+                _ => WarpOp::Load(retry_addrs),
+            };
+            let n = faulted.len() as u32;
+            {
+                let warp = &mut self.blocks[b].warps[w];
+                warp.pending_retry = Some(retry_op);
+                warp.waiting_pages = n;
+                warp.phase = WarpPhase::FaultBlocked;
+            }
+            for (page, tl) in faulted {
+                self.waiters.entry(page).or_default().push((b, w));
+                // The fault reaches the fault buffer when the walk fails.
+                self.events.push(self.clock + tl, Event::RaiseFault { page });
+            }
+            self.maybe_switch(sm);
+        }
+    }
+
+    fn on_raise_fault(&mut self, page: PageId) {
+        // The page may have been migrated (or scheduled) since the walk
+        // failed; replay would find it resident.
+        if self.mmu.is_resident(page) || self.uvm.is_inflight(page) || self.uvm.is_resident(page) {
+            return;
+        }
+        if self.etc_enabled {
+            let refault = !self.seen_fault_pages.insert(page);
+            self.throttle.on_fault(refault);
+        }
+        let outs = self.uvm.record_fault(page, self.clock);
+        self.apply_outputs(outs);
+    }
+
+    fn apply_outputs(&mut self, outs: Vec<UvmOutput>) {
+        for o in outs {
+            match o {
+                UvmOutput::Schedule { at, event } => {
+                    self.events.push(at.max(self.clock), Event::Uvm(event));
+                }
+                UvmOutput::Install { page, frame } => {
+                    self.mmu.install(page, frame);
+                    self.wake_waiters(page);
+                }
+                UvmOutput::Evict { page } => {
+                    self.mmu.evict(page);
+                }
+            }
+        }
+    }
+
+    fn wake_waiters(&mut self, page: PageId) {
+        let Some(list) = self.waiters.remove(&page) else { return };
+        for (b, w) in list {
+            if self.blocks[b].warps[w].page_arrived() {
+                match self.blocks[b].residency {
+                    BlockResidency::Active => {
+                        self.blocks[b].warps[w].phase = WarpPhase::Ready;
+                        self.events.push(self.clock, Event::WarpWake { block: b, warp: w });
+                    }
+                    _ => {
+                        self.blocks[b].warps[w].phase = WarpPhase::ReadyInactive;
+                        // An inactive block just became runnable: a stalled
+                        // active block can now yield to it.
+                        let sm = self.block_sm[b];
+                        self.maybe_switch(sm);
+                    }
+                }
+            }
+        }
+    }
+
+    // ---- thread oversubscription (VT context switching) --------------------
+
+    fn maybe_switch(&mut self, sm: usize) {
+        if !self.to_enabled() || !self.oversub.switching_allowed() {
+            return;
+        }
+        let trigger = self.cfg.policy.oversubscription.trigger;
+        let out = self.sms[sm]
+            .active
+            .iter()
+            .copied()
+            .find(|&b| self.blocks[b].residency == BlockResidency::Active && self.blocks[b].is_fully_stalled(trigger));
+        let Some(out) = out else { return };
+        let inc = self.sms[sm]
+            .inactive
+            .iter()
+            .copied()
+            .find(|&b| self.blocks[b].residency == BlockResidency::Inactive && self.blocks[b].is_switch_in_ready());
+        let Some(inc) = inc else { return };
+        let cost = self
+            .cfg
+            .gpu
+            .ctx_switch_cycles(self.spec.threads_per_block, self.spec.regs_per_thread);
+        let done = self.sms[sm].begin_switch(self.clock, cost);
+        self.ctx_switches += 1;
+        self.ctx_switch_cycles += cost;
+        self.blocks[out].residency = BlockResidency::Inactive;
+        self.sms[sm].deactivate(out);
+        self.blocks[inc].residency = BlockResidency::SwitchingIn;
+        self.events.push(done, Event::SwitchInDone { sm, block: inc });
+    }
+
+    fn on_switch_in_done(&mut self, sm: usize, block: usize) {
+        self.sms[sm].activate(block);
+        self.activate_block(block);
+        // Chain: another active block may be stalled with another inactive
+        // block ready.
+        self.maybe_switch(sm);
+    }
+
+    // ---- retirement and refill ---------------------------------------------
+
+    fn retire_block(&mut self, b: usize) {
+        let sm = self.block_sm[b];
+        self.blocks[b].residency = BlockResidency::Retired;
+        self.sms[sm].remove(b);
+        self.blocks_retired += 1;
+        self.blocks_remaining -= 1;
+        if self.blocks_remaining == 0 {
+            self.next_kernel();
+            return;
+        }
+        // Refill the freed active slot: prefer a resident inactive block
+        // (restore-only context cost), then a fresh grid block.
+        let inactive_pick = self.sms[sm]
+            .inactive
+            .iter()
+            .copied()
+            .find(|&x| self.blocks[x].residency == BlockResidency::Inactive && self.blocks[x].is_switch_in_ready())
+            .or_else(|| {
+                self.sms[sm]
+                    .inactive
+                    .iter()
+                    .copied()
+                    .find(|&x| self.blocks[x].residency == BlockResidency::Inactive)
+            });
+        if self.to_enabled() {
+            if let Some(inc) = inactive_pick {
+                let restore = self
+                    .cfg
+                    .gpu
+                    .ctx_switch_cycles(self.spec.threads_per_block, self.spec.regs_per_thread)
+                    / 2;
+                let done = self.sms[sm].begin_switch(self.clock, restore);
+                self.ctx_switches += 1;
+                self.ctx_switch_cycles += restore;
+                self.blocks[inc].residency = BlockResidency::SwitchingIn;
+                self.events.push(done, Event::SwitchInDone { sm, block: inc });
+                self.top_up_inactive();
+                return;
+            }
+        }
+        self.dispatch_block(sm, true);
+        if self.to_enabled() {
+            self.top_up_inactive();
+        }
+    }
+
+    // ---- periodic controllers ----------------------------------------------
+
+    fn on_sample(&mut self) {
+        if !self.to_enabled() {
+            return;
+        }
+        let sample = self.uvm.sample_lifetime();
+        self.oversub.on_sample(sample);
+        // A raised degree provisions more inactive blocks immediately.
+        self.top_up_inactive();
+        if self.kernel_idx < self.workload.num_kernels() {
+            let period = self.cfg.policy.oversubscription.lifetime_sample_period;
+            self.events.push(self.clock + period, Event::Sample);
+        }
+    }
+
+    fn on_etc_tick(&mut self) {
+        if self.throttle.tick(self.clock) {
+            self.apply_throttle();
+        }
+        if self.kernel_idx < self.workload.num_kernels() {
+            self.events.push(self.throttle.next_tick().max(self.clock + 1), Event::EtcTick);
+        }
+    }
+
+    fn apply_throttle(&mut self) {
+        let new_count = self.throttle.throttled_sms();
+        let old_count = self.throttled_count;
+        self.throttled_count = new_count;
+        if new_count < old_count {
+            // SMs came back: release their parked warps.
+            let lo = self.sms.len() - old_count as usize;
+            let hi = self.sms.len() - new_count as usize;
+            for sm in lo..hi {
+                let resident: Vec<usize> = self.sms[sm].active.clone();
+                for b in resident {
+                    for w in 0..self.blocks[b].warps.len() {
+                        if self.blocks[b].warps[w].phase == WarpPhase::Ready {
+                            self.events.push(self.clock, Event::WarpWake { block: b, warp: w });
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use batmem_types::policy::{EvictionPolicy, PrefetchPolicy, SwitchTrigger, ToConfig};
+    use batmem_workloads::synthetic::{SharedPages, Strided};
+
+    fn no_prefetch(mut p: PolicyConfig) -> PolicyConfig {
+        p.prefetch = PrefetchPolicy::None;
+        p
+    }
+
+    #[test]
+    fn single_warp_single_page_timing() {
+        // One block, one warp, one page, one load: time = walk + ISR +
+        // handling + transfer + retry pipeline.
+        let w = Strided::new(1, 32, 32, 1, 0, 1);
+        let m = Simulation::builder()
+            .policy(no_prefetch(PolicyConfig::baseline()))
+            .run(Box::new(w));
+        assert_eq!(m.uvm.num_batches(), 1);
+        assert_eq!(m.uvm.batches[0].faults, 1);
+        // Lower bound: ISR (1k) + handling (20k) + page transfer (~4.2k).
+        assert!(m.cycles > 25_000, "{}", m.cycles);
+        assert!(m.cycles < 40_000, "{}", m.cycles);
+    }
+
+    #[test]
+    fn shared_page_fault_wakes_all_waiters() {
+        // 64 blocks all reading the same 3 pages: one batch serves everyone.
+        let w = SharedPages::new(64, 256, 32, 3, 10);
+        let m = Simulation::builder()
+            .policy(no_prefetch(PolicyConfig::baseline()))
+            .run(Box::new(w));
+        let faults: u64 = m.uvm.batches.iter().map(|b| u64::from(b.faults)).sum();
+        assert_eq!(faults, 3, "shared pages must fault once each");
+        assert_eq!(m.blocks_retired, 64);
+    }
+
+    #[test]
+    fn to_context_switches_on_fault_stalls() {
+        // Tiny capacity + per-warp disjoint pages: active blocks stall fully
+        // and the provisioned inactive blocks must switch in.
+        let w = Strided::new(200, 256, 56, 2, 50, 3);
+        let mut policy = no_prefetch(PolicyConfig::to_only());
+        policy.oversubscription = ToConfig { max_extra_blocks: 3, ..ToConfig::enabled() };
+        let m = Simulation::builder().policy(policy).memory_ratio(0.25).run(Box::new(w));
+        assert!(m.ctx_switches > 0, "no switches despite fault stalls");
+        assert!(m.ctx_switch_cycles > 0);
+        assert_eq!(m.blocks_retired, 200);
+    }
+
+    #[test]
+    fn any_stall_trigger_switches_without_faults() {
+        let w = Strided::new(200, 256, 56, 2, 0, 4);
+        let mut policy = no_prefetch(PolicyConfig::to_only());
+        policy.oversubscription =
+            ToConfig { trigger: SwitchTrigger::AnyStall, ..ToConfig::enabled() };
+        let m = Simulation::builder().policy(policy).run(Box::new(w));
+        assert_eq!(m.uvm.evictions, 0);
+        assert!(m.ctx_switches > 0, "AnyStall must switch on memory stalls");
+    }
+
+    #[test]
+    fn fault_stall_trigger_switches_no_more_than_any_stall() {
+        // First-touch demand faults exist even with unlimited memory, so
+        // FaultStall may switch — but AnyStall adds every memory stall as a
+        // trigger, so it can never switch less.
+        let run = |trigger: SwitchTrigger| {
+            let w = Strided::new(200, 256, 56, 2, 0, 4);
+            let mut policy = no_prefetch(PolicyConfig::to_only());
+            policy.oversubscription = ToConfig { trigger, ..ToConfig::enabled() };
+            Simulation::builder().policy(policy).run(Box::new(w))
+        };
+        let fault_stall = run(SwitchTrigger::FaultStall);
+        let any_stall = run(SwitchTrigger::AnyStall);
+        assert!(fault_stall.ctx_switches <= any_stall.ctx_switches);
+        assert!(any_stall.ctx_switches > 0);
+    }
+
+    #[test]
+    fn severe_oversubscription_still_terminates() {
+        // Capacity 2 pages, ops spanning more pages than capacity: the
+        // per-lane replay rule must guarantee forward progress.
+        let w = SharedPages::new(8, 256, 32, 12, 5);
+        let m = Simulation::builder()
+            .policy(no_prefetch(PolicyConfig::baseline()))
+            .memory_pages(2)
+            .run(Box::new(w));
+        assert_eq!(m.blocks_retired, 8);
+        assert!(m.uvm.evictions > 0);
+        assert!(m.uvm.peak_resident_pages <= 2);
+    }
+
+    #[test]
+    fn severe_oversubscription_terminates_under_ue() {
+        let w = SharedPages::new(8, 256, 32, 12, 5);
+        let mut policy = no_prefetch(PolicyConfig::ue_only());
+        policy.eviction = EvictionPolicy::Unobtrusive;
+        let m = Simulation::builder().policy(policy).memory_pages(2).run(Box::new(w));
+        assert_eq!(m.blocks_retired, 8);
+    }
+
+    #[test]
+    fn compute_only_workload_never_faults() {
+        // repeats * compute with one page per warp: after the first touch,
+        // everything is compute; the page count equals warps.
+        let w = Strided::new(4, 64, 16, 1, 1_000, 16);
+        let m = Simulation::builder().policy(no_prefetch(PolicyConfig::baseline())).run(Box::new(w));
+        let faults: u64 = m.uvm.batches.iter().map(|b| u64::from(b.faults)).sum();
+        assert_eq!(faults, 4 * 2); // 4 blocks x 2 warps x 1 page
+        assert!(m.mem_ops > faults);
+    }
+
+    #[test]
+    fn mem_ops_count_replays() {
+        let w = Strided::new(1, 32, 32, 4, 0, 1);
+        let m = Simulation::builder().policy(no_prefetch(PolicyConfig::baseline())).run(Box::new(w));
+        // 4 loads + 4 replays after their faults.
+        assert_eq!(m.mem_ops, 8);
+    }
+
+    #[test]
+    fn builder_ratio_sets_capacity_from_footprint() {
+        let w = Strided::new(4, 256, 32, 4, 10, 1); // 4*8*4 = 128 pages
+        let m = Simulation::builder()
+            .policy(no_prefetch(PolicyConfig::baseline()))
+            .memory_ratio(0.25)
+            .run(Box::new(w));
+        assert_eq!(m.memory_pages, Some(32));
+    }
+
+    #[test]
+    #[should_panic(expected = "memory ratio must be positive")]
+    fn zero_ratio_panics() {
+        let _ = Simulation::builder().memory_ratio(0.0);
+    }
+}

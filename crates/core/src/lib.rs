@@ -1,0 +1,88 @@
+//! `batmem` — batch-aware unified memory management for GPUs.
+//!
+//! A from-scratch Rust reproduction of Kim et al., *Batch-Aware Unified
+//! Memory Management in GPUs for Irregular Workloads* (ASPLOS 2020): a
+//! cycle-level GPU + UVM demand-paging simulator implementing the paper's
+//! baseline (tree prefetching, serialized LRU eviction), its two proposed
+//! mechanisms — **Thread Oversubscription (TO)** and **Unobtrusive Eviction
+//! (UE)** — and the ETC comparison framework.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use batmem::{Simulation, policies};
+//! use batmem_workloads::registry;
+//! use batmem_graph::gen;
+//! use std::sync::Arc;
+//!
+//! let graph = Arc::new(gen::rmat(8, 4, 42));
+//! let workload = registry::build("BFS-TTC", graph).unwrap();
+//!
+//! let metrics = Simulation::builder()
+//!     .policy(policies::to_ue())        // the paper's proposal
+//!     .memory_ratio(0.5)                // 50% memory oversubscription
+//!     .run(workload);
+//!
+//! assert!(metrics.cycles > 0);
+//! assert!(metrics.uvm.num_batches() > 0);
+//! ```
+//!
+//! The [`Simulation`] builder selects policies; [`RunMetrics`] carries
+//! everything the paper's figures plot (batch counts and sizes, batch
+//! processing times, premature evictions; speedups are ratios of
+//! `cycles`). The `batmem-bench` crate regenerates every figure and table.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod engine;
+pub mod experiments;
+mod metrics;
+
+pub use engine::{Simulation, SimulationBuilder};
+pub use metrics::RunMetrics;
+
+pub use batmem_etc::EtcConfig;
+pub use batmem_types::config::SimConfig;
+pub use batmem_types::policy::PolicyConfig;
+
+/// The policy presets of Fig. 11, by their names in the paper.
+pub mod policies {
+    use batmem_etc::EtcConfig;
+    use batmem_types::policy::PolicyConfig;
+
+    /// `BASELINE`: state-of-the-art tree prefetching, serialized eviction.
+    pub fn baseline() -> PolicyConfig {
+        PolicyConfig::baseline()
+    }
+
+    /// `BASELINE with PCIe Compression`.
+    pub fn baseline_with_compression() -> PolicyConfig {
+        PolicyConfig::baseline_with_compression()
+    }
+
+    /// `TO`: thread oversubscription only.
+    pub fn to_only() -> PolicyConfig {
+        PolicyConfig::to_only()
+    }
+
+    /// `UE`: unobtrusive eviction only.
+    pub fn ue_only() -> PolicyConfig {
+        PolicyConfig::ue_only()
+    }
+
+    /// `TO+UE`: the paper's full proposal.
+    pub fn to_ue() -> PolicyConfig {
+        PolicyConfig::to_ue()
+    }
+
+    /// `IDEAL EVICTION` (Fig. 8 limit study).
+    pub fn ideal_eviction() -> PolicyConfig {
+        PolicyConfig::ideal_eviction()
+    }
+
+    /// `ETC` (Li et al.), irregular-application mode.
+    pub fn etc() -> (PolicyConfig, EtcConfig) {
+        (PolicyConfig::baseline(), EtcConfig::irregular())
+    }
+}

@@ -1,0 +1,314 @@
+//! The ETC oversubscription framework (Li et al., ASPLOS 2019) — the
+//! paper's strongest prior-work comparison point (Fig. 11).
+//!
+//! ETC combines three techniques, applied by application class:
+//!
+//! * **Proactive Eviction (PE)** — evict ahead of predicted need. The ETC
+//!   authors disable PE for irregular applications because mispredicted
+//!   timing hurts (§7 of the reproduced paper); we model it as an option
+//!   ([`EtcConfig::proactive_eviction`]) that the irregular preset leaves
+//!   off, exactly replicating their methodology.
+//! * **Memory-aware Throttling (MT)** — disable half the SMs when thrashing
+//!   is detected, alternating *detection* and *execution* epochs
+//!   ([`ThrottleController`]).
+//! * **Capacity Compression (CC)** — compress device memory to fit more
+//!   pages at an access-latency penalty ([`CapacityCompression`]).
+//!
+//! The simulation engine consumes these models: the throttle controller
+//! decides how many SMs may issue, and CC inflates effective capacity while
+//! taxing DRAM accesses.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use batmem_types::Cycle;
+use serde::{Deserialize, Serialize};
+
+/// ETC configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EtcConfig {
+    /// Master switch.
+    pub enabled: bool,
+    /// Proactive eviction (left off for irregular workloads, per the ETC
+    /// authors).
+    pub proactive_eviction: bool,
+    /// Fraction of SMs (in percent) disabled when MT engages.
+    pub throttle_percent: u8,
+    /// Length of a detection epoch.
+    pub detection_epoch: Cycle,
+    /// Length of an execution epoch.
+    pub execution_epoch: Cycle,
+    /// Premature-fault rate (re-faults / faults, in percent) above which a
+    /// detection epoch concludes the workload is thrashing.
+    pub thrash_threshold_percent: u8,
+    /// Effective-capacity multiplier from compression, ×100 (115 ⇒ +15 %;
+    /// graph payloads — edge lists and hub-heavy property arrays — compress
+    /// far worse than the dense numeric data CC was tuned on).
+    pub compression_capacity_x100: u32,
+    /// Extra DRAM latency per access to (potentially) compressed data.
+    pub compressed_access_penalty: Cycle,
+}
+
+impl Default for EtcConfig {
+    fn default() -> Self {
+        Self {
+            enabled: false,
+            proactive_eviction: false,
+            throttle_percent: 50,
+            detection_epoch: 100_000,
+            execution_epoch: 200_000,
+            thrash_threshold_percent: 10,
+            compression_capacity_x100: 115,
+            compressed_access_penalty: 25,
+        }
+    }
+}
+
+impl EtcConfig {
+    /// The irregular-application preset used against the paper's proposal:
+    /// MT + CC on, PE off.
+    pub fn irregular() -> Self {
+        Self { enabled: true, proactive_eviction: false, ..Self::default() }
+    }
+
+    /// Effective device capacity in pages under compression.
+    pub fn effective_capacity(&self, base_pages: u64) -> u64 {
+        if self.enabled {
+            base_pages * u64::from(self.compression_capacity_x100) / 100
+        } else {
+            base_pages
+        }
+    }
+}
+
+/// The capacity-compression model: latency tax applied to memory accesses
+/// when ETC is active.
+#[derive(Debug, Clone, Copy)]
+pub struct CapacityCompression {
+    penalty: Cycle,
+    enabled: bool,
+}
+
+impl CapacityCompression {
+    /// Builds the CC model from the config.
+    pub fn new(config: &EtcConfig) -> Self {
+        Self { penalty: config.compressed_access_penalty, enabled: config.enabled }
+    }
+
+    /// Extra cycles an access pays.
+    pub fn access_penalty(&self) -> Cycle {
+        if self.enabled {
+            self.penalty
+        } else {
+            0
+        }
+    }
+}
+
+/// Which phase the throttling controller is in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ThrottlePhase {
+    /// Measuring the thrash rate at full SM count.
+    Detection,
+    /// Running with a subset of SMs disabled (or all enabled if the last
+    /// detection found no thrashing).
+    Execution,
+}
+
+/// The memory-aware throttling (MT) state machine.
+///
+/// MT alternates a detection epoch — full SM count, measuring the
+/// premature-fault rate — with an execution epoch whose SM count depends on
+/// the verdict. "When triggered, MT statically throttles half of the SMs"
+/// (§5.2 footnote 8).
+#[derive(Debug, Clone)]
+pub struct ThrottleController {
+    config: EtcConfig,
+    num_sms: u16,
+    phase: ThrottlePhase,
+    phase_end: Cycle,
+    throttled: u16,
+    window_faults: u64,
+    window_refaults: u64,
+    /// Refault rate measured by the detection epoch that triggered the
+    /// current engagement, for the effectiveness comparison.
+    detection_rate: f64,
+    /// Engagements that failed to reduce the refault rate. MT gives up
+    /// after the first ineffective trial — for irregular workloads the
+    /// working set is shared across SMs, so throttling cannot shrink it
+    /// (§1, Fig. 1).
+    ineffective_streak: u32,
+    mt_disabled: bool,
+    engagements: u64,
+}
+
+impl ThrottleController {
+    /// Creates the controller for `num_sms` SMs; the first detection epoch
+    /// starts at time zero.
+    pub fn new(config: EtcConfig, num_sms: u16) -> Self {
+        Self {
+            phase: ThrottlePhase::Detection,
+            phase_end: config.detection_epoch,
+            config,
+            num_sms,
+            throttled: 0,
+            window_faults: 0,
+            window_refaults: 0,
+            detection_rate: 0.0,
+            ineffective_streak: 0,
+            mt_disabled: false,
+            engagements: 0,
+        }
+    }
+
+    /// Records a fault observed during the current epoch.
+    pub fn on_fault(&mut self, refault: bool) {
+        self.window_faults += 1;
+        if refault {
+            self.window_refaults += 1;
+        }
+    }
+
+    /// Advances the state machine; returns `true` if the throttled-SM count
+    /// changed (the engine must pause/resume SMs).
+    pub fn tick(&mut self, now: Cycle) -> bool {
+        if !self.config.enabled || now < self.phase_end {
+            return false;
+        }
+        let before = self.throttled;
+        let rate = if self.window_faults == 0 {
+            0.0
+        } else {
+            self.window_refaults as f64 / self.window_faults as f64
+        };
+        match self.phase {
+            ThrottlePhase::Detection => {
+                let thrashing = self.window_faults > 0
+                    && self.window_refaults * 100
+                        >= u64::from(self.config.thrash_threshold_percent) * self.window_faults;
+                self.throttled = if thrashing && !self.mt_disabled {
+                    self.engagements += 1;
+                    self.detection_rate = rate;
+                    (u32::from(self.num_sms) * u32::from(self.config.throttle_percent) / 100) as u16
+                } else {
+                    0
+                };
+                self.phase = ThrottlePhase::Execution;
+                self.phase_end = now + self.config.execution_epoch;
+            }
+            ThrottlePhase::Execution => {
+                if self.throttled > 0 {
+                    // Did throttling actually reduce the refault rate? For
+                    // workloads whose pages are shared across SMs it cannot,
+                    // and MT backs off instead of strangling parallelism.
+                    if rate >= self.detection_rate * 0.9 {
+                        self.ineffective_streak += 1;
+                        if self.ineffective_streak >= 1 {
+                            self.mt_disabled = true;
+                        }
+                    } else {
+                        self.ineffective_streak = 0;
+                    }
+                }
+                self.throttled = 0;
+                self.phase = ThrottlePhase::Detection;
+                self.phase_end = now + self.config.detection_epoch;
+            }
+        }
+        self.window_faults = 0;
+        self.window_refaults = 0;
+        before != self.throttled
+    }
+
+    /// SMs currently disabled (the engine pauses the highest-numbered ones).
+    pub fn throttled_sms(&self) -> u16 {
+        self.throttled
+    }
+
+    /// Current phase.
+    pub fn phase(&self) -> ThrottlePhase {
+        self.phase
+    }
+
+    /// Next time [`ThrottleController::tick`] should run.
+    pub fn next_tick(&self) -> Cycle {
+        self.phase_end
+    }
+
+    /// Times MT engaged throttling.
+    pub fn engagements(&self) -> u64 {
+        self.engagements
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effective_capacity_boost() {
+        let c = EtcConfig::irregular();
+        assert_eq!(c.effective_capacity(100), 115);
+        let off = EtcConfig::default();
+        assert_eq!(off.effective_capacity(100), 100);
+    }
+
+    #[test]
+    fn compression_penalty_follows_enable() {
+        assert_eq!(CapacityCompression::new(&EtcConfig::irregular()).access_penalty(), 25);
+        assert_eq!(CapacityCompression::new(&EtcConfig::default()).access_penalty(), 0);
+    }
+
+    #[test]
+    fn throttles_after_thrashy_detection_epoch() {
+        let mut t = ThrottleController::new(EtcConfig::irregular(), 16);
+        for i in 0..100 {
+            t.on_fault(i % 2 == 0); // 50% refault rate
+        }
+        assert!(t.tick(100_000));
+        assert_eq!(t.throttled_sms(), 8);
+        assert_eq!(t.phase(), ThrottlePhase::Execution);
+        assert_eq!(t.engagements(), 1);
+    }
+
+    #[test]
+    fn quiet_detection_epoch_keeps_all_sms() {
+        let mut t = ThrottleController::new(EtcConfig::irregular(), 16);
+        for _ in 0..100 {
+            t.on_fault(false);
+        }
+        assert!(!t.tick(100_000));
+        assert_eq!(t.throttled_sms(), 0);
+    }
+
+    #[test]
+    fn execution_epoch_returns_to_detection() {
+        let mut t = ThrottleController::new(EtcConfig::irregular(), 16);
+        for _ in 0..10 {
+            t.on_fault(true);
+        }
+        t.tick(100_000);
+        assert_eq!(t.throttled_sms(), 8);
+        // End of execution epoch: unthrottle and start measuring afresh.
+        assert!(t.tick(300_000));
+        assert_eq!(t.throttled_sms(), 0);
+        assert_eq!(t.phase(), ThrottlePhase::Detection);
+    }
+
+    #[test]
+    fn early_tick_is_noop() {
+        let mut t = ThrottleController::new(EtcConfig::irregular(), 16);
+        assert!(!t.tick(100));
+        assert_eq!(t.phase(), ThrottlePhase::Detection);
+    }
+
+    #[test]
+    fn disabled_controller_never_throttles() {
+        let mut t = ThrottleController::new(EtcConfig::default(), 16);
+        for _ in 0..100 {
+            t.on_fault(true);
+        }
+        assert!(!t.tick(10_000_000));
+        assert_eq!(t.throttled_sms(), 0);
+    }
+}

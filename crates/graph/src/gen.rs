@@ -1,0 +1,191 @@
+//! Deterministic graph generators.
+//!
+//! All generators are seeded and reproducible across platforms (they use
+//! [`rand::rngs::StdRng`], whose output is stable for a given seed).
+
+use crate::csr::{Csr, CsrBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates an R-MAT (recursive-matrix / Kronecker) graph with `2^scale`
+/// vertices and `edge_factor * 2^scale` directed edges, using the standard
+/// Graph500 partition probabilities (a, b, c, d) = (0.57, 0.19, 0.19, 0.05).
+///
+/// R-MAT graphs have heavy-tailed degree distributions like the social and
+/// web graphs the paper's irregular workloads target.
+///
+/// # Examples
+///
+/// ```
+/// let g = batmem_graph::gen::rmat(8, 8, 42);
+/// assert_eq!(g.num_vertices(), 256);
+/// assert_eq!(g.num_edges(), 2048);
+/// ```
+pub fn rmat(scale: u32, edge_factor: u32, seed: u64) -> Csr {
+    rmat_with(scale, edge_factor, 0.57, 0.19, 0.19, seed)
+}
+
+/// [`rmat`] with explicit quadrant probabilities `a`, `b`, `c`
+/// (`d = 1 - a - b - c`).
+///
+/// # Panics
+///
+/// Panics if the probabilities are not a valid sub-distribution.
+pub fn rmat_with(scale: u32, edge_factor: u32, a: f64, b: f64, c: f64, seed: u64) -> Csr {
+    assert!(a >= 0.0 && b >= 0.0 && c >= 0.0 && a + b + c <= 1.0, "invalid R-MAT probabilities");
+    let n: u32 = 1 << scale;
+    let m = u64::from(edge_factor) * u64::from(n);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut builder = CsrBuilder::new(n);
+    for _ in 0..m {
+        let (mut lo_s, mut hi_s) = (0u32, n);
+        let (mut lo_d, mut hi_d) = (0u32, n);
+        while hi_s - lo_s > 1 {
+            let mid_s = lo_s + (hi_s - lo_s) / 2;
+            let mid_d = lo_d + (hi_d - lo_d) / 2;
+            let r: f64 = rng.gen();
+            if r < a {
+                hi_s = mid_s;
+                hi_d = mid_d;
+            } else if r < a + b {
+                hi_s = mid_s;
+                lo_d = mid_d;
+            } else if r < a + b + c {
+                lo_s = mid_s;
+                hi_d = mid_d;
+            } else {
+                lo_s = mid_s;
+                lo_d = mid_d;
+            }
+        }
+        builder = builder.edge(lo_s, lo_d);
+    }
+    builder.build()
+}
+
+/// Generates a uniform random directed graph with `n` vertices and `m` edges.
+///
+/// # Examples
+///
+/// ```
+/// let g = batmem_graph::gen::uniform(100, 500, 1);
+/// assert_eq!(g.num_edges(), 500);
+/// ```
+pub fn uniform(n: u32, m: u64, seed: u64) -> Csr {
+    assert!(n > 0, "uniform graph needs at least one vertex");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut builder = CsrBuilder::new(n);
+    for _ in 0..m {
+        let s = rng.gen_range(0..n);
+        let d = rng.gen_range(0..n);
+        builder = builder.edge(s, d);
+    }
+    builder.build()
+}
+
+/// Generates a weighted variant of [`rmat`]; weights are uniform in
+/// `1..=max_weight` (for SSSP).
+pub fn rmat_weighted(scale: u32, edge_factor: u32, max_weight: u32, seed: u64) -> Csr {
+    let unweighted = rmat(scale, edge_factor, seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5ee_d);
+    let n = unweighted.num_vertices();
+    let mut builder = CsrBuilder::new(n);
+    for v in 0..n {
+        for &t in unweighted.neighbors(v) {
+            builder = builder.weighted_edge(v, t, rng.gen_range(1..=max_weight));
+        }
+    }
+    builder.build()
+}
+
+/// Generates a 4-connected 2-D grid of `width × height` vertices
+/// (bidirectional edges). Grids are the regular-access foil used in tests.
+pub fn grid2d(width: u32, height: u32) -> Csr {
+    let n = width
+        .checked_mul(height)
+        .expect("grid dimensions overflow");
+    let mut builder = CsrBuilder::new(n);
+    let at = |x: u32, y: u32| y * width + x;
+    for y in 0..height {
+        for x in 0..width {
+            let v = at(x, y);
+            if x + 1 < width {
+                builder = builder.edge(v, at(x + 1, y)).edge(at(x + 1, y), v);
+            }
+            if y + 1 < height {
+                builder = builder.edge(v, at(x, y + 1)).edge(at(x, y + 1), v);
+            }
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rmat_is_deterministic_per_seed() {
+        let a = rmat(8, 4, 7);
+        let b = rmat(8, 4, 7);
+        let c = rmat(8, 4, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn rmat_has_heavy_tail() {
+        let g = rmat(10, 8, 3);
+        let max_deg = (0..g.num_vertices()).map(|v| g.degree(v)).max().unwrap();
+        let mean = g.num_edges() / u64::from(g.num_vertices());
+        // A power-law graph's max degree far exceeds its mean degree.
+        assert!(u64::from(max_deg) > mean * 5, "max {max_deg} mean {mean}");
+    }
+
+    #[test]
+    fn uniform_counts_and_determinism() {
+        let g = uniform(64, 256, 9);
+        assert_eq!(g.num_vertices(), 64);
+        assert_eq!(g.num_edges(), 256);
+        assert_eq!(g, uniform(64, 256, 9));
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn weighted_rmat_weights_in_range() {
+        let g = rmat_weighted(7, 4, 16, 5);
+        assert!(g.is_weighted());
+        for v in 0..g.num_vertices() {
+            for &w in g.weights_of(v) {
+                assert!((1..=16).contains(&w));
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_rmat_preserves_structure() {
+        let g = rmat(7, 4, 5);
+        let w = rmat_weighted(7, 4, 16, 5);
+        assert_eq!(g.num_edges(), w.num_edges());
+        for v in 0..g.num_vertices() {
+            assert_eq!(g.neighbors(v), w.neighbors(v));
+        }
+    }
+
+    #[test]
+    fn grid_degrees() {
+        let g = grid2d(4, 3);
+        assert_eq!(g.num_vertices(), 12);
+        // Corner has degree 2, edge 3, interior 4.
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(1), 3);
+        assert_eq!(g.degree(5), 4);
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid R-MAT probabilities")]
+    fn bad_probabilities_panic() {
+        let _ = rmat_with(4, 2, 0.9, 0.2, 0.2, 0);
+    }
+}

@@ -1,0 +1,34 @@
+//! CSR graph substrate for the `batmem` workloads.
+//!
+//! The paper evaluates GraphBIG workloads over real-world graphs; since
+//! shipping those datasets is impractical (and the paper itself subsamples
+//! them for simulation time), this crate provides deterministic synthetic
+//! generators with the same structural character:
+//!
+//! * [`gen::rmat`] — power-law (Kronecker/R-MAT) graphs like social networks,
+//! * [`gen::uniform`] — Erdős–Rényi-style uniform random graphs,
+//! * [`gen::grid2d`] — regular meshes (a regular-workload foil).
+//!
+//! [`Csr`] is the compressed-sparse-row representation every workload reads,
+//! and [`alg`] contains reference implementations of the graph algorithms
+//! (BFS, SSSP, PageRank, k-core, coloring, betweenness centrality) whose
+//! per-round frontiers drive the simulated kernels' access streams.
+//!
+//! # Examples
+//!
+//! ```
+//! use batmem_graph::{gen, alg};
+//!
+//! let g = gen::rmat(10, 8, 7);
+//! let bfs = alg::bfs(&g, g.max_degree_vertex());
+//! assert!(bfs.levels.iter().any(|l| *l != u32::MAX));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod alg;
+mod csr;
+pub mod gen;
+
+pub use csr::{Csr, CsrBuilder};

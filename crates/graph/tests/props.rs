@@ -1,0 +1,122 @@
+//! Property-based tests for the CSR substrate and reference algorithms.
+
+use batmem_graph::{alg, CsrBuilder};
+use proptest::prelude::*;
+
+fn edge_list() -> impl Strategy<Value = (u32, Vec<(u32, u32)>)> {
+    (2u32..64).prop_flat_map(|n| {
+        let edges = prop::collection::vec((0..n, 0..n), 0..256);
+        (Just(n), edges)
+    })
+}
+
+proptest! {
+    #[test]
+    fn builder_preserves_edge_multiset((n, edges) in edge_list()) {
+        let g = CsrBuilder::new(n).edges(edges.iter().copied()).build();
+        prop_assert_eq!(g.num_edges(), edges.len() as u64);
+        let mut expect = edges.clone();
+        expect.sort_unstable();
+        let mut got: Vec<(u32, u32)> = Vec::new();
+        for v in 0..n {
+            for &t in g.neighbors(v) {
+                got.push((v, t));
+            }
+        }
+        got.sort_unstable();
+        prop_assert_eq!(got, expect);
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn degree_sum_equals_edge_count((n, edges) in edge_list()) {
+        let g = CsrBuilder::new(n).edges(edges.iter().copied()).build();
+        let sum: u64 = (0..n).map(|v| u64::from(g.degree(v))).sum();
+        prop_assert_eq!(sum, g.num_edges());
+    }
+
+    #[test]
+    fn symmetrized_is_symmetric_and_loop_free((n, edges) in edge_list()) {
+        let g = CsrBuilder::new(n).edges(edges.iter().copied()).build();
+        let s = g.symmetrized();
+        s.check_invariants().unwrap();
+        for v in 0..n {
+            for &t in s.neighbors(v) {
+                prop_assert_ne!(t, v, "self loop survived");
+                prop_assert!(s.neighbors(t).contains(&v), "missing reverse edge {}->{}", t, v);
+            }
+            // Deduplicated adjacency.
+            let mut ns = s.neighbors(v).to_vec();
+            let before = ns.len();
+            ns.sort_unstable();
+            ns.dedup();
+            prop_assert_eq!(ns.len(), before);
+        }
+    }
+
+    #[test]
+    fn bfs_levels_are_shortest_path_consistent((n, edges) in edge_list()) {
+        let g = CsrBuilder::new(n).edges(edges.iter().copied()).build();
+        let r = alg::bfs(&g, 0);
+        // Triangle inequality on edges: level[t] <= level[v] + 1 for
+        // reached v.
+        for v in 0..n {
+            if r.levels[v as usize] == u32::MAX {
+                continue;
+            }
+            for &t in g.neighbors(v) {
+                prop_assert!(r.levels[t as usize] <= r.levels[v as usize] + 1);
+            }
+        }
+        prop_assert_eq!(r.levels[0], 0);
+    }
+
+    #[test]
+    fn sssp_dominated_by_bfs_hops((n, edges) in edge_list()) {
+        // With unit weights, sssp == bfs distance.
+        let g = CsrBuilder::new(n).edges(edges.iter().copied()).build();
+        let b = alg::bfs(&g, 0);
+        let s = alg::sssp(&g, 0);
+        for v in 0..n as usize {
+            if b.levels[v] == u32::MAX {
+                prop_assert_eq!(s.dist[v], u64::MAX);
+            } else {
+                prop_assert_eq!(s.dist[v], u64::from(b.levels[v]));
+            }
+        }
+    }
+
+    #[test]
+    fn coloring_proper_on_symmetrized((n, edges) in edge_list()) {
+        let g = CsrBuilder::new(n).edges(edges.iter().copied()).build().symmetrized();
+        let c = alg::coloring(&g);
+        for v in 0..n {
+            for &t in g.neighbors(v) {
+                prop_assert_ne!(c.colors[v as usize], c.colors[t as usize]);
+            }
+        }
+        let colored: usize = c.rounds.iter().map(Vec::len).sum();
+        prop_assert_eq!(colored, n as usize);
+    }
+
+    #[test]
+    fn kcore_rounds_partition_vertices((n, edges) in edge_list()) {
+        let g = CsrBuilder::new(n).edges(edges.iter().copied()).build().symmetrized();
+        let r = alg::kcore(&g);
+        let total: usize = r.peel_rounds.iter().map(Vec::len).sum();
+        prop_assert_eq!(total, n as usize);
+        // Coreness bounded by degree.
+        for v in 0..n {
+            prop_assert!(r.coreness[v as usize] <= g.degree(v));
+        }
+    }
+
+    #[test]
+    fn pagerank_is_a_distribution((n, edges) in edge_list()) {
+        let g = CsrBuilder::new(n).edges(edges.iter().copied()).build();
+        let r = alg::pagerank(&g, 10);
+        let sum: f64 = r.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-6, "sum = {}", sum);
+        prop_assert!(r.iter().all(|&x| x >= 0.0));
+    }
+}

@@ -1,0 +1,130 @@
+//! A deterministic discrete-event queue.
+
+use batmem_types::Cycle;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A min-heap event queue ordered by `(time, insertion sequence)`.
+///
+/// Two events scheduled for the same cycle pop in insertion order, which
+/// makes whole-simulation runs bit-for-bit reproducible.
+///
+/// # Examples
+///
+/// ```
+/// use batmem_sim::EventQueue;
+///
+/// let mut q = EventQueue::new();
+/// q.push(10, "b");
+/// q.push(5, "a");
+/// q.push(10, "c");
+/// assert_eq!(q.pop(), Some((5, "a")));
+/// assert_eq!(q.pop(), Some((10, "b")));
+/// assert_eq!(q.pop(), Some((10, "c")));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Reverse<(Cycle, u64, WrapOrd<T>)>>,
+    seq: u64,
+}
+
+/// Wrapper granting `Ord` to the payload without requiring `T: Ord`;
+/// ordering between payloads is never consulted because `(time, seq)` is
+/// unique.
+#[derive(Debug, Clone)]
+struct WrapOrd<T>(T);
+
+impl<T> PartialEq for WrapOrd<T> {
+    fn eq(&self, _: &Self) -> bool {
+        true
+    }
+}
+impl<T> Eq for WrapOrd<T> {}
+impl<T> PartialOrd for WrapOrd<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for WrapOrd<T> {
+    fn cmp(&self, _: &Self) -> std::cmp::Ordering {
+        std::cmp::Ordering::Equal
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self { heap: BinaryHeap::new(), seq: 0 }
+    }
+
+    /// Schedules `event` at `time`.
+    pub fn push(&mut self, time: Cycle, event: T) {
+        let s = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse((time, s, WrapOrd(event))));
+    }
+
+    /// Removes and returns the earliest event.
+    pub fn pop(&mut self) -> Option<(Cycle, T)> {
+        self.heap.pop().map(|Reverse((t, _, WrapOrd(e)))| (t, e))
+    }
+
+    /// The time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<Cycle> {
+        self.heap.peek().map(|Reverse((t, _, _))| *t)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_by_time_then_insertion() {
+        let mut q = EventQueue::new();
+        q.push(3, 'x');
+        q.push(1, 'y');
+        q.push(3, 'z');
+        q.push(2, 'w');
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(order, vec![(1, 'y'), (2, 'w'), (3, 'x'), (3, 'z')]);
+    }
+
+    #[test]
+    fn peek_and_len() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.push(9, ());
+        q.push(4, ());
+        assert_eq!(q.peek_time(), Some(4));
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn works_with_non_ord_payloads() {
+        #[derive(Debug)]
+        struct NotOrd(#[allow(dead_code)] f64);
+        let mut q = EventQueue::new();
+        q.push(1, NotOrd(1.0));
+        q.push(0, NotOrd(0.5));
+        assert_eq!(q.pop().unwrap().0, 0);
+    }
+}

@@ -1,0 +1,171 @@
+//! The warp-level operation vocabulary and workload description traits.
+//!
+//! Workloads are modeled as **access streams**: each warp executes a lazy
+//! sequence of [`WarpOp`]s — compute delays and coalesced memory operations.
+//! This captures exactly the behaviour demand paging responds to (which
+//! addresses are touched, in what order, with what divergence) while
+//! abstracting per-instruction pipeline details (see DESIGN.md,
+//! "Substitutions").
+
+use batmem_types::{BlockId, KernelId, VirtAddr};
+
+/// One warp-level operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WarpOp {
+    /// `cycles` of computation before the next operation can issue.
+    Compute(u32),
+    /// A coalesced load: one entry per distinct memory transaction the
+    /// warp's 32 lanes generate (1 for a fully coalesced access, up to 32
+    /// for fully divergent scatter/gather).
+    Load(Vec<VirtAddr>),
+    /// A coalesced store; timing-wise identical to a load in this model
+    /// (write-allocate), tracked separately for statistics.
+    Store(Vec<VirtAddr>),
+}
+
+impl WarpOp {
+    /// The addresses this op touches (empty for compute).
+    pub fn addrs(&self) -> &[VirtAddr] {
+        match self {
+            WarpOp::Compute(_) => &[],
+            WarpOp::Load(a) | WarpOp::Store(a) => a,
+        }
+    }
+
+    /// Whether this is a memory operation.
+    pub fn is_mem(&self) -> bool {
+        !matches!(self, WarpOp::Compute(_))
+    }
+}
+
+/// A lazy per-warp instruction stream.
+///
+/// Implementations are single-pass iterators; the engine calls
+/// [`AccessStream::next_op`] each time the warp is ready to issue.
+pub trait AccessStream {
+    /// Produces the warp's next operation, or `None` when the warp has
+    /// retired all its work.
+    fn next_op(&mut self) -> Option<WarpOp>;
+}
+
+/// A boxed access stream, as returned by [`Kernel::warp_stream`].
+pub type BoxedStream = Box<dyn AccessStream + Send>;
+
+/// The launch geometry of one kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KernelSpec {
+    /// Thread blocks in the grid.
+    pub num_blocks: u32,
+    /// Threads per block (a multiple of the warp size).
+    pub threads_per_block: u32,
+    /// Registers each thread uses (drives occupancy and context-switch
+    /// cost; most GraphBIG kernels use more than 16, which is what makes
+    /// baseline VT inapplicable without full context switching — §4.1).
+    pub regs_per_thread: u32,
+}
+
+impl KernelSpec {
+    /// Warps per block for the given warp size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads_per_block` is not a positive multiple of
+    /// `warp_size`.
+    pub fn warps_per_block(&self, warp_size: u32) -> u32 {
+        assert!(
+            self.threads_per_block > 0 && self.threads_per_block % warp_size == 0,
+            "threads_per_block {} must be a positive multiple of warp size {}",
+            self.threads_per_block,
+            warp_size
+        );
+        self.threads_per_block / warp_size
+    }
+}
+
+/// One kernel of a workload: geometry plus per-warp stream construction.
+pub trait Kernel: Send {
+    /// The kernel's launch geometry.
+    fn spec(&self) -> KernelSpec;
+
+    /// Builds the access stream of warp `warp_in_block` of `block`.
+    ///
+    /// Called exactly once per warp, lazily, when the block is dispatched.
+    fn warp_stream(&self, block: BlockId, warp_in_block: u16) -> BoxedStream;
+}
+
+/// A complete workload: an ordered sequence of kernel launches over a fixed
+/// virtual-memory layout.
+pub trait Workload: Send {
+    /// Short display name (e.g. `"BFS-TTC"`).
+    fn name(&self) -> String;
+
+    /// Total bytes of device-visible data the workload touches (its memory
+    /// footprint, used to size GPU memory for oversubscription ratios).
+    fn footprint_bytes(&self) -> u64;
+
+    /// Number of kernels launched, in order.
+    fn num_kernels(&self) -> u32;
+
+    /// Builds kernel `k`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `k >= num_kernels()`.
+    fn kernel(&self, k: KernelId) -> Box<dyn Kernel>;
+}
+
+/// A ready-made stream over a fixed op vector (testing and simple kernels).
+#[derive(Debug, Clone)]
+pub struct VecStream {
+    ops: std::vec::IntoIter<WarpOp>,
+}
+
+impl VecStream {
+    /// Creates a stream that yields `ops` in order.
+    pub fn new(ops: Vec<WarpOp>) -> Self {
+        Self { ops: ops.into_iter() }
+    }
+}
+
+impl AccessStream for VecStream {
+    fn next_op(&mut self) -> Option<WarpOp> {
+        self.ops.next()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warp_op_addr_views() {
+        let c = WarpOp::Compute(5);
+        assert!(c.addrs().is_empty());
+        assert!(!c.is_mem());
+        let l = WarpOp::Load(vec![VirtAddr::new(64)]);
+        assert_eq!(l.addrs(), &[VirtAddr::new(64)]);
+        assert!(l.is_mem());
+    }
+
+    #[test]
+    fn warps_per_block() {
+        let s = KernelSpec { num_blocks: 10, threads_per_block: 256, regs_per_thread: 32 };
+        assert_eq!(s.warps_per_block(32), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of warp size")]
+    fn bad_block_shape_panics() {
+        let s = KernelSpec { num_blocks: 1, threads_per_block: 100, regs_per_thread: 32 };
+        let _ = s.warps_per_block(32);
+    }
+
+    #[test]
+    fn vec_stream_yields_in_order() {
+        let mut s = VecStream::new(vec![WarpOp::Compute(1), WarpOp::Compute(2)]);
+        assert_eq!(s.next_op(), Some(WarpOp::Compute(1)));
+        assert_eq!(s.next_op(), Some(WarpOp::Compute(2)));
+        assert_eq!(s.next_op(), None);
+        assert_eq!(s.next_op(), None);
+    }
+}

@@ -1,0 +1,89 @@
+//! Property-based tests for the event queue and cache models.
+
+use batmem_sim::cache::DataCache;
+use batmem_sim::EventQueue;
+use batmem_types::config::CacheGeometry;
+use batmem_types::VirtAddr;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn event_queue_pops_sorted_and_stable(
+        events in prop::collection::vec((0u64..100, 0u32..1000), 0..300),
+    ) {
+        let mut q = EventQueue::new();
+        for &(t, tag) in &events {
+            q.push(t, tag);
+        }
+        let mut popped = Vec::new();
+        while let Some(e) = q.pop() {
+            popped.push(e);
+        }
+        prop_assert_eq!(popped.len(), events.len());
+        // Sorted by time.
+        prop_assert!(popped.windows(2).all(|w| w[0].0 <= w[1].0));
+        // Stable: equal-time events keep insertion order.
+        for t in popped.iter().map(|&(t, _)| t) {
+            let at_t: Vec<u32> =
+                popped.iter().filter(|&&(pt, _)| pt == t).map(|&(_, x)| x).collect();
+            let inserted: Vec<u32> =
+                events.iter().filter(|&&(et, _)| et == t).map(|&(_, x)| x).collect();
+            prop_assert_eq!(at_t, inserted);
+        }
+    }
+
+    #[test]
+    fn cache_repeat_access_within_line_always_hits(
+        base in 0u64..1_000_000,
+        offsets in prop::collection::vec(0u64..128, 1..20),
+    ) {
+        let mut c = DataCache::new(CacheGeometry {
+            capacity_bytes: 4096,
+            ways: 4,
+            line_shift: 7,
+            hit_latency: 4,
+        });
+        let line_base = base & !127;
+        c.access(VirtAddr::new(line_base));
+        for &off in &offsets {
+            prop_assert!(c.access(VirtAddr::new(line_base + off)));
+        }
+    }
+
+    #[test]
+    fn cache_hits_plus_misses_equals_accesses(
+        addrs in prop::collection::vec(0u64..100_000, 1..500),
+    ) {
+        let mut c = DataCache::new(CacheGeometry {
+            capacity_bytes: 2048,
+            ways: 2,
+            line_shift: 7,
+            hit_latency: 4,
+        });
+        for &a in &addrs {
+            c.access(VirtAddr::new(a));
+        }
+        let s = c.stats();
+        prop_assert_eq!(s.hits + s.misses, addrs.len() as u64);
+    }
+
+    #[test]
+    fn working_set_smaller_than_cache_converges_to_hits(
+        lines in prop::collection::vec(0u64..4, 1..10),
+    ) {
+        // 4 distinct lines in a 2 KB (16-line) cache: a second pass over the
+        // same addresses must hit every time.
+        let mut c = DataCache::new(CacheGeometry {
+            capacity_bytes: 2048,
+            ways: 16,
+            line_shift: 7,
+            hit_latency: 4,
+        });
+        for &l in &lines {
+            c.access(VirtAddr::new(l * 128));
+        }
+        for &l in &lines {
+            prop_assert!(c.access(VirtAddr::new(l * 128)));
+        }
+    }
+}

@@ -1,0 +1,238 @@
+//! Address-space newtypes: virtual addresses, pages, frames, and regions.
+//!
+//! The simulator works at three granularities:
+//!
+//! * byte-granular [`VirtAddr`]s issued by warps,
+//! * page-granular [`PageId`]s (64 KB by default) at which demand paging,
+//!   migration, and eviction operate, and
+//! * region-granular [`RegionId`]s (2 MB by default) at which the tree-based
+//!   prefetcher reasons, mirroring the NVIDIA UVM driver's root chunks.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A byte-granular virtual address in the unified CPU/GPU address space.
+///
+/// # Examples
+///
+/// ```
+/// use batmem_types::addr::VirtAddr;
+///
+/// let a = VirtAddr::new(0x12345);
+/// assert_eq!(a.raw(), 0x12345);
+/// assert_eq!(a.page(16).index(), 0x1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct VirtAddr(u64);
+
+impl VirtAddr {
+    /// Creates a virtual address from a raw byte offset.
+    pub const fn new(raw: u64) -> Self {
+        Self(raw)
+    }
+
+    /// Returns the raw byte offset.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the page this address falls in, for a page of `1 << page_shift` bytes.
+    pub const fn page(self, page_shift: u32) -> PageId {
+        PageId(self.0 >> page_shift)
+    }
+
+    /// Returns the prefetch region this address falls in, for a region of
+    /// `1 << region_shift` bytes.
+    pub const fn region(self, region_shift: u32) -> RegionId {
+        RegionId(self.0 >> region_shift)
+    }
+
+    /// Returns the address advanced by `bytes`.
+    #[must_use]
+    pub const fn offset(self, bytes: u64) -> Self {
+        Self(self.0 + bytes)
+    }
+
+    /// Returns the cache-line index of this address for lines of
+    /// `1 << line_shift` bytes.
+    pub const fn line(self, line_shift: u32) -> u64 {
+        self.0 >> line_shift
+    }
+}
+
+impl fmt::Display for VirtAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "va:{:#x}", self.0)
+    }
+}
+
+impl From<u64> for VirtAddr {
+    fn from(raw: u64) -> Self {
+        Self(raw)
+    }
+}
+
+/// A virtual page number (the unit of demand paging and migration).
+///
+/// A `PageId` is a virtual address shifted right by the page shift; two
+/// addresses on the same page map to the same `PageId`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct PageId(u64);
+
+impl PageId {
+    /// Creates a page id from a raw page index.
+    pub const fn new(index: u64) -> Self {
+        Self(index)
+    }
+
+    /// Returns the raw page index.
+    pub const fn index(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the first byte address of this page.
+    pub const fn base_addr(self, page_shift: u32) -> VirtAddr {
+        VirtAddr(self.0 << page_shift)
+    }
+
+    /// Returns the prefetch region containing this page.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `region_shift < page_shift`.
+    pub fn region(self, page_shift: u32, region_shift: u32) -> RegionId {
+        debug_assert!(region_shift >= page_shift);
+        RegionId(self.0 >> (region_shift - page_shift))
+    }
+
+    /// Returns the page `n` positions after this one.
+    #[must_use]
+    pub const fn step(self, n: u64) -> Self {
+        Self(self.0 + n)
+    }
+}
+
+impl fmt::Display for PageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "page:{}", self.0)
+    }
+}
+
+/// A prefetch region (2 MB by default), mirroring UVM driver root chunks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct RegionId(u64);
+
+impl RegionId {
+    /// Creates a region id from a raw region index.
+    pub const fn new(index: u64) -> Self {
+        Self(index)
+    }
+
+    /// Returns the raw region index.
+    pub const fn index(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the first page of this region.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `region_shift < page_shift`.
+    pub fn first_page(self, page_shift: u32, region_shift: u32) -> PageId {
+        debug_assert!(region_shift >= page_shift);
+        PageId(self.0 << (region_shift - page_shift))
+    }
+
+    /// Returns the number of pages a region spans.
+    pub const fn pages_per_region(page_shift: u32, region_shift: u32) -> u64 {
+        1 << (region_shift - page_shift)
+    }
+}
+
+impl fmt::Display for RegionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "region:{}", self.0)
+    }
+}
+
+/// A physical frame number in GPU device memory.
+///
+/// Frames are what the physical memory manager allocates; a resident
+/// [`PageId`] maps to exactly one `FrameId`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct FrameId(u32);
+
+impl FrameId {
+    /// Creates a frame id from a raw frame index.
+    pub const fn new(index: u32) -> Self {
+        Self(index)
+    }
+
+    /// Returns the raw frame index.
+    pub const fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for FrameId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "frame:{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_of_address_uses_shift() {
+        let a = VirtAddr::new(3 * 65536 + 17);
+        assert_eq!(a.page(16), PageId::new(3));
+        assert_eq!(a.page(12), PageId::new(3 * 16));
+    }
+
+    #[test]
+    fn page_base_addr_round_trips() {
+        let p = PageId::new(42);
+        assert_eq!(p.base_addr(16).page(16), p);
+    }
+
+    #[test]
+    fn region_of_page_matches_region_of_address() {
+        let a = VirtAddr::new(5 * (1 << 21) + 1234);
+        assert_eq!(a.region(21), a.page(16).region(16, 21));
+    }
+
+    #[test]
+    fn pages_per_region_default_geometry() {
+        // 2 MB region / 64 KB page = 32 pages.
+        assert_eq!(RegionId::pages_per_region(16, 21), 32);
+    }
+
+    #[test]
+    fn first_page_of_region() {
+        let r = RegionId::new(2);
+        assert_eq!(r.first_page(16, 21), PageId::new(64));
+    }
+
+    #[test]
+    fn addr_offset_and_line() {
+        let a = VirtAddr::new(0x100);
+        assert_eq!(a.offset(0x28).raw(), 0x128);
+        assert_eq!(a.line(7), 2); // 128-byte lines
+    }
+
+    #[test]
+    fn display_forms_are_nonempty() {
+        assert_eq!(format!("{}", VirtAddr::new(16)), "va:0x10");
+        assert_eq!(format!("{}", PageId::new(7)), "page:7");
+        assert_eq!(format!("{}", RegionId::new(7)), "region:7");
+        assert_eq!(format!("{}", FrameId::new(7)), "frame:7");
+    }
+
+    #[test]
+    fn ordering_follows_raw_values() {
+        assert!(VirtAddr::new(1) < VirtAddr::new(2));
+        assert!(PageId::new(1) < PageId::new(2));
+    }
+}

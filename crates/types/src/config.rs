@@ -1,0 +1,360 @@
+//! Simulated-system configuration.
+//!
+//! [`SimConfig::default`] reproduces Table 1 of the paper:
+//!
+//! | Component | Value |
+//! |---|---|
+//! | Core | 16 SMs, 1 GHz, 1024 threads/SM, 256 KB register files per SM |
+//! | Private L1 cache | 16 KB, 4-way, LRU |
+//! | Private L1 TLB | 64 entries per core, fully associative, LRU |
+//! | Shared L2 cache | 2 MB total, 16-way, LRU |
+//! | Shared L2 TLB | 1024 entries total, 32-way, LRU |
+//! | Memory | 200-cycle latency |
+//! | Fault buffer | 1024 entries |
+//! | Fault handling | 64 KB pages, 20 µs runtime fault handling, 15.75 GB/s PCIe |
+
+use crate::policy::PolicyConfig;
+use crate::time::Cycle;
+use serde::{Deserialize, Serialize};
+
+/// GPU core (SM) configuration.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GpuConfig {
+    /// Number of streaming multiprocessors.
+    pub num_sms: u16,
+    /// Maximum concurrent threads per SM (the scheduling limit).
+    pub threads_per_sm: u32,
+    /// Threads per warp.
+    pub warp_size: u32,
+    /// 32-bit registers per SM (256 KB register file = 65 536 registers).
+    pub regs_per_sm: u32,
+    /// Hardware cap on thread blocks resident per SM.
+    pub max_blocks_per_sm: u32,
+    /// Per-block bookkeeping state (warp ids, SIMT stack, program counters)
+    /// that must be saved and restored on a block context switch, in bytes.
+    pub block_state_bytes: u32,
+    /// Global-memory bandwidth available for context save/restore traffic,
+    /// in bytes per cycle.
+    pub ctx_switch_bytes_per_cycle: u32,
+    /// Fixed pipeline-drain overhead added to every context switch.
+    pub ctx_switch_fixed_cycles: Cycle,
+}
+
+impl Default for GpuConfig {
+    fn default() -> Self {
+        Self {
+            num_sms: 16,
+            threads_per_sm: 1024,
+            warp_size: 32,
+            regs_per_sm: 65_536,
+            max_blocks_per_sm: 32,
+            block_state_bytes: 5 * 1024,
+            ctx_switch_bytes_per_cycle: 256,
+            ctx_switch_fixed_cycles: 50,
+        }
+    }
+}
+
+impl GpuConfig {
+    /// The register-file size in bytes (registers are 32-bit).
+    pub fn reg_file_bytes(&self) -> u32 {
+        self.regs_per_sm * 4
+    }
+
+    /// Cycles to save **and** restore one block's context (registers plus
+    /// block state) through global memory, per §6.5 of the paper.
+    pub fn ctx_switch_cycles(&self, threads_per_block: u32, regs_per_thread: u32) -> Cycle {
+        let reg_bytes = u64::from(threads_per_block) * u64::from(regs_per_thread) * 4;
+        let total = 2 * (reg_bytes + u64::from(self.block_state_bytes));
+        self.ctx_switch_fixed_cycles + total.div_ceil(u64::from(self.ctx_switch_bytes_per_cycle))
+    }
+}
+
+/// A set-associative cache shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheGeometry {
+    /// Total capacity in bytes.
+    pub capacity_bytes: u32,
+    /// Associativity (ways per set).
+    pub ways: u32,
+    /// Log2 of the line size in bytes.
+    pub line_shift: u32,
+    /// Latency of a hit in this cache.
+    pub hit_latency: Cycle,
+}
+
+impl CacheGeometry {
+    /// Number of sets (capacity / (ways × line size)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry does not divide evenly into at least one set.
+    pub fn num_sets(&self) -> u32 {
+        let line = 1u32 << self.line_shift;
+        let sets = self.capacity_bytes / (self.ways * line);
+        assert!(sets > 0, "cache geometry yields zero sets: {self:?}");
+        sets
+    }
+}
+
+/// Memory-hierarchy (data path) configuration.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemConfig {
+    /// Per-SM private L1 data cache.
+    pub l1d: CacheGeometry,
+    /// Shared L2 data cache.
+    pub l2d: CacheGeometry,
+    /// DRAM access latency (Table 1: 200 cycles).
+    pub dram_latency: Cycle,
+}
+
+impl Default for MemConfig {
+    fn default() -> Self {
+        Self {
+            l1d: CacheGeometry {
+                capacity_bytes: 16 * 1024,
+                ways: 4,
+                line_shift: 7,
+                hit_latency: 4,
+            },
+            l2d: CacheGeometry {
+                capacity_bytes: 2 * 1024 * 1024,
+                ways: 16,
+                line_shift: 7,
+                hit_latency: 60,
+            },
+            dram_latency: 200,
+        }
+    }
+}
+
+/// TLB and page-table-walker configuration.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TlbConfig {
+    /// Entries in each per-SM L1 TLB (fully associative).
+    pub l1_entries: u32,
+    /// Total entries in the shared L2 TLB.
+    pub l2_entries: u32,
+    /// Associativity of the shared L2 TLB.
+    pub l2_ways: u32,
+    /// L1 TLB hit latency.
+    pub l1_hit_latency: Cycle,
+    /// L2 TLB lookup latency (added on an L1 miss).
+    pub l2_hit_latency: Cycle,
+    /// Concurrent walks supported by the shared highly-threaded walker.
+    pub walker_threads: u32,
+    /// Latency of one page-table walk when a walker thread is free,
+    /// assuming upper levels hit the page-walk cache.
+    pub walk_latency: Cycle,
+    /// Extra latency per page-table level on a page-walk-cache miss.
+    pub pwc_miss_penalty: Cycle,
+    /// Entries in the page-walk cache (upper-level PTE cache).
+    pub pwc_entries: u32,
+}
+
+impl Default for TlbConfig {
+    fn default() -> Self {
+        Self {
+            l1_entries: 64,
+            l2_entries: 1024,
+            l2_ways: 32,
+            l1_hit_latency: 1,
+            l2_hit_latency: 10,
+            walker_threads: 64,
+            walk_latency: 200,
+            pwc_miss_penalty: 100,
+            pwc_entries: 64,
+        }
+    }
+}
+
+/// UVM runtime (demand paging) configuration.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UvmConfig {
+    /// Log2 of the migration page size (16 ⇒ 64 KB pages).
+    pub page_shift: u32,
+    /// Log2 of the prefetch region / root chunk size (21 ⇒ 2 MB).
+    pub region_shift: u32,
+    /// Capacity of the GPU replayable fault buffer.
+    pub fault_buffer_entries: u32,
+    /// Latency between a fault interrupt being raised and the runtime's
+    /// top-half ISR draining the fault buffer. Faults raised within this
+    /// window join the same batch.
+    pub isr_latency: Cycle,
+    /// Fixed portion of the GPU runtime fault handling time, i.e. the time
+    /// between batch start and the first page transfer (Table 1: 20 µs).
+    pub fault_handling_base: Cycle,
+    /// Per-fault increment of the runtime fault handling time (sorting,
+    /// CPU page-table walks, migration scheduling scale with batch size).
+    pub fault_handling_per_fault: Cycle,
+    /// Host-to-device PCIe bandwidth in bytes per second.
+    pub pcie_h2d_bytes_per_sec: u64,
+    /// Device-to-host PCIe bandwidth in bytes per second. The paper notes
+    /// (§4.2) that device-to-host transfers are faster than host-to-device,
+    /// which is what keeps unobtrusive eviction fully off the critical path.
+    pub pcie_d2h_bytes_per_sec: u64,
+    /// GPU device-memory capacity in pages; `None` means unlimited memory
+    /// (no evictions ever occur).
+    pub gpu_mem_pages: Option<u64>,
+}
+
+impl Default for UvmConfig {
+    fn default() -> Self {
+        Self {
+            page_shift: 16,
+            region_shift: 21,
+            fault_buffer_entries: 1024,
+            isr_latency: 1_000,
+            fault_handling_base: crate::time::us(20),
+            fault_handling_per_fault: 30,
+            pcie_h2d_bytes_per_sec: 15_750_000_000,
+            pcie_d2h_bytes_per_sec: 17_300_000_000,
+            gpu_mem_pages: None,
+        }
+    }
+}
+
+impl UvmConfig {
+    /// Page size in bytes.
+    pub fn page_bytes(&self) -> u64 {
+        1 << self.page_shift
+    }
+
+    /// Pages per prefetch region.
+    pub fn pages_per_region(&self) -> u64 {
+        1 << (self.region_shift - self.page_shift)
+    }
+}
+
+/// The complete simulated-system configuration.
+///
+/// # Examples
+///
+/// ```
+/// use batmem_types::config::SimConfig;
+///
+/// let mut config = SimConfig::default();
+/// // Restrict GPU memory to 100 pages (6.25 MB at 64 KB/page).
+/// config.uvm.gpu_mem_pages = Some(100);
+/// assert_eq!(config.uvm.page_bytes(), 65536);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// GPU core configuration.
+    pub gpu: GpuConfig,
+    /// Data-cache and DRAM configuration.
+    pub mem: MemConfig,
+    /// TLB and page-table-walker configuration.
+    pub tlb: TlbConfig,
+    /// UVM runtime configuration.
+    pub uvm: UvmConfig,
+    /// Policy selections (prefetching, eviction, oversubscription, …).
+    pub policy: PolicyConfig,
+}
+
+impl SimConfig {
+    /// Renders the configuration as the rows of Table 1 in the paper.
+    pub fn table1(&self) -> String {
+        let g = &self.gpu;
+        let m = &self.mem;
+        let t = &self.tlb;
+        let u = &self.uvm;
+        format!(
+            "GPU Configuration\n\
+             Core               {} SMs, 1GHz, {} threads per SM, {}KB register files per SM\n\
+             Private L1 Cache   {}KB, {}-way, LRU\n\
+             Private L1 TLB     {} entries per core, fully associative, LRU\n\
+             Memory Configuration\n\
+             Shared L2 Cache    {}MB total, {}-way, LRU\n\
+             Shared L2 TLB      {} entries total, {}-way associative, LRU\n\
+             Memory             {} cycle latency\n\
+             Unified Memory Configuration\n\
+             Fault Buffer       {} entries\n\
+             Fault Handling     {}KB page size, {}us GPU runtime fault handling time, {:.2}GB/s PCIe bandwidth",
+            g.num_sms,
+            g.threads_per_sm,
+            g.reg_file_bytes() / 1024,
+            m.l1d.capacity_bytes / 1024,
+            m.l1d.ways,
+            t.l1_entries,
+            m.l2d.capacity_bytes / (1024 * 1024),
+            m.l2d.ways,
+            t.l2_entries,
+            t.l2_ways,
+            m.dram_latency,
+            u.fault_buffer_entries,
+            u.page_bytes() / 1024,
+            u.fault_handling_base / 1000,
+            u.pcie_h2d_bytes_per_sec as f64 / 1e9,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_defaults_match_paper() {
+        let c = SimConfig::default();
+        assert_eq!(c.gpu.num_sms, 16);
+        assert_eq!(c.gpu.threads_per_sm, 1024);
+        assert_eq!(c.gpu.reg_file_bytes(), 256 * 1024);
+        assert_eq!(c.mem.l1d.capacity_bytes, 16 * 1024);
+        assert_eq!(c.mem.l1d.ways, 4);
+        assert_eq!(c.tlb.l1_entries, 64);
+        assert_eq!(c.mem.l2d.capacity_bytes, 2 * 1024 * 1024);
+        assert_eq!(c.mem.l2d.ways, 16);
+        assert_eq!(c.tlb.l2_entries, 1024);
+        assert_eq!(c.tlb.l2_ways, 32);
+        assert_eq!(c.mem.dram_latency, 200);
+        assert_eq!(c.uvm.fault_buffer_entries, 1024);
+        assert_eq!(c.uvm.page_bytes(), 64 * 1024);
+        assert_eq!(c.uvm.fault_handling_base, 20_000);
+        assert_eq!(c.uvm.pcie_h2d_bytes_per_sec, 15_750_000_000);
+    }
+
+    #[test]
+    fn table1_rendering_mentions_key_rows() {
+        let s = SimConfig::default().table1();
+        assert!(s.contains("16 SMs"));
+        assert!(s.contains("1024 entries"));
+        assert!(s.contains("64KB page size"));
+        assert!(s.contains("20us"));
+        assert!(s.contains("15.75GB/s"));
+    }
+
+    #[test]
+    fn cache_geometry_sets() {
+        let c = MemConfig::default();
+        // 16 KB / (4 ways * 128 B) = 32 sets.
+        assert_eq!(c.l1d.num_sets(), 32);
+        // 2 MB / (16 ways * 128 B) = 1024 sets.
+        assert_eq!(c.l2d.num_sets(), 1024);
+    }
+
+    #[test]
+    fn ctx_switch_cost_tracks_context_size() {
+        let g = GpuConfig::default();
+        // Footnote 5 of the paper: 2048 threads x 10 regs = 80 KB + 5 KB state.
+        let small = g.ctx_switch_cycles(256, 10);
+        let large = g.ctx_switch_cycles(1024, 32);
+        assert!(large > small);
+        // 85 KB context, saved+restored at 256 B/cycle: ~680 cycles plus fixed.
+        let paper_example = g.ctx_switch_cycles(2048, 10);
+        assert!(paper_example > 600 && paper_example < 1000, "{paper_example}");
+    }
+
+    #[test]
+    fn pages_per_region_is_32() {
+        assert_eq!(UvmConfig::default().pages_per_region(), 32);
+    }
+
+    #[test]
+    fn config_is_serializable_and_cloneable() {
+        fn assert_serializable<T: serde::Serialize + for<'de> serde::Deserialize<'de>>() {}
+        assert_serializable::<SimConfig>();
+        let c = SimConfig::default();
+        assert_eq!(c, c.clone());
+    }
+}

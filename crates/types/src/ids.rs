@@ -1,0 +1,114 @@
+//! Identifiers for the hardware and software entities of the simulated GPU.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A streaming multiprocessor (SM) index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SmId(u16);
+
+impl SmId {
+    /// Creates an SM id.
+    pub const fn new(index: u16) -> Self {
+        Self(index)
+    }
+
+    /// Returns the raw SM index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for SmId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sm:{}", self.0)
+    }
+}
+
+/// A thread block, identified by its global launch index within a kernel grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct BlockId(u32);
+
+impl BlockId {
+    /// Creates a block id from a global grid index.
+    pub const fn new(index: u32) -> Self {
+        Self(index)
+    }
+
+    /// Returns the raw grid index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "block:{}", self.0)
+    }
+}
+
+/// A warp, identified globally by `(block, lane-within-block)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct WarpId {
+    /// The thread block this warp belongs to.
+    pub block: BlockId,
+    /// The warp's index within its block.
+    pub within_block: u16,
+}
+
+impl WarpId {
+    /// Creates a warp id.
+    pub const fn new(block: BlockId, within_block: u16) -> Self {
+        Self { block, within_block }
+    }
+}
+
+impl fmt::Display for WarpId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "warp:{}.{}", self.block.index(), self.within_block)
+    }
+}
+
+/// A kernel launch index within a workload (workloads may launch many kernels,
+/// e.g. one per BFS level).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct KernelId(u32);
+
+impl KernelId {
+    /// Creates a kernel id.
+    pub const fn new(index: u32) -> Self {
+        Self(index)
+    }
+
+    /// Returns the raw launch index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for KernelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "kernel:{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warp_id_orders_by_block_then_lane() {
+        let a = WarpId::new(BlockId::new(0), 5);
+        let b = WarpId::new(BlockId::new(1), 0);
+        assert!(a < b);
+        let c = WarpId::new(BlockId::new(0), 6);
+        assert!(a < c);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(format!("{}", SmId::new(3)), "sm:3");
+        assert_eq!(format!("{}", WarpId::new(BlockId::new(2), 1)), "warp:2.1");
+        assert_eq!(format!("{}", KernelId::new(9)), "kernel:9");
+    }
+}

@@ -1,0 +1,42 @@
+//! Shared newtypes, units, and configuration for the `batmem` GPU UVM simulator.
+//!
+//! This crate is the vocabulary layer of the workspace: every other crate
+//! speaks in the types defined here. It contains no simulation logic.
+//!
+//! # Overview
+//!
+//! * [`addr`] — virtual/physical addresses, pages, frames, and 2 MB regions.
+//! * [`ids`] — identifiers for SMs, thread blocks, warps, and kernels.
+//! * [`time`] — the simulated clock ([`Cycle`]) and time-unit conversions.
+//! * [`config`] — the full simulated-system configuration, whose defaults
+//!   reproduce Table 1 of Kim et al., *Batch-Aware Unified Memory Management
+//!   in GPUs for Irregular Workloads* (ASPLOS 2020).
+//! * [`policy`] — the policy knobs that select between the paper's baseline
+//!   and proposed mechanisms (thread oversubscription, unobtrusive eviction,
+//!   prefetching, PCIe compression).
+//!
+//! # Examples
+//!
+//! ```
+//! use batmem_types::config::SimConfig;
+//! use batmem_types::addr::VirtAddr;
+//!
+//! let config = SimConfig::default();
+//! assert_eq!(config.gpu.num_sms, 16);
+//! let page = VirtAddr::new(0x1_0000).page(config.uvm.page_shift);
+//! assert_eq!(page.index(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod addr;
+pub mod config;
+pub mod ids;
+pub mod policy;
+pub mod time;
+
+pub use addr::{FrameId, PageId, RegionId, VirtAddr};
+pub use config::SimConfig;
+pub use ids::{BlockId, KernelId, SmId, WarpId};
+pub use time::Cycle;

@@ -1,0 +1,246 @@
+//! Policy knobs selecting between the paper's baseline and proposed mechanisms.
+//!
+//! The evaluation in the paper compares six configurations (Fig. 11):
+//!
+//! * `BASELINE` — demand paging with the state-of-the-art tree prefetcher,
+//!   serialized LRU eviction, no oversubscription of thread blocks;
+//! * `BASELINE with PCIe Compression` — the same plus link compression;
+//! * `TO` — thread oversubscription (Virtual-Thread-based block context
+//!   switching on page-fault stalls, with a dynamic degree controller);
+//! * `UE` — unobtrusive eviction (preemptive + pipelined bidirectional);
+//! * `TO+UE` — both (the paper's proposal);
+//! * `ETC` — the Li et al. ASPLOS'19 framework (see `batmem-etc`).
+//!
+//! All of these are expressible as a [`PolicyConfig`] value.
+
+use crate::time::Cycle;
+use serde::{Deserialize, Serialize};
+
+/// Page prefetching policy applied while a batch is preprocessed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PrefetchPolicy {
+    /// No prefetching: only faulted pages migrate.
+    None,
+    /// Tree-based prefetcher (Zheng et al., HPCA'16 / the NVIDIA UVM
+    /// driver): when the faulted 64 KB subpages of a 2 MB region reach
+    /// `threshold_percent` density (counting already-resident pages), the
+    /// region's remaining non-resident pages are appended to the batch.
+    Tree {
+        /// Density threshold, in percent of the region's pages.
+        threshold_percent: u8,
+    },
+}
+
+impl Default for PrefetchPolicy {
+    fn default() -> Self {
+        PrefetchPolicy::Tree { threshold_percent: 50 }
+    }
+}
+
+/// Page eviction engine used when device memory is at capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum EvictionPolicy {
+    /// The baseline, modeled on the NVIDIA driver (§3 of the paper): an
+    /// eviction is requested reactively when an allocation fails, and the
+    /// incoming page's transfer is **serialized** behind the eviction.
+    #[default]
+    SerializedLru,
+    /// Unobtrusive Eviction (§4.2): one preemptive eviction is issued by the
+    /// top-half ISR at batch start (overlapping the runtime fault-handling
+    /// window), and subsequent evictions are pipelined on the
+    /// device-to-host direction concurrently with host-to-device migrations.
+    Unobtrusive,
+    /// Ideal (zero-latency) eviction — the limit study of Fig. 8.
+    Ideal,
+}
+
+/// The granularity at which the physical memory manager evicts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum EvictionGranularity {
+    /// Evict one 64 KB page at a time (the paper's simulator model).
+    #[default]
+    Page,
+    /// Evict a whole 2 MB root chunk, as the real driver's
+    /// `pick_and_evict_root_chunk` does (ablation).
+    RootChunk,
+}
+
+/// What makes an active thread block eligible for a context switch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum SwitchTrigger {
+    /// Switch only when every warp of the block is blocked on a page fault
+    /// (the paper's TO mechanism, §4.1).
+    #[default]
+    FaultStall,
+    /// Switch whenever every warp is stalled for any reason, including plain
+    /// memory latency — the "traditional GPU" experiment of Fig. 5, where
+    /// context switching without demand paging only hurts.
+    AnyStall,
+}
+
+/// Thread Oversubscription (TO) configuration (§4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ToConfig {
+    /// Master switch.
+    pub enabled: bool,
+    /// Extra (inactive) blocks allocated per SM at kernel launch.
+    pub initial_extra_blocks: u32,
+    /// Upper bound on the oversubscription degree the dynamic controller
+    /// may reach.
+    pub max_extra_blocks: u32,
+    /// When a block becomes switchable.
+    pub trigger: SwitchTrigger,
+    /// Period, in cycles, of the premature-eviction (page lifetime)
+    /// monitoring used by the dynamic controller (paper: every 100k cycles).
+    pub lifetime_sample_period: Cycle,
+    /// If the running average page lifetime drops by at least this percent
+    /// between samples, the controller decrements the oversubscription
+    /// degree (paper: threshold empirically set to 20 %).
+    pub lifetime_drop_threshold_percent: u8,
+}
+
+impl Default for ToConfig {
+    fn default() -> Self {
+        Self {
+            enabled: false,
+            initial_extra_blocks: 1,
+            max_extra_blocks: 3,
+            trigger: SwitchTrigger::FaultStall,
+            lifetime_sample_period: 100_000,
+            lifetime_drop_threshold_percent: 20,
+        }
+    }
+}
+
+impl ToConfig {
+    /// An enabled TO configuration with the paper's defaults.
+    pub fn enabled() -> Self {
+        Self { enabled: true, ..Self::default() }
+    }
+}
+
+/// PCIe link compression (the `BASELINE with PCIe Compression` bar of Fig. 11).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PcieCompression {
+    /// Master switch.
+    pub enabled: bool,
+    /// Compression ratio ×100 (150 ⇒ transfers shrink to 2⁄3 size).
+    pub ratio_x100: u32,
+    /// Added (de)compression latency per page transfer.
+    pub per_page_latency: Cycle,
+}
+
+impl Default for PcieCompression {
+    fn default() -> Self {
+        Self { enabled: false, ratio_x100: 150, per_page_latency: 500 }
+    }
+}
+
+impl PcieCompression {
+    /// Effective wire bytes for a logical transfer of `bytes`.
+    pub fn wire_bytes(&self, bytes: u64) -> u64 {
+        if self.enabled {
+            (bytes * 100).div_ceil(u64::from(self.ratio_x100))
+        } else {
+            bytes
+        }
+    }
+}
+
+/// The combined policy configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct PolicyConfig {
+    /// Batch-time page prefetching.
+    pub prefetch: PrefetchPolicy,
+    /// Eviction engine.
+    pub eviction: EvictionPolicy,
+    /// ETC-style proactive eviction: at batch start, evict enough pages to
+    /// cover the batch's predicted frame demand, overlapped with the
+    /// handling window. Mispredictions surface as premature evictions —
+    /// the reason the ETC authors disable it for irregular workloads.
+    pub proactive_eviction: bool,
+    /// Eviction granularity.
+    pub eviction_granularity: EvictionGranularity,
+    /// Thread oversubscription.
+    pub oversubscription: ToConfig,
+    /// PCIe link compression.
+    pub compression: PcieCompression,
+}
+
+impl PolicyConfig {
+    /// The paper's `BASELINE`: prefetching on, serialized eviction, no TO.
+    pub fn baseline() -> Self {
+        Self::default()
+    }
+
+    /// `BASELINE with PCIe Compression`.
+    pub fn baseline_with_compression() -> Self {
+        Self {
+            compression: PcieCompression { enabled: true, ..PcieCompression::default() },
+            ..Self::default()
+        }
+    }
+
+    /// `TO`: thread oversubscription only.
+    pub fn to_only() -> Self {
+        Self { oversubscription: ToConfig::enabled(), ..Self::default() }
+    }
+
+    /// `UE`: unobtrusive eviction only.
+    pub fn ue_only() -> Self {
+        Self { eviction: EvictionPolicy::Unobtrusive, ..Self::default() }
+    }
+
+    /// `TO+UE`: the paper's full proposal.
+    pub fn to_ue() -> Self {
+        Self {
+            oversubscription: ToConfig::enabled(),
+            eviction: EvictionPolicy::Unobtrusive,
+            ..Self::default()
+        }
+    }
+
+    /// Ideal-eviction limit study (Fig. 8).
+    pub fn ideal_eviction() -> Self {
+        Self { eviction: EvictionPolicy::Ideal, ..Self::default() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preset_shapes() {
+        let b = PolicyConfig::baseline();
+        assert!(!b.oversubscription.enabled);
+        assert_eq!(b.eviction, EvictionPolicy::SerializedLru);
+        assert!(matches!(b.prefetch, PrefetchPolicy::Tree { .. }));
+
+        let p = PolicyConfig::to_ue();
+        assert!(p.oversubscription.enabled);
+        assert_eq!(p.eviction, EvictionPolicy::Unobtrusive);
+
+        assert!(PolicyConfig::baseline_with_compression().compression.enabled);
+        assert_eq!(PolicyConfig::ideal_eviction().eviction, EvictionPolicy::Ideal);
+    }
+
+    #[test]
+    fn compression_shrinks_wire_bytes() {
+        let c = PcieCompression { enabled: true, ratio_x100: 150, per_page_latency: 0 };
+        assert_eq!(c.wire_bytes(150), 100);
+        assert_eq!(c.wire_bytes(65536), 43691); // rounds up
+        let off = PcieCompression::default();
+        assert_eq!(off.wire_bytes(65536), 65536);
+    }
+
+    #[test]
+    fn to_defaults_match_paper() {
+        let t = ToConfig::enabled();
+        assert!(t.enabled);
+        assert_eq!(t.initial_extra_blocks, 1);
+        assert_eq!(t.lifetime_sample_period, 100_000);
+        assert_eq!(t.lifetime_drop_threshold_percent, 20);
+        assert_eq!(t.trigger, SwitchTrigger::FaultStall);
+    }
+}

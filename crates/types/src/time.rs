@@ -1,0 +1,73 @@
+//! Simulated time.
+//!
+//! The simulator clocks the GPU core at 1 GHz (Table 1), so **one cycle is
+//! one nanosecond**. All latencies, bandwidth computations, and timestamps in
+//! the workspace are expressed in [`Cycle`]s.
+
+/// A simulated clock value or duration, in GPU core cycles (1 cycle = 1 ns).
+pub type Cycle = u64;
+
+/// Converts microseconds to cycles at the 1 GHz core clock.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(batmem_types::time::us(20), 20_000);
+/// ```
+pub const fn us(micros: u64) -> Cycle {
+    micros * 1_000
+}
+
+/// Converts nanoseconds to cycles (identity at 1 GHz, kept for clarity).
+pub const fn ns(nanos: u64) -> Cycle {
+    nanos
+}
+
+/// Returns the number of cycles needed to transfer `bytes` at
+/// `bytes_per_sec`, rounding up and never returning zero for nonzero sizes.
+///
+/// # Examples
+///
+/// ```
+/// // A 64 KB page over PCIe 3.0 x16 (15.75 GB/s) takes ~4161 ns.
+/// let cycles = batmem_types::time::transfer_cycles(64 * 1024, 15_750_000_000);
+/// assert_eq!(cycles, 4162);
+/// ```
+pub const fn transfer_cycles(bytes: u64, bytes_per_sec: u64) -> Cycle {
+    if bytes == 0 {
+        return 0;
+    }
+    // cycles = bytes / (bytes_per_sec / 1e9) = bytes * 1e9 / bytes_per_sec
+    let num = bytes as u128 * 1_000_000_000u128;
+    let den = bytes_per_sec as u128;
+    num.div_ceil(den) as Cycle
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn us_converts_at_1ghz() {
+        assert_eq!(us(1), 1_000);
+        assert_eq!(us(50), 50_000);
+    }
+
+    #[test]
+    fn transfer_cycles_rounds_up() {
+        // 1 byte at 2 GB/s is half a nanosecond; must round to 1 cycle.
+        assert_eq!(transfer_cycles(1, 2_000_000_000), 1);
+    }
+
+    #[test]
+    fn transfer_cycles_zero_bytes_is_free() {
+        assert_eq!(transfer_cycles(0, 15_750_000_000), 0);
+    }
+
+    #[test]
+    fn transfer_cycles_scales_linearly() {
+        let one = transfer_cycles(64 * 1024, 15_750_000_000);
+        let ten = transfer_cycles(640 * 1024, 15_750_000_000);
+        assert!(ten >= 10 * one - 10 && ten <= 10 * one);
+    }
+}

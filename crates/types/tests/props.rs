@@ -1,0 +1,70 @@
+//! Property-based tests for address arithmetic and time conversion.
+
+use batmem_types::addr::{PageId, RegionId, VirtAddr};
+use batmem_types::time::transfer_cycles;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn page_region_consistency(raw in 0u64..(1 << 40), page_shift in 12u32..20) {
+        let region_shift = page_shift + 5;
+        let a = VirtAddr::new(raw);
+        // addr -> region == addr -> page -> region.
+        prop_assert_eq!(
+            a.region(region_shift),
+            a.page(page_shift).region(page_shift, region_shift)
+        );
+        // Page base address is within the page.
+        let p = a.page(page_shift);
+        let base = p.base_addr(page_shift);
+        prop_assert!(base.raw() <= raw);
+        prop_assert!(raw - base.raw() < (1 << page_shift));
+    }
+
+    #[test]
+    fn region_first_page_round_trips(idx in 0u64..(1 << 30)) {
+        let r = RegionId::new(idx);
+        let first = r.first_page(16, 21);
+        prop_assert_eq!(first.region(16, 21), r);
+        // The page just before belongs to the previous region.
+        if idx > 0 {
+            let before = PageId::new(first.index() - 1);
+            prop_assert_eq!(before.region(16, 21).index(), idx - 1);
+        }
+    }
+
+    #[test]
+    fn transfer_cycles_is_monotone_in_bytes(
+        a in 0u64..(1 << 30),
+        b in 0u64..(1 << 30),
+        bw in 1_000_000u64..100_000_000_000,
+    ) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(transfer_cycles(lo, bw) <= transfer_cycles(hi, bw));
+    }
+
+    #[test]
+    fn transfer_cycles_is_antitone_in_bandwidth(
+        bytes in 1u64..(1 << 30),
+        bw1 in 1_000_000u64..100_000_000_000,
+        bw2 in 1_000_000u64..100_000_000_000,
+    ) {
+        let (slow, fast) = if bw1 <= bw2 { (bw1, bw2) } else { (bw2, bw1) };
+        prop_assert!(transfer_cycles(bytes, fast) <= transfer_cycles(bytes, slow));
+    }
+
+    #[test]
+    fn transfer_cycles_never_undercounts(
+        bytes in 1u64..(1 << 30),
+        bw in 1_000_000u64..100_000_000_000,
+    ) {
+        // cycles * bw >= bytes * 1e9 (round-up semantics).
+        let c = transfer_cycles(bytes, bw) as u128;
+        let need = bytes as u128 * 1_000_000_000;
+        let capacity = c * bw as u128;
+        let capacity_minus_one = (c - 1) * bw as u128;
+        prop_assert!(capacity >= need);
+        // And it is tight to within one cycle.
+        prop_assert!(capacity_minus_one < need);
+    }
+}

@@ -1,0 +1,180 @@
+//! The replayable page-fault buffer.
+//!
+//! The GPU MMU appends fault entries to a fixed-capacity buffer (Table 1:
+//! 1024 entries); the runtime drains it at the start of each batch. Faults
+//! raised while a batch is in flight accumulate for the next batch (§2.2).
+//! On overflow the hardware drops the entry and relies on replay — the warp
+//! stays stalled and the access re-faults after the current batch completes.
+//! We model replay precisely by keeping overflowed pages in a side set that
+//! merges into the next drain.
+
+use batmem_types::{Cycle, PageId};
+use std::collections::BTreeSet;
+
+/// A recorded page fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEntry {
+    /// The faulting page.
+    pub page: PageId,
+    /// When the fault was raised.
+    pub at: Cycle,
+}
+
+/// The bounded, deduplicating fault buffer plus the replay side set.
+#[derive(Debug, Clone)]
+pub struct FaultBuffer {
+    capacity: usize,
+    entries: Vec<FaultEntry>,
+    present: BTreeSet<PageId>,
+    overflow: BTreeSet<PageId>,
+    raised: u64,
+    duplicates: u64,
+    overflows: u64,
+}
+
+impl FaultBuffer {
+    /// Creates a buffer holding up to `capacity` distinct pages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: u32) -> Self {
+        assert!(capacity > 0, "fault buffer needs capacity");
+        Self {
+            capacity: capacity as usize,
+            entries: Vec::new(),
+            present: BTreeSet::new(),
+            overflow: BTreeSet::new(),
+            raised: 0,
+            duplicates: 0,
+            overflows: 0,
+        }
+    }
+
+    /// Records a fault for `page` at time `now`.
+    ///
+    /// Faults for pages already buffered are deduplicated (the runtime's
+    /// preprocessing would coalesce them anyway); faults beyond capacity go
+    /// to the replay set.
+    pub fn record(&mut self, page: PageId, now: Cycle) {
+        self.raised += 1;
+        if self.present.contains(&page) || self.overflow.contains(&page) {
+            self.duplicates += 1;
+            return;
+        }
+        if self.entries.len() < self.capacity {
+            self.entries.push(FaultEntry { page, at: now });
+            self.present.insert(page);
+        } else {
+            self.overflow.insert(page);
+            self.overflows += 1;
+        }
+    }
+
+    /// Drains every buffered and replayed page for batch processing,
+    /// returning them **sorted by ascending page address** — the first step
+    /// of the runtime's `preprocess_fault_batch` (§2.2).
+    pub fn drain_sorted(&mut self) -> Vec<PageId> {
+        let mut pages: Vec<PageId> = self.present.iter().copied().collect();
+        pages.extend(self.overflow.iter().copied());
+        pages.sort_unstable();
+        pages.dedup();
+        self.entries.clear();
+        self.present.clear();
+        self.overflow.clear();
+        pages
+    }
+
+    /// Distinct pages currently pending (buffered + replay).
+    pub fn pending(&self) -> usize {
+        self.present.len() + self.overflow.len()
+    }
+
+    /// Whether any fault is pending.
+    pub fn is_empty(&self) -> bool {
+        self.pending() == 0
+    }
+
+    /// Total faults raised (including duplicates and overflows).
+    pub fn raised(&self) -> u64 {
+        self.raised
+    }
+
+    /// Faults coalesced into an existing entry.
+    pub fn duplicates(&self) -> u64 {
+        self.duplicates
+    }
+
+    /// Faults that overflowed into the replay set.
+    pub fn overflows(&self) -> u64 {
+        self.overflows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: u64) -> PageId {
+        PageId::new(i)
+    }
+
+    #[test]
+    fn records_and_drains_sorted() {
+        let mut b = FaultBuffer::new(8);
+        b.record(p(5), 0);
+        b.record(p(1), 1);
+        b.record(p(3), 2);
+        assert_eq!(b.pending(), 3);
+        assert_eq!(b.drain_sorted(), vec![p(1), p(3), p(5)]);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn duplicates_coalesce() {
+        let mut b = FaultBuffer::new(8);
+        b.record(p(7), 0);
+        b.record(p(7), 5);
+        assert_eq!(b.pending(), 1);
+        assert_eq!(b.duplicates(), 1);
+        assert_eq!(b.raised(), 2);
+    }
+
+    #[test]
+    fn overflow_goes_to_replay_set_and_merges_on_drain() {
+        let mut b = FaultBuffer::new(2);
+        b.record(p(1), 0);
+        b.record(p(2), 0);
+        b.record(p(3), 0); // overflows
+        assert_eq!(b.overflows(), 1);
+        assert_eq!(b.pending(), 3);
+        assert_eq!(b.drain_sorted(), vec![p(1), p(2), p(3)]);
+    }
+
+    #[test]
+    fn overflowed_page_still_dedupes() {
+        let mut b = FaultBuffer::new(1);
+        b.record(p(1), 0);
+        b.record(p(9), 0); // overflow
+        b.record(p(9), 1); // duplicate of overflowed page
+        assert_eq!(b.duplicates(), 1);
+        assert_eq!(b.overflows(), 1);
+    }
+
+    #[test]
+    fn drain_resets_capacity() {
+        let mut b = FaultBuffer::new(2);
+        b.record(p(1), 0);
+        b.record(p(2), 0);
+        let _ = b.drain_sorted();
+        b.record(p(3), 1);
+        assert_eq!(b.overflows(), 0);
+        assert_eq!(b.pending(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_panics() {
+        let _ = FaultBuffer::new(0);
+    }
+}

@@ -1,0 +1,48 @@
+//! The UVM runtime model — the core contribution of the reproduced paper.
+//!
+//! This crate models how the GPU runtime software handles demand paging,
+//! following the NVIDIA Pascal driver behaviour the paper dissects (§2.2,
+//! §3) and implementing the paper's two proposals:
+//!
+//! * **batched fault processing** ([`runtime::UvmRuntime`]): faults drain
+//!   from the replayable [`fault::FaultBuffer`] into a batch; the runtime
+//!   spends the *GPU runtime fault handling time* preprocessing (sorting,
+//!   deduplication, prefetch insertion via [`prefetch::TreePrefetcher`],
+//!   CPU page-table walks), then schedules page migrations over the PCIe
+//!   pipes ([`pcie::PciePipes`]);
+//! * **eviction engines** ([`batmem_types::policy::EvictionPolicy`]):
+//!   the baseline's reactive, serialized eviction; the paper's
+//!   **Unobtrusive Eviction** with a preemptive eviction at batch start and
+//!   pipelined bidirectional transfers; and the ideal zero-cost limit;
+//! * **Thread Oversubscription control** ([`oversub::OversubController`]):
+//!   the dynamic degree controller driven by the running average of page
+//!   lifetimes ([`lifetime::LifetimeTracker`]).
+//!
+//! The runtime is a pure state machine: the simulation engine feeds it
+//! faults and events, and it returns [`runtime::UvmOutput`] commands
+//! (schedule event / install page / evict page) for the engine to apply to
+//! the MMU and the event queue. This keeps it deterministic and unit-testable
+//! without a GPU model.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod batch;
+pub mod fault;
+pub mod lifetime;
+pub mod memmgr;
+pub mod oversub;
+pub mod pcie;
+pub mod prefetch;
+pub mod runtime;
+pub mod stats;
+
+pub use batch::BatchRecord;
+pub use fault::FaultBuffer;
+pub use lifetime::LifetimeTracker;
+pub use memmgr::MemoryManager;
+pub use oversub::OversubController;
+pub use pcie::PciePipes;
+pub use prefetch::TreePrefetcher;
+pub use runtime::{UvmEvent, UvmOutput, UvmRuntime};
+pub use stats::UvmStats;

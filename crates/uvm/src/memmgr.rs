@@ -1,0 +1,338 @@
+//! The GPU physical memory manager.
+//!
+//! Tracks device-frame allocation and the aged-LRU order the NVIDIA driver
+//! keeps over allocated chunks (`root_chunks.va_block_used`, §3 footnote 4).
+//! The manager holds the runtime's *planned* residency: the batch planner
+//! allocates frames and selects eviction victims here, while the MMU's page
+//! table tracks the warps' view (which lags by the transfer latencies).
+
+use batmem_types::policy::EvictionGranularity;
+use batmem_types::{FrameId, PageId};
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// Physical frame allocation and LRU victim selection.
+#[derive(Debug, Clone)]
+pub struct MemoryManager {
+    /// Device capacity in frames; `None` = unlimited.
+    capacity: Option<u64>,
+    /// Frames never yet handed out (minted on demand).
+    next_frame: u32,
+    /// Frames returned by evictions and available for reuse.
+    free: Vec<FrameId>,
+    resident: HashMap<PageId, FrameId>,
+    /// LRU bookkeeping: ascending stamp = least recently used first.
+    stamp_of: HashMap<PageId, u64>,
+    by_stamp: BTreeMap<u64, PageId>,
+    next_stamp: u64,
+    granularity: EvictionGranularity,
+    pages_per_region: u64,
+    evictions: u64,
+    touches: u64,
+    peak_resident: usize,
+}
+
+impl MemoryManager {
+    /// Creates a manager for `capacity` frames (`None` = unlimited) with
+    /// the given eviction granularity; `pages_per_region` sizes root-chunk
+    /// eviction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is `Some(0)` or `pages_per_region` is zero.
+    pub fn new(capacity: Option<u64>, granularity: EvictionGranularity, pages_per_region: u64) -> Self {
+        assert!(capacity != Some(0), "capacity of zero frames is not runnable");
+        assert!(pages_per_region > 0, "pages_per_region must be positive");
+        Self {
+            capacity,
+            next_frame: 0,
+            free: Vec::new(),
+            resident: HashMap::new(),
+            stamp_of: HashMap::new(),
+            by_stamp: BTreeMap::new(),
+            next_stamp: 0,
+            granularity,
+            pages_per_region,
+            evictions: 0,
+            touches: 0,
+            peak_resident: 0,
+        }
+    }
+
+    /// Attempts to take a frame: reuses a freed frame, or mints a new one
+    /// while under capacity. `None` means an eviction is required.
+    pub fn take_frame(&mut self) -> Option<FrameId> {
+        if let Some(f) = self.free.pop() {
+            return Some(f);
+        }
+        let under_cap = match self.capacity {
+            None => true,
+            Some(c) => u64::from(self.next_frame) < c,
+        };
+        if under_cap {
+            let f = FrameId::new(self.next_frame);
+            self.next_frame += 1;
+            Some(f)
+        } else {
+            None
+        }
+    }
+
+    /// Frames obtainable without evicting (free pool + unminted capacity).
+    pub fn available_without_eviction(&self) -> u64 {
+        let mintable = match self.capacity {
+            None => u64::MAX - self.free.len() as u64,
+            Some(c) => c.saturating_sub(u64::from(self.next_frame)),
+        };
+        self.free.len() as u64 + mintable
+    }
+
+    /// Whether no frame can be taken without an eviction.
+    pub fn at_capacity(&self) -> bool {
+        self.free.is_empty()
+            && match self.capacity {
+                None => false,
+                Some(c) => u64::from(self.next_frame) >= c,
+            }
+    }
+
+    /// Marks `page` resident in `frame` and stamps it most recently used.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page is already resident.
+    pub fn mark_resident(&mut self, page: PageId, frame: FrameId) {
+        let prev = self.resident.insert(page, frame);
+        assert!(prev.is_none(), "page {page} marked resident twice");
+        self.peak_resident = self.peak_resident.max(self.resident.len());
+        self.bump(page);
+    }
+
+    /// Refreshes `page`'s LRU stamp if it is resident (called on access).
+    pub fn touch(&mut self, page: PageId) {
+        if self.resident.contains_key(&page) {
+            self.touches += 1;
+            self.bump(page);
+        }
+    }
+
+    fn bump(&mut self, page: PageId) {
+        if let Some(old) = self.stamp_of.remove(&page) {
+            self.by_stamp.remove(&old);
+        }
+        let s = self.next_stamp;
+        self.next_stamp += 1;
+        self.stamp_of.insert(page, s);
+        self.by_stamp.insert(s, page);
+    }
+
+    /// Removes `page` from residency (eviction), returning its frame to
+    /// the free pool is the **caller's** job — the frame may only become
+    /// reusable when the eviction transfer completes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page is not resident.
+    pub fn remove(&mut self, page: PageId) -> FrameId {
+        let frame = self.resident.remove(&page).expect("evicting page that is not resident");
+        let stamp = self.stamp_of.remove(&page).expect("resident page without stamp");
+        self.by_stamp.remove(&stamp);
+        self.evictions += 1;
+        frame
+    }
+
+    /// Returns an eviction-completed frame to the free pool.
+    pub fn release_frame(&mut self, frame: FrameId) {
+        self.free.push(frame);
+    }
+
+    /// Selects the pages to evict to free at least one frame, preferring
+    /// pages outside `pinned`. Returns pages in eviction order, plus
+    /// whether the selection was **forced** to take a pinned page.
+    ///
+    /// With [`EvictionGranularity::Page`] one page is returned; with
+    /// [`EvictionGranularity::RootChunk`] every resident page of the LRU
+    /// page's region is returned (the driver's
+    /// `pick_and_evict_root_chunk`).
+    ///
+    /// Returns an empty vector if nothing is resident.
+    pub fn pick_victims(&self, pinned: &HashSet<PageId>) -> (Vec<PageId>, bool) {
+        let lru = self.by_stamp.values().find(|p| !pinned.contains(p)).copied();
+        let (seed, forced) = match lru {
+            Some(p) => (p, false),
+            None => match self.by_stamp.values().next().copied() {
+                Some(p) => (p, true),
+                None => return (Vec::new(), false),
+            },
+        };
+        match self.granularity {
+            EvictionGranularity::Page => (vec![seed], forced),
+            EvictionGranularity::RootChunk => {
+                let region = seed.index() / self.pages_per_region;
+                let first = region * self.pages_per_region;
+                let mut pages: Vec<PageId> = (first..first + self.pages_per_region)
+                    .map(PageId::new)
+                    .filter(|p| self.resident.contains_key(p))
+                    .collect();
+                // Evict the seed first so one frame frees as early as possible.
+                pages.sort_by_key(|p| (p != &seed, p.index()));
+                (pages, forced)
+            }
+        }
+    }
+
+    /// Whether `page` is (planned) resident.
+    pub fn is_resident(&self, page: PageId) -> bool {
+        self.resident.contains_key(&page)
+    }
+
+    /// Number of resident pages.
+    pub fn resident_count(&self) -> usize {
+        self.resident.len()
+    }
+
+    /// Total evictions performed.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Total LRU touches recorded.
+    pub fn touches(&self) -> u64 {
+        self.touches
+    }
+
+    /// Highest simultaneous resident-page count observed.
+    pub fn peak_resident(&self) -> usize {
+        self.peak_resident
+    }
+
+    /// The configured capacity in frames.
+    pub fn capacity(&self) -> Option<u64> {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: u64) -> PageId {
+        PageId::new(i)
+    }
+
+    fn mgr(cap: u64) -> MemoryManager {
+        MemoryManager::new(Some(cap), EvictionGranularity::Page, 32)
+    }
+
+    #[test]
+    fn mints_frames_up_to_capacity() {
+        let mut m = mgr(2);
+        let a = m.take_frame().unwrap();
+        let b = m.take_frame().unwrap();
+        assert_ne!(a, b);
+        assert!(m.take_frame().is_none());
+        assert!(m.at_capacity());
+    }
+
+    #[test]
+    fn unlimited_never_at_capacity() {
+        let mut m = MemoryManager::new(None, EvictionGranularity::Page, 32);
+        for _ in 0..10_000 {
+            assert!(m.take_frame().is_some());
+        }
+        assert!(!m.at_capacity());
+    }
+
+    #[test]
+    fn released_frames_are_reused() {
+        let mut m = mgr(1);
+        let a = m.take_frame().unwrap();
+        assert!(m.take_frame().is_none());
+        m.release_frame(a);
+        assert!(!m.at_capacity());
+        assert_eq!(m.take_frame(), Some(a));
+    }
+
+    #[test]
+    fn lru_victim_is_least_recently_touched() {
+        let mut m = mgr(3);
+        for i in 0..3 {
+            let f = m.take_frame().unwrap();
+            m.mark_resident(p(i), f);
+        }
+        m.touch(p(0)); // 0 refreshed; LRU is now 1
+        let (v, forced) = m.pick_victims(&HashSet::new());
+        assert_eq!(v, vec![p(1)]);
+        assert!(!forced);
+    }
+
+    #[test]
+    fn pinned_pages_are_skipped_until_forced() {
+        let mut m = mgr(2);
+        for i in 0..2 {
+            let f = m.take_frame().unwrap();
+            m.mark_resident(p(i), f);
+        }
+        let pinned: HashSet<PageId> = [p(0)].into_iter().collect();
+        let (v, forced) = m.pick_victims(&pinned);
+        assert_eq!(v, vec![p(1)]);
+        assert!(!forced);
+        let all: HashSet<PageId> = [p(0), p(1)].into_iter().collect();
+        let (v, forced) = m.pick_victims(&all);
+        assert_eq!(v, vec![p(0)]); // LRU even though pinned
+        assert!(forced);
+    }
+
+    #[test]
+    fn empty_manager_has_no_victim() {
+        let m = mgr(2);
+        let (v, forced) = m.pick_victims(&HashSet::new());
+        assert!(v.is_empty());
+        assert!(!forced);
+    }
+
+    #[test]
+    fn root_chunk_granularity_evicts_whole_region() {
+        let mut m = MemoryManager::new(Some(10), EvictionGranularity::RootChunk, 4);
+        // Region 0 holds pages 0..4; make 0, 2, 3 resident plus page 5 in
+        // region 1.
+        for i in [0u64, 2, 3, 5] {
+            let f = m.take_frame().unwrap();
+            m.mark_resident(p(i), f);
+        }
+        m.touch(p(0)); // LRU seed becomes page 2
+        let (v, _) = m.pick_victims(&HashSet::new());
+        assert_eq!(v[0], p(2)); // seed first
+        let mut rest = v[1..].to_vec();
+        rest.sort();
+        assert_eq!(rest, vec![p(0), p(3)]);
+    }
+
+    #[test]
+    fn remove_makes_page_non_resident_and_counts() {
+        let mut m = mgr(1);
+        let f = m.take_frame().unwrap();
+        m.mark_resident(p(7), f);
+        assert!(m.is_resident(p(7)));
+        let got = m.remove(p(7));
+        assert_eq!(got, f);
+        assert!(!m.is_resident(p(7)));
+        assert_eq!(m.evictions(), 1);
+        assert_eq!(m.resident_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "resident twice")]
+    fn double_mark_panics() {
+        let mut m = mgr(2);
+        let f = m.take_frame().unwrap();
+        m.mark_resident(p(1), f);
+        m.mark_resident(p(1), f);
+    }
+
+    #[test]
+    fn touch_of_non_resident_is_noop() {
+        let mut m = mgr(2);
+        m.touch(p(9));
+        assert_eq!(m.touches(), 0);
+    }
+}

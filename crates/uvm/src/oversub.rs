@@ -1,0 +1,141 @@
+//! The dynamic thread-oversubscription degree controller.
+//!
+//! §4.1: the runtime starts with one extra thread block per SM; every
+//! lifetime-sample period it compares the running average page lifetime to
+//! the previous sample. A drop of at least the threshold signals premature
+//! evictions, so the controller decrements the allowed degree (disallowing
+//! further context switch-ins); otherwise it incrementally allocates one
+//! more block per SM, up to the cap.
+
+use crate::lifetime::LifetimeSample;
+use batmem_types::policy::ToConfig;
+
+/// The controller owning the current oversubscription degree.
+#[derive(Debug, Clone)]
+pub struct OversubController {
+    config: ToConfig,
+    degree: u32,
+    decrements: u64,
+    increments: u64,
+}
+
+impl OversubController {
+    /// Creates the controller; the initial degree is
+    /// [`ToConfig::initial_extra_blocks`] (0 when TO is disabled).
+    pub fn new(config: ToConfig) -> Self {
+        let degree = if config.enabled {
+            config.initial_extra_blocks.min(config.max_extra_blocks)
+        } else {
+            0
+        };
+        Self { config, degree, decrements: 0, increments: 0 }
+    }
+
+    /// The allowed number of extra (inactive) blocks per SM right now.
+    pub fn degree(&self) -> u32 {
+        self.degree
+    }
+
+    /// Whether context switch-ins are currently allowed at all.
+    pub fn switching_allowed(&self) -> bool {
+        self.config.enabled && self.degree > 0
+    }
+
+    /// Feeds one lifetime sample; adjusts the degree per the paper's rule.
+    pub fn on_sample(&mut self, sample: LifetimeSample) {
+        if !self.config.enabled {
+            return;
+        }
+        let threshold = f64::from(self.config.lifetime_drop_threshold_percent) / 100.0;
+        match (sample.avg, sample.prev) {
+            (Some(avg), Some(prev)) if prev > 0.0 && avg < prev * (1.0 - threshold) => {
+                if self.degree > 0 {
+                    self.degree -= 1;
+                    self.decrements += 1;
+                }
+            }
+            _ => {
+                if self.degree < self.config.max_extra_blocks {
+                    self.degree += 1;
+                    self.increments += 1;
+                }
+            }
+        }
+    }
+
+    /// Times the controller lowered the degree.
+    pub fn decrements(&self) -> u64 {
+        self.decrements
+    }
+
+    /// Times the controller raised the degree.
+    pub fn increments(&self) -> u64 {
+        self.increments
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(avg: Option<f64>, prev: Option<f64>) -> LifetimeSample {
+        LifetimeSample { avg, prev }
+    }
+
+    #[test]
+    fn disabled_controller_stays_at_zero() {
+        let mut c = OversubController::new(ToConfig::default());
+        assert_eq!(c.degree(), 0);
+        assert!(!c.switching_allowed());
+        c.on_sample(sample(Some(10.0), Some(100.0)));
+        assert_eq!(c.degree(), 0);
+    }
+
+    #[test]
+    fn starts_at_initial_degree() {
+        let c = OversubController::new(ToConfig::enabled());
+        assert_eq!(c.degree(), 1);
+        assert!(c.switching_allowed());
+    }
+
+    #[test]
+    fn big_lifetime_drop_decrements() {
+        let mut c = OversubController::new(ToConfig::enabled());
+        // 50% drop > 20% threshold.
+        c.on_sample(sample(Some(50.0), Some(100.0)));
+        assert_eq!(c.degree(), 0);
+        assert!(!c.switching_allowed());
+        assert_eq!(c.decrements(), 1);
+    }
+
+    #[test]
+    fn small_drop_or_growth_increments_to_cap() {
+        let mut c = OversubController::new(ToConfig::enabled());
+        c.on_sample(sample(Some(90.0), Some(100.0))); // 10% drop: fine
+        assert_eq!(c.degree(), 2);
+        c.on_sample(sample(Some(95.0), Some(90.0))); // growth
+        assert_eq!(c.degree(), 3);
+        c.on_sample(sample(Some(95.0), Some(95.0))); // capped at 3
+        assert_eq!(c.degree(), 3);
+        assert_eq!(c.increments(), 2);
+    }
+
+    #[test]
+    fn missing_history_counts_as_healthy() {
+        let mut c = OversubController::new(ToConfig::enabled());
+        c.on_sample(sample(None, None));
+        assert_eq!(c.degree(), 2);
+        c.on_sample(sample(Some(10.0), None));
+        assert_eq!(c.degree(), 3);
+    }
+
+    #[test]
+    fn degree_recovers_after_decrement() {
+        let mut c = OversubController::new(ToConfig::enabled());
+        c.on_sample(sample(Some(10.0), Some(100.0)));
+        assert_eq!(c.degree(), 0);
+        c.on_sample(sample(Some(10.0), Some(10.0)));
+        assert_eq!(c.degree(), 1);
+        assert!(c.switching_allowed());
+    }
+}

@@ -1,0 +1,831 @@
+//! The UVM runtime state machine: batched fault processing, migration
+//! scheduling, and the three eviction engines.
+//!
+//! The runtime mirrors the driver control flow the paper analyzes:
+//!
+//! 1. A fault arrives ([`UvmRuntime::record_fault`]); if the runtime is
+//!    idle a **batch** starts: the fault buffer drains, faults are sorted
+//!    and deduplicated, prefetches are inserted, and the *GPU runtime fault
+//!    handling time* elapses ([`UvmEvent::HandlingDone`]).
+//! 2. Migrations are scheduled on the PCIe host-to-device pipe. When device
+//!    memory is at capacity each needed frame comes from an eviction, whose
+//!    scheduling depends on the
+//!    [`EvictionPolicy`]:
+//!    * `SerializedLru` — the eviction transfer blocks the host-to-device
+//!      pipe (Fig. 4: migration begins only after the eviction completes);
+//!    * `Unobtrusive` — one preemptive eviction is issued at batch start
+//!      (overlapping the handling window) and further evictions pipeline on
+//!      the device-to-host direction (Fig. 10);
+//!    * `Ideal` — frames free instantly (Fig. 8's limit study).
+//! 3. Each arrival ([`UvmEvent::PageArrived`]) installs the page; after the
+//!    last one the batch closes and, if faults accumulated meanwhile, the
+//!    next batch starts immediately (the driver's replay optimization).
+//!
+//! The runtime never touches the MMU or event queue directly: it returns
+//! [`UvmOutput`] commands that the engine applies, keeping this crate
+//! independently testable.
+
+use crate::batch::BatchRecord;
+use crate::fault::FaultBuffer;
+use crate::lifetime::{LifetimeSample, LifetimeTracker};
+use crate::memmgr::MemoryManager;
+use crate::pcie::PciePipes;
+use crate::prefetch::TreePrefetcher;
+use crate::stats::UvmStats;
+use batmem_types::config::UvmConfig;
+use batmem_types::policy::{EvictionPolicy, PolicyConfig, PrefetchPolicy};
+use batmem_types::{Cycle, FrameId, PageId};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+
+/// Events the runtime schedules for itself through the engine's queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UvmEvent {
+    /// The top-half ISR responds to the fault interrupt: drain the buffer
+    /// and begin a batch. Faults raised during the interrupt-delivery
+    /// window join the batch.
+    DrainBuffer,
+    /// Preprocessing and CPU page-table walks for a batch finished.
+    HandlingDone {
+        /// The batch's sequence number.
+        batch: u64,
+    },
+    /// A page's host-to-device transfer completed.
+    PageArrived {
+        /// The migrated page.
+        page: PageId,
+    },
+    /// An eviction transfer began; the page must leave the GPU page table
+    /// now (subsequent accesses fault).
+    EvictionStarted {
+        /// The evicted page.
+        page: PageId,
+    },
+}
+
+/// Commands the runtime returns for the engine to apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UvmOutput {
+    /// Enqueue `event` at time `at`.
+    Schedule {
+        /// Delivery time.
+        at: Cycle,
+        /// The event to deliver back to the runtime.
+        event: UvmEvent,
+    },
+    /// Install `page -> frame` in the GPU page table and wake its waiters.
+    Install {
+        /// The arrived page.
+        page: PageId,
+        /// The frame it occupies.
+        frame: FrameId,
+    },
+    /// Remove `page` from the GPU page table (with TLB shootdown).
+    Evict {
+        /// The evicted page.
+        page: PageId,
+    },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Idle,
+    /// A fault interrupt was raised; the drain fires after the ISR latency.
+    Draining,
+    Handling,
+    Migrating,
+}
+
+#[derive(Debug)]
+struct BatchPlan {
+    record: BatchRecord,
+    pages: Vec<PageId>,
+    page_set: HashSet<PageId>,
+    planned_arrival: HashMap<PageId, Cycle>,
+    remaining: usize,
+}
+
+/// The UVM runtime model. See the [module documentation](self).
+#[derive(Debug)]
+pub struct UvmRuntime {
+    cfg: UvmConfig,
+    policy: PolicyConfig,
+    buffer: FaultBuffer,
+    mem: MemoryManager,
+    pipes: PciePipes,
+    prefetcher: Option<TreePrefetcher>,
+    lifetime: LifetimeTracker,
+    state: State,
+    current: Option<BatchPlan>,
+    /// Frames freed by in-flight evictions, keyed by availability time.
+    pending_free: BinaryHeap<Reverse<(Cycle, FrameId)>>,
+    /// Pages of the current batch being migrated, with assigned frames.
+    inflight: HashMap<PageId, FrameId>,
+    /// Upper bound on valid page indices (prefetch never crosses it).
+    valid_pages: u64,
+    /// Ideal-eviction victims awaiting their shootdown timestamp (emitted
+    /// at the consuming migration's start, the latest consistent moment).
+    ideal_evicts: Vec<(PageId, Cycle)>,
+    batch_seq: u64,
+    finished_batches: Vec<BatchRecord>,
+    faults_on_pending: u64,
+    preemptive_evictions: u64,
+    proactive_evictions: u64,
+}
+
+impl UvmRuntime {
+    /// Creates the runtime for an address space of `valid_pages` pages.
+    pub fn new(cfg: &UvmConfig, policy: &PolicyConfig, valid_pages: u64) -> Self {
+        let prefetcher = match policy.prefetch {
+            PrefetchPolicy::None => None,
+            PrefetchPolicy::Tree { threshold_percent } => {
+                Some(TreePrefetcher::new(cfg.pages_per_region(), threshold_percent))
+            }
+        };
+        Self {
+            cfg: cfg.clone(),
+            policy: *policy,
+            buffer: FaultBuffer::new(cfg.fault_buffer_entries),
+            mem: MemoryManager::new(
+                cfg.gpu_mem_pages,
+                policy.eviction_granularity,
+                cfg.pages_per_region(),
+            ),
+            pipes: PciePipes::new(
+                cfg.pcie_h2d_bytes_per_sec,
+                cfg.pcie_d2h_bytes_per_sec,
+                policy.compression,
+            ),
+            prefetcher,
+            lifetime: LifetimeTracker::new(),
+            state: State::Idle,
+            current: None,
+            pending_free: BinaryHeap::new(),
+            inflight: HashMap::new(),
+            ideal_evicts: Vec::new(),
+            valid_pages,
+            batch_seq: 0,
+            finished_batches: Vec::new(),
+            faults_on_pending: 0,
+            preemptive_evictions: 0,
+            proactive_evictions: 0,
+        }
+    }
+
+    /// Records a page fault raised by the GPU MMU at time `now` (the
+    /// top-half ISR path). May start a batch if the runtime is idle.
+    pub fn record_fault(&mut self, page: PageId, now: Cycle) -> Vec<UvmOutput> {
+        self.lifetime.on_fault(page);
+        if let Some(plan) = &self.current {
+            if plan.page_set.contains(&page) {
+                // Absorb the fault only while the open batch will still
+                // deliver the page: before planning, or while its transfer
+                // is in flight. A batch page that already arrived and was
+                // then force-evicted (capacity below batch size) must be
+                // treated as a fresh fault, or its waiters starve.
+                let will_arrive = match self.state {
+                    State::Draining | State::Handling => true,
+                    _ => self.inflight.contains_key(&page),
+                };
+                if will_arrive {
+                    self.faults_on_pending += 1;
+                    return Vec::new();
+                }
+            }
+        }
+        debug_assert!(
+            !self.mem.is_resident(page),
+            "fault raised for planned-resident page {page}"
+        );
+        self.buffer.record(page, now);
+        if self.state == State::Idle {
+            self.state = State::Draining;
+            vec![UvmOutput::Schedule {
+                at: now + self.cfg.isr_latency,
+                event: UvmEvent::DrainBuffer,
+            }]
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// Refreshes a resident page's LRU position (called by the engine on
+    /// L1 TLB misses — the aged-LRU approximation).
+    pub fn touch(&mut self, page: PageId) {
+        self.mem.touch(page);
+    }
+
+    /// Delivers a previously scheduled event back to the runtime.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the event does not match the runtime's state (indicates an
+    /// engine bug).
+    pub fn on_event(&mut self, event: UvmEvent, now: Cycle) -> Vec<UvmOutput> {
+        match event {
+            UvmEvent::DrainBuffer => {
+                assert_eq!(self.state, State::Draining, "drain in wrong state");
+                self.state = State::Idle;
+                self.start_batch(now)
+            }
+            UvmEvent::HandlingDone { batch } => self.plan_migrations(batch, now),
+            UvmEvent::PageArrived { page } => self.page_arrived(page, now),
+            UvmEvent::EvictionStarted { page } => vec![UvmOutput::Evict { page }],
+        }
+    }
+
+    fn start_batch(&mut self, now: Cycle) -> Vec<UvmOutput> {
+        debug_assert_eq!(self.state, State::Idle);
+        let faulted: Vec<PageId> = self
+            .buffer
+            .drain_sorted()
+            .into_iter()
+            .filter(|p| !self.mem.is_resident(*p))
+            .collect();
+        if faulted.is_empty() {
+            return Vec::new();
+        }
+        let mut outputs = Vec::new();
+        let prefetched = match &mut self.prefetcher {
+            Some(pf) => {
+                let mem = &self.mem;
+                pf.expand(&faulted, |p| mem.is_resident(p), self.valid_pages)
+            }
+            None => Vec::new(),
+        };
+        let mut pages = faulted.clone();
+        pages.extend(prefetched.iter().copied());
+        pages.sort_unstable();
+        pages.dedup();
+
+        let handling = self.cfg.fault_handling_base
+            + self.cfg.fault_handling_per_fault * faulted.len() as Cycle;
+        let id = self.batch_seq;
+        self.batch_seq += 1;
+        let record = BatchRecord {
+            id,
+            start: now,
+            handling_done: now + handling,
+            first_migration_start: 0,
+            end: 0,
+            faults: faulted.len() as u32,
+            prefetches: (pages.len() - faulted.len()) as u32,
+            evictions: 0,
+            forced_pinned_evictions: 0,
+            migrated_bytes: 0,
+        };
+        let page_set: HashSet<PageId> = pages.iter().copied().collect();
+        let mut plan = BatchPlan {
+            record,
+            remaining: pages.len(),
+            pages,
+            page_set,
+            planned_arrival: HashMap::new(),
+        };
+        outputs.push(UvmOutput::Schedule { at: now + handling, event: UvmEvent::HandlingDone { batch: id } });
+
+        // Unobtrusive Eviction: the top-half ISR checks the memory status
+        // tracker and issues one preemptive eviction so the first migration
+        // can start unhindered (§4.2, Fig. 9 steps 2-3).
+        if self.policy.eviction == EvictionPolicy::Unobtrusive
+            && self.mem.at_capacity()
+            && self.pending_free.is_empty()
+        {
+            self.schedule_evictions(now, &mut plan, &mut outputs, false);
+            self.preemptive_evictions += 1;
+        }
+
+        // ETC-style Proactive Eviction: predict the batch's frame demand
+        // and evict ahead of the allocations, overlapped with the handling
+        // window. Mispredicted victims show up as premature evictions,
+        // which is why ETC disables PE for irregular applications.
+        if self.policy.proactive_eviction {
+            let available =
+                self.mem.available_without_eviction() + self.pending_free.len() as u64;
+            let mut need = (plan.pages.len() as u64).saturating_sub(available);
+            while need > 0 && self.mem.resident_count() > 0 {
+                let before = self.pending_free.len();
+                self.schedule_evictions(now, &mut plan, &mut outputs, true);
+                let freed = (self.pending_free.len() - before) as u64;
+                if freed == 0 {
+                    break;
+                }
+                self.proactive_evictions += freed;
+                need = need.saturating_sub(freed);
+            }
+        }
+
+        self.current = Some(plan);
+        self.state = State::Handling;
+        outputs
+    }
+
+    /// Schedules enough evictions to free at least one frame, pushing the
+    /// freed frames into `pending_free` tagged with their availability
+    /// times.
+    /// `overlap` forces UE-style device-to-host scheduling regardless of
+    /// the base eviction policy (used by proactive eviction).
+    fn schedule_evictions(&mut self, earliest: Cycle, plan: &mut BatchPlan, outputs: &mut Vec<UvmOutput>, overlap: bool) {
+        let (victims, forced) = self.mem.pick_victims(&plan.page_set);
+        assert!(
+            !victims.is_empty(),
+            "eviction required but nothing is resident (capacity too small for one batch?)"
+        );
+        let page_bytes = self.cfg.page_bytes();
+        for victim in victims {
+            // A same-batch victim only becomes evictable once it arrives —
+            // one cycle later, so that waiters woken by the arrival observe
+            // the page resident and make forward progress even when the
+            // eviction is immediate.
+            let avail = plan
+                .planned_arrival
+                .get(&victim)
+                .map(|&t| t + 1)
+                .unwrap_or(0)
+                .max(earliest);
+            let frame = self.mem.remove(victim);
+            let effective = if overlap { EvictionPolicy::Unobtrusive } else { self.policy.eviction };
+            let (start, ready) = match effective {
+                EvictionPolicy::SerializedLru => {
+                    // §3 / Fig. 4: eviction and migration serialize — the
+                    // eviction transfer blocks the host-to-device pipe.
+                    let tr = self.pipes.schedule_d2h(avail.max(self.pipes.h2d_free_at()), page_bytes);
+                    self.pipes.stall_h2d_until(tr.end);
+                    (tr.start, tr.end)
+                }
+                EvictionPolicy::Unobtrusive => {
+                    // §4.2 / Fig. 10: pipelined on the D2H direction.
+                    let tr = self.pipes.schedule_d2h(avail, page_bytes);
+                    (tr.start, tr.end)
+                }
+                EvictionPolicy::Ideal => {
+                    // Zero-cost eviction: the frame is usable immediately,
+                    // and the page table entry survives until the frame's
+                    // consumer actually starts transferring (the most
+                    // favorable consistent schedule).
+                    self.ideal_evicts.push((victim, avail));
+                    self.pending_free.push(Reverse((avail, frame)));
+                    plan.record.evictions += 1;
+                    if forced {
+                        plan.record.forced_pinned_evictions += 1;
+                    }
+                    continue;
+                }
+            };
+            outputs.push(UvmOutput::Schedule { at: start, event: UvmEvent::EvictionStarted { page: victim } });
+            self.lifetime.on_evict(victim, start);
+            self.pending_free.push(Reverse((ready, frame)));
+            plan.record.evictions += 1;
+            if forced {
+                plan.record.forced_pinned_evictions += 1;
+            }
+        }
+    }
+
+    fn acquire_frame(&mut self, now: Cycle, plan: &mut BatchPlan, outputs: &mut Vec<UvmOutput>) -> (FrameId, Cycle) {
+        if let Some(f) = self.mem.take_frame() {
+            return (f, now);
+        }
+        if let Some(&Reverse((ready, frame))) = self.pending_free.peek() {
+            self.pending_free.pop();
+            return (frame, ready);
+        }
+        self.schedule_evictions(now, plan, outputs, false);
+        let Reverse((ready, frame)) = self.pending_free.pop().expect("eviction yielded no frame");
+        (frame, ready)
+    }
+
+    fn plan_migrations(&mut self, batch: u64, now: Cycle) -> Vec<UvmOutput> {
+        assert_eq!(self.state, State::Handling, "HandlingDone in wrong state");
+        let mut plan = self.current.take().expect("HandlingDone without an open batch");
+        assert_eq!(plan.record.id, batch, "HandlingDone for a stale batch");
+        let mut outputs = Vec::new();
+        let page_bytes = self.cfg.page_bytes();
+        let pages = plan.pages.clone();
+        for (i, page) in pages.into_iter().enumerate() {
+            let (frame, ready) = self.acquire_frame(now, &mut plan, &mut outputs);
+            let tr = self.pipes.schedule_h2d(now.max(ready), page_bytes);
+            if i == 0 {
+                plan.record.first_migration_start = tr.start;
+            }
+            for (victim, avail) in self.ideal_evicts.drain(..) {
+                let at = tr.start.max(avail);
+                outputs.push(UvmOutput::Schedule { at, event: UvmEvent::EvictionStarted { page: victim } });
+                self.lifetime.on_evict(victim, at);
+            }
+            plan.record.migrated_bytes += page_bytes;
+            self.mem.mark_resident(page, frame);
+            self.lifetime.on_install(page, tr.end);
+            self.inflight.insert(page, frame);
+            plan.planned_arrival.insert(page, tr.end);
+            outputs.push(UvmOutput::Schedule { at: tr.end, event: UvmEvent::PageArrived { page } });
+        }
+        self.current = Some(plan);
+        self.state = State::Migrating;
+        outputs
+    }
+
+    fn page_arrived(&mut self, page: PageId, now: Cycle) -> Vec<UvmOutput> {
+        assert_eq!(self.state, State::Migrating, "PageArrived in wrong state");
+        let frame = self.inflight.remove(&page).expect("arrival of page not in flight");
+        let mut outputs = vec![UvmOutput::Install { page, frame }];
+        let plan = self.current.as_mut().expect("arrival without an open batch");
+        plan.remaining -= 1;
+        if plan.remaining == 0 {
+            let mut plan = self.current.take().expect("batch vanished");
+            plan.record.end = now;
+            self.finished_batches.push(plan.record);
+            self.state = State::Idle;
+            // Driver replay optimization (§2.2): service accumulated faults
+            // immediately rather than waiting for a fresh interrupt.
+            if !self.buffer.is_empty() {
+                outputs.extend(self.start_batch(now));
+            }
+        }
+        outputs
+    }
+
+    /// Closes a lifetime sampling window (driven by the engine every
+    /// [`ToConfig::lifetime_sample_period`](batmem_types::policy::ToConfig)).
+    pub fn sample_lifetime(&mut self) -> LifetimeSample {
+        self.lifetime.sample()
+    }
+
+    /// Whether a batch is currently open.
+    pub fn busy(&self) -> bool {
+        self.state != State::Idle
+    }
+
+    /// Whether `page` is currently migrating.
+    pub fn is_inflight(&self, page: PageId) -> bool {
+        self.inflight.contains_key(&page)
+    }
+
+    /// Whether `page` is resident in the runtime's planned view (which may
+    /// lead the GPU page table by up to one batch's scheduling).
+    pub fn is_resident(&self, page: PageId) -> bool {
+        self.mem.is_resident(page)
+    }
+
+    /// Pages currently resident (planned view).
+    pub fn resident_pages(&self) -> usize {
+        self.mem.resident_count()
+    }
+
+    /// Preemptive evictions issued by the UE top-half path.
+    pub fn preemptive_evictions(&self) -> u64 {
+        self.preemptive_evictions
+    }
+
+    /// Assembles end-of-run statistics.
+    pub fn stats(&self) -> UvmStats {
+        UvmStats {
+            batches: self.finished_batches.clone(),
+            faults_raised: self.buffer.raised(),
+            faults_deduped: self.buffer.duplicates(),
+            buffer_overflows: self.buffer.overflows(),
+            faults_on_inflight: self.faults_on_pending,
+            prefetches: self.prefetcher.as_ref().map_or(0, TreePrefetcher::issued),
+            evictions: self.mem.evictions(),
+            premature_evictions: self.lifetime.premature_evictions(),
+            h2d_bytes: self.pipes.h2d_total_bytes(),
+            d2h_bytes: self.pipes.d2h_total_bytes(),
+            mean_page_lifetime: self.lifetime.mean_lifetime(),
+            peak_resident_pages: self.mem.peak_resident() as u64,
+            preemptive_evictions: self.preemptive_evictions,
+            proactive_evictions: self.proactive_evictions,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PAGE: u64 = 65_536;
+
+    fn cfg(cap: Option<u64>) -> UvmConfig {
+        UvmConfig { gpu_mem_pages: cap, ..UvmConfig::default() }
+    }
+
+    fn p(i: u64) -> PageId {
+        PageId::new(i)
+    }
+
+    /// Drives the runtime's own scheduled events to completion, returning
+    /// (install times, evict times) per page and the final time.
+    fn drain(rt: &mut UvmRuntime, initial: Vec<UvmOutput>) -> (Vec<(PageId, Cycle)>, Vec<(PageId, Cycle)>) {
+        let mut queue: Vec<(Cycle, UvmEvent)> = Vec::new();
+        let mut installs = Vec::new();
+        let mut evicts = Vec::new();
+        let mut apply = |outs: Vec<UvmOutput>, at: Cycle, queue: &mut Vec<(Cycle, UvmEvent)>, installs: &mut Vec<(PageId, Cycle)>, evicts: &mut Vec<(PageId, Cycle)>| {
+            for o in outs {
+                match o {
+                    UvmOutput::Schedule { at, event } => queue.push((at, event)),
+                    UvmOutput::Install { page, .. } => installs.push((page, at)),
+                    UvmOutput::Evict { page } => evicts.push((page, at)),
+                }
+            }
+        };
+        apply(initial, 0, &mut queue, &mut installs, &mut evicts);
+        while !queue.is_empty() {
+            queue.sort_by_key(|&(t, _)| t);
+            let (t, e) = queue.remove(0);
+            let outs = rt.on_event(e, t);
+            apply(outs, t, &mut queue, &mut installs, &mut evicts);
+        }
+        (installs, evicts)
+    }
+
+    #[test]
+    fn single_fault_single_batch() {
+        let mut rt = UvmRuntime::new(&cfg(None), &PolicyConfig { prefetch: PrefetchPolicy::None, ..PolicyConfig::baseline() }, 1000);
+        let outs = rt.record_fault(p(5), 100);
+        let (installs, _) = drain(&mut rt, outs);
+        assert_eq!(installs.len(), 1);
+        let (page, at) = installs[0];
+        assert_eq!(page, p(5));
+        // ISR latency + 20 us handling (+30/fault) + one 64 KB transfer.
+        assert_eq!(at, 100 + 1_000 + 20_000 + 30 + 4162);
+        let s = rt.stats();
+        assert_eq!(s.num_batches(), 1);
+        assert_eq!(s.batches[0].faults, 1);
+        assert_eq!(s.batches[0].fault_handling_time(), 20_030);
+    }
+
+    #[test]
+    fn faults_during_batch_form_next_batch() {
+        let mut rt = UvmRuntime::new(&cfg(None), &PolicyConfig { prefetch: PrefetchPolicy::None, ..PolicyConfig::baseline() }, 1000);
+        let outs = rt.record_fault(p(1), 0);
+        assert_eq!(outs.len(), 1); // DrainBuffer scheduled
+        let outs = rt.on_event(UvmEvent::DrainBuffer, 1_000);
+        // Fault raised while the first batch is handling: queues silently.
+        assert!(rt.record_fault(p(2), 5_000).is_empty());
+        let (installs, _) = drain(&mut rt, outs);
+        assert_eq!(installs.len(), 2);
+        let s = rt.stats();
+        assert_eq!(s.num_batches(), 2);
+        assert_eq!(s.batches[0].faults, 1);
+        assert_eq!(s.batches[1].faults, 1);
+        // Second batch starts exactly when the first ends (replay path).
+        assert_eq!(s.batches[1].start, s.batches[0].end);
+    }
+
+    #[test]
+    fn same_cycle_faults_join_via_isr_window() {
+        let mut rt = UvmRuntime::new(&cfg(None), &PolicyConfig { prefetch: PrefetchPolicy::None, ..PolicyConfig::baseline() }, 1000);
+        let mut outs = rt.record_fault(p(1), 0);
+        outs.extend(rt.record_fault(p(2), 400)); // inside the 1 us ISR window
+        let (installs, _) = drain(&mut rt, outs);
+        assert_eq!(installs.len(), 2);
+        assert_eq!(rt.stats().num_batches(), 1);
+    }
+
+    #[test]
+    fn batch_groups_simultaneous_faults() {
+        let mut rt = UvmRuntime::new(&cfg(None), &PolicyConfig { prefetch: PrefetchPolicy::None, ..PolicyConfig::baseline() }, 1000);
+        let mut outs = rt.record_fault(p(3), 0);
+        outs.extend(rt.record_fault(p(1), 0));
+        outs.extend(rt.record_fault(p(2), 0));
+        let (installs, _) = drain(&mut rt, outs);
+        let s = rt.stats();
+        assert_eq!(s.num_batches(), 1);
+        assert_eq!(s.batches[0].faults, 3);
+        // Pages migrate in ascending address order (preprocessing sort).
+        let pages: Vec<PageId> = installs.iter().map(|&(p, _)| p).collect();
+        assert_eq!(pages, vec![p(1), p(2), p(3)]);
+    }
+
+    #[test]
+    fn prefetcher_fills_dense_regions() {
+        let mut rt = UvmRuntime::new(&cfg(None), &PolicyConfig::baseline(), 64);
+        // 16 of 32 pages of region 0 fault: 50% threshold fires.
+        let mut outs = Vec::new();
+        for i in 0..16 {
+            outs.extend(rt.record_fault(p(i * 2), 0));
+        }
+        let (installs, _) = drain(&mut rt, outs);
+        assert_eq!(installs.len(), 32);
+        let s = rt.stats();
+        assert_eq!(s.batches[0].faults, 16);
+        assert_eq!(s.batches[0].prefetches, 16);
+    }
+
+    #[test]
+    fn serialized_eviction_blocks_migration() {
+        let policy = PolicyConfig { prefetch: PrefetchPolicy::None, ..PolicyConfig::baseline() };
+        let mut rt = UvmRuntime::new(&cfg(Some(1)), &policy, 1000);
+        let outs = rt.record_fault(p(1), 0);
+        let (installs, _) = drain(&mut rt, outs);
+        let first_arrival = installs[0].1;
+        // Now page 1 is resident and memory is full; fault page 2.
+        let outs = rt.record_fault(p(2), first_arrival + 1);
+        let (installs, evicts) = drain(&mut rt, outs);
+        assert_eq!(evicts.len(), 1);
+        assert_eq!(evicts[0].0, p(1));
+        let s = rt.stats();
+        let b = &s.batches[1];
+        // Migration could not start at handling_done: it waited for the
+        // eviction transfer.
+        assert!(b.first_migration_start > b.handling_done);
+        assert_eq!(installs.last().unwrap().0, p(2));
+    }
+
+    #[test]
+    fn unobtrusive_eviction_overlaps_handling() {
+        let policy = PolicyConfig { prefetch: PrefetchPolicy::None, ..PolicyConfig::ue_only() };
+        let mut rt = UvmRuntime::new(&cfg(Some(1)), &policy, 1000);
+        let outs = rt.record_fault(p(1), 0);
+        let (installs, _) = drain(&mut rt, outs);
+        let t = installs[0].1;
+        let outs = rt.record_fault(p(2), t + 1);
+        let (_, evicts) = drain(&mut rt, outs);
+        assert_eq!(rt.preemptive_evictions(), 1);
+        // The eviction started right at batch start (top-half ISR), inside
+        // the handling window.
+        let s = rt.stats();
+        let b = &s.batches[1];
+        assert_eq!(evicts.last().unwrap().1, b.start);
+        // And the first migration starts exactly at handling-done.
+        assert_eq!(b.first_migration_start, b.handling_done);
+    }
+
+    #[test]
+    fn ideal_eviction_is_free() {
+        let policy = PolicyConfig { prefetch: PrefetchPolicy::None, ..PolicyConfig::ideal_eviction() };
+        let mut rt = UvmRuntime::new(&cfg(Some(1)), &policy, 1000);
+        let outs = rt.record_fault(p(1), 0);
+        drain(&mut rt, outs);
+        let outs = rt.record_fault(p(2), 100_000);
+        drain(&mut rt, outs);
+        let s = rt.stats();
+        let b = &s.batches[1];
+        assert_eq!(b.first_migration_start, b.handling_done);
+        // No D2H traffic at all.
+        assert_eq!(s.d2h_bytes, 0);
+        assert_eq!(s.evictions, 1);
+    }
+
+    #[test]
+    fn premature_eviction_detected_on_refault() {
+        let policy = PolicyConfig { prefetch: PrefetchPolicy::None, ..PolicyConfig::baseline() };
+        let mut rt = UvmRuntime::new(&cfg(Some(1)), &policy, 1000);
+        let outs = rt.record_fault(p(1), 0);
+        drain(&mut rt, outs);
+        let outs = rt.record_fault(p(2), 100_000); // evicts p1
+        drain(&mut rt, outs);
+        let outs = rt.record_fault(p(1), 200_000); // refault: premature
+        drain(&mut rt, outs);
+        let s = rt.stats();
+        assert_eq!(s.premature_evictions, 1);
+        assert_eq!(s.evictions, 2);
+    }
+
+    #[test]
+    fn fault_on_inflight_page_is_absorbed() {
+        let policy = PolicyConfig { prefetch: PrefetchPolicy::None, ..PolicyConfig::baseline() };
+        let mut rt = UvmRuntime::new(&cfg(None), &policy, 1000);
+        let outs = rt.record_fault(p(1), 0);
+        // A duplicate inside the ISR window coalesces in the buffer.
+        assert!(rt.record_fault(p(1), 10).is_empty());
+        let outs = {
+            assert_eq!(outs.len(), 1);
+            rt.on_event(UvmEvent::DrainBuffer, 1_000)
+        };
+        // A duplicate while the batch is open is absorbed by the open plan.
+        assert!(rt.record_fault(p(1), 5_000).is_empty());
+        drain(&mut rt, outs);
+        let s = rt.stats();
+        assert_eq!(s.num_batches(), 1);
+        assert_eq!(s.faults_deduped, 1);
+        assert_eq!(s.faults_on_inflight, 1);
+        assert_eq!(s.batches[0].faults, 1);
+    }
+
+    #[test]
+    fn capacity_is_never_exceeded() {
+        let policy = PolicyConfig { prefetch: PrefetchPolicy::None, ..PolicyConfig::baseline() };
+        let mut rt = UvmRuntime::new(&cfg(Some(4)), &policy, 1000);
+        for round in 0..5u64 {
+            let mut outs = Vec::new();
+            for i in 0..3 {
+                outs.extend(rt.record_fault(p(round * 3 + i), round * 1_000_000));
+            }
+            drain(&mut rt, outs);
+            assert!(rt.resident_pages() <= 4, "round {round}: {}", rt.resident_pages());
+        }
+    }
+
+    #[test]
+    fn batch_larger_than_capacity_forces_pinned_evictions() {
+        let policy = PolicyConfig { prefetch: PrefetchPolicy::None, ..PolicyConfig::baseline() };
+        let mut rt = UvmRuntime::new(&cfg(Some(2)), &policy, 1000);
+        let mut outs = Vec::new();
+        for i in 0..5 {
+            outs.extend(rt.record_fault(p(i), 0));
+        }
+        let (installs, evicts) = drain(&mut rt, outs);
+        assert_eq!(installs.len(), 5);
+        assert_eq!(evicts.len(), 3);
+        let s = rt.stats();
+        assert!(s.batches[0].forced_pinned_evictions > 0);
+        assert!(rt.resident_pages() <= 2);
+    }
+
+    #[test]
+    fn unlimited_memory_never_evicts() {
+        let mut rt = UvmRuntime::new(&cfg(None), &PolicyConfig::baseline(), 10_000);
+        let mut outs = Vec::new();
+        for i in 0..200 {
+            outs.extend(rt.record_fault(p(i * 7), i));
+        }
+        let (_, evicts) = drain(&mut rt, outs);
+        assert!(evicts.is_empty());
+        assert_eq!(rt.stats().evictions, 0);
+    }
+
+    #[test]
+    fn handling_time_scales_with_batch_size() {
+        let policy = PolicyConfig { prefetch: PrefetchPolicy::None, ..PolicyConfig::baseline() };
+        let mut rt = UvmRuntime::new(&cfg(None), &policy, 10_000);
+        let mut outs = Vec::new();
+        for i in 0..100 {
+            outs.extend(rt.record_fault(p(i), 0));
+        }
+        drain(&mut rt, outs);
+        let s = rt.stats();
+        assert_eq!(s.batches[0].handling_done - s.batches[0].start, 20_000 + 30 * 100);
+    }
+
+    #[test]
+    fn refault_of_force_evicted_batch_page_is_not_absorbed() {
+        // Capacity 2, batch of 5: later migrations force-evict earlier
+        // pages of the same batch. A fault for such a page while the batch
+        // is still open must be recorded for the next batch, not absorbed.
+        let policy = PolicyConfig { prefetch: PrefetchPolicy::None, ..PolicyConfig::baseline() };
+        let mut rt = UvmRuntime::new(&cfg(Some(2)), &policy, 1000);
+        let mut outs = Vec::new();
+        for i in 0..5 {
+            outs.extend(rt.record_fault(p(i), 0));
+        }
+        // Drive until the batch finishes.
+        let (installs, evicts) = drain(&mut rt, outs);
+        assert_eq!(installs.len(), 5);
+        assert!(evicts.iter().any(|&(pg, _)| pg.index() < 5), "no same-batch eviction");
+        // Re-fault an evicted page: a fresh batch must deliver it again.
+        let victim = evicts[0].0;
+        let outs = rt.record_fault(victim, 10_000_000);
+        assert!(!outs.is_empty(), "refault swallowed");
+        let (installs, _) = drain(&mut rt, outs);
+        assert_eq!(installs.len(), 1);
+        assert_eq!(installs[0].0, victim);
+    }
+
+    #[test]
+    fn proactive_eviction_frees_frames_ahead_of_demand() {
+        let policy = PolicyConfig {
+            prefetch: PrefetchPolicy::None,
+            proactive_eviction: true,
+            ..PolicyConfig::baseline()
+        };
+        let mut rt = UvmRuntime::new(&cfg(Some(2)), &policy, 1000);
+        // Fill memory.
+        let mut outs = Vec::new();
+        for i in 0..2 {
+            outs.extend(rt.record_fault(p(i), 0));
+        }
+        drain(&mut rt, outs);
+        // A two-page batch: PE must evict two pages at batch start, so the
+        // migrations are not serialized behind reactive evictions.
+        let mut outs = Vec::new();
+        for i in 2..4 {
+            outs.extend(rt.record_fault(p(i), 1_000_000));
+        }
+        let (_, evicts) = drain(&mut rt, outs);
+        assert_eq!(evicts.len(), 2);
+        let s = rt.stats();
+        assert_eq!(s.proactive_evictions, 2);
+        let b = &s.batches[1];
+        // Evictions overlapped the handling window: first migration starts
+        // right at handling-done despite full memory.
+        assert_eq!(b.first_migration_start, b.handling_done);
+    }
+
+    #[test]
+    fn per_page_time_amortizes_with_batch_size() {
+        // Fig. 3's shape: bigger batches => lower per-page cost.
+        let policy = PolicyConfig { prefetch: PrefetchPolicy::None, ..PolicyConfig::baseline() };
+        let mut small = UvmRuntime::new(&cfg(None), &policy, 10_000);
+        let outs = small.record_fault(p(0), 0);
+        drain(&mut small, outs);
+        let mut large = UvmRuntime::new(&cfg(None), &policy, 10_000);
+        let mut outs = Vec::new();
+        for i in 0..64 {
+            outs.extend(large.record_fault(p(i), 0));
+        }
+        drain(&mut large, outs);
+        let t_small = small.stats().batches[0].per_page_time().unwrap();
+        let t_large = large.stats().batches[0].per_page_time().unwrap();
+        assert!(t_large < t_small / 2.0, "{t_large} vs {t_small}");
+    }
+}

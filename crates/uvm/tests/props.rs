@@ -1,0 +1,213 @@
+//! Property-based tests for the UVM runtime: structural invariants must
+//! hold for arbitrary fault sequences under every eviction policy.
+
+use batmem_types::config::UvmConfig;
+use batmem_types::policy::{EvictionPolicy, PolicyConfig, PrefetchPolicy};
+use batmem_types::{Cycle, PageId};
+use batmem_uvm::{FaultBuffer, MemoryManager, TreePrefetcher, UvmEvent, UvmOutput, UvmRuntime};
+use proptest::prelude::*;
+use std::collections::{BTreeSet, HashSet};
+
+proptest! {
+    #[test]
+    fn fault_buffer_drains_sorted_distinct(
+        faults in prop::collection::vec((0u64..100, 0u64..1000), 0..300),
+        cap in 1u32..64,
+    ) {
+        let mut buf = FaultBuffer::new(cap);
+        let mut expect = BTreeSet::new();
+        for &(p, t) in &faults {
+            buf.record(PageId::new(p), t);
+            expect.insert(p);
+        }
+        let drained = buf.drain_sorted();
+        let got: Vec<u64> = drained.iter().map(|p| p.index()).collect();
+        let want: Vec<u64> = expect.into_iter().collect();
+        prop_assert_eq!(got, want);
+        prop_assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn prefetcher_output_is_disjoint_and_bounded(
+        faults in prop::collection::vec(0u64..200, 1..100),
+        threshold in 0u8..=100,
+        valid in 1u64..250,
+    ) {
+        let mut sorted: Vec<PageId> =
+            faults.iter().map(|&p| PageId::new(p)).collect();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let mut pf = TreePrefetcher::new(32, threshold);
+        let out = pf.expand(&sorted, |_| false, valid);
+        let fault_set: HashSet<PageId> = sorted.iter().copied().collect();
+        for p in &out {
+            prop_assert!(!fault_set.contains(p), "prefetched a faulted page");
+            prop_assert!(p.index() < valid, "prefetched past the address space");
+        }
+        // Sorted, distinct.
+        prop_assert!(out.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn memory_manager_never_hands_out_a_frame_twice(
+        ops in prop::collection::vec(0u64..64, 1..200),
+        cap in 1u64..32,
+    ) {
+        let mut m = MemoryManager::new(Some(cap), Default::default(), 32);
+        let mut in_use: HashSet<u32> = HashSet::new();
+        let pinned = HashSet::new();
+        for &p in &ops {
+            let page = PageId::new(p);
+            if m.is_resident(page) {
+                m.touch(page);
+                continue;
+            }
+            let frame = match m.take_frame() {
+                Some(f) => f,
+                None => {
+                    let (victims, _) = m.pick_victims(&pinned);
+                    prop_assert!(!victims.is_empty());
+                    let f = m.remove(victims[0]);
+                    prop_assert!(in_use.remove(&f.index()), "freed unknown frame");
+                    m.release_frame(f);
+                    m.take_frame().unwrap()
+                }
+            };
+            prop_assert!(in_use.insert(frame.index()), "frame handed out twice");
+            prop_assert!(in_use.len() as u64 <= cap);
+            m.mark_resident(page, frame);
+        }
+    }
+}
+
+/// Drives a `UvmRuntime` through its own scheduled events, applying faults
+/// at their prescribed times, and returns (installs, evicts, stats).
+fn simulate(
+    policy: &PolicyConfig,
+    capacity: Option<u64>,
+    faults: &[(u64, Cycle)],
+) -> (Vec<(PageId, Cycle)>, Vec<(PageId, Cycle)>, batmem_uvm::UvmStats) {
+    let cfg = UvmConfig { gpu_mem_pages: capacity, ..UvmConfig::default() };
+    let mut rt = UvmRuntime::new(&cfg, policy, 2_000);
+    // Timeline: merge fault injections with runtime events.
+    let mut injections: Vec<(Cycle, PageId)> =
+        faults.iter().map(|&(p, t)| (t, PageId::new(p))).collect();
+    injections.sort_by_key(|&(t, _)| t);
+    let mut queue: Vec<(Cycle, UvmEvent)> = Vec::new();
+    let mut installs = Vec::new();
+    let mut evicts = Vec::new();
+    let mut resident: HashSet<PageId> = HashSet::new();
+
+    let apply = |outs: Vec<UvmOutput>,
+                 queue: &mut Vec<(Cycle, UvmEvent)>,
+                 installs: &mut Vec<(PageId, Cycle)>,
+                 evicts: &mut Vec<(PageId, Cycle)>,
+                 resident: &mut HashSet<PageId>,
+                 at: Cycle| {
+        for o in outs {
+            match o {
+                UvmOutput::Schedule { at, event } => queue.push((at, event)),
+                UvmOutput::Install { page, .. } => {
+                    assert!(resident.insert(page), "double install of {page}");
+                    installs.push((page, at));
+                }
+                UvmOutput::Evict { page } => {
+                    assert!(resident.remove(&page), "evicting non-resident {page}");
+                    evicts.push((page, at));
+                }
+            }
+        }
+    };
+
+    let mut inj = 0;
+    loop {
+        let next_event = queue.iter().map(|&(t, _)| t).min();
+        let next_inj = injections.get(inj).map(|&(t, _)| t);
+        let take_injection = match (next_event, next_inj) {
+            (None, None) => break,
+            (None, Some(_)) => true,
+            (Some(_), None) => false,
+            (Some(te), Some(ti)) => ti <= te,
+        };
+        if take_injection {
+            let (t, page) = injections[inj];
+            inj += 1;
+            // A fault only arises when the page is neither mapped nor
+            // already migrating (the engine's guard).
+            if !resident.contains(&page) && !rt.is_inflight(page) && !rt.is_resident(page) {
+                let outs = rt.record_fault(page, t);
+                apply(outs, &mut queue, &mut installs, &mut evicts, &mut resident, t);
+            }
+        } else {
+            let i = queue
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, &(t, _))| t)
+                .map(|(i, _)| i)
+                .unwrap();
+            let (t, e) = queue.remove(i);
+            let outs = rt.on_event(e, t);
+            apply(outs, &mut queue, &mut installs, &mut evicts, &mut resident, t);
+        }
+    }
+    let stats = rt.stats();
+    (installs, evicts, stats)
+}
+
+fn policies() -> Vec<PolicyConfig> {
+    vec![
+        PolicyConfig { prefetch: PrefetchPolicy::None, ..PolicyConfig::baseline() },
+        PolicyConfig { prefetch: PrefetchPolicy::None, ..PolicyConfig::ue_only() },
+        PolicyConfig { prefetch: PrefetchPolicy::None, ..PolicyConfig::ideal_eviction() },
+        PolicyConfig::baseline(),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn runtime_invariants_hold_for_arbitrary_fault_sequences(
+        faults in prop::collection::vec((0u64..60, 0u64..2_000_000), 1..80),
+        cap in 2u64..24,
+        policy_idx in 0usize..4,
+    ) {
+        let policy = policies()[policy_idx];
+        let (installs, _evicts, stats) = simulate(&policy, Some(cap), &faults);
+
+        // Batches are non-overlapping, well-ordered, and structurally sound.
+        let mut prev_end = 0;
+        for b in &stats.batches {
+            prop_assert!(b.start >= prev_end);
+            prop_assert!(b.handling_done >= b.start);
+            prop_assert!(b.first_migration_start >= b.handling_done);
+            prop_assert!(b.end >= b.first_migration_start);
+            prop_assert!(b.faults > 0);
+            prev_end = b.end;
+        }
+        // Capacity is never exceeded.
+        prop_assert!(stats.peak_resident_pages <= cap);
+        // Every distinct faulted page is installed at least once.
+        let faulted: HashSet<u64> = faults.iter().map(|&(p, _)| p).collect();
+        let installed: HashSet<u64> = installs.iter().map(|&(p, _)| p.index()).collect();
+        for p in &faulted {
+            prop_assert!(installed.contains(p), "page {} never arrived", p);
+        }
+        // Accounting identities.
+        let eviction_sum: u64 = stats.batches.iter().map(|b| u64::from(b.evictions)).sum();
+        prop_assert_eq!(stats.evictions, eviction_sum);
+        prop_assert!(stats.premature_evictions <= stats.evictions);
+        if policy.eviction == EvictionPolicy::Ideal {
+            prop_assert_eq!(stats.d2h_bytes, 0);
+        }
+    }
+
+    #[test]
+    fn unlimited_memory_never_evicts_prop(
+        faults in prop::collection::vec((0u64..200, 0u64..1_000_000), 1..60),
+    ) {
+        let policy = PolicyConfig { prefetch: PrefetchPolicy::None, ..PolicyConfig::baseline() };
+        let (_, evicts, stats) = simulate(&policy, None, &faults);
+        prop_assert!(evicts.is_empty());
+        prop_assert_eq!(stats.evictions, 0);
+    }
+}

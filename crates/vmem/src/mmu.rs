@@ -1,0 +1,278 @@
+//! The MMU facade: per-SM L1 TLBs + shared L2 TLB + walker + page table.
+
+use crate::page_table::GpuPageTable;
+use crate::tlb::{Tlb, TlbStats};
+use crate::walker::PageTableWalker;
+use batmem_types::{Cycle, FrameId, PageId, SimConfig, SmId};
+
+/// The outcome of an address translation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TranslationOutcome {
+    /// The page is resident; the access may proceed to the data path.
+    Resident(FrameId),
+    /// The page-table walk found no mapping: a page fault. The issuing warp
+    /// must stall until the UVM runtime migrates the page.
+    Fault,
+}
+
+/// A completed translation: the cycles it took and what it found.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Translation {
+    /// Translation latency in cycles (TLB lookups, plus a walk on TLB miss,
+    /// including walker queueing).
+    pub latency: Cycle,
+    /// Hit/fault outcome.
+    pub outcome: TranslationOutcome,
+}
+
+/// Aggregated MMU statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MmuStats {
+    /// Per-run totals over all L1 TLBs.
+    pub l1: TlbStats,
+    /// Shared L2 TLB totals.
+    pub l2: TlbStats,
+    /// Page-table walks performed.
+    pub walks: u64,
+    /// Walks that queued behind the walker's concurrency limit.
+    pub queued_walks: u64,
+    /// Translations that ended in a page fault.
+    pub faults: u64,
+}
+
+/// The GPU memory-management unit.
+///
+/// Owns the translation hardware and the GPU page table. The UVM runtime
+/// mutates residency through [`Mmu::install`] / [`Mmu::evict`]; SMs translate
+/// through [`Mmu::translate`].
+#[derive(Debug)]
+pub struct Mmu {
+    l1_tlbs: Vec<Tlb>,
+    l2_tlb: Tlb,
+    walker: PageTableWalker,
+    page_table: GpuPageTable,
+    l1_hit_latency: Cycle,
+    l2_hit_latency: Cycle,
+    faults: u64,
+}
+
+impl Mmu {
+    /// Builds the MMU described by `config` (Table 1 geometry by default).
+    pub fn new(config: &SimConfig) -> Self {
+        let t = &config.tlb;
+        Self {
+            l1_tlbs: (0..config.gpu.num_sms)
+                .map(|_| Tlb::fully_associative(t.l1_entries))
+                .collect(),
+            l2_tlb: Tlb::new(t.l2_entries, t.l2_ways),
+            walker: PageTableWalker::new(
+                t.walker_threads,
+                t.walk_latency,
+                t.pwc_miss_penalty,
+                t.pwc_entries,
+            ),
+            page_table: GpuPageTable::new(),
+            l1_hit_latency: t.l1_hit_latency,
+            l2_hit_latency: t.l2_hit_latency,
+            faults: 0,
+        }
+    }
+
+    /// Translates `page` for SM `sm` starting at time `now`.
+    ///
+    /// Models the full path: L1 TLB (hit ⇒ done), L2 TLB (hit ⇒ fill L1),
+    /// else a page-table walk through the shared walker. A walk that finds
+    /// no resident mapping is a fault; faulting translations do **not**
+    /// fill the TLBs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sm` is out of range for the configured SM count.
+    pub fn translate(&mut self, sm: SmId, page: PageId, now: Cycle) -> Translation {
+        let l1 = &mut self.l1_tlbs[sm.index()];
+        if l1.lookup(page) {
+            // TLB entries exist only for resident pages.
+            let frame = self.page_table.translate(page).expect("L1 TLB entry for non-resident page");
+            return Translation {
+                latency: self.l1_hit_latency,
+                outcome: TranslationOutcome::Resident(frame),
+            };
+        }
+        let mut latency = self.l1_hit_latency + self.l2_hit_latency;
+        if self.l2_tlb.lookup(page) {
+            let frame = self.page_table.translate(page).expect("L2 TLB entry for non-resident page");
+            self.l1_tlbs[sm.index()].insert(page);
+            return Translation { latency, outcome: TranslationOutcome::Resident(frame) };
+        }
+        let walk_done = self.walker.begin_walk(now + latency, page);
+        latency = walk_done - now;
+        match self.page_table.translate(page) {
+            Some(frame) => {
+                self.l1_tlbs[sm.index()].insert(page);
+                self.l2_tlb.insert(page);
+                Translation { latency, outcome: TranslationOutcome::Resident(frame) }
+            }
+            None => {
+                self.faults += 1;
+                Translation { latency, outcome: TranslationOutcome::Fault }
+            }
+        }
+    }
+
+    /// Installs a resident mapping (page migration completed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page is already resident — the UVM runtime must never
+    /// double-migrate a page.
+    pub fn install(&mut self, page: PageId, frame: FrameId) {
+        let prev = self.page_table.install(page, frame);
+        assert!(prev.is_none(), "page {page} migrated while already resident");
+    }
+
+    /// Evicts `page`: removes the mapping and shoots down every TLB.
+    ///
+    /// Returns the frame the page occupied.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page is not resident.
+    pub fn evict(&mut self, page: PageId) -> FrameId {
+        let frame = self.page_table.remove(page).expect("evicting non-resident page");
+        for tlb in &mut self.l1_tlbs {
+            tlb.invalidate(page);
+        }
+        self.l2_tlb.invalidate(page);
+        frame
+    }
+
+    /// Whether `page` is resident.
+    pub fn is_resident(&self, page: PageId) -> bool {
+        self.page_table.is_resident(page)
+    }
+
+    /// Number of resident pages.
+    pub fn resident_pages(&self) -> usize {
+        self.page_table.resident_pages()
+    }
+
+    /// Read-only access to the page table.
+    pub fn page_table(&self) -> &GpuPageTable {
+        &self.page_table
+    }
+
+    /// Aggregated statistics.
+    pub fn stats(&self) -> MmuStats {
+        let mut l1 = TlbStats::default();
+        for t in &self.l1_tlbs {
+            let s = t.stats();
+            l1.hits += s.hits;
+            l1.misses += s.misses;
+            l1.shootdowns += s.shootdowns;
+        }
+        MmuStats {
+            l1,
+            l2: self.l2_tlb.stats(),
+            walks: self.walker.walks(),
+            queued_walks: self.walker.queued_walks(),
+            faults: self.faults,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mmu() -> Mmu {
+        Mmu::new(&SimConfig::default())
+    }
+
+    #[test]
+    fn miss_walk_fault_then_resident_path() {
+        let mut m = mmu();
+        let page = PageId::new(3);
+        let t = m.translate(SmId::new(0), page, 0);
+        assert_eq!(t.outcome, TranslationOutcome::Fault);
+        // Walk latency: L1 + L2 lookup + walk + PWC miss penalty.
+        assert_eq!(t.latency, 1 + 10 + 200 + 100);
+
+        m.install(page, FrameId::new(0));
+        let t = m.translate(SmId::new(0), page, 1000);
+        assert!(matches!(t.outcome, TranslationOutcome::Resident(_)));
+        // This walk hits the PWC (same group).
+        assert_eq!(t.latency, 1 + 10 + 200);
+
+        // Now cached in the L1 TLB.
+        let t = m.translate(SmId::new(0), page, 2000);
+        assert_eq!(t.latency, 1);
+    }
+
+    #[test]
+    fn l2_tlb_serves_other_sms() {
+        let mut m = mmu();
+        let page = PageId::new(3);
+        m.install(page, FrameId::new(0));
+        let _ = m.translate(SmId::new(0), page, 0); // fills L1(0) and L2
+        let t = m.translate(SmId::new(1), page, 1000);
+        assert_eq!(t.latency, 1 + 10); // L2 hit
+        let t = m.translate(SmId::new(1), page, 2000);
+        assert_eq!(t.latency, 1); // now L1(1) hit
+    }
+
+    #[test]
+    fn faults_do_not_fill_tlbs() {
+        let mut m = mmu();
+        let page = PageId::new(3);
+        let _ = m.translate(SmId::new(0), page, 0);
+        // Second translation must walk again (would be a latency-1 TLB hit
+        // if the fault had been cached).
+        let t = m.translate(SmId::new(0), page, 10_000);
+        assert!(t.latency > 100);
+        assert_eq!(m.stats().faults, 2);
+    }
+
+    #[test]
+    fn evict_shoots_down_all_tlbs() {
+        let mut m = mmu();
+        let page = PageId::new(5);
+        m.install(page, FrameId::new(1));
+        let _ = m.translate(SmId::new(0), page, 0);
+        let _ = m.translate(SmId::new(2), page, 0);
+        let frame = m.evict(page);
+        assert_eq!(frame, FrameId::new(1));
+        assert!(!m.is_resident(page));
+        // Both L1 copies and the L2 copy are gone: next access faults.
+        let t = m.translate(SmId::new(0), page, 50_000);
+        assert_eq!(t.outcome, TranslationOutcome::Fault);
+        assert!(m.stats().l1.shootdowns + m.stats().l2.shootdowns >= 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "already resident")]
+    fn double_install_panics() {
+        let mut m = mmu();
+        m.install(PageId::new(1), FrameId::new(0));
+        m.install(PageId::new(1), FrameId::new(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-resident")]
+    fn evicting_absent_page_panics() {
+        let mut m = mmu();
+        m.evict(PageId::new(1));
+    }
+
+    #[test]
+    fn walker_contention_reflected_in_latency() {
+        let mut m = mmu();
+        // Issue more concurrent walks than walker threads (64).
+        let mut latencies = Vec::new();
+        for i in 0..80 {
+            let t = m.translate(SmId::new(0), PageId::new(1000 + i * 600), 0);
+            latencies.push(t.latency);
+        }
+        assert!(latencies[79] > latencies[0]);
+        assert!(m.stats().queued_walks > 0);
+    }
+}

@@ -1,0 +1,123 @@
+//! The GPU page table: resident virtual-page → device-frame mappings.
+
+use batmem_types::{FrameId, PageId};
+use std::collections::HashMap;
+
+/// The GPU-side page table.
+///
+/// Only **resident** pages have entries; a missing entry is what turns a
+/// completed page-table walk into a page fault. The UVM runtime installs an
+/// entry when a page's migration finishes and removes it when the page is
+/// evicted (§2.2 of the paper).
+#[derive(Debug, Clone, Default)]
+pub struct GpuPageTable {
+    entries: HashMap<PageId, FrameId>,
+    installs: u64,
+    removals: u64,
+}
+
+impl GpuPageTable {
+    /// Creates an empty page table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Looks up the frame backing `page`, if resident.
+    pub fn translate(&self, page: PageId) -> Option<FrameId> {
+        self.entries.get(&page).copied()
+    }
+
+    /// Whether `page` is resident.
+    pub fn is_resident(&self, page: PageId) -> bool {
+        self.entries.contains_key(&page)
+    }
+
+    /// Installs a mapping (page migration completed).
+    ///
+    /// Returns the previous frame if the page was already mapped, which
+    /// callers treat as a runtime invariant violation.
+    pub fn install(&mut self, page: PageId, frame: FrameId) -> Option<FrameId> {
+        self.installs += 1;
+        self.entries.insert(page, frame)
+    }
+
+    /// Removes a mapping (page evicted), returning the frame it occupied.
+    pub fn remove(&mut self, page: PageId) -> Option<FrameId> {
+        let f = self.entries.remove(&page);
+        if f.is_some() {
+            self.removals += 1;
+        }
+        f
+    }
+
+    /// Number of resident pages.
+    pub fn resident_pages(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Total mappings installed over the run.
+    pub fn installs(&self) -> u64 {
+        self.installs
+    }
+
+    /// Total mappings removed over the run.
+    pub fn removals(&self) -> u64 {
+        self.removals
+    }
+
+    /// Iterates over resident `(page, frame)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (PageId, FrameId)> + '_ {
+        self.entries.iter().map(|(&p, &f)| (p, f))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn install_translate_remove_round_trip() {
+        let mut pt = GpuPageTable::new();
+        let p = PageId::new(5);
+        assert_eq!(pt.translate(p), None);
+        assert!(!pt.is_resident(p));
+        assert_eq!(pt.install(p, FrameId::new(2)), None);
+        assert_eq!(pt.translate(p), Some(FrameId::new(2)));
+        assert!(pt.is_resident(p));
+        assert_eq!(pt.remove(p), Some(FrameId::new(2)));
+        assert_eq!(pt.translate(p), None);
+    }
+
+    #[test]
+    fn double_install_reports_previous_frame() {
+        let mut pt = GpuPageTable::new();
+        let p = PageId::new(1);
+        pt.install(p, FrameId::new(0));
+        assert_eq!(pt.install(p, FrameId::new(9)), Some(FrameId::new(0)));
+    }
+
+    #[test]
+    fn counters_track_operations() {
+        let mut pt = GpuPageTable::new();
+        pt.install(PageId::new(1), FrameId::new(0));
+        pt.install(PageId::new(2), FrameId::new(1));
+        pt.remove(PageId::new(1));
+        pt.remove(PageId::new(42)); // no-op
+        assert_eq!(pt.installs(), 2);
+        assert_eq!(pt.removals(), 1);
+        assert_eq!(pt.resident_pages(), 1);
+    }
+
+    #[test]
+    fn iter_yields_resident_pairs() {
+        let mut pt = GpuPageTable::new();
+        pt.install(PageId::new(1), FrameId::new(10));
+        pt.install(PageId::new(2), FrameId::new(20));
+        let mut pairs: Vec<_> = pt.iter().collect();
+        pairs.sort();
+        assert_eq!(
+            pairs,
+            vec![(PageId::new(1), FrameId::new(10)), (PageId::new(2), FrameId::new(20))]
+        );
+    }
+}

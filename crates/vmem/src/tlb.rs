@@ -1,0 +1,218 @@
+//! Set-associative, LRU translation lookaside buffers.
+
+use batmem_types::PageId;
+
+/// Hit/miss statistics for one TLB.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TlbStats {
+    /// Lookups that hit.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Entries invalidated by shootdowns.
+    pub shootdowns: u64,
+}
+
+impl TlbStats {
+    /// Hit rate in [0, 1]; 0 when no lookups occurred.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A set-associative TLB with true-LRU replacement within each set.
+///
+/// A fully associative TLB (the paper's per-SM L1 TLB) is one set whose way
+/// count equals the entry count.
+///
+/// # Examples
+///
+/// ```
+/// use batmem_vmem::Tlb;
+/// use batmem_types::PageId;
+///
+/// let mut tlb = Tlb::fully_associative(2);
+/// tlb.insert(PageId::new(1));
+/// tlb.insert(PageId::new(2));
+/// tlb.insert(PageId::new(3)); // evicts page 1 (LRU)
+/// assert!(!tlb.lookup(PageId::new(1)));
+/// assert!(tlb.lookup(PageId::new(2)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tlb {
+    /// `sets[s]` is an LRU stack: most recently used at the back.
+    sets: Vec<Vec<PageId>>,
+    ways: usize,
+    stats: TlbStats,
+}
+
+impl Tlb {
+    /// Creates a TLB with `entries` total entries and `ways` associativity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a positive multiple of `ways`.
+    pub fn new(entries: u32, ways: u32) -> Self {
+        assert!(ways > 0 && entries > 0, "TLB must have entries");
+        assert_eq!(entries % ways, 0, "entries must divide into ways");
+        let num_sets = (entries / ways) as usize;
+        Self {
+            sets: vec![Vec::with_capacity(ways as usize); num_sets],
+            ways: ways as usize,
+            stats: TlbStats::default(),
+        }
+    }
+
+    /// Creates a fully associative TLB of `entries` entries.
+    pub fn fully_associative(entries: u32) -> Self {
+        Self::new(entries, entries)
+    }
+
+    fn set_of(&self, page: PageId) -> usize {
+        (page.index() % self.sets.len() as u64) as usize
+    }
+
+    /// Looks up `page`, updating LRU state. Returns `true` on a hit.
+    pub fn lookup(&mut self, page: PageId) -> bool {
+        let s = self.set_of(page);
+        let set = &mut self.sets[s];
+        if let Some(pos) = set.iter().position(|&p| p == page) {
+            let p = set.remove(pos);
+            set.push(p);
+            self.stats.hits += 1;
+            true
+        } else {
+            self.stats.misses += 1;
+            false
+        }
+    }
+
+    /// Checks for `page` without perturbing LRU state or statistics.
+    pub fn contains(&self, page: PageId) -> bool {
+        self.sets[self.set_of(page)].contains(&page)
+    }
+
+    /// Inserts `page` as most recently used, evicting the set's LRU entry
+    /// if the set is full. Returns the evicted page, if any.
+    pub fn insert(&mut self, page: PageId) -> Option<PageId> {
+        let ways = self.ways;
+        let s = self.set_of(page);
+        let set = &mut self.sets[s];
+        if let Some(pos) = set.iter().position(|&p| p == page) {
+            let p = set.remove(pos);
+            set.push(p);
+            return None;
+        }
+        let victim = if set.len() == ways { Some(set.remove(0)) } else { None };
+        set.push(page);
+        victim
+    }
+
+    /// Invalidates `page` (TLB shootdown on eviction). Returns whether the
+    /// page was present.
+    pub fn invalidate(&mut self, page: PageId) -> bool {
+        let s = self.set_of(page);
+        let set = &mut self.sets[s];
+        if let Some(pos) = set.iter().position(|&p| p == page) {
+            set.remove(pos);
+            self.stats.shootdowns += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Current number of valid entries.
+    pub fn occupancy(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> TlbStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: u64) -> PageId {
+        PageId::new(i)
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut t = Tlb::fully_associative(3);
+        t.insert(p(1));
+        t.insert(p(2));
+        t.insert(p(3));
+        assert!(t.lookup(p(1))); // 1 becomes MRU; LRU is now 2
+        let evicted = t.insert(p(4));
+        assert_eq!(evicted, Some(p(2)));
+        assert!(t.contains(p(1)) && t.contains(p(3)) && t.contains(p(4)));
+    }
+
+    #[test]
+    fn reinsert_refreshes_without_eviction() {
+        let mut t = Tlb::fully_associative(2);
+        t.insert(p(1));
+        t.insert(p(2));
+        assert_eq!(t.insert(p(1)), None); // refresh
+        assert_eq!(t.insert(p(3)), Some(p(2)));
+    }
+
+    #[test]
+    fn set_mapping_isolates_conflicts() {
+        // 4 entries, 2 ways -> 2 sets. Pages 0,2,4 map to set 0; 1,3 to set 1.
+        let mut t = Tlb::new(4, 2);
+        t.insert(p(0));
+        t.insert(p(2));
+        t.insert(p(1));
+        let evicted = t.insert(p(4)); // set 0 overflows
+        assert_eq!(evicted, Some(p(0)));
+        assert!(t.contains(p(1))); // other set untouched
+    }
+
+    #[test]
+    fn stats_count_hits_misses_shootdowns() {
+        let mut t = Tlb::fully_associative(2);
+        assert!(!t.lookup(p(9)));
+        t.insert(p(9));
+        assert!(t.lookup(p(9)));
+        t.invalidate(p(9));
+        assert!(!t.lookup(p(9)));
+        let s = t.stats();
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 2);
+        assert_eq!(s.shootdowns, 1);
+        assert!((s.hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalidate_absent_is_noop() {
+        let mut t = Tlb::fully_associative(2);
+        assert!(!t.invalidate(p(5)));
+        assert_eq!(t.stats().shootdowns, 0);
+    }
+
+    #[test]
+    fn occupancy_never_exceeds_capacity() {
+        let mut t = Tlb::new(8, 4);
+        for i in 0..100 {
+            t.insert(p(i));
+            assert!(t.occupancy() <= 8);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "entries must divide")]
+    fn bad_geometry_panics() {
+        let _ = Tlb::new(10, 4);
+    }
+}

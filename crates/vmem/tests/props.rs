@@ -1,0 +1,119 @@
+//! Property-based tests for the virtual-memory substrate.
+
+use batmem_types::{FrameId, PageId};
+use batmem_vmem::{GpuPageTable, Tlb};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone)]
+enum PtOp {
+    Install(u64, u32),
+    Remove(u64),
+    Translate(u64),
+}
+
+fn pt_ops() -> impl Strategy<Value = Vec<PtOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0u64..32, 0u32..64).prop_map(|(p, f)| PtOp::Install(p, f)),
+            (0u64..32).prop_map(PtOp::Remove),
+            (0u64..32).prop_map(PtOp::Translate),
+        ],
+        0..200,
+    )
+}
+
+proptest! {
+    #[test]
+    fn page_table_matches_btreemap_model(ops in pt_ops()) {
+        let mut pt = GpuPageTable::new();
+        let mut model: BTreeMap<u64, u32> = BTreeMap::new();
+        for op in ops {
+            match op {
+                PtOp::Install(p, f) => {
+                    let got = pt.install(PageId::new(p), FrameId::new(f));
+                    let want = model.insert(p, f);
+                    prop_assert_eq!(got.map(|x| x.index()), want);
+                }
+                PtOp::Remove(p) => {
+                    let got = pt.remove(PageId::new(p));
+                    let want = model.remove(&p);
+                    prop_assert_eq!(got.map(|x| x.index()), want);
+                }
+                PtOp::Translate(p) => {
+                    let got = pt.translate(PageId::new(p));
+                    let want = model.get(&p).copied();
+                    prop_assert_eq!(got.map(|x| x.index()), want);
+                }
+            }
+            prop_assert_eq!(pt.resident_pages(), model.len());
+        }
+    }
+
+    #[test]
+    fn fully_associative_tlb_is_an_lru_stack(
+        accesses in prop::collection::vec(0u64..16, 1..100),
+        capacity in 1u32..8,
+    ) {
+        let mut tlb = Tlb::fully_associative(capacity);
+        let mut stack: Vec<u64> = Vec::new(); // MRU at back
+        for &p in &accesses {
+            tlb.insert(PageId::new(p));
+            stack.retain(|&x| x != p);
+            stack.push(p);
+            if stack.len() > capacity as usize {
+                stack.remove(0);
+            }
+            // Contents must equal the model's.
+            for &x in &stack {
+                prop_assert!(tlb.contains(PageId::new(x)), "missing {}", x);
+            }
+            prop_assert_eq!(tlb.occupancy(), stack.len());
+        }
+    }
+
+    #[test]
+    fn tlb_occupancy_never_exceeds_capacity(
+        accesses in prop::collection::vec(0u64..1000, 1..300),
+        ways in 1u32..5,
+        sets_log in 0u32..4,
+    ) {
+        let entries = ways << sets_log;
+        let mut tlb = Tlb::new(entries, ways);
+        for &p in &accesses {
+            tlb.insert(PageId::new(p));
+            prop_assert!(tlb.occupancy() <= entries as usize);
+        }
+    }
+
+    #[test]
+    fn tlb_lookup_after_insert_hits_until_evicted(
+        pages in prop::collection::vec(0u64..50, 1..100),
+    ) {
+        let mut tlb = Tlb::new(16, 4);
+        for &p in &pages {
+            tlb.insert(PageId::new(p));
+            prop_assert!(tlb.lookup(PageId::new(p)), "just-inserted page missed");
+        }
+    }
+
+    #[test]
+    fn invalidate_removes_exactly_that_page(
+        pages in prop::collection::vec(0u64..20, 1..50),
+        victim in 0u64..20,
+    ) {
+        let mut tlb = Tlb::fully_associative(64);
+        for &p in &pages {
+            tlb.insert(PageId::new(p));
+        }
+        let present_before = tlb.contains(PageId::new(victim));
+        let removed = tlb.invalidate(PageId::new(victim));
+        prop_assert_eq!(removed, present_before);
+        prop_assert!(!tlb.contains(PageId::new(victim)));
+        for &p in &pages {
+            if p != victim {
+                prop_assert!(tlb.contains(PageId::new(p)));
+            }
+        }
+    }
+}

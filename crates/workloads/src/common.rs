@@ -1,0 +1,175 @@
+//! Shared scaffolding for the graph workloads.
+
+use crate::layout::{ArrayRef, LayoutBuilder};
+use batmem_graph::Csr;
+use batmem_sim::ops::KernelSpec;
+use batmem_types::BlockId;
+
+/// Page size used for array alignment (matches the default UVM page size).
+pub const PAGE_BYTES: u64 = 65_536;
+
+/// Threads per block for every graph kernel.
+pub const TPB: u32 = 256;
+
+/// Registers per thread for the graph kernels. The paper (§4.1) notes that
+/// most GraphBIG kernels use enough registers that, at the thread-count
+/// occupancy limit, no additional block fits in the register file — which is
+/// why Thread Oversubscription needs full context switching. 56 registers
+/// reproduces that: 4 blocks × 256 threads × 56 regs = 57 344 of 65 536
+/// registers, so a fifth block cannot fit.
+pub const REGS_PER_THREAD: u32 = 56;
+
+/// The device arrays of a graph workload.
+#[derive(Debug, Clone)]
+pub struct GraphArrays {
+    /// CSR offsets (8-byte elements, `V + 1`).
+    pub offsets: ArrayRef,
+    /// CSR edge targets (4-byte elements, `E`).
+    pub edges: ArrayRef,
+    /// Edge weights (4-byte, `E`), when the workload is weighted.
+    pub weights: Option<ArrayRef>,
+    /// COO edge sources (4-byte, `E`), for data-centric kernels.
+    pub coo_src: Option<ArrayRef>,
+    /// Per-vertex property arrays (4-byte each): meaning is per-workload
+    /// (levels, distances, colors, ranks, sigma, delta, ...).
+    pub vprops: Vec<ArrayRef>,
+    /// Worklist/frontier buffer (4-byte, `V`).
+    pub worklist: ArrayRef,
+    /// Small global-counter array (4-byte, 64) for atomics.
+    pub counters: ArrayRef,
+    footprint: u64,
+}
+
+/// Options controlling which arrays a workload allocates.
+#[derive(Debug, Clone, Copy)]
+pub struct ArrayOptions {
+    /// Allocate an edge-weight array.
+    pub weights: bool,
+    /// Allocate a COO source array.
+    pub coo: bool,
+    /// Number of per-vertex property arrays.
+    pub vprops: usize,
+}
+
+impl GraphArrays {
+    /// Lays out the arrays for `graph`.
+    pub fn new(graph: &Csr, opts: ArrayOptions) -> Self {
+        let v = u64::from(graph.num_vertices());
+        let e = graph.num_edges();
+        let mut l = LayoutBuilder::new(PAGE_BYTES);
+        let offsets = l.array(8, v + 1);
+        let edges = l.array(4, e.max(1));
+        let weights = opts.weights.then(|| l.array(4, e.max(1)));
+        let coo_src = opts.coo.then(|| l.array(4, e.max(1)));
+        let vprops = (0..opts.vprops).map(|_| l.array(4, v.max(1))).collect();
+        let worklist = l.array(4, v.max(1));
+        let counters = l.array(4, 64);
+        Self {
+            offsets,
+            edges,
+            weights,
+            coo_src,
+            vprops,
+            worklist,
+            counters,
+            footprint: l.footprint_bytes(),
+        }
+    }
+
+    /// Total footprint in bytes (page-rounded).
+    pub fn footprint_bytes(&self) -> u64 {
+        self.footprint
+    }
+}
+
+/// A kernel spec over `items` work items, one item per **thread**.
+pub fn thread_centric_spec(items: u64) -> KernelSpec {
+    KernelSpec {
+        num_blocks: items.div_ceil(u64::from(TPB)).max(1) as u32,
+        threads_per_block: TPB,
+        regs_per_thread: REGS_PER_THREAD,
+    }
+}
+
+/// A kernel spec over `items` work items, one item per **warp**
+/// (warp-centric mapping: a 256-thread block covers 8 items).
+pub fn warp_centric_spec(items: u64, warp_size: u32) -> KernelSpec {
+    let warps_per_block = u64::from(TPB / warp_size);
+    KernelSpec {
+        num_blocks: items.div_ceil(warps_per_block).max(1) as u32,
+        threads_per_block: TPB,
+        regs_per_thread: REGS_PER_THREAD,
+    }
+}
+
+/// The range of items `[start, end)` a warp owns under thread-centric
+/// mapping (32 consecutive items), clipped to `total`.
+pub fn warp_item_range(block: BlockId, warp_in_block: u16, total: u64) -> (u64, u64) {
+    let start = block.index() as u64 * u64::from(TPB) + u64::from(warp_in_block) * 32;
+    let end = (start + 32).min(total);
+    (start.min(total), end)
+}
+
+/// The single item a warp owns under warp-centric mapping, if in range.
+pub fn warp_item(block: BlockId, warp_in_block: u16, warp_size: u32, total: u64) -> Option<u64> {
+    let warps_per_block = u64::from(TPB / warp_size);
+    let item = block.index() as u64 * warps_per_block + u64::from(warp_in_block);
+    (item < total).then_some(item)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use batmem_graph::gen;
+
+    #[test]
+    fn arrays_cover_graph() {
+        let g = gen::rmat(8, 4, 1);
+        let a = GraphArrays::new(&g, ArrayOptions { weights: true, coo: true, vprops: 2 });
+        assert_eq!(a.offsets.len(), 257);
+        assert_eq!(a.edges.len(), 1024);
+        assert!(a.weights.is_some());
+        assert!(a.coo_src.is_some());
+        assert_eq!(a.vprops.len(), 2);
+        assert!(a.footprint_bytes() % PAGE_BYTES == 0);
+        // Rough accounting: offsets 257*8 + 3 edge arrays + 2 props +
+        // worklist + counters, page-rounded.
+        assert!(a.footprint_bytes() > (1024 * 4 * 3) as u64);
+    }
+
+    #[test]
+    fn thread_centric_geometry() {
+        let s = thread_centric_spec(1000);
+        assert_eq!(s.num_blocks, 4);
+        assert_eq!(s.threads_per_block, 256);
+        let s = thread_centric_spec(0);
+        assert_eq!(s.num_blocks, 1);
+    }
+
+    #[test]
+    fn warp_centric_geometry() {
+        let s = warp_centric_spec(100, 32);
+        assert_eq!(s.num_blocks, 13); // 8 items per block
+    }
+
+    #[test]
+    fn warp_ranges_partition_items() {
+        let total = 1000u64;
+        let spec = thread_centric_spec(total);
+        let mut seen = 0u64;
+        for b in 0..spec.num_blocks {
+            for w in 0..8 {
+                let (s, e) = warp_item_range(BlockId::new(b), w, total);
+                seen += e - s;
+            }
+        }
+        assert_eq!(seen, total);
+    }
+
+    #[test]
+    fn warp_item_mapping() {
+        assert_eq!(warp_item(BlockId::new(0), 0, 32, 100), Some(0));
+        assert_eq!(warp_item(BlockId::new(1), 3, 32, 100), Some(11));
+        assert_eq!(warp_item(BlockId::new(12), 4, 32, 100), None); // 100th
+    }
+}

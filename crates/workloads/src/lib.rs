@@ -1,0 +1,49 @@
+//! Workload models for the `batmem` simulator.
+//!
+//! The paper evaluates 11 GraphBIG kernels (§5.1): BC, five BFS variants
+//! (DWC, TA, TF, TTC, TWC), two graph-coloring variants (DTC, TTC), KCORE,
+//! SSSP-TWC, and PR — plus six regular (Rodinia-style) workloads for the
+//! working-set study of Fig. 1 (CFD, DWT, GM, H3D, HS, LUD).
+//!
+//! Each workload is modeled as the sequence of **warp-level access streams**
+//! its CUDA kernels would issue: the actual algorithm runs on the host (via
+//! [`batmem_graph::alg`]) to obtain per-iteration frontiers/worklists, and
+//! the kernels replay the corresponding loads and stores over a realistic
+//! device memory layout (offsets / edge / property arrays, page-aligned).
+//! The thread-to-data mappings — thread-centric, warp-centric, data-centric,
+//! topological, frontier — follow the GraphBIG implementations they model,
+//! which is what gives each variant its distinct divergence and page-reuse
+//! signature.
+//!
+//! # Examples
+//!
+//! ```
+//! use batmem_workloads::registry;
+//! use batmem_graph::gen;
+//! use std::sync::Arc;
+//!
+//! let graph = Arc::new(gen::rmat(10, 8, 42));
+//! let names = registry::irregular_names();
+//! assert_eq!(names.len(), 11);
+//! let workload = registry::build(names[0], Arc::clone(&graph)).unwrap();
+//! assert!(workload.footprint_bytes() > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bc;
+pub mod bfs;
+pub(crate) mod common;
+pub mod gc;
+pub mod kcore;
+pub mod layout;
+pub mod pr;
+pub mod registry;
+pub mod regular;
+pub mod sssp;
+pub mod stream;
+pub mod synthetic;
+
+pub use layout::{ArrayRef, LayoutBuilder};
+pub use stream::StreamBuilder;

@@ -1,0 +1,83 @@
+//! Name-based workload construction (the paper's 11-workload suite).
+
+use crate::bc::Bc;
+use crate::bfs::{Bfs, BfsVariant};
+use crate::gc::{Gc, GcVariant};
+use crate::kcore::Kcore;
+use crate::pr::Pr;
+use crate::sssp::SsspTwc;
+use batmem_graph::Csr;
+use batmem_sim::ops::Workload;
+use std::sync::Arc;
+
+/// The 11 irregular workloads of the paper's evaluation (§5.1), in the
+/// order the figures list them.
+pub fn irregular_names() -> &'static [&'static str] {
+    &[
+        "BC", "BFS-DWC", "BFS-TA", "BFS-TF", "BFS-TTC", "BFS-TWC", "GC-DTC", "GC-TTC", "KCORE",
+        "SSSP-TWC", "PR",
+    ]
+}
+
+/// Builds the named workload over `graph`. Returns `None` for unknown
+/// names.
+///
+/// # Examples
+///
+/// ```
+/// use batmem_workloads::registry;
+/// use batmem_graph::gen;
+/// use std::sync::Arc;
+///
+/// let g = Arc::new(gen::rmat(8, 4, 1));
+/// assert!(registry::build("BFS-TTC", Arc::clone(&g)).is_some());
+/// assert!(registry::build("NOT-A-WORKLOAD", g).is_none());
+/// ```
+pub fn build(name: &str, graph: Arc<Csr>) -> Option<Box<dyn Workload>> {
+    Some(match name {
+        "BC" => Box::new(Bc::new(graph)),
+        "BFS-DWC" => Box::new(Bfs::new(BfsVariant::Dwc, graph)),
+        "BFS-TA" => Box::new(Bfs::new(BfsVariant::Ta, graph)),
+        "BFS-TF" => Box::new(Bfs::new(BfsVariant::Tf, graph)),
+        "BFS-TTC" => Box::new(Bfs::new(BfsVariant::Ttc, graph)),
+        "BFS-TWC" => Box::new(Bfs::new(BfsVariant::Twc, graph)),
+        "GC-DTC" => Box::new(Gc::new(GcVariant::Dtc, graph)),
+        "GC-TTC" => Box::new(Gc::new(GcVariant::Ttc, graph)),
+        "KCORE" => Box::new(Kcore::new(graph)),
+        "SSSP-TWC" => Box::new(SsspTwc::new(graph)),
+        "PR" => Box::new(Pr::new(graph)),
+        _ => return None,
+    })
+}
+
+/// Builds the full 11-workload suite over `graph`.
+pub fn build_all(graph: &Arc<Csr>) -> Vec<Box<dyn Workload>> {
+    irregular_names()
+        .iter()
+        .map(|n| build(n, Arc::clone(graph)).expect("registry covers its own names"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use batmem_graph::gen;
+
+    #[test]
+    fn registry_builds_all_eleven() {
+        let g = Arc::new(gen::rmat(7, 4, 1));
+        let all = build_all(&g);
+        assert_eq!(all.len(), 11);
+        for (w, name) in all.iter().zip(irregular_names()) {
+            assert_eq!(&w.name(), name);
+            assert!(w.num_kernels() > 0, "{name} has no kernels");
+            assert!(w.footprint_bytes() > 0);
+        }
+    }
+
+    #[test]
+    fn unknown_name_is_none() {
+        let g = Arc::new(gen::rmat(4, 2, 1));
+        assert!(build("BFS", g).is_none());
+    }
+}

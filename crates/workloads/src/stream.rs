@@ -1,0 +1,205 @@
+//! Warp-level stream construction helpers.
+//!
+//! Kernels build a warp's operation list through a [`StreamBuilder`], which
+//! performs the coalescing a GPU's load/store unit would: consecutive
+//! per-lane accesses to the same 128-byte line merge into one transaction,
+//! and scattered (divergent) accesses are deduplicated by line and split
+//! into at most warp-size transactions per operation.
+
+use crate::layout::ArrayRef;
+use batmem_sim::ops::{AccessStream, VecStream, WarpOp};
+use batmem_types::VirtAddr;
+
+/// Default log2 of the transaction (cache line) size: 128 bytes.
+pub const LINE_SHIFT: u32 = 7;
+
+/// Builds one warp's coalesced operation stream.
+#[derive(Debug, Clone)]
+pub struct StreamBuilder {
+    ops: Vec<WarpOp>,
+    line_shift: u32,
+    warp_size: usize,
+}
+
+impl StreamBuilder {
+    /// Creates a builder with the default 128-byte line and 32-lane warp.
+    pub fn new() -> Self {
+        Self { ops: Vec::new(), line_shift: LINE_SHIFT, warp_size: 32 }
+    }
+
+    /// Appends `cycles` of computation (no-op when zero).
+    pub fn compute(&mut self, cycles: u32) -> &mut Self {
+        if cycles > 0 {
+            // Merge adjacent compute ops to keep streams compact.
+            if let Some(WarpOp::Compute(c)) = self.ops.last_mut() {
+                *c = c.saturating_add(cycles);
+            } else {
+                self.ops.push(WarpOp::Compute(cycles));
+            }
+        }
+        self
+    }
+
+    fn coalesce(&self, addrs: impl Iterator<Item = VirtAddr>) -> Vec<Vec<VirtAddr>> {
+        // One transaction per distinct line. Sort-dedup keeps this
+        // O(k log k) — hub vertices in power-law graphs gather tens of
+        // thousands of addresses per operation.
+        let mut lines: Vec<u64> = addrs.map(|a| a.line(self.line_shift)).collect();
+        lines.sort_unstable();
+        lines.dedup();
+        lines
+            .chunks(self.warp_size)
+            .map(|chunk| {
+                chunk.iter().map(|&l| VirtAddr::new(l << self.line_shift)).collect()
+            })
+            .collect()
+    }
+
+    /// Loads `count` consecutive elements of `array` starting at `start`
+    /// (the fully coalesced pattern: one transaction per touched line).
+    pub fn load_seq(&mut self, array: &ArrayRef, start: u64, count: u64) -> &mut Self {
+        let addrs = (start..start + count).map(|i| array.addr(i));
+        for chunk in self.coalesce(addrs) {
+            self.ops.push(WarpOp::Load(chunk));
+        }
+        self
+    }
+
+    /// Stores `count` consecutive elements of `array` starting at `start`.
+    pub fn store_seq(&mut self, array: &ArrayRef, start: u64, count: u64) -> &mut Self {
+        let addrs = (start..start + count).map(|i| array.addr(i));
+        for chunk in self.coalesce(addrs) {
+            self.ops.push(WarpOp::Store(chunk));
+        }
+        self
+    }
+
+    /// Gathers `array[indices]` (the divergent pattern: one transaction per
+    /// distinct line, at most a warp-size of transactions per op).
+    pub fn load_gather<I>(&mut self, array: &ArrayRef, indices: I) -> &mut Self
+    where
+        I: IntoIterator<Item = u64>,
+    {
+        let addrs: Vec<VirtAddr> = indices.into_iter().map(|i| array.addr(i)).collect();
+        for chunk in self.coalesce(addrs.into_iter()) {
+            self.ops.push(WarpOp::Load(chunk));
+        }
+        self
+    }
+
+    /// Scatters to `array[indices]`.
+    pub fn store_gather<I>(&mut self, array: &ArrayRef, indices: I) -> &mut Self
+    where
+        I: IntoIterator<Item = u64>,
+    {
+        let addrs: Vec<VirtAddr> = indices.into_iter().map(|i| array.addr(i)).collect();
+        for chunk in self.coalesce(addrs.into_iter()) {
+            self.ops.push(WarpOp::Store(chunk));
+        }
+        self
+    }
+
+    /// Number of ops queued so far.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether no ops are queued.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Finishes the stream.
+    pub fn build(self) -> Box<dyn AccessStream + Send> {
+        Box::new(VecStream::new(self.ops))
+    }
+
+    /// Returns the raw ops (testing).
+    pub fn into_ops(self) -> Vec<WarpOp> {
+        self.ops
+    }
+}
+
+impl Default for StreamBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::LayoutBuilder;
+
+    fn array(elem: u32, len: u64) -> ArrayRef {
+        LayoutBuilder::new(65_536).array(elem, len)
+    }
+
+    #[test]
+    fn sequential_u32_loads_coalesce_per_line() {
+        let a = array(4, 1000);
+        let mut b = StreamBuilder::new();
+        b.load_seq(&a, 0, 32); // 32 * 4 B = 128 B = exactly one line
+        let ops = b.into_ops();
+        assert_eq!(ops.len(), 1);
+        assert_eq!(ops[0].addrs().len(), 1);
+    }
+
+    #[test]
+    fn sequential_u64_loads_take_two_lines() {
+        let a = array(8, 1000);
+        let mut b = StreamBuilder::new();
+        b.load_seq(&a, 0, 32); // 256 B = two lines -> one op, two transactions
+        let ops = b.into_ops();
+        assert_eq!(ops.len(), 1);
+        assert_eq!(ops[0].addrs().len(), 2);
+    }
+
+    #[test]
+    fn divergent_gather_dedupes_lines_and_chunks() {
+        let a = array(4, 100_000);
+        let mut b = StreamBuilder::new();
+        // 64 indices, 1024 elements apart: 64 distinct lines -> 2 ops of 32.
+        b.load_gather(&a, (0..64).map(|i| i * 1024));
+        let ops = b.into_ops();
+        assert_eq!(ops.len(), 2);
+        assert_eq!(ops[0].addrs().len(), 32);
+        assert_eq!(ops[1].addrs().len(), 32);
+    }
+
+    #[test]
+    fn gather_of_same_line_is_one_transaction() {
+        let a = array(4, 100);
+        let mut b = StreamBuilder::new();
+        b.load_gather(&a, [0, 1, 2, 5, 7]);
+        let ops = b.into_ops();
+        assert_eq!(ops.len(), 1);
+        assert_eq!(ops[0].addrs().len(), 1);
+    }
+
+    #[test]
+    fn compute_merges() {
+        let mut b = StreamBuilder::new();
+        b.compute(3).compute(4).compute(0);
+        let ops = b.into_ops();
+        assert_eq!(ops, vec![WarpOp::Compute(7)]);
+    }
+
+    #[test]
+    fn stores_are_stores() {
+        let a = array(4, 100);
+        let mut b = StreamBuilder::new();
+        b.store_seq(&a, 0, 4);
+        let ops = b.into_ops();
+        assert!(matches!(ops[0], WarpOp::Store(_)));
+    }
+
+    #[test]
+    fn builder_reports_length() {
+        let a = array(4, 100);
+        let mut b = StreamBuilder::new();
+        assert!(b.is_empty());
+        b.load_seq(&a, 0, 1).compute(1);
+        assert_eq!(b.len(), 2);
+    }
+}

@@ -1,0 +1,43 @@
+//! Sweeps the memory oversubscription ratio for one workload (the Fig. 17
+//! experiment shape): how execution time grows as GPU memory shrinks, and
+//! how much Unobtrusive Eviction recovers at each point.
+//!
+//! Usage: `cargo run --release --example graph_oversubscription [WORKLOAD]`
+
+use batmem::{policies, Simulation};
+use batmem_graph::gen;
+use batmem_workloads::registry;
+use std::sync::Arc;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "PR".to_string());
+    let graph = Arc::new(gen::rmat(14, 16, 42));
+
+    let unlimited = Simulation::builder()
+        .policy(policies::baseline())
+        .run(registry::build(&name, Arc::clone(&graph)).expect("known workload"));
+
+    println!("workload {name}; unlimited-memory time {} us", unlimited.cycles / 1_000);
+    println!(
+        "{:>6} {:>12} {:>10} {:>12} {:>10}",
+        "ratio", "base(us)", "rel.time", "ue(us)", "ue speedup"
+    );
+    for ratio in [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0] {
+        let base = Simulation::builder()
+            .policy(policies::baseline())
+            .memory_ratio(ratio)
+            .run(registry::build(&name, Arc::clone(&graph)).unwrap());
+        let ue = Simulation::builder()
+            .policy(policies::ue_only())
+            .memory_ratio(ratio)
+            .run(registry::build(&name, Arc::clone(&graph)).unwrap());
+        println!(
+            "{:>6.1} {:>12} {:>10.2} {:>12} {:>10.2}",
+            ratio,
+            base.cycles / 1_000,
+            base.cycles as f64 / unlimited.cycles as f64,
+            ue.cycles / 1_000,
+            ue.speedup_over(&base),
+        );
+    }
+}

@@ -1,166 +1,151 @@
-//! Criterion benchmarks over the simulator's hot paths, so that
-//! performance regressions in the simulator itself are visible.
+//! Timing benchmarks over the simulator's hot paths, so that performance
+//! regressions in the simulator itself are visible.
+//!
+//! The harness is hand-rolled (`harness = false`) because the offline build
+//! cannot fetch Criterion: each benchmark runs a warmup pass, then reports
+//! the mean and minimum wall time per iteration over a fixed batch count.
+//! Invoke with `cargo bench -p batmem-bench`.
 
 use batmem::{policies, Simulation};
 use batmem_graph::gen;
 use batmem_types::policy::PcieCompression;
-use batmem_types::{PageId, SimConfig, SmId, FrameId};
+use batmem_types::{FrameId, PageId, SimConfig, SmId};
 use batmem_uvm::{FaultBuffer, MemoryManager, PciePipes, TreePrefetcher, UvmRuntime};
 use batmem_vmem::Mmu;
 use batmem_workloads::registry;
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::collections::HashSet;
 use std::hint::black_box;
 use std::sync::Arc;
+use std::time::Instant;
 
-fn bench_fault_buffer(c: &mut Criterion) {
-    c.bench_function("fault_buffer/record_drain_1024", |b| {
-        b.iter_batched(
-            || FaultBuffer::new(1024),
-            |mut buf| {
-                for i in 0..1024u64 {
-                    buf.record(PageId::new(i * 7 % 997), i);
-                }
-                black_box(buf.drain_sorted())
-            },
-            BatchSize::SmallInput,
-        )
-    });
+/// Times `f` over `iters` iterations (after one warmup) and prints a row.
+fn bench<R>(name: &str, iters: u32, mut f: impl FnMut() -> R) {
+    black_box(f());
+    let mut total = 0.0f64;
+    let mut best = f64::INFINITY;
+    for _ in 0..iters {
+        let start = Instant::now();
+        black_box(f());
+        let dt = start.elapsed().as_secs_f64();
+        total += dt;
+        best = best.min(dt);
+    }
+    let mean = total / f64::from(iters);
+    println!("{name:<36} {:>12.1} us/iter (min {:>10.1} us, {iters} iters)", mean * 1e6, best * 1e6);
 }
 
-fn bench_prefetcher(c: &mut Criterion) {
-    let faulted: Vec<PageId> = (0..512u64).map(|i| PageId::new(i * 2)).collect();
-    c.bench_function("prefetcher/expand_512_faults", |b| {
-        b.iter_batched(
-            || TreePrefetcher::new(32, 50),
-            |mut pf| black_box(pf.expand(&faulted, |_| false, 100_000)),
-            BatchSize::SmallInput,
-        )
-    });
-}
-
-fn bench_memory_manager(c: &mut Criterion) {
-    c.bench_function("memmgr/fill_evict_4096", |b| {
-        b.iter_batched(
-            || MemoryManager::new(Some(4096), Default::default(), 32),
-            |mut m| {
-                let pinned = HashSet::new();
-                for i in 0..8192u64 {
-                    let frame = match m.take_frame() {
-                        Some(f) => f,
-                        None => {
-                            let (v, _) = m.pick_victims(&pinned);
-                            let f = m.remove(v[0]);
-                            m.release_frame(f);
-                            m.take_frame().unwrap()
-                        }
-                    };
-                    m.mark_resident(PageId::new(i), frame);
-                }
-                black_box(m.resident_count())
-            },
-            BatchSize::SmallInput,
-        )
-    });
-}
-
-fn bench_mmu_translate(c: &mut Criterion) {
-    c.bench_function("mmu/translate_hit_path", |b| {
-        let mut mmu = Mmu::new(&SimConfig::default());
-        for i in 0..64u64 {
-            mmu.install(PageId::new(i), FrameId::new(i as u32));
-            let _ = mmu.translate(SmId::new(0), PageId::new(i), 0);
+fn bench_fault_buffer() {
+    bench("fault_buffer/record_drain_1024", 200, || {
+        let mut buf = FaultBuffer::new(1024);
+        for i in 0..1024u64 {
+            buf.record(PageId::new(i * 7 % 997), i);
         }
-        let mut now = 0;
-        b.iter(|| {
-            now += 1;
-            black_box(mmu.translate(SmId::new(0), PageId::new(now % 64), now))
-        })
+        buf.drain_sorted()
     });
 }
 
-fn bench_pcie(c: &mut Criterion) {
-    c.bench_function("pcie/schedule_1024_pages", |b| {
-        b.iter_batched(
-            || PciePipes::new(15_750_000_000, 17_300_000_000, PcieCompression::default()),
-            |mut p| {
-                for _ in 0..1024 {
-                    black_box(p.schedule_h2d(0, 65_536));
+fn bench_prefetcher() {
+    let faulted: Vec<PageId> = (0..512u64).map(|i| PageId::new(i * 2)).collect();
+    bench("prefetcher/expand_512_faults", 200, || {
+        let mut pf = TreePrefetcher::new(32, 50);
+        pf.expand(&faulted, |_| false, 100_000)
+    });
+}
+
+fn bench_memory_manager() {
+    bench("memmgr/fill_evict_4096", 100, || {
+        let mut m = MemoryManager::new(Some(4096), Default::default(), 32);
+        let pinned = HashSet::new();
+        for i in 0..8192u64 {
+            let frame = match m.take_frame() {
+                Some(f) => f,
+                None => {
+                    let (v, _) = m.pick_victims(&pinned);
+                    let f = m.remove(v[0]).expect("victim is resident");
+                    m.release_frame(f);
+                    m.take_frame().unwrap()
                 }
-                p.h2d_free_at()
-            },
-            BatchSize::SmallInput,
-        )
+            };
+            m.mark_resident(PageId::new(i), frame).expect("fresh page");
+        }
+        m.resident_count()
     });
 }
 
-fn bench_uvm_batch(c: &mut Criterion) {
+fn bench_mmu_translate() {
+    let mut mmu = Mmu::new(&SimConfig::default());
+    for i in 0..64u64 {
+        mmu.install(PageId::new(i), FrameId::new(i as u32));
+        let _ = mmu.translate(SmId::new(0), PageId::new(i), 0);
+    }
+    let mut now = 0;
+    bench("mmu/translate_hit_path_x1024", 500, || {
+        for _ in 0..1024 {
+            now += 1;
+            black_box(mmu.translate(SmId::new(0), PageId::new(now % 64), now));
+        }
+    });
+}
+
+fn bench_pcie() {
+    bench("pcie/schedule_1024_pages", 200, || {
+        let mut p = PciePipes::new(15_750_000_000, 17_300_000_000, PcieCompression::default());
+        for _ in 0..1024 {
+            black_box(p.schedule_h2d(0, 65_536));
+        }
+        p.h2d_free_at()
+    });
+}
+
+fn bench_uvm_batch() {
     let cfg = batmem_types::config::UvmConfig { gpu_mem_pages: Some(256), ..Default::default() };
     let policy = batmem_types::policy::PolicyConfig::baseline();
-    c.bench_function("uvm/batch_512_faults", |b| {
-        b.iter_batched(
-            || UvmRuntime::new(&cfg, &policy, 100_000),
-            |mut rt| {
-                let mut outs = Vec::new();
-                for i in 0..512u64 {
-                    outs.extend(rt.record_fault(PageId::new(i * 3), 0));
+    bench("uvm/batch_512_faults", 100, || {
+        let mut rt = UvmRuntime::new(&cfg, &policy, 100_000);
+        let mut outs = Vec::new();
+        for i in 0..512u64 {
+            outs.extend(rt.record_fault(PageId::new(i * 3), 0).expect("fresh fault"));
+        }
+        // Drive the runtime's own events to completion.
+        let mut queue: Vec<(u64, batmem_uvm::UvmEvent)> = Vec::new();
+        let push = |os: Vec<batmem_uvm::UvmOutput>, q: &mut Vec<_>| {
+            for o in os {
+                if let batmem_uvm::UvmOutput::Schedule { at, event } = o {
+                    q.push((at, event));
                 }
-                // Drive the runtime's own events to completion.
-                let mut queue: Vec<(u64, batmem_uvm::UvmEvent)> = Vec::new();
-                let push = |os: Vec<batmem_uvm::UvmOutput>, q: &mut Vec<_>| {
-                    for o in os {
-                        if let batmem_uvm::UvmOutput::Schedule { at, event } = o {
-                            q.push((at, event));
-                        }
-                    }
-                };
-                push(outs, &mut queue);
-                while !queue.is_empty() {
-                    queue.sort_by_key(|&(t, _)| t);
-                    let (t, e) = queue.remove(0);
-                    let os = rt.on_event(e, t);
-                    push(os, &mut queue);
-                }
-                black_box(rt.stats().num_batches())
-            },
-            BatchSize::SmallInput,
-        )
+            }
+        };
+        push(outs, &mut queue);
+        while !queue.is_empty() {
+            queue.sort_by_key(|&(t, _)| t);
+            let (t, e) = queue.remove(0);
+            let os = rt.on_event(e, t).expect("runtime accepts its own events");
+            push(os, &mut queue);
+        }
+        rt.stats().num_batches()
     });
 }
 
-fn bench_graph_gen(c: &mut Criterion) {
-    c.bench_function("graph/rmat_scale12", |b| {
-        b.iter(|| black_box(gen::rmat(12, 8, 42)))
-    });
+fn bench_graph_gen() {
+    bench("graph/rmat_scale12", 20, || gen::rmat(12, 8, 42));
 }
 
-fn bench_end_to_end(c: &mut Criterion) {
+fn bench_end_to_end() {
     let graph = Arc::new(gen::rmat(10, 8, 42));
-    let mut g = c.benchmark_group("end_to_end");
-    g.sample_size(10);
-    g.bench_function("bfs_ttc_scale10_to_ue", |b| {
-        b.iter(|| {
-            let w = registry::build("BFS-TTC", Arc::clone(&graph)).unwrap();
-            black_box(
-                Simulation::builder()
-                    .policy(policies::to_ue())
-                    .memory_ratio(0.5)
-                    .run(w),
-            )
-        })
+    bench("end_to_end/bfs_ttc_scale10_to_ue", 10, || {
+        let w = registry::build("BFS-TTC", Arc::clone(&graph)).unwrap();
+        Simulation::builder().policy(policies::to_ue()).memory_ratio(0.5).run(w)
     });
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_fault_buffer,
-    bench_prefetcher,
-    bench_memory_manager,
-    bench_mmu_translate,
-    bench_pcie,
-    bench_uvm_batch,
-    bench_graph_gen,
-    bench_end_to_end,
-);
-criterion_main!(benches);
+fn main() {
+    println!("{:<36} {:>25}", "benchmark", "time");
+    bench_fault_buffer();
+    bench_prefetcher();
+    bench_memory_manager();
+    bench_mmu_translate();
+    bench_pcie();
+    bench_uvm_batch();
+    bench_graph_gen();
+    bench_end_to_end();
+}

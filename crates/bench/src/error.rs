@@ -1,0 +1,59 @@
+//! Error type for the figure harness.
+//!
+//! The harness sweeps dozens of `(workload, config)` pairs; a single bad run
+//! must surface as a skipped row, not abort the whole sweep. `anyhow` is the
+//! natural fit but cannot be fetched in this offline build, so [`BenchError`]
+//! is a minimal context-carrying stand-in.
+
+use batmem_types::SimError;
+use std::error::Error;
+use std::fmt;
+
+/// A failed benchmark run: what was attempted and why it failed.
+#[derive(Debug, Clone)]
+pub struct BenchError {
+    context: String,
+}
+
+impl BenchError {
+    /// Creates an error from a plain message.
+    pub fn msg(context: impl Into<String>) -> Self {
+        Self { context: context.into() }
+    }
+
+    /// Wraps an underlying error with what the harness was doing.
+    pub fn context(doing: &str, err: &dyn fmt::Display) -> Self {
+        Self { context: format!("{doing}: {err}") }
+    }
+}
+
+impl fmt::Display for BenchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.context)
+    }
+}
+
+impl Error for BenchError {}
+
+impl From<SimError> for BenchError {
+    fn from(e: SimError) -> Self {
+        Self { context: e.to_string() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn carries_context() {
+        let e = BenchError::msg("unknown workload XYZ");
+        assert!(e.to_string().contains("XYZ"));
+    }
+
+    #[test]
+    fn converts_from_sim_error() {
+        let e: BenchError = SimError::invalid_config("gpu.num_sms", "zero").into();
+        assert!(e.to_string().contains("num_sms"));
+    }
+}

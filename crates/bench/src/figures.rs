@@ -1,16 +1,26 @@
 //! Per-figure printers: each regenerates the rows/series of one table or
 //! figure from the paper's evaluation.
+//!
+//! Every printer tolerates failed runs: a `(workload, config)` pair that
+//! returns an error is reported and skipped, and geometric means are taken
+//! over the rows that completed, so one bad run never aborts a sweep.
 
+use crate::error::BenchError;
 use crate::runner::{parallel_map, run_one, ConfigName, SuiteConfig, SuiteResults};
 use batmem::experiments::working_set_curve;
-use batmem::{policies, Simulation, SimConfig};
+use batmem::{policies, SimConfig, Simulation};
 use batmem_types::policy::{SwitchTrigger, ToConfig};
 use batmem_types::time::us;
 use batmem_workloads::registry;
 use batmem_workloads::regular::TiledRegular;
+
 fn header(id: &str, caption: &str) {
     println!();
     println!("==== {id}: {caption} ====");
+}
+
+fn skipped(id: &str, what: &str, err: &BenchError) {
+    println!("{id}: skipping {what}: {err}");
 }
 
 /// Table 1: the simulated system configuration.
@@ -46,10 +56,11 @@ pub fn fig1(suite: &SuiteConfig) {
     println!("-- irregular workloads (working set shared across cores) --");
     let jobs: Vec<&str> = registry::irregular_names().to_vec();
     let irr_curves = parallel_map(jobs, |name| {
-        let w = registry::build(name, suite.graph_for(name)).expect("known workload");
-        (*name, working_set_curve(w.as_ref(), 16, &gpu))
+        registry::build(name, suite.graph_for(name))
+            .map(|w| (*name, working_set_curve(w.as_ref(), 16, &gpu)))
     });
-    for (name, curve) in &irr_curves {
+    for entry in &irr_curves {
+        let Some((name, curve)) = entry else { continue };
         print!("{name:<10}");
         for v in curve {
             print!(" {:>4.0}%", v * 100.0);
@@ -62,7 +73,10 @@ pub fn fig1(suite: &SuiteConfig) {
 pub fn fig3(suite: &SuiteConfig) {
     header("Fig. 3", "Per-page fault handling time (us) vs. batch size (BFS)");
     let graph = suite.graph();
-    let m = run_one("BFS-TTC", ConfigName::Baseline, suite, &graph);
+    let m = match run_one("BFS-TTC", ConfigName::Baseline, suite, &graph) {
+        Ok(m) => m,
+        Err(e) => return skipped("Fig. 3", "BFS-TTC/BASELINE", &e),
+    };
     // Bucket batches by size and report the mean per-page time per bucket.
     let bucket_pages = 4u32;
     let mut sums: Vec<(f64, u64)> = Vec::new();
@@ -95,35 +109,42 @@ pub fn fig5(suite: &SuiteConfig) {
         "Relative performance when an extra block per SM requires context switching (memory fits)",
     );
     let jobs: Vec<&str> = registry::irregular_names().to_vec();
-    let rows = parallel_map(jobs, |name| {
-        let base = {
-            let w = registry::build(name, suite.graph_for(name)).unwrap();
-            Simulation::builder()
-                .config(suite.sim.clone())
-                .policy(policies::baseline())
-                .memory_ratio(1.0)
-                .run(w)
+    let rows = parallel_map(jobs, |name| -> Result<_, BenchError> {
+        let build = |n: &str| {
+            registry::build(n, suite.graph_for(n))
+                .ok_or_else(|| BenchError::msg(format!("unknown workload `{n}`")))
         };
-        let switched = {
-            let mut policy = policies::to_only();
-            policy.oversubscription =
-                ToConfig { trigger: SwitchTrigger::AnyStall, ..ToConfig::enabled() };
-            let w = registry::build(name, suite.graph_for(name)).unwrap();
-            Simulation::builder()
-                .config(suite.sim.clone())
-                .policy(policy)
-                .memory_ratio(1.0)
-                .run(w)
-        };
-        (*name, base.cycles as f64 / switched.cycles as f64, switched.ctx_switches)
+        let base = Simulation::builder()
+            .config(suite.sim.clone())
+            .policy(policies::baseline())
+            .memory_ratio(1.0)
+            .try_run(build(name)?)?;
+        let mut policy = policies::to_only();
+        policy.oversubscription =
+            ToConfig { trigger: SwitchTrigger::AnyStall, ..ToConfig::enabled() };
+        let switched = Simulation::builder()
+            .config(suite.sim.clone())
+            .policy(policy)
+            .memory_ratio(1.0)
+            .try_run(build(name)?)?;
+        Ok((*name, base.cycles as f64 / switched.cycles as f64, switched.ctx_switches))
     });
     println!("{:<10} {:>14} {:>12}", "workload", "rel. perf", "ctx switches");
     let mut logs = 0.0;
-    for (name, rel, sw) in &rows {
-        println!("{name:<10} {rel:>14.2} {sw:>12}");
-        logs += rel.ln();
+    let mut n = 0usize;
+    for row in &rows {
+        match row {
+            Ok((name, rel, sw)) => {
+                println!("{name:<10} {rel:>14.2} {sw:>12}");
+                logs += rel.ln();
+                n += 1;
+            }
+            Err(e) => skipped("Fig. 5", "row", e),
+        }
     }
-    println!("{:<10} {:>14.2}", "GEOMEAN", (logs / rows.len() as f64).exp());
+    if n > 0 {
+        println!("{:<10} {:>14.2}", "GEOMEAN", (logs / n as f64).exp());
+    }
     println!("(the paper reports an average 0.51x: switching hurts when memory fits)");
 }
 
@@ -131,18 +152,21 @@ pub fn fig5(suite: &SuiteConfig) {
 /// limit.
 pub fn fig8(results: &SuiteResults) {
     header("Fig. 8", "Performance at 50% memory vs. unlimited, with ideal eviction");
+    results.report_failures();
+    let ws =
+        results.complete(&[ConfigName::Unlimited, ConfigName::Baseline, ConfigName::IdealEviction]);
     println!("{:<10} {:>10} {:>14}", "workload", "BASELINE", "IDEAL-EVICT");
-    for name in &results.workloads {
+    for name in &ws {
         let unlimited = results.get(name, ConfigName::Unlimited).cycles as f64;
         let base = unlimited / results.get(name, ConfigName::Baseline).cycles as f64;
         let ideal = unlimited / results.get(name, ConfigName::IdealEviction).cycles as f64;
         println!("{name:<10} {base:>10.2} {ideal:>14.2}");
     }
-    let gb = results.geomean(|w| {
+    let gb = results.geomean_over(&ws, |w| {
         results.get(w, ConfigName::Unlimited).cycles as f64
             / results.get(w, ConfigName::Baseline).cycles as f64
     });
-    let gi = results.geomean(|w| {
+    let gi = results.geomean_over(&ws, |w| {
         results.get(w, ConfigName::Unlimited).cycles as f64
             / results.get(w, ConfigName::IdealEviction).cycles as f64
     });
@@ -152,6 +176,7 @@ pub fn fig8(results: &SuiteResults) {
 /// Fig. 11: the headline speedup comparison.
 pub fn fig11(results: &SuiteResults) {
     header("Fig. 11", "Speedup over BASELINE (with state-of-the-art prefetching)");
+    results.report_failures();
     let configs = [
         ConfigName::Baseline,
         ConfigName::BaselineCompressed,
@@ -160,12 +185,13 @@ pub fn fig11(results: &SuiteResults) {
         ConfigName::ToUe,
         ConfigName::Etc,
     ];
+    let ws = results.complete(&configs);
     print!("{:<10}", "workload");
     for c in configs {
         print!(" {:>14}", c.label());
     }
     println!();
-    for name in &results.workloads {
+    for name in &ws {
         let base = results.get(name, ConfigName::Baseline).cycles as f64;
         print!("{name:<10}");
         for c in configs {
@@ -175,7 +201,7 @@ pub fn fig11(results: &SuiteResults) {
     }
     print!("{:<10}", "GEOMEAN");
     for c in configs {
-        let g = results.geomean(|w| {
+        let g = results.geomean_over(&ws, |w| {
             results.get(w, ConfigName::Baseline).cycles as f64
                 / results.get(w, c).cycles as f64
         });
@@ -187,13 +213,14 @@ pub fn fig11(results: &SuiteResults) {
 /// Fig. 12: total number of batches, baseline vs. TO.
 pub fn fig12(results: &SuiteResults) {
     header("Fig. 12", "Total number of batches (relative to BASELINE)");
+    let ws = results.complete(&[ConfigName::Baseline, ConfigName::To]);
     println!("{:<10} {:>10} {:>10} {:>10}", "workload", "BASELINE", "TO", "relative");
-    for name in &results.workloads {
+    for name in &ws {
         let b = results.get(name, ConfigName::Baseline).uvm.num_batches();
         let t = results.get(name, ConfigName::To).uvm.num_batches();
         println!("{name:<10} {b:>10} {t:>10} {:>9.0}%", t as f64 / b as f64 * 100.0);
     }
-    let g = results.geomean(|w| {
+    let g = results.geomean_over(&ws, |w| {
         results.get(w, ConfigName::To).uvm.num_batches() as f64
             / results.get(w, ConfigName::Baseline).uvm.num_batches() as f64
     });
@@ -203,13 +230,14 @@ pub fn fig12(results: &SuiteResults) {
 /// Fig. 13: average batch sizes, baseline vs. TO.
 pub fn fig13(results: &SuiteResults) {
     header("Fig. 13", "Average batch size (relative to BASELINE)");
+    let ws = results.complete(&[ConfigName::Baseline, ConfigName::To]);
     println!("{:<10} {:>12} {:>12} {:>10}", "workload", "BASE pages", "TO pages", "relative");
-    for name in &results.workloads {
+    for name in &ws {
         let b = results.get(name, ConfigName::Baseline).uvm.avg_batch_pages();
         let t = results.get(name, ConfigName::To).uvm.avg_batch_pages();
         println!("{name:<10} {b:>12.1} {t:>12.1} {:>9.0}%", t / b * 100.0);
     }
-    let g = results.geomean(|w| {
+    let g = results.geomean_over(&ws, |w| {
         results.get(w, ConfigName::To).uvm.avg_batch_pages()
             / results.get(w, ConfigName::Baseline).uvm.avg_batch_pages()
     });
@@ -219,18 +247,19 @@ pub fn fig13(results: &SuiteResults) {
 /// Fig. 14: average batch processing time: baseline, TO, TO+UE.
 pub fn fig14(results: &SuiteResults) {
     header("Fig. 14", "Average batch processing time, normalized to BASELINE");
+    let ws = results.complete(&[ConfigName::Baseline, ConfigName::To, ConfigName::ToUe]);
     println!("{:<10} {:>10} {:>10} {:>10}", "workload", "BASELINE", "TO", "TO+UE");
-    for name in &results.workloads {
+    for name in &ws {
         let b = results.get(name, ConfigName::Baseline).uvm.avg_processing_time();
         let t = results.get(name, ConfigName::To).uvm.avg_processing_time();
         let tu = results.get(name, ConfigName::ToUe).uvm.avg_processing_time();
         println!("{name:<10} {:>10.2} {:>10.2} {:>10.2}", 1.0, t / b, tu / b);
     }
-    let gt = results.geomean(|w| {
+    let gt = results.geomean_over(&ws, |w| {
         results.get(w, ConfigName::To).uvm.avg_processing_time()
             / results.get(w, ConfigName::Baseline).uvm.avg_processing_time()
     });
-    let gtu = results.geomean(|w| {
+    let gtu = results.geomean_over(&ws, |w| {
         results.get(w, ConfigName::ToUe).uvm.avg_processing_time()
             / results.get(w, ConfigName::Baseline).uvm.avg_processing_time()
     });
@@ -240,8 +269,9 @@ pub fn fig14(results: &SuiteResults) {
 /// Fig. 15: premature eviction comparison, baseline vs. TO.
 pub fn fig15(results: &SuiteResults) {
     header("Fig. 15", "Premature eviction rate");
+    let ws = results.complete(&[ConfigName::Baseline, ConfigName::To]);
     println!("{:<10} {:>10} {:>10}", "workload", "BASELINE", "TO");
-    for name in &results.workloads {
+    for name in &ws {
         let b = results.get(name, ConfigName::Baseline).uvm.premature_rate();
         let t = results.get(name, ConfigName::To).uvm.premature_rate();
         println!("{name:<10} {:>9.1}% {:>9.1}%", b * 100.0, t * 100.0);
@@ -252,11 +282,12 @@ pub fn fig15(results: &SuiteResults) {
 /// efficiency.
 pub fn fig16(results: &SuiteResults) {
     header("Fig. 16", "Batch size distribution and efficiency");
+    let ws = results.complete(&[ConfigName::Baseline, ConfigName::To]);
     let bucket = 1024 * 1024; // 1 MB buckets (the paper uses 5 MB at full scale)
     let mut base_hist: Vec<u64> = Vec::new();
     let mut to_hist: Vec<u64> = Vec::new();
     let mut eff: Vec<(f64, u64)> = Vec::new();
-    for name in &results.workloads {
+    for name in &ws {
         for (hist, cfg) in
             [(&mut base_hist, ConfigName::Baseline), (&mut to_hist, ConfigName::To)]
         {
@@ -276,8 +307,8 @@ pub fn fig16(results: &SuiteResults) {
             }
         }
     }
-    let base_total: u64 = base_hist.iter().sum();
-    let to_total: u64 = to_hist.iter().sum();
+    let base_total: u64 = base_hist.iter().sum::<u64>().max(1);
+    let to_total: u64 = to_hist.iter().sum::<u64>().max(1);
     let best_eff = eff
         .iter()
         .filter(|(_, n)| *n > 0)
@@ -324,14 +355,23 @@ pub fn fig17(suite: &SuiteConfig) {
         s.ratio = *r;
         run_one(w, *c, &s, &graph)
     });
-    let lookup = |r: f64, w: &str, c: ConfigName| {
-        let i = jobs.iter().position(|&(jr, jw, jc)| jr == r && jw == w && jc == c).unwrap();
-        metrics[i].cycles as f64
+    for ((_, w, c), m) in jobs.iter().zip(&metrics) {
+        if let Err(e) = m {
+            skipped("Fig. 17", &format!("{w}/{}", c.label()), e);
+        }
+    }
+    let lookup = |r: f64, w: &str, c: ConfigName| -> Option<f64> {
+        let i = jobs.iter().position(|&(jr, jw, jc)| jr == r && jw == w && jc == c)?;
+        metrics[i].as_ref().ok().map(|m| m.cycles as f64)
     };
     println!("{:>6} {:>16} {:>12}", "ratio", "rel. exec time", "UE speedup");
     for &r in &ratios {
-        let rel = geomean(names.iter().map(|&w| lookup(r, w, ConfigName::Baseline) / lookup(1.0, w, ConfigName::Baseline)));
-        let ue = geomean(names.iter().map(|&w| lookup(r, w, ConfigName::Baseline) / lookup(r, w, ConfigName::Ue)));
+        let rel = geomean(names.iter().filter_map(|&w| {
+            Some(lookup(r, w, ConfigName::Baseline)? / lookup(1.0, w, ConfigName::Baseline)?)
+        }));
+        let ue = geomean(names.iter().filter_map(|&w| {
+            Some(lookup(r, w, ConfigName::Baseline)? / lookup(r, w, ConfigName::Ue)?)
+        }));
         println!("{r:>6.1} {rel:>16.2} {ue:>12.2}");
     }
     println!("(exec time grows as memory shrinks; UE's benefit grows with eviction pressure)");
@@ -356,18 +396,19 @@ pub fn fig18(suite: &SuiteConfig) {
         s.sim.uvm.fault_handling_base = us(*h);
         run_one(w, *c, &s, &graph)
     });
+    for ((_, w, c), m) in jobs.iter().zip(&metrics) {
+        if let Err(e) = m {
+            skipped("Fig. 18", &format!("{w}/{}", c.label()), e);
+        }
+    }
+    let lookup = |h: u64, w: &str, c: ConfigName| -> Option<f64> {
+        let i = jobs.iter().position(|&(jh, jw, jc)| jh == h && jw == w && jc == c)?;
+        metrics[i].as_ref().ok().map(|m| m.cycles as f64)
+    };
     println!("{:>12} {:>10}", "handling", "speedup");
     for &h in &handling {
-        let sp = geomean(names.iter().map(|&w| {
-            let base = jobs
-                .iter()
-                .position(|&(jh, jw, jc)| jh == h && jw == w && jc == ConfigName::Baseline)
-                .unwrap();
-            let toue = jobs
-                .iter()
-                .position(|&(jh, jw, jc)| jh == h && jw == w && jc == ConfigName::ToUe)
-                .unwrap();
-            metrics[base].cycles as f64 / metrics[toue].cycles as f64
+        let sp = geomean(names.iter().filter_map(|&w| {
+            Some(lookup(h, w, ConfigName::Baseline)? / lookup(h, w, ConfigName::ToUe)?)
         }));
         println!("{h:>10}us {sp:>10.2}");
     }
@@ -379,19 +420,22 @@ pub fn ctxswitch(suite: &SuiteConfig) {
     header("§6.5", "TO+UE with modeled vs. close-to-ideal context switch cost");
     let graph = suite.graph();
     let names: Vec<&str> = registry::irregular_names().to_vec();
-    let rows = parallel_map(names, |name| {
-        let modeled = run_one(name, ConfigName::ToUe, suite, &graph);
+    let rows = parallel_map(names, |name| -> Result<_, BenchError> {
+        let modeled = run_one(name, ConfigName::ToUe, suite, &graph)?;
         let mut fast = suite.clone();
         // Close-to-ideal: shared-memory-bandwidth switching (eq. 1 of VT):
         // 1024 bits/cycle and no fixed drain cost.
         fast.sim.gpu.ctx_switch_bytes_per_cycle = 128 * 1024;
         fast.sim.gpu.ctx_switch_fixed_cycles = 0;
-        let ideal = run_one(name, ConfigName::ToUe, &fast, &graph);
-        (*name, modeled.cycles as f64 / ideal.cycles as f64)
+        let ideal = run_one(name, ConfigName::ToUe, &fast, &graph)?;
+        Ok((*name, modeled.cycles as f64 / ideal.cycles as f64))
     });
     println!("{:<10} {:>26}", "workload", "modeled/ideal exec time");
-    for (name, rel) in &rows {
-        println!("{name:<10} {rel:>26.3}");
+    for row in &rows {
+        match row {
+            Ok((name, rel)) => println!("{name:<10} {rel:>26.3}"),
+            Err(e) => skipped("§6.5", "row", e),
+        }
     }
     println!("(the paper finds overall execution time insensitive to switch cost)");
 }
@@ -401,25 +445,40 @@ pub fn ctxswitch(suite: &SuiteConfig) {
 pub fn pe_ablation(suite: &SuiteConfig) {
     header("PE ablation", "ETC with vs. without proactive eviction (irregular workloads)");
     let names: Vec<&str> = registry::irregular_names().to_vec();
-    let rows = parallel_map(names, |name| {
-        let run = |pe: bool| {
+    let rows = parallel_map(names, |name| -> Result<_, BenchError> {
+        let run = |pe: bool| -> Result<_, BenchError> {
             let (policy, mut etc) = batmem::policies::etc();
             etc.proactive_eviction = pe;
-            let w = registry::build(name, suite.graph_for(name)).unwrap();
+            let w = registry::build(name, suite.graph_for(name))
+                .ok_or_else(|| BenchError::msg(format!("unknown workload `{name}`")))?;
             Simulation::builder()
                 .config(suite.sim.clone())
                 .policy(policy)
                 .etc(etc)
                 .memory_ratio(suite.ratio)
-                .run(w)
+                .try_run(w)
+                .map_err(BenchError::from)
         };
-        let off = run(false);
-        let on = run(true);
-        (*name, off.cycles as f64 / on.cycles as f64, on.uvm.premature_rate(), off.uvm.premature_rate())
+        let off = run(false)?;
+        let on = run(true)?;
+        Ok((
+            *name,
+            off.cycles as f64 / on.cycles as f64,
+            on.uvm.premature_rate(),
+            off.uvm.premature_rate(),
+        ))
     });
-    println!("{:<10} {:>12} {:>14} {:>14}", "workload", "PE speedup", "premature(PE)", "premature(off)");
-    for (name, sp, pon, poff) in &rows {
-        println!("{name:<10} {sp:>12.2} {:>13.1}% {:>13.1}%", pon * 100.0, poff * 100.0);
+    println!(
+        "{:<10} {:>12} {:>14} {:>14}",
+        "workload", "PE speedup", "premature(PE)", "premature(off)"
+    );
+    for row in &rows {
+        match row {
+            Ok((name, sp, pon, poff)) => {
+                println!("{name:<10} {sp:>12.2} {:>13.1}% {:>13.1}%", pon * 100.0, poff * 100.0)
+            }
+            Err(e) => skipped("PE ablation", "row", e),
+        }
     }
     println!("(PE speedup < 1 means proactive eviction hurts, as the ETC authors found)");
 }

@@ -2,12 +2,14 @@
 //!
 //! The `figures` binary (`cargo run -p batmem-bench --bin figures --release
 //! -- <fig>`) drives [`suite_results`] and the per-figure printers; the
-//! Criterion benches in `benches/` cover the simulator's hot paths.
+//! timing benches in `benches/` cover the simulator's hot paths.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod error;
 pub mod figures;
 pub mod runner;
 
+pub use error::BenchError;
 pub use runner::{suite_results, ConfigName, SuiteConfig, SuiteResults};

@@ -1,11 +1,11 @@
 //! Parallel execution of the evaluation suite.
 
-use batmem::{policies, EtcConfig, PolicyConfig, RunMetrics, Simulation, SimConfig};
+use crate::error::BenchError;
+use batmem::{policies, EtcConfig, PolicyConfig, RunMetrics, SimConfig, Simulation};
 use batmem_graph::{gen, Csr};
 use batmem_workloads::registry;
-use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// The named configurations of Fig. 11, in presentation order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -110,6 +110,8 @@ pub struct SuiteResults {
     /// Workload display names, in figure order.
     pub workloads: Vec<&'static str>,
     results: HashMap<(String, ConfigName), RunMetrics>,
+    /// Runs that failed, with the reason; successful rows are unaffected.
+    pub failures: Vec<(String, ConfigName, BenchError)>,
 }
 
 impl SuiteResults {
@@ -117,30 +119,68 @@ impl SuiteResults {
     ///
     /// # Panics
     ///
-    /// Panics if the pair was not part of the suite invocation.
+    /// Panics if the pair was not part of the suite invocation or failed;
+    /// figure printers should restrict themselves to
+    /// [`SuiteResults::complete`] workloads first.
     pub fn get(&self, workload: &str, config: ConfigName) -> &RunMetrics {
         self.results
             .get(&(workload.to_string(), config))
             .unwrap_or_else(|| panic!("no result for {workload}/{config:?}"))
     }
 
+    /// The metrics of `(workload, config)`, or `None` if that run failed or
+    /// was not requested.
+    pub fn get_opt(&self, workload: &str, config: ConfigName) -> Option<&RunMetrics> {
+        self.results.get(&(workload.to_string(), config))
+    }
+
+    /// The workloads for which every one of `configs` produced a result, in
+    /// figure order.
+    pub fn complete(&self, configs: &[ConfigName]) -> Vec<&'static str> {
+        self.workloads
+            .iter()
+            .copied()
+            .filter(|w| configs.iter().all(|&c| self.get_opt(w, c).is_some()))
+            .collect()
+    }
+
     /// Geometric mean of `f` over all workloads.
     pub fn geomean<F: Fn(&str) -> f64>(&self, f: F) -> f64 {
-        let logs: f64 = self.workloads.iter().map(|w| f(w).ln()).sum();
-        (logs / self.workloads.len() as f64).exp()
+        self.geomean_over(&self.workloads, f)
+    }
+
+    /// Geometric mean of `f` over `workloads` (use with
+    /// [`SuiteResults::complete`] to skip failed rows).
+    pub fn geomean_over<F: Fn(&str) -> f64>(&self, workloads: &[&str], f: F) -> f64 {
+        if workloads.is_empty() {
+            return f64::NAN;
+        }
+        let logs: f64 = workloads.iter().map(|w| f(w).ln()).sum();
+        (logs / workloads.len() as f64).exp()
+    }
+
+    /// Prints one line per failed run to stderr.
+    pub fn report_failures(&self) {
+        for (w, c, e) in &self.failures {
+            eprintln!("suite: {w}/{} failed: {e}", c.label());
+        }
     }
 }
 
 /// Runs one workload under one configuration.
+///
+/// Never panics: unknown workloads, invalid configurations, and simulation
+/// failures all come back as [`BenchError`] so sweeps can skip the row.
 pub fn run_one(
     name: &str,
     config: ConfigName,
     suite: &SuiteConfig,
     graph: &Arc<Csr>,
-) -> RunMetrics {
+) -> Result<RunMetrics, BenchError> {
     let (policy, etc) = config.policy();
     let graph = if name.starts_with("GC-") { suite.graph_for(name) } else { Arc::clone(graph) };
-    let workload = registry::build(name, graph).expect("known workload");
+    let workload = registry::build(name, graph)
+        .ok_or_else(|| BenchError::msg(format!("unknown workload `{name}`")))?;
     let mut b = Simulation::builder().config(suite.sim.clone()).policy(policy);
     if config != ConfigName::Unlimited {
         b = b.memory_ratio(suite.ratio);
@@ -148,7 +188,8 @@ pub fn run_one(
     if let Some(e) = etc {
         b = b.etc(e);
     }
-    b.run(workload)
+    b.try_run(workload)
+        .map_err(|e| BenchError::context(&format!("{name}/{}", config.label()), &e))
 }
 
 /// Runs `f` over `items` on a thread pool, preserving order.
@@ -162,20 +203,26 @@ where
     let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let next = std::sync::atomic::AtomicUsize::new(0);
     let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4).min(16);
-    crossbeam::scope(|s| {
+    std::thread::scope(|s| {
         for _ in 0..threads {
-            s.spawn(|_| loop {
+            s.spawn(|| loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 let Some(item) = items.get(i) else { break };
-                *slots[i].lock() = Some(f(item));
+                let value = f(item);
+                *slots[i].lock().expect("result slot poisoned") = Some(value);
             });
         }
-    })
-    .expect("parallel workers panicked");
-    slots.into_iter().map(|s| s.into_inner().expect("slot filled")).collect()
+    });
+    slots
+        .into_iter()
+        .map(|s| s.into_inner().expect("result slot poisoned").expect("slot filled"))
+        .collect()
 }
 
 /// Runs `configs` × the 11-workload suite in parallel and collects results.
+///
+/// Failed runs are recorded in [`SuiteResults::failures`] rather than
+/// aborting the sweep.
 pub fn suite_results(configs: &[ConfigName], suite: &SuiteConfig) -> SuiteResults {
     let graph = suite.graph();
     let workloads = registry::irregular_names();
@@ -185,21 +232,18 @@ pub fn suite_results(configs: &[ConfigName], suite: &SuiteConfig) -> SuiteResult
             jobs.push((w, c));
         }
     }
-    let results = Mutex::new(HashMap::new());
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(16);
-    crossbeam::scope(|s| {
-        for _ in 0..threads {
-            s.spawn(|_| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                let Some(&(w, c)) = jobs.get(i) else { break };
-                let m = run_one(w, c, suite, &graph);
-                results.lock().insert((w.to_string(), c), m);
-            });
+    let outcomes = parallel_map(jobs, |&(w, c)| (w, c, run_one(w, c, suite, &graph)));
+    let mut results = HashMap::new();
+    let mut failures = Vec::new();
+    for (w, c, outcome) in outcomes {
+        match outcome {
+            Ok(m) => {
+                results.insert((w.to_string(), c), m);
+            }
+            Err(e) => failures.push((w.to_string(), c, e)),
         }
-    })
-    .expect("suite workers panicked");
-    SuiteResults { workloads: workloads.to_vec(), results: results.into_inner() }
+    }
+    SuiteResults { workloads: workloads.to_vec(), results, failures }
 }
 
 #[cfg(test)]
@@ -228,25 +272,52 @@ mod tests {
 
     #[test]
     fn suite_runs_one_small_workload() {
-        let suite = SuiteConfig { scale: 8, edge_factor: 4, seed: 1, ratio: 0.5, sim: SimConfig::default() };
+        let suite =
+            SuiteConfig { scale: 8, edge_factor: 4, seed: 1, ratio: 0.5, sim: SimConfig::default() };
         let graph = suite.graph();
-        let m = run_one("BFS-TTC", ConfigName::Baseline, &suite, &graph);
+        let m = run_one("BFS-TTC", ConfigName::Baseline, &suite, &graph).unwrap();
         assert!(m.cycles > 0);
-        let unlimited = run_one("BFS-TTC", ConfigName::Unlimited, &suite, &graph);
+        let unlimited = run_one("BFS-TTC", ConfigName::Unlimited, &suite, &graph).unwrap();
         assert!(unlimited.memory_pages.is_none());
     }
 
     #[test]
-    fn geomean_of_constants_is_the_constant() {
-        let suite = SuiteConfig { scale: 8, edge_factor: 4, seed: 1, ratio: 0.5, sim: SimConfig::default() };
+    fn unknown_workload_is_an_error_not_a_panic() {
+        let suite =
+            SuiteConfig { scale: 8, edge_factor: 4, seed: 1, ratio: 0.5, sim: SimConfig::default() };
         let graph = suite.graph();
-        let m = run_one("PR", ConfigName::Baseline, &suite, &graph);
+        let err = run_one("NO-SUCH-WORKLOAD", ConfigName::Baseline, &suite, &graph).unwrap_err();
+        assert!(err.to_string().contains("NO-SUCH-WORKLOAD"));
+    }
+
+    #[test]
+    fn invalid_config_is_reported_per_row_not_panicked() {
+        let mut suite =
+            SuiteConfig { scale: 8, edge_factor: 4, seed: 1, ratio: 0.5, sim: SimConfig::default() };
+        suite.sim.gpu.num_sms = 0;
+        let graph = suite.graph();
+        let err = run_one("BFS-TTC", ConfigName::Baseline, &suite, &graph).unwrap_err();
+        assert!(err.to_string().contains("num_sms"), "{err}");
+    }
+
+    #[test]
+    fn geomean_of_constants_is_the_constant() {
+        let suite =
+            SuiteConfig { scale: 8, edge_factor: 4, seed: 1, ratio: 0.5, sim: SimConfig::default() };
+        let graph = suite.graph();
+        let m = run_one("PR", ConfigName::Baseline, &suite, &graph).unwrap();
         let mut results = HashMap::new();
         for w in registry::irregular_names() {
             results.insert((w.to_string(), ConfigName::Baseline), m.clone());
         }
-        let r = SuiteResults { workloads: registry::irregular_names().to_vec(), results };
+        let r = SuiteResults {
+            workloads: registry::irregular_names().to_vec(),
+            results,
+            failures: Vec::new(),
+        };
         let g = r.geomean(|_| 3.0);
         assert!((g - 3.0).abs() < 1e-12);
+        assert_eq!(r.complete(&[ConfigName::Baseline]).len(), r.workloads.len());
+        assert!(r.complete(&[ConfigName::ToUe]).is_empty());
     }
 }

@@ -13,13 +13,14 @@ use batmem_sim::ops::{Kernel, KernelSpec, Workload, WarpOp};
 use batmem_sim::sm::{occupancy, Occupancy, Sm};
 use batmem_sim::warp::{WarpContext, WarpPhase};
 use batmem_types::policy::PolicyConfig;
-use batmem_types::{BlockId, Cycle, KernelId, PageId, SimConfig, SmId};
-use batmem_uvm::{OversubController, UvmEvent, UvmOutput, UvmRuntime};
+use batmem_types::{AuditLevel, BlockId, Cycle, KernelId, PageId, SimConfig, SimError, SmId};
+use batmem_uvm::{InjectConfig, OversubController, UvmEvent, UvmOutput, UvmRuntime};
 use batmem_vmem::{Mmu, TranslationOutcome};
 use std::collections::{HashMap, HashSet};
 
 /// Entry point: configure with [`Simulation::builder`], then
-/// [`SimulationBuilder::run`].
+/// [`SimulationBuilder::run`] (panicking) or [`SimulationBuilder::try_run`]
+/// (returns a typed [`SimError`]).
 #[derive(Debug)]
 pub struct Simulation;
 
@@ -36,6 +37,7 @@ pub struct SimulationBuilder {
     config: SimConfig,
     etc: EtcConfig,
     memory_ratio: Option<f64>,
+    inject: Option<InjectConfig>,
 }
 
 impl SimulationBuilder {
@@ -76,13 +78,71 @@ impl SimulationBuilder {
         self
     }
 
+    /// Sets the invariant-audit level (see [`AuditLevel`]). When enabled,
+    /// the run re-derives the UVM runtime's conservation laws after every
+    /// event and fails with [`SimError::InvariantViolated`] on a breach.
+    pub fn audit(mut self, level: AuditLevel) -> Self {
+        self.config.audit = level;
+        self
+    }
+
+    /// Arms deterministic fault injection (see [`InjectConfig`]).
+    pub fn inject(mut self, inject: InjectConfig) -> Self {
+        self.inject = Some(inject);
+        self
+    }
+
+    /// Overrides the forward-progress watchdog budget: the run fails with
+    /// [`SimError::Livelock`] after this many consecutive events without
+    /// forward progress. `0` disables the watchdog.
+    pub fn watchdog_budget(mut self, events: u64) -> Self {
+        self.config.watchdog_event_budget = events;
+        self
+    }
+
     /// Runs `workload` to completion and returns the metrics.
+    ///
+    /// Thin wrapper over [`try_run`](Self::try_run) for callers that prefer
+    /// the original panicking contract.
     ///
     /// # Panics
     ///
-    /// Panics on internal invariant violations (deadlock, page-table
-    /// inconsistencies) — these indicate engine bugs, not user errors.
-    pub fn run(mut self, workload: Box<dyn Workload>) -> RunMetrics {
+    /// Panics with the [`SimError`]'s message on invalid configuration or
+    /// internal invariant violations.
+    pub fn run(self, workload: Box<dyn Workload>) -> RunMetrics {
+        match self.try_run(workload) {
+            Ok(m) => m,
+            Err(e) => panic!("simulation failed: {e}"),
+        }
+    }
+
+    /// Runs `workload` to completion, returning a typed [`SimError`]
+    /// instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::InvalidConfig`] — the configuration failed
+    ///   [`SimConfig::validate`] (or the memory ratio / workload shape is
+    ///   degenerate); nothing was simulated.
+    /// * [`SimError::StateMachine`] / [`SimError::Accounting`] — an engine
+    ///   bug surfaced mid-run; the error carries the cycle and state.
+    /// * [`SimError::InvariantViolated`] — an enabled audit found a
+    ///   conservation law broken (see [`audit`](Self::audit)).
+    /// * [`SimError::Livelock`] / [`SimError::Deadlock`] — the watchdog or
+    ///   the end-of-run check caught a run that stopped making progress.
+    pub fn try_run(mut self, workload: Box<dyn Workload>) -> Result<RunMetrics, SimError> {
+        self.config.validate()?;
+        if let Some(ratio) = self.memory_ratio {
+            if !ratio.is_finite() || ratio <= 0.0 {
+                return Err(SimError::invalid_config(
+                    "memory_ratio",
+                    format!("must be a positive finite multiple of the footprint, got {ratio}"),
+                ));
+            }
+        }
+        if workload.num_kernels() == 0 {
+            return Err(SimError::invalid_config("workload", "launches no kernels"));
+        }
         let footprint = workload.footprint_bytes();
         let page_bytes = self.config.uvm.page_bytes();
         let footprint_pages = footprint.div_ceil(page_bytes).max(1);
@@ -99,7 +159,7 @@ impl SimulationBuilder {
                 self.config.policy.proactive_eviction = true;
             }
         }
-        Engine::new(self.config, self.etc, workload, footprint_pages).run()
+        Engine::new(self.config, self.etc, self.inject, workload, footprint_pages).run()
     }
 }
 
@@ -145,11 +205,25 @@ struct Engine {
     mem_ops: u64,
     ctx_switches: u64,
     ctx_switch_cycles: Cycle,
+    // watchdog progress counters
+    ops_consumed: u64,
+    pages_installed: u64,
+    faults_recorded: u64,
 }
 
 impl Engine {
-    fn new(cfg: SimConfig, etc: EtcConfig, workload: Box<dyn Workload>, footprint_pages: u64) -> Self {
-        let uvm = UvmRuntime::new(&cfg.uvm, &cfg.policy, footprint_pages);
+    fn new(
+        cfg: SimConfig,
+        etc: EtcConfig,
+        inject: Option<InjectConfig>,
+        workload: Box<dyn Workload>,
+        footprint_pages: u64,
+    ) -> Self {
+        let mut uvm = UvmRuntime::new(&cfg.uvm, &cfg.policy, footprint_pages);
+        uvm.set_audit(cfg.audit);
+        if let Some(i) = inject {
+            uvm.set_injector(i);
+        }
         let mmu = Mmu::new(&cfg);
         let mem = MemPath::new(&cfg.mem, cfg.gpu.num_sms);
         let oversub = OversubController::new(cfg.policy.oversubscription);
@@ -188,6 +262,9 @@ impl Engine {
             mem_ops: 0,
             ctx_switches: 0,
             ctx_switch_cycles: 0,
+            ops_consumed: 0,
+            pages_installed: 0,
+            faults_recorded: 0,
         }
     }
 
@@ -195,8 +272,50 @@ impl Engine {
         self.cfg.policy.oversubscription.enabled
     }
 
-    fn run(mut self) -> RunMetrics {
-        assert!(self.workload.num_kernels() > 0, "workload launches no kernels");
+    /// Everything that counts as forward progress for the watchdog: warp
+    /// ops consumed, faults accepted by the runtime, pages installed,
+    /// context switches, and retirements. Purely periodic events (Sample,
+    /// EtcTick) and parked wakes leave this unchanged.
+    fn progress_signature(&self) -> u64 {
+        self.ops_consumed
+            + self.faults_recorded
+            + self.pages_installed
+            + self.ctx_switches
+            + self.warps_retired
+            + self.blocks_retired
+    }
+
+    /// One-line dump of what is outstanding, for livelock/deadlock errors.
+    fn describe_stuck(&self) -> String {
+        format!(
+            "kernel {}/{}, {} blocks outstanding, {} pages awaited, {} events queued; {}",
+            self.kernel_idx,
+            self.workload.num_kernels(),
+            self.blocks_remaining,
+            self.waiters.len(),
+            self.events.len(),
+            self.uvm.describe_state(),
+        )
+    }
+
+    /// Cross-checks engine-level state against the MMU under `Full` audit:
+    /// a page with registered fault waiters must not be installed (its
+    /// waiters would sleep forever — exactly the livelock class the
+    /// fault-injection tests provoke).
+    fn audit_cross_state(&self) -> Result<(), SimError> {
+        for (page, list) in &self.waiters {
+            if self.mmu.is_resident(*page) {
+                return Err(SimError::InvariantViolated {
+                    cycle: self.clock,
+                    invariant: "pages with fault waiters are not MMU-resident",
+                    snapshot: format!("page {page} is installed but {} warps wait on it", list.len()),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn run(mut self) -> Result<RunMetrics, SimError> {
         self.launch_kernel(0);
         if self.to_enabled() {
             let period = self.cfg.policy.oversubscription.lifetime_sample_period;
@@ -205,32 +324,55 @@ impl Engine {
         if self.etc_enabled {
             self.events.push(self.throttle.next_tick(), Event::EtcTick);
         }
+        let budget = self.cfg.watchdog_event_budget;
+        let mut last_sig = self.progress_signature();
+        let mut stagnant: u64 = 0;
         while let Some((t, ev)) = self.events.pop() {
             debug_assert!(t >= self.clock, "time went backwards");
             self.clock = t;
             match ev {
-                Event::WarpWake { block, warp } => self.on_warp_wake(block, warp),
-                Event::RaiseFault { page } => self.on_raise_fault(page),
+                Event::WarpWake { block, warp } => self.on_warp_wake(block, warp)?,
+                Event::RaiseFault { page } => self.on_raise_fault(page)?,
                 Event::Uvm(e) => {
-                    let outs = self.uvm.on_event(e, self.clock);
+                    let outs = self.uvm.on_event(e, self.clock)?;
                     self.apply_outputs(outs);
+                    if self.cfg.audit >= AuditLevel::Full {
+                        self.audit_cross_state()?;
+                    }
                 }
                 Event::SwitchInDone { sm, block } => self.on_switch_in_done(sm, block),
                 Event::Sample => self.on_sample(),
                 Event::EtcTick => self.on_etc_tick(),
             }
+            if budget > 0 {
+                let sig = self.progress_signature();
+                if sig == last_sig {
+                    stagnant += 1;
+                    if stagnant >= budget {
+                        return Err(SimError::Livelock {
+                            cycle: self.clock,
+                            events_without_progress: stagnant,
+                            snapshot: self.describe_stuck(),
+                        });
+                    }
+                } else {
+                    last_sig = sig;
+                    stagnant = 0;
+                }
+            }
         }
-        assert!(
-            self.blocks_remaining == 0 && self.kernel_idx >= self.workload.num_kernels(),
-            "simulation deadlocked: kernel {} of {}, {} blocks outstanding, {} pages awaited",
-            self.kernel_idx,
-            self.workload.num_kernels(),
-            self.blocks_remaining,
-            self.waiters.len(),
-        );
+        if self.blocks_remaining > 0 || self.kernel_idx < self.workload.num_kernels() {
+            return Err(SimError::Deadlock { cycle: self.clock, detail: self.describe_stuck() });
+        }
+        let Some(finished_at) = self.finished_at else {
+            return Err(SimError::Deadlock {
+                cycle: self.clock,
+                detail: "work completed but no finish time was recorded".to_string(),
+            });
+        };
         let mmu_stats = self.mmu.stats();
-        RunMetrics {
-            cycles: self.finished_at.expect("finish time recorded"),
+        Ok(RunMetrics {
+            cycles: finished_at,
             workload: self.workload.name(),
             footprint_bytes: self.workload.footprint_bytes(),
             memory_pages: self.memory_pages,
@@ -247,7 +389,7 @@ impl Engine {
             final_oversub_degree: self.oversub.degree(),
             oversub_decrements: self.oversub.decrements(),
             throttle_engagements: self.throttle.engagements(),
-        }
+        })
     }
 
     // ---- kernel lifecycle -------------------------------------------------
@@ -355,20 +497,27 @@ impl Engine {
         sm >= self.sms.len() - self.throttled_count as usize
     }
 
-    fn on_warp_wake(&mut self, b: usize, w: usize) {
+    fn on_warp_wake(&mut self, b: usize, w: usize) -> Result<(), SimError> {
         match self.blocks[b].residency {
             BlockResidency::Active => {}
-            BlockResidency::Retired => panic!("wake for retired block"),
+            BlockResidency::Retired => {
+                return Err(SimError::StateMachine {
+                    cycle: self.clock,
+                    event: format!("WarpWake(block:{b}, warp:{w})"),
+                    state: "Retired".to_string(),
+                    detail: "a retired block's warp was woken".to_string(),
+                });
+            }
             _ => {
                 self.blocks[b].warps[w].phase = WarpPhase::ReadyInactive;
-                return;
+                return Ok(());
             }
         }
         let sm = self.block_sm[b];
         if self.is_throttled(sm) {
             // ETC memory-aware throttling: the SM is disabled; park the warp.
             self.blocks[b].warps[w].phase = WarpPhase::Ready;
-            return;
+            return Ok(());
         }
         match self.blocks[b].warps[w].take_next_op() {
             None => {
@@ -381,14 +530,19 @@ impl Engine {
                 }
             }
             Some(WarpOp::Compute(c)) => {
+                self.ops_consumed += 1;
                 self.blocks[b].warps[w].phase = WarpPhase::Computing;
                 self.events.push(self.clock + Cycle::from(c), Event::WarpWake { block: b, warp: w });
             }
-            Some(op) => self.exec_mem(b, w, op),
+            Some(op) => {
+                self.ops_consumed += 1;
+                self.exec_mem(b, w, op)?;
+            }
         }
+        Ok(())
     }
 
-    fn exec_mem(&mut self, b: usize, w: usize, op: WarpOp) {
+    fn exec_mem(&mut self, b: usize, w: usize, op: WarpOp) -> Result<(), SimError> {
         self.mem_ops += 1;
         let sm = self.block_sm[b];
         let page_shift = self.cfg.uvm.page_shift;
@@ -419,11 +573,12 @@ impl Engine {
             let mut total: Cycle = 0;
             for a in op.addrs() {
                 let page = a.page(page_shift);
-                let tl = page_lat
-                    .iter()
-                    .find(|&&(p, _)| p == page)
-                    .map(|&(_, l)| l)
-                    .expect("translated page");
+                let Some(tl) = page_lat.iter().find(|&&(p, _)| p == page).map(|&(_, l)| l) else {
+                    return Err(SimError::Accounting {
+                        cycle: self.clock,
+                        detail: format!("mem op touched page {page} that was never translated"),
+                    });
+                };
                 let dl = self.mem.access(sm, *a) + cc;
                 total = total.max(tl + dl);
             }
@@ -460,20 +615,23 @@ impl Engine {
             }
             self.maybe_switch(sm);
         }
+        Ok(())
     }
 
-    fn on_raise_fault(&mut self, page: PageId) {
+    fn on_raise_fault(&mut self, page: PageId) -> Result<(), SimError> {
         // The page may have been migrated (or scheduled) since the walk
         // failed; replay would find it resident.
         if self.mmu.is_resident(page) || self.uvm.is_inflight(page) || self.uvm.is_resident(page) {
-            return;
+            return Ok(());
         }
         if self.etc_enabled {
             let refault = !self.seen_fault_pages.insert(page);
             self.throttle.on_fault(refault);
         }
-        let outs = self.uvm.record_fault(page, self.clock);
+        let outs = self.uvm.record_fault(page, self.clock)?;
+        self.faults_recorded += 1;
         self.apply_outputs(outs);
+        Ok(())
     }
 
     fn apply_outputs(&mut self, outs: Vec<UvmOutput>) {
@@ -484,6 +642,7 @@ impl Engine {
                 }
                 UvmOutput::Install { page, frame } => {
                     self.mmu.install(page, frame);
+                    self.pages_installed += 1;
                     self.wake_waiters(page);
                 }
                 UvmOutput::Evict { page } => {

@@ -22,10 +22,9 @@
 #![warn(missing_docs)]
 
 use batmem_types::Cycle;
-use serde::{Deserialize, Serialize};
 
 /// ETC configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EtcConfig {
     /// Master switch.
     pub enabled: bool,

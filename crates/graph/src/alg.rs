@@ -113,13 +113,13 @@ pub fn pagerank(g: &Csr, iterations: u32) -> Vec<f64> {
     for _ in 0..iterations {
         next.iter_mut().for_each(|x| *x = 0.0);
         let mut dangling = 0.0;
-        for v in 0..n {
+        for (v, &r) in rank.iter().enumerate() {
             let deg = g.degree(v as u32);
             if deg == 0 {
-                dangling += rank[v];
+                dangling += r;
                 continue;
             }
-            let share = rank[v] / f64::from(deg);
+            let share = r / f64::from(deg);
             for &t in g.neighbors(v as u32) {
                 next[t as usize] += share;
             }

@@ -1,11 +1,10 @@
 //! Deterministic graph generators.
 //!
 //! All generators are seeded and reproducible across platforms (they use
-//! [`rand::rngs::StdRng`], whose output is stable for a given seed).
+//! [`batmem_types::rng::DetRng`], whose output is stable for a given seed).
 
 use crate::csr::{Csr, CsrBuilder};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use batmem_types::rng::DetRng;
 
 /// Generates an R-MAT (recursive-matrix / Kronecker) graph with `2^scale`
 /// vertices and `edge_factor * 2^scale` directed edges, using the standard
@@ -35,7 +34,7 @@ pub fn rmat_with(scale: u32, edge_factor: u32, a: f64, b: f64, c: f64, seed: u64
     assert!(a >= 0.0 && b >= 0.0 && c >= 0.0 && a + b + c <= 1.0, "invalid R-MAT probabilities");
     let n: u32 = 1 << scale;
     let m = u64::from(edge_factor) * u64::from(n);
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = DetRng::new(seed);
     let mut builder = CsrBuilder::new(n);
     for _ in 0..m {
         let (mut lo_s, mut hi_s) = (0u32, n);
@@ -43,7 +42,7 @@ pub fn rmat_with(scale: u32, edge_factor: u32, a: f64, b: f64, c: f64, seed: u64
         while hi_s - lo_s > 1 {
             let mid_s = lo_s + (hi_s - lo_s) / 2;
             let mid_d = lo_d + (hi_d - lo_d) / 2;
-            let r: f64 = rng.gen();
+            let r: f64 = rng.next_f64();
             if r < a {
                 hi_s = mid_s;
                 hi_d = mid_d;
@@ -73,11 +72,11 @@ pub fn rmat_with(scale: u32, edge_factor: u32, a: f64, b: f64, c: f64, seed: u64
 /// ```
 pub fn uniform(n: u32, m: u64, seed: u64) -> Csr {
     assert!(n > 0, "uniform graph needs at least one vertex");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = DetRng::new(seed);
     let mut builder = CsrBuilder::new(n);
     for _ in 0..m {
-        let s = rng.gen_range(0..n);
-        let d = rng.gen_range(0..n);
+        let s = rng.below(u64::from(n)) as u32;
+        let d = rng.below(u64::from(n)) as u32;
         builder = builder.edge(s, d);
     }
     builder.build()
@@ -87,12 +86,12 @@ pub fn uniform(n: u32, m: u64, seed: u64) -> Csr {
 /// `1..=max_weight` (for SSSP).
 pub fn rmat_weighted(scale: u32, edge_factor: u32, max_weight: u32, seed: u64) -> Csr {
     let unweighted = rmat(scale, edge_factor, seed);
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x5ee_d);
+    let mut rng = DetRng::new(seed ^ 0x5eed);
     let n = unweighted.num_vertices();
     let mut builder = CsrBuilder::new(n);
     for v in 0..n {
         for &t in unweighted.neighbors(v) {
-            builder = builder.weighted_edge(v, t, rng.gen_range(1..=max_weight));
+            builder = builder.weighted_edge(v, t, rng.range_inclusive(1, u64::from(max_weight)) as u32);
         }
     }
     builder.build()

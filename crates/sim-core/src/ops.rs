@@ -73,7 +73,7 @@ impl KernelSpec {
     /// `warp_size`.
     pub fn warps_per_block(&self, warp_size: u32) -> u32 {
         assert!(
-            self.threads_per_block > 0 && self.threads_per_block % warp_size == 0,
+            self.threads_per_block > 0 && self.threads_per_block.is_multiple_of(warp_size),
             "threads_per_block {} must be a positive multiple of warp size {}",
             self.threads_per_block,
             warp_size

@@ -21,7 +21,7 @@ pub struct Occupancy {
 pub fn occupancy(gpu: &GpuConfig, spec: &KernelSpec) -> Occupancy {
     let by_threads = gpu.threads_per_sm / spec.threads_per_block;
     let regs_per_block = spec.regs_per_thread * spec.threads_per_block;
-    let by_regs = if regs_per_block == 0 { u32::MAX } else { gpu.regs_per_sm / regs_per_block };
+    let by_regs = gpu.regs_per_sm.checked_div(regs_per_block).unwrap_or(u32::MAX);
     let active_limit = gpu.max_blocks_per_sm.min(by_threads).min(by_regs).max(1);
     Occupancy { active_limit, warps_per_block: spec.warps_per_block(gpu.warp_size) }
 }

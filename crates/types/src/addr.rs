@@ -8,7 +8,6 @@
 //! * region-granular [`RegionId`]s (2 MB by default) at which the tree-based
 //!   prefetcher reasons, mirroring the NVIDIA UVM driver's root chunks.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A byte-granular virtual address in the unified CPU/GPU address space.
@@ -22,7 +21,7 @@ use std::fmt;
 /// assert_eq!(a.raw(), 0x12345);
 /// assert_eq!(a.page(16).index(), 0x1);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct VirtAddr(u64);
 
 impl VirtAddr {
@@ -76,7 +75,7 @@ impl From<u64> for VirtAddr {
 ///
 /// A `PageId` is a virtual address shifted right by the page shift; two
 /// addresses on the same page map to the same `PageId`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct PageId(u64);
 
 impl PageId {
@@ -119,7 +118,7 @@ impl fmt::Display for PageId {
 }
 
 /// A prefetch region (2 MB by default), mirroring UVM driver root chunks.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct RegionId(u64);
 
 impl RegionId {
@@ -159,7 +158,7 @@ impl fmt::Display for RegionId {
 ///
 /// Frames are what the physical memory manager allocates; a resident
 /// [`PageId`] maps to exactly one `FrameId`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct FrameId(u32);
 
 impl FrameId {

@@ -13,12 +13,12 @@
 //! | Fault buffer | 1024 entries |
 //! | Fault handling | 64 KB pages, 20 µs runtime fault handling, 15.75 GB/s PCIe |
 
+use crate::error::{AuditLevel, SimError};
 use crate::policy::PolicyConfig;
 use crate::time::Cycle;
-use serde::{Deserialize, Serialize};
 
 /// GPU core (SM) configuration.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct GpuConfig {
     /// Number of streaming multiprocessors.
     pub num_sms: u16,
@@ -56,6 +56,39 @@ impl Default for GpuConfig {
 }
 
 impl GpuConfig {
+    /// Rejects degenerate core configurations that would make the engine
+    /// divide by zero or schedule nothing at all.
+    pub fn validate(&self) -> Result<(), SimError> {
+        if self.num_sms == 0 {
+            return Err(SimError::invalid_config("gpu.num_sms", "must be nonzero"));
+        }
+        if self.warp_size == 0 {
+            return Err(SimError::invalid_config("gpu.warp_size", "must be nonzero"));
+        }
+        if self.threads_per_sm == 0 || !self.threads_per_sm.is_multiple_of(self.warp_size) {
+            return Err(SimError::invalid_config(
+                "gpu.threads_per_sm",
+                format!(
+                    "must be a nonzero multiple of the warp size ({}), got {}",
+                    self.warp_size, self.threads_per_sm
+                ),
+            ));
+        }
+        if self.regs_per_sm == 0 {
+            return Err(SimError::invalid_config("gpu.regs_per_sm", "must be nonzero"));
+        }
+        if self.max_blocks_per_sm == 0 {
+            return Err(SimError::invalid_config("gpu.max_blocks_per_sm", "must be nonzero"));
+        }
+        if self.ctx_switch_bytes_per_cycle == 0 {
+            return Err(SimError::invalid_config(
+                "gpu.ctx_switch_bytes_per_cycle",
+                "must be nonzero (context-switch cost divides by it)",
+            ));
+        }
+        Ok(())
+    }
+
     /// The register-file size in bytes (registers are 32-bit).
     pub fn reg_file_bytes(&self) -> u32 {
         self.regs_per_sm * 4
@@ -71,7 +104,7 @@ impl GpuConfig {
 }
 
 /// A set-associative cache shape.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheGeometry {
     /// Total capacity in bytes.
     pub capacity_bytes: u32,
@@ -84,6 +117,34 @@ pub struct CacheGeometry {
 }
 
 impl CacheGeometry {
+    /// Rejects shapes that do not divide into at least one whole set.
+    ///
+    /// `field` names the config location (e.g. `mem.l1d`) in the error.
+    pub fn validate(&self, field: &'static str) -> Result<(), SimError> {
+        if self.ways == 0 {
+            return Err(SimError::invalid_config(field, "associativity must be nonzero"));
+        }
+        if self.line_shift >= 31 {
+            return Err(SimError::invalid_config(
+                field,
+                format!("line_shift {} overflows the line size", self.line_shift),
+            ));
+        }
+        let row = u64::from(self.ways) << self.line_shift;
+        let cap = u64::from(self.capacity_bytes);
+        if cap == 0 || cap % row != 0 {
+            return Err(SimError::invalid_config(
+                field,
+                format!(
+                    "capacity {cap} B must be a nonzero multiple of ways x line ({} x {} B)",
+                    self.ways,
+                    1u64 << self.line_shift
+                ),
+            ));
+        }
+        Ok(())
+    }
+
     /// Number of sets (capacity / (ways × line size)).
     ///
     /// # Panics
@@ -98,7 +159,7 @@ impl CacheGeometry {
 }
 
 /// Memory-hierarchy (data path) configuration.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MemConfig {
     /// Per-SM private L1 data cache.
     pub l1d: CacheGeometry,
@@ -129,7 +190,7 @@ impl Default for MemConfig {
 }
 
 /// TLB and page-table-walker configuration.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TlbConfig {
     /// Entries in each per-SM L1 TLB (fully associative).
     pub l1_entries: u32,
@@ -152,6 +213,14 @@ pub struct TlbConfig {
     pub pwc_entries: u32,
 }
 
+impl MemConfig {
+    /// Validates both cache shapes.
+    pub fn validate(&self) -> Result<(), SimError> {
+        self.l1d.validate("mem.l1d")?;
+        self.l2d.validate("mem.l2d")
+    }
+}
+
 impl Default for TlbConfig {
     fn default() -> Self {
         Self {
@@ -168,8 +237,33 @@ impl Default for TlbConfig {
     }
 }
 
+impl TlbConfig {
+    /// Rejects TLB geometries the translation model cannot index.
+    pub fn validate(&self) -> Result<(), SimError> {
+        if self.l1_entries == 0 {
+            return Err(SimError::invalid_config("tlb.l1_entries", "must be nonzero"));
+        }
+        if self.l2_ways == 0 {
+            return Err(SimError::invalid_config("tlb.l2_ways", "must be nonzero"));
+        }
+        if self.l2_entries == 0 || !self.l2_entries.is_multiple_of(self.l2_ways) {
+            return Err(SimError::invalid_config(
+                "tlb.l2_entries",
+                format!(
+                    "must be a nonzero multiple of the associativity ({}), got {}",
+                    self.l2_ways, self.l2_entries
+                ),
+            ));
+        }
+        if self.walker_threads == 0 {
+            return Err(SimError::invalid_config("tlb.walker_threads", "must be nonzero"));
+        }
+        Ok(())
+    }
+}
+
 /// UVM runtime (demand paging) configuration.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct UvmConfig {
     /// Log2 of the migration page size (16 ⇒ 64 KB pages).
     pub page_shift: u32,
@@ -215,6 +309,42 @@ impl Default for UvmConfig {
 }
 
 impl UvmConfig {
+    /// Rejects page/region shifts and link parameters the migration model
+    /// cannot operate with.
+    pub fn validate(&self) -> Result<(), SimError> {
+        if !(10..=30).contains(&self.page_shift) {
+            return Err(SimError::invalid_config(
+                "uvm.page_shift",
+                format!("must be in 10..=30 (1 KB to 1 GB pages), got {}", self.page_shift),
+            ));
+        }
+        if self.region_shift < self.page_shift || self.region_shift > 40 {
+            return Err(SimError::invalid_config(
+                "uvm.region_shift",
+                format!(
+                    "must be in page_shift({})..=40, got {}",
+                    self.page_shift, self.region_shift
+                ),
+            ));
+        }
+        if self.fault_buffer_entries == 0 {
+            return Err(SimError::invalid_config("uvm.fault_buffer_entries", "must be nonzero"));
+        }
+        if self.pcie_h2d_bytes_per_sec == 0 {
+            return Err(SimError::invalid_config("uvm.pcie_h2d_bytes_per_sec", "must be nonzero"));
+        }
+        if self.pcie_d2h_bytes_per_sec == 0 {
+            return Err(SimError::invalid_config("uvm.pcie_d2h_bytes_per_sec", "must be nonzero"));
+        }
+        if self.gpu_mem_pages == Some(0) {
+            return Err(SimError::invalid_config(
+                "uvm.gpu_mem_pages",
+                "zero-page device memory cannot hold any batch (use None for unlimited)",
+            ));
+        }
+        Ok(())
+    }
+
     /// Page size in bytes.
     pub fn page_bytes(&self) -> u64 {
         1 << self.page_shift
@@ -238,7 +368,7 @@ impl UvmConfig {
 /// config.uvm.gpu_mem_pages = Some(100);
 /// assert_eq!(config.uvm.page_bytes(), 65536);
 /// ```
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimConfig {
     /// GPU core configuration.
     pub gpu: GpuConfig,
@@ -250,9 +380,44 @@ pub struct SimConfig {
     pub uvm: UvmConfig,
     /// Policy selections (prefetching, eviction, oversubscription, …).
     pub policy: PolicyConfig,
+    /// Invariant-audit level applied while the simulation runs.
+    pub audit: AuditLevel,
+    /// Forward-progress watchdog: the run fails with
+    /// [`SimError::Livelock`] after this many consecutive events with no
+    /// forward progress (no warp op consumed, no page installed, no block
+    /// retired). `0` disables the watchdog.
+    pub watchdog_event_budget: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            gpu: GpuConfig::default(),
+            mem: MemConfig::default(),
+            tlb: TlbConfig::default(),
+            uvm: UvmConfig::default(),
+            policy: PolicyConfig::default(),
+            audit: AuditLevel::Off,
+            watchdog_event_budget: 100_000,
+        }
+    }
 }
 
 impl SimConfig {
+    /// Validates every sub-configuration, then the policy knobs.
+    ///
+    /// Called by the simulation builder before a run starts, so a
+    /// degenerate configuration fails fast with a
+    /// [`SimError::InvalidConfig`] naming the offending field instead of
+    /// dividing by zero (or silently simulating nonsense) mid-run.
+    pub fn validate(&self) -> Result<(), SimError> {
+        self.gpu.validate()?;
+        self.mem.validate()?;
+        self.tlb.validate()?;
+        self.uvm.validate()?;
+        self.policy.validate()
+    }
+
     /// Renders the configuration as the rows of Table 1 in the paper.
     pub fn table1(&self) -> String {
         let g = &self.gpu;
@@ -351,10 +516,105 @@ mod tests {
     }
 
     #[test]
-    fn config_is_serializable_and_cloneable() {
-        fn assert_serializable<T: serde::Serialize + for<'de> serde::Deserialize<'de>>() {}
-        assert_serializable::<SimConfig>();
+    fn config_is_cloneable_and_comparable() {
         let c = SimConfig::default();
         assert_eq!(c, c.clone());
+    }
+
+    #[test]
+    fn default_config_validates() {
+        SimConfig::default().validate().unwrap();
+    }
+
+    fn rejected_field(c: &SimConfig) -> &'static str {
+        match c.validate().unwrap_err() {
+            SimError::InvalidConfig { field, .. } => field,
+            other => panic!("expected InvalidConfig, got {other}"),
+        }
+    }
+
+    #[test]
+    fn zero_sms_is_rejected() {
+        let mut c = SimConfig::default();
+        c.gpu.num_sms = 0;
+        assert_eq!(rejected_field(&c), "gpu.num_sms");
+    }
+
+    #[test]
+    fn threads_not_multiple_of_warp_is_rejected() {
+        let mut c = SimConfig::default();
+        c.gpu.threads_per_sm = 1000; // not a multiple of 32
+        assert_eq!(rejected_field(&c), "gpu.threads_per_sm");
+    }
+
+    #[test]
+    fn zero_ctx_switch_bandwidth_is_rejected() {
+        let mut c = SimConfig::default();
+        c.gpu.ctx_switch_bytes_per_cycle = 0;
+        assert_eq!(rejected_field(&c), "gpu.ctx_switch_bytes_per_cycle");
+    }
+
+    #[test]
+    fn cache_with_zero_sets_is_rejected() {
+        let mut c = SimConfig::default();
+        // 1 KB capacity with 4 ways of 512 B lines: zero whole sets.
+        c.mem.l1d = CacheGeometry { capacity_bytes: 1024, ways: 4, line_shift: 9, hit_latency: 4 };
+        assert_eq!(rejected_field(&c), "mem.l1d");
+    }
+
+    #[test]
+    fn l2_cache_geometry_is_checked_too() {
+        let mut c = SimConfig::default();
+        c.mem.l2d.ways = 0;
+        assert_eq!(rejected_field(&c), "mem.l2d");
+    }
+
+    #[test]
+    fn tlb_entries_must_divide_by_ways() {
+        let mut c = SimConfig::default();
+        c.tlb.l2_entries = 1000; // not a multiple of 32 ways
+        assert_eq!(rejected_field(&c), "tlb.l2_entries");
+    }
+
+    #[test]
+    fn bad_page_shift_is_rejected() {
+        let mut c = SimConfig::default();
+        c.uvm.page_shift = 5;
+        assert_eq!(rejected_field(&c), "uvm.page_shift");
+    }
+
+    #[test]
+    fn region_smaller_than_page_is_rejected() {
+        let mut c = SimConfig::default();
+        c.uvm.region_shift = c.uvm.page_shift - 1;
+        assert_eq!(rejected_field(&c), "uvm.region_shift");
+    }
+
+    #[test]
+    fn zero_capacity_memory_is_rejected() {
+        let mut c = SimConfig::default();
+        c.uvm.gpu_mem_pages = Some(0);
+        assert_eq!(rejected_field(&c), "uvm.gpu_mem_pages");
+    }
+
+    #[test]
+    fn zero_pcie_bandwidth_is_rejected() {
+        let mut c = SimConfig::default();
+        c.uvm.pcie_h2d_bytes_per_sec = 0;
+        assert_eq!(rejected_field(&c), "uvm.pcie_h2d_bytes_per_sec");
+    }
+
+    #[test]
+    fn policy_knobs_are_validated_through_sim_config() {
+        let mut c = SimConfig::default();
+        c.policy.prefetch = crate::policy::PrefetchPolicy::Tree { threshold_percent: 0 };
+        assert_eq!(rejected_field(&c), "policy.prefetch.threshold_percent");
+    }
+
+    #[test]
+    fn watchdog_and_audit_defaults() {
+        let c = SimConfig::default();
+        assert_eq!(c.watchdog_event_budget, 100_000);
+        assert_eq!(c.audit, AuditLevel::Off);
     }
 }

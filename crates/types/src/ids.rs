@@ -1,10 +1,9 @@
 //! Identifiers for the hardware and software entities of the simulated GPU.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A streaming multiprocessor (SM) index.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SmId(u16);
 
 impl SmId {
@@ -26,7 +25,7 @@ impl fmt::Display for SmId {
 }
 
 /// A thread block, identified by its global launch index within a kernel grid.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct BlockId(u32);
 
 impl BlockId {
@@ -48,7 +47,7 @@ impl fmt::Display for BlockId {
 }
 
 /// A warp, identified globally by `(block, lane-within-block)`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct WarpId {
     /// The thread block this warp belongs to.
     pub block: BlockId,
@@ -71,7 +70,7 @@ impl fmt::Display for WarpId {
 
 /// A kernel launch index within a workload (workloads may launch many kernels,
 /// e.g. one per BFS level).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct KernelId(u32);
 
 impl KernelId {

@@ -14,6 +14,10 @@
 //! * [`policy`] — the policy knobs that select between the paper's baseline
 //!   and proposed mechanisms (thread oversubscription, unobtrusive eviction,
 //!   prefetching, PCIe compression).
+//! * [`error`] — structured simulation errors ([`SimError`]) and the
+//!   invariant-audit knob ([`AuditLevel`]).
+//! * [`rng`] — the deterministic seeded generator used wherever the
+//!   simulator needs reproducible randomness.
 //!
 //! # Examples
 //!
@@ -32,11 +36,15 @@
 
 pub mod addr;
 pub mod config;
+pub mod error;
 pub mod ids;
 pub mod policy;
+pub mod rng;
 pub mod time;
 
 pub use addr::{FrameId, PageId, RegionId, VirtAddr};
 pub use config::SimConfig;
+pub use error::{AuditLevel, SimError};
 pub use ids::{BlockId, KernelId, SmId, WarpId};
+pub use rng::DetRng;
 pub use time::Cycle;

@@ -13,11 +13,11 @@
 //!
 //! All of these are expressible as a [`PolicyConfig`] value.
 
+use crate::error::SimError;
 use crate::time::Cycle;
-use serde::{Deserialize, Serialize};
 
 /// Page prefetching policy applied while a batch is preprocessed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PrefetchPolicy {
     /// No prefetching: only faulted pages migrate.
     None,
@@ -38,7 +38,7 @@ impl Default for PrefetchPolicy {
 }
 
 /// Page eviction engine used when device memory is at capacity.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum EvictionPolicy {
     /// The baseline, modeled on the NVIDIA driver (§3 of the paper): an
     /// eviction is requested reactively when an allocation fails, and the
@@ -55,7 +55,7 @@ pub enum EvictionPolicy {
 }
 
 /// The granularity at which the physical memory manager evicts.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum EvictionGranularity {
     /// Evict one 64 KB page at a time (the paper's simulator model).
     #[default]
@@ -66,7 +66,7 @@ pub enum EvictionGranularity {
 }
 
 /// What makes an active thread block eligible for a context switch.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum SwitchTrigger {
     /// Switch only when every warp of the block is blocked on a page fault
     /// (the paper's TO mechanism, §4.1).
@@ -79,7 +79,7 @@ pub enum SwitchTrigger {
 }
 
 /// Thread Oversubscription (TO) configuration (§4.1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ToConfig {
     /// Master switch.
     pub enabled: bool,
@@ -120,7 +120,7 @@ impl ToConfig {
 }
 
 /// PCIe link compression (the `BASELINE with PCIe Compression` bar of Fig. 11).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PcieCompression {
     /// Master switch.
     pub enabled: bool,
@@ -148,7 +148,7 @@ impl PcieCompression {
 }
 
 /// The combined policy configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct PolicyConfig {
     /// Batch-time page prefetching.
     pub prefetch: PrefetchPolicy,
@@ -204,6 +204,49 @@ impl PolicyConfig {
     pub fn ideal_eviction() -> Self {
         Self { eviction: EvictionPolicy::Ideal, ..Self::default() }
     }
+
+    /// Rejects policy knobs outside their meaningful ranges.
+    pub fn validate(&self) -> Result<(), SimError> {
+        if let PrefetchPolicy::Tree { threshold_percent } = self.prefetch {
+            if threshold_percent == 0 || threshold_percent > 100 {
+                return Err(SimError::invalid_config(
+                    "policy.prefetch.threshold_percent",
+                    format!("must be in 1..=100, got {threshold_percent}"),
+                ));
+            }
+        }
+        let to = &self.oversubscription;
+        if to.enabled {
+            if to.max_extra_blocks == 0 || to.max_extra_blocks < to.initial_extra_blocks {
+                return Err(SimError::invalid_config(
+                    "policy.oversubscription.max_extra_blocks",
+                    format!(
+                        "must be nonzero and >= initial_extra_blocks ({}), got {}",
+                        to.initial_extra_blocks, to.max_extra_blocks
+                    ),
+                ));
+            }
+            if to.lifetime_sample_period == 0 {
+                return Err(SimError::invalid_config(
+                    "policy.oversubscription.lifetime_sample_period",
+                    "must be nonzero (the dynamic controller samples on this period)",
+                ));
+            }
+            if to.lifetime_drop_threshold_percent > 100 {
+                return Err(SimError::invalid_config(
+                    "policy.oversubscription.lifetime_drop_threshold_percent",
+                    format!("must be <= 100, got {}", to.lifetime_drop_threshold_percent),
+                ));
+            }
+        }
+        if self.compression.enabled && self.compression.ratio_x100 < 100 {
+            return Err(SimError::invalid_config(
+                "policy.compression.ratio_x100",
+                format!("compression must not expand data (>= 100), got {}", self.compression.ratio_x100),
+            ));
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -232,6 +275,39 @@ mod tests {
         assert_eq!(c.wire_bytes(65536), 43691); // rounds up
         let off = PcieCompression::default();
         assert_eq!(off.wire_bytes(65536), 65536);
+    }
+
+    #[test]
+    fn every_preset_validates() {
+        for p in [
+            PolicyConfig::baseline(),
+            PolicyConfig::baseline_with_compression(),
+            PolicyConfig::to_only(),
+            PolicyConfig::ue_only(),
+            PolicyConfig::to_ue(),
+            PolicyConfig::ideal_eviction(),
+        ] {
+            p.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn degenerate_policy_knobs_are_rejected() {
+        let mut p = PolicyConfig::baseline();
+        p.prefetch = PrefetchPolicy::Tree { threshold_percent: 101 };
+        assert!(p.validate().is_err());
+
+        let mut p = PolicyConfig::to_only();
+        p.oversubscription.max_extra_blocks = 0;
+        assert!(p.validate().is_err());
+
+        let mut p = PolicyConfig::to_only();
+        p.oversubscription.lifetime_sample_period = 0;
+        assert!(p.validate().is_err());
+
+        let mut p = PolicyConfig::baseline_with_compression();
+        p.compression.ratio_x100 = 50;
+        assert!(p.validate().is_err());
     }
 
     #[test]

@@ -29,6 +29,7 @@
 
 pub mod batch;
 pub mod fault;
+pub mod inject;
 pub mod lifetime;
 pub mod memmgr;
 pub mod oversub;
@@ -39,6 +40,7 @@ pub mod stats;
 
 pub use batch::BatchRecord;
 pub use fault::FaultBuffer;
+pub use inject::{FaultInjector, InjectConfig, InjectStats};
 pub use lifetime::LifetimeTracker;
 pub use memmgr::MemoryManager;
 pub use oversub::OversubController;

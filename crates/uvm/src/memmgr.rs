@@ -7,7 +7,7 @@
 //! table tracks the warps' view (which lags by the transfer latencies).
 
 use batmem_types::policy::EvictionGranularity;
-use batmem_types::{FrameId, PageId};
+use batmem_types::{FrameId, PageId, SimError};
 use std::collections::{BTreeMap, HashMap, HashSet};
 
 /// Physical frame allocation and LRU victim selection.
@@ -97,14 +97,23 @@ impl MemoryManager {
 
     /// Marks `page` resident in `frame` and stamps it most recently used.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the page is already resident.
-    pub fn mark_resident(&mut self, page: PageId, frame: FrameId) {
-        let prev = self.resident.insert(page, frame);
-        assert!(prev.is_none(), "page {page} marked resident twice");
+    /// Returns [`SimError::Accounting`] if the page is already resident
+    /// (a double install would leak the page's previous frame).
+    pub fn mark_resident(&mut self, page: PageId, frame: FrameId) -> Result<(), SimError> {
+        if let Some(&prev) = self.resident.get(&page) {
+            return Err(SimError::Accounting {
+                cycle: 0,
+                detail: format!(
+                    "page {page} marked resident twice (held {prev}, offered {frame})"
+                ),
+            });
+        }
+        self.resident.insert(page, frame);
         self.peak_resident = self.peak_resident.max(self.resident.len());
         self.bump(page);
+        Ok(())
     }
 
     /// Refreshes `page`'s LRU stamp if it is resident (called on access).
@@ -129,15 +138,26 @@ impl MemoryManager {
     /// the free pool is the **caller's** job — the frame may only become
     /// reusable when the eviction transfer completes.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the page is not resident.
-    pub fn remove(&mut self, page: PageId) -> FrameId {
-        let frame = self.resident.remove(&page).expect("evicting page that is not resident");
-        let stamp = self.stamp_of.remove(&page).expect("resident page without stamp");
+    /// Returns [`SimError::Accounting`] if the page is not resident or its
+    /// LRU stamp is missing (either means the books are already corrupt).
+    pub fn remove(&mut self, page: PageId) -> Result<FrameId, SimError> {
+        let Some(frame) = self.resident.remove(&page) else {
+            return Err(SimError::Accounting {
+                cycle: 0,
+                detail: format!("evicting page {page} that is not resident"),
+            });
+        };
+        let Some(stamp) = self.stamp_of.remove(&page) else {
+            return Err(SimError::Accounting {
+                cycle: 0,
+                detail: format!("resident page {page} has no LRU stamp"),
+            });
+        };
         self.by_stamp.remove(&stamp);
         self.evictions += 1;
-        frame
+        Ok(frame)
     }
 
     /// Returns an eviction-completed frame to the free pool.
@@ -209,6 +229,75 @@ impl MemoryManager {
     pub fn capacity(&self) -> Option<u64> {
         self.capacity
     }
+
+    /// Frames ever minted (handed out at least once).
+    pub fn minted_frames(&self) -> u64 {
+        u64::from(self.next_frame)
+    }
+
+    /// Frames currently in the free pool.
+    pub fn free_frames(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Re-derives the manager's internal invariants from scratch.
+    ///
+    /// Called by the runtime auditor under
+    /// [`AuditLevel::Full`](batmem_types::AuditLevel). Checks that the LRU
+    /// index mirrors the residency map exactly, that no frame is tracked
+    /// twice, and that the books never exceed minted frames or capacity.
+    pub fn audit(&self) -> Result<(), SimError> {
+        let violated = |invariant: &'static str, snapshot: String| {
+            Err(SimError::InvariantViolated { cycle: 0, invariant, snapshot })
+        };
+        if self.stamp_of.len() != self.resident.len() || self.by_stamp.len() != self.resident.len()
+        {
+            return violated(
+                "LRU index mirrors residency",
+                format!(
+                    "resident={} stamp_of={} by_stamp={}",
+                    self.resident.len(),
+                    self.stamp_of.len(),
+                    self.by_stamp.len()
+                ),
+            );
+        }
+        for (page, stamp) in &self.stamp_of {
+            if self.by_stamp.get(stamp) != Some(page) {
+                return violated(
+                    "stamp maps round-trip",
+                    format!("page {page} stamp {stamp} does not round-trip"),
+                );
+            }
+            if !self.resident.contains_key(page) {
+                return violated(
+                    "stamped pages are resident",
+                    format!("page {page} has a stamp but is not resident"),
+                );
+            }
+        }
+        let mut seen: HashSet<FrameId> = HashSet::new();
+        for f in self.free.iter().chain(self.resident.values()) {
+            if !seen.insert(*f) {
+                return violated("no frame tracked twice", format!("{f} appears twice"));
+            }
+            if f.index() >= self.next_frame {
+                return violated(
+                    "tracked frames were minted",
+                    format!("{f} >= next_frame {}", self.next_frame),
+                );
+            }
+        }
+        if let Some(cap) = self.capacity {
+            if u64::from(self.next_frame) > cap {
+                return violated(
+                    "minted frames within capacity",
+                    format!("minted {} > capacity {cap}", self.next_frame),
+                );
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -257,7 +346,7 @@ mod tests {
         let mut m = mgr(3);
         for i in 0..3 {
             let f = m.take_frame().unwrap();
-            m.mark_resident(p(i), f);
+            m.mark_resident(p(i), f).unwrap();
         }
         m.touch(p(0)); // 0 refreshed; LRU is now 1
         let (v, forced) = m.pick_victims(&HashSet::new());
@@ -270,7 +359,7 @@ mod tests {
         let mut m = mgr(2);
         for i in 0..2 {
             let f = m.take_frame().unwrap();
-            m.mark_resident(p(i), f);
+            m.mark_resident(p(i), f).unwrap();
         }
         let pinned: HashSet<PageId> = [p(0)].into_iter().collect();
         let (v, forced) = m.pick_victims(&pinned);
@@ -297,7 +386,7 @@ mod tests {
         // region 1.
         for i in [0u64, 2, 3, 5] {
             let f = m.take_frame().unwrap();
-            m.mark_resident(p(i), f);
+            m.mark_resident(p(i), f).unwrap();
         }
         m.touch(p(0)); // LRU seed becomes page 2
         let (v, _) = m.pick_victims(&HashSet::new());
@@ -311,9 +400,9 @@ mod tests {
     fn remove_makes_page_non_resident_and_counts() {
         let mut m = mgr(1);
         let f = m.take_frame().unwrap();
-        m.mark_resident(p(7), f);
+        m.mark_resident(p(7), f).unwrap();
         assert!(m.is_resident(p(7)));
-        let got = m.remove(p(7));
+        let got = m.remove(p(7)).unwrap();
         assert_eq!(got, f);
         assert!(!m.is_resident(p(7)));
         assert_eq!(m.evictions(), 1);
@@ -321,12 +410,46 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "resident twice")]
-    fn double_mark_panics() {
+    fn double_mark_is_an_accounting_error() {
         let mut m = mgr(2);
         let f = m.take_frame().unwrap();
-        m.mark_resident(p(1), f);
-        m.mark_resident(p(1), f);
+        m.mark_resident(p(1), f).unwrap();
+        let err = m.mark_resident(p(1), f).unwrap_err();
+        assert!(matches!(err, SimError::Accounting { .. }), "{err}");
+        assert!(err.to_string().contains("resident twice"));
+        // The failed insert must not corrupt the books.
+        m.audit().unwrap();
+    }
+
+    #[test]
+    fn remove_of_non_resident_is_an_accounting_error() {
+        let mut m = mgr(2);
+        let err = m.remove(p(3)).unwrap_err();
+        assert!(matches!(err, SimError::Accounting { .. }), "{err}");
+        m.audit().unwrap();
+    }
+
+    #[test]
+    fn audit_passes_through_a_busy_lifecycle() {
+        let mut m = mgr(4);
+        for round in 0..8u64 {
+            for i in 0..4u64 {
+                let page = p(round * 4 + i);
+                let frame = match m.take_frame() {
+                    Some(f) => f,
+                    None => {
+                        let (v, _) = m.pick_victims(&HashSet::new());
+                        let f = m.remove(v[0]).unwrap();
+                        m.release_frame(f);
+                        m.take_frame().unwrap()
+                    }
+                };
+                m.mark_resident(page, frame).unwrap();
+                m.audit().unwrap();
+            }
+        }
+        assert_eq!(m.minted_frames(), 4);
+        assert_eq!(m.free_frames(), 0);
     }
 
     #[test]

@@ -24,17 +24,25 @@
 //! The runtime never touches the MMU or event queue directly: it returns
 //! [`UvmOutput`] commands that the engine applies, keeping this crate
 //! independently testable.
+//!
+//! All entry points are fallible: an event that contradicts the state
+//! machine or the residency books returns a [`SimError`] carrying the
+//! cycle, event, and state at the point of failure instead of panicking.
+//! [`UvmRuntime::set_audit`] additionally re-derives the runtime's
+//! conservation laws after every event, and [`UvmRuntime::set_injector`]
+//! arms deterministic fault injection for robustness tests.
 
 use crate::batch::BatchRecord;
 use crate::fault::FaultBuffer;
+use crate::inject::{FaultInjector, InjectConfig, InjectStats};
 use crate::lifetime::{LifetimeSample, LifetimeTracker};
 use crate::memmgr::MemoryManager;
 use crate::pcie::PciePipes;
 use crate::prefetch::TreePrefetcher;
 use crate::stats::UvmStats;
 use batmem_types::config::UvmConfig;
-use batmem_types::policy::{EvictionPolicy, PolicyConfig, PrefetchPolicy};
-use batmem_types::{Cycle, FrameId, PageId};
+use batmem_types::policy::{EvictionGranularity, EvictionPolicy, PolicyConfig, PrefetchPolicy};
+use batmem_types::{AuditLevel, Cycle, FrameId, PageId, SimError};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, HashSet};
 
@@ -131,6 +139,8 @@ pub struct UvmRuntime {
     faults_on_pending: u64,
     preemptive_evictions: u64,
     proactive_evictions: u64,
+    audit: AuditLevel,
+    injector: Option<FaultInjector>,
 }
 
 impl UvmRuntime {
@@ -169,12 +179,37 @@ impl UvmRuntime {
             faults_on_pending: 0,
             preemptive_evictions: 0,
             proactive_evictions: 0,
+            audit: AuditLevel::Off,
+            injector: None,
         }
+    }
+
+    /// Sets the invariant-audit level. When enabled, the runtime re-checks
+    /// its conservation laws after every delivered event and fails the run
+    /// with [`SimError::InvariantViolated`] on the first breach.
+    pub fn set_audit(&mut self, level: AuditLevel) {
+        self.audit = level;
+    }
+
+    /// Arms deterministic fault injection (see [`InjectConfig`]).
+    pub fn set_injector(&mut self, cfg: InjectConfig) {
+        self.injector = Some(FaultInjector::new(cfg));
+    }
+
+    /// What the injector has done so far (`None` when injection is off).
+    pub fn injector_stats(&self) -> Option<InjectStats> {
+        self.injector.as_ref().map(FaultInjector::stats)
     }
 
     /// Records a page fault raised by the GPU MMU at time `now` (the
     /// top-half ISR path). May start a batch if the runtime is idle.
-    pub fn record_fault(&mut self, page: PageId, now: Cycle) -> Vec<UvmOutput> {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Accounting`] if the faulting page is already
+    /// resident in the runtime's planned view — the engine should never
+    /// raise a fault for a page it could have translated.
+    pub fn record_fault(&mut self, page: PageId, now: Cycle) -> Result<Vec<UvmOutput>, SimError> {
         self.lifetime.on_fault(page);
         if let Some(plan) = &self.current {
             if plan.page_set.contains(&page) {
@@ -189,23 +224,30 @@ impl UvmRuntime {
                 };
                 if will_arrive {
                     self.faults_on_pending += 1;
-                    return Vec::new();
+                    return Ok(Vec::new());
                 }
             }
         }
-        debug_assert!(
-            !self.mem.is_resident(page),
-            "fault raised for planned-resident page {page}"
-        );
+        if self.mem.is_resident(page) {
+            return Err(SimError::Accounting {
+                cycle: now,
+                detail: format!("fault raised for planned-resident page {page}"),
+            });
+        }
         self.buffer.record(page, now);
+        if self.injector.as_mut().is_some_and(|i| i.duplicate_fault()) {
+            // Spurious duplicate fault delivery: coalesces in the buffer
+            // (and shows up in the dedup counters), as on real hardware.
+            self.buffer.record(page, now);
+        }
         if self.state == State::Idle {
             self.state = State::Draining;
-            vec![UvmOutput::Schedule {
+            Ok(vec![UvmOutput::Schedule {
                 at: now + self.cfg.isr_latency,
                 event: UvmEvent::DrainBuffer,
-            }]
+            }])
         } else {
-            Vec::new()
+            Ok(Vec::new())
         }
     }
 
@@ -217,24 +259,43 @@ impl UvmRuntime {
 
     /// Delivers a previously scheduled event back to the runtime.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the event does not match the runtime's state (indicates an
-    /// engine bug).
-    pub fn on_event(&mut self, event: UvmEvent, now: Cycle) -> Vec<UvmOutput> {
-        match event {
+    /// Returns [`SimError::StateMachine`] when the event does not match the
+    /// runtime's state (an engine bug), [`SimError::Accounting`] when the
+    /// residency books contradict themselves, and
+    /// [`SimError::InvariantViolated`] when auditing is enabled and a
+    /// conservation law fails after the event applies.
+    pub fn on_event(&mut self, event: UvmEvent, now: Cycle) -> Result<Vec<UvmOutput>, SimError> {
+        let outputs = match event {
             UvmEvent::DrainBuffer => {
-                assert_eq!(self.state, State::Draining, "drain in wrong state");
+                if self.state != State::Draining {
+                    return Err(self.unexpected(now, "DrainBuffer", "drain outside the ISR window"));
+                }
                 self.state = State::Idle;
                 self.start_batch(now)
             }
             UvmEvent::HandlingDone { batch } => self.plan_migrations(batch, now),
             UvmEvent::PageArrived { page } => self.page_arrived(page, now),
-            UvmEvent::EvictionStarted { page } => vec![UvmOutput::Evict { page }],
+            UvmEvent::EvictionStarted { page } => Ok(vec![UvmOutput::Evict { page }]),
+        }?;
+        if self.audit.enabled() {
+            self.check_invariants(now)?;
+        }
+        Ok(outputs)
+    }
+
+    /// Builds a [`SimError::StateMachine`] snapshotting the current state.
+    fn unexpected(&self, now: Cycle, event: &str, detail: &str) -> SimError {
+        SimError::StateMachine {
+            cycle: now,
+            event: event.to_string(),
+            state: format!("{:?}", self.state),
+            detail: detail.to_string(),
         }
     }
 
-    fn start_batch(&mut self, now: Cycle) -> Vec<UvmOutput> {
+    fn start_batch(&mut self, now: Cycle) -> Result<Vec<UvmOutput>, SimError> {
         debug_assert_eq!(self.state, State::Idle);
         let faulted: Vec<PageId> = self
             .buffer
@@ -243,7 +304,7 @@ impl UvmRuntime {
             .filter(|p| !self.mem.is_resident(*p))
             .collect();
         if faulted.is_empty() {
-            return Vec::new();
+            return Ok(Vec::new());
         }
         let mut outputs = Vec::new();
         let prefetched = match &mut self.prefetcher {
@@ -252,6 +313,12 @@ impl UvmRuntime {
                 pf.expand(&faulted, |p| mem.is_resident(p), self.valid_pages)
             }
             None => Vec::new(),
+        };
+        // Injected prefetch drops: the candidate silently never migrates,
+        // so its eventual demand access must fault and recover.
+        let prefetched: Vec<PageId> = match &mut self.injector {
+            Some(inj) => prefetched.into_iter().filter(|_| !inj.drop_prefetch()).collect(),
+            None => prefetched,
         };
         let mut pages = faulted.clone();
         pages.extend(prefetched.iter().copied());
@@ -291,7 +358,7 @@ impl UvmRuntime {
             && self.mem.at_capacity()
             && self.pending_free.is_empty()
         {
-            self.schedule_evictions(now, &mut plan, &mut outputs, false);
+            self.schedule_evictions(now, &mut plan, &mut outputs, false)?;
             self.preemptive_evictions += 1;
         }
 
@@ -305,7 +372,7 @@ impl UvmRuntime {
             let mut need = (plan.pages.len() as u64).saturating_sub(available);
             while need > 0 && self.mem.resident_count() > 0 {
                 let before = self.pending_free.len();
-                self.schedule_evictions(now, &mut plan, &mut outputs, true);
+                self.schedule_evictions(now, &mut plan, &mut outputs, true)?;
                 let freed = (self.pending_free.len() - before) as u64;
                 if freed == 0 {
                     break;
@@ -317,7 +384,7 @@ impl UvmRuntime {
 
         self.current = Some(plan);
         self.state = State::Handling;
-        outputs
+        Ok(outputs)
     }
 
     /// Schedules enough evictions to free at least one frame, pushing the
@@ -325,12 +392,35 @@ impl UvmRuntime {
     /// times.
     /// `overlap` forces UE-style device-to-host scheduling regardless of
     /// the base eviction policy (used by proactive eviction).
-    fn schedule_evictions(&mut self, earliest: Cycle, plan: &mut BatchPlan, outputs: &mut Vec<UvmOutput>, overlap: bool) {
+    fn schedule_evictions(&mut self, earliest: Cycle, plan: &mut BatchPlan, outputs: &mut Vec<UvmOutput>, overlap: bool) -> Result<(), SimError> {
         let (victims, forced) = self.mem.pick_victims(&plan.page_set);
-        assert!(
-            !victims.is_empty(),
-            "eviction required but nothing is resident (capacity too small for one batch?)"
-        );
+        if victims.is_empty() {
+            return Err(SimError::Accounting {
+                cycle: earliest,
+                detail: "eviction required but nothing is resident (capacity too small for one batch?)"
+                    .to_string(),
+            });
+        }
+        // Pinned pages (the open batch's own) must never be selected unless
+        // the batch itself overflows capacity (`forced`). Page-granularity
+        // only: a root-chunk sweep legitimately carries pinned region-mates
+        // of an unpinned LRU seed.
+        if self.audit.enabled()
+            && !forced
+            && self.policy.eviction_granularity == EvictionGranularity::Page
+        {
+            if let Some(v) = victims.iter().find(|v| plan.page_set.contains(v)) {
+                return Err(SimError::InvariantViolated {
+                    cycle: earliest,
+                    invariant: "pinned pages are never victims unless forced",
+                    snapshot: format!(
+                        "victim {v} is pinned by open batch {} ({} pages)",
+                        plan.record.id,
+                        plan.page_set.len()
+                    ),
+                });
+            }
+        }
         let page_bytes = self.cfg.page_bytes();
         for victim in victims {
             // A same-batch victim only becomes evictable once it arrives —
@@ -343,7 +433,7 @@ impl UvmRuntime {
                 .map(|&t| t + 1)
                 .unwrap_or(0)
                 .max(earliest);
-            let frame = self.mem.remove(victim);
+            let frame = self.mem.remove(victim).map_err(|e| e.at_cycle(earliest))?;
             let effective = if overlap { EvictionPolicy::Unobtrusive } else { self.policy.eviction };
             let (start, ready) = match effective {
                 EvictionPolicy::SerializedLru => {
@@ -380,31 +470,60 @@ impl UvmRuntime {
                 plan.record.forced_pinned_evictions += 1;
             }
         }
+        Ok(())
     }
 
-    fn acquire_frame(&mut self, now: Cycle, plan: &mut BatchPlan, outputs: &mut Vec<UvmOutput>) -> (FrameId, Cycle) {
+    fn acquire_frame(&mut self, now: Cycle, plan: &mut BatchPlan, outputs: &mut Vec<UvmOutput>) -> Result<(FrameId, Cycle), SimError> {
         if let Some(f) = self.mem.take_frame() {
-            return (f, now);
+            return Ok((f, now));
         }
         if let Some(&Reverse((ready, frame))) = self.pending_free.peek() {
             self.pending_free.pop();
-            return (frame, ready);
+            return Ok((frame, ready));
         }
-        self.schedule_evictions(now, plan, outputs, false);
-        let Reverse((ready, frame)) = self.pending_free.pop().expect("eviction yielded no frame");
-        (frame, ready)
+        self.schedule_evictions(now, plan, outputs, false)?;
+        match self.pending_free.pop() {
+            Some(Reverse((ready, frame))) => Ok((frame, ready)),
+            None => Err(SimError::Accounting {
+                cycle: now,
+                detail: "eviction was scheduled but yielded no frame".to_string(),
+            }),
+        }
     }
 
-    fn plan_migrations(&mut self, batch: u64, now: Cycle) -> Vec<UvmOutput> {
-        assert_eq!(self.state, State::Handling, "HandlingDone in wrong state");
-        let mut plan = self.current.take().expect("HandlingDone without an open batch");
-        assert_eq!(plan.record.id, batch, "HandlingDone for a stale batch");
+    fn plan_migrations(&mut self, batch: u64, now: Cycle) -> Result<Vec<UvmOutput>, SimError> {
+        if self.state != State::Handling {
+            return Err(self.unexpected(
+                now,
+                &format!("HandlingDone(batch:{batch})"),
+                "migration planning outside the handling window",
+            ));
+        }
+        let Some(mut plan) = self.current.take() else {
+            return Err(self.unexpected(
+                now,
+                &format!("HandlingDone(batch:{batch})"),
+                "no batch is open",
+            ));
+        };
+        if plan.record.id != batch {
+            let open = plan.record.id;
+            self.current = Some(plan);
+            return Err(self.unexpected(
+                now,
+                &format!("HandlingDone(batch:{batch})"),
+                &format!("stale batch (open batch is {open})"),
+            ));
+        }
         let mut outputs = Vec::new();
         let page_bytes = self.cfg.page_bytes();
         let pages = plan.pages.clone();
         for (i, page) in pages.into_iter().enumerate() {
-            let (frame, ready) = self.acquire_frame(now, &mut plan, &mut outputs);
-            let tr = self.pipes.schedule_h2d(now.max(ready), page_bytes);
+            let (frame, ready) = self.acquire_frame(now, &mut plan, &mut outputs)?;
+            // Injected PCIe perturbation: jitter/stalls delay when this
+            // transfer may claim the host-to-device pipe.
+            let extra = self.injector.as_mut().map_or(0, FaultInjector::transfer_delay);
+            let tr = self.pipes.schedule_h2d(now.max(ready) + extra, page_bytes);
             if i == 0 {
                 plan.record.first_migration_start = tr.start;
             }
@@ -414,35 +533,67 @@ impl UvmRuntime {
                 self.lifetime.on_evict(victim, at);
             }
             plan.record.migrated_bytes += page_bytes;
-            self.mem.mark_resident(page, frame);
+            self.mem.mark_resident(page, frame).map_err(|e| e.at_cycle(now))?;
             self.lifetime.on_install(page, tr.end);
             self.inflight.insert(page, frame);
             plan.planned_arrival.insert(page, tr.end);
-            outputs.push(UvmOutput::Schedule { at: tr.end, event: UvmEvent::PageArrived { page } });
+            // Injected lost DMA completion: the transfer occupies the pipe
+            // but its PageArrived event never fires, stranding the batch.
+            let lost = self.injector.as_mut().is_some_and(|i| i.drop_arrival());
+            if !lost {
+                outputs.push(UvmOutput::Schedule { at: tr.end, event: UvmEvent::PageArrived { page } });
+            }
         }
         self.current = Some(plan);
         self.state = State::Migrating;
-        outputs
+        Ok(outputs)
     }
 
-    fn page_arrived(&mut self, page: PageId, now: Cycle) -> Vec<UvmOutput> {
-        assert_eq!(self.state, State::Migrating, "PageArrived in wrong state");
-        let frame = self.inflight.remove(&page).expect("arrival of page not in flight");
+    fn page_arrived(&mut self, page: PageId, now: Cycle) -> Result<Vec<UvmOutput>, SimError> {
+        if self.state != State::Migrating {
+            return Err(self.unexpected(
+                now,
+                &format!("PageArrived(page:{page})"),
+                "no batch is migrating",
+            ));
+        }
+        let Some(frame) = self.inflight.remove(&page) else {
+            return Err(SimError::Accounting {
+                cycle: now,
+                detail: format!("arrival of page {page} that is not in flight"),
+            });
+        };
         let mut outputs = vec![UvmOutput::Install { page, frame }];
-        let plan = self.current.as_mut().expect("arrival without an open batch");
-        plan.remaining -= 1;
-        if plan.remaining == 0 {
-            let mut plan = self.current.take().expect("batch vanished");
-            plan.record.end = now;
-            self.finished_batches.push(plan.record);
+        let finished = {
+            let Some(plan) = self.current.as_mut() else {
+                return Err(self.unexpected(
+                    now,
+                    &format!("PageArrived(page:{page})"),
+                    "no batch is open",
+                ));
+            };
+            if plan.remaining == 0 {
+                return Err(SimError::Accounting {
+                    cycle: now,
+                    detail: format!("arrival of page {page} after its batch completed"),
+                });
+            }
+            plan.remaining -= 1;
+            plan.remaining == 0
+        };
+        if finished {
+            if let Some(mut plan) = self.current.take() {
+                plan.record.end = now;
+                self.finished_batches.push(plan.record);
+            }
             self.state = State::Idle;
             // Driver replay optimization (§2.2): service accumulated faults
             // immediately rather than waiting for a fresh interrupt.
             if !self.buffer.is_empty() {
-                outputs.extend(self.start_batch(now));
+                outputs.extend(self.start_batch(now)?);
             }
         }
-        outputs
+        Ok(outputs)
     }
 
     /// Closes a lifetime sampling window (driven by the engine every
@@ -477,6 +628,101 @@ impl UvmRuntime {
         self.preemptive_evictions
     }
 
+    /// Outstanding page arrivals of the open batch (engine diagnostics).
+    pub fn outstanding(&self) -> usize {
+        self.current.as_ref().map_or(0, |p| p.remaining)
+    }
+
+    /// One-line state description for watchdog and deadlock dumps.
+    pub fn describe_state(&self) -> String {
+        format!(
+            "uvm state={:?} open_batch={:?} remaining={} inflight={} resident={} pending_free={} buffered_faults={}",
+            self.state,
+            self.current.as_ref().map(|p| p.record.id),
+            self.outstanding(),
+            self.inflight.len(),
+            self.mem.resident_count(),
+            self.pending_free.len(),
+            !self.buffer.is_empty(),
+        )
+    }
+
+    /// Re-derives the runtime's invariants from scratch.
+    ///
+    /// Run automatically after every event when [`set_audit`](Self::set_audit)
+    /// enables auditing; also callable directly by tests. `Basic` covers
+    /// state/plan structural consistency; `Full` adds the O(resident)
+    /// frame-conservation and LRU-index scans.
+    pub fn check_invariants(&self, now: Cycle) -> Result<(), SimError> {
+        let violated = |invariant: &'static str, snapshot: String| {
+            Err(SimError::InvariantViolated { cycle: now, invariant, snapshot })
+        };
+        match self.state {
+            State::Idle | State::Draining => {
+                if self.current.is_some() || !self.inflight.is_empty() {
+                    return violated("idle runtime has no open batch", self.describe_state());
+                }
+            }
+            State::Handling => {
+                let Some(plan) = &self.current else {
+                    return violated("handling state has an open batch", self.describe_state());
+                };
+                if plan.remaining != plan.pages.len() || !self.inflight.is_empty() {
+                    return violated(
+                        "handling batch has not started migrating",
+                        self.describe_state(),
+                    );
+                }
+            }
+            State::Migrating => {
+                let Some(plan) = &self.current else {
+                    return violated("migrating state has an open batch", self.describe_state());
+                };
+                if self.inflight.len() != plan.remaining || plan.remaining > plan.pages.len() {
+                    return violated(
+                        "in-flight pages equal outstanding arrivals",
+                        self.describe_state(),
+                    );
+                }
+            }
+        }
+        if let Some(plan) = &self.current {
+            let planned = plan.record.faults as usize + plan.record.prefetches as usize;
+            if planned != plan.pages.len() || plan.page_set.len() != plan.pages.len() {
+                return violated(
+                    "batch page counts are conserved",
+                    format!(
+                        "faults+prefetches={planned} pages={} set={}",
+                        plan.pages.len(),
+                        plan.page_set.len()
+                    ),
+                );
+            }
+            if !self.inflight.keys().all(|p| plan.page_set.contains(p)) {
+                return violated(
+                    "in-flight pages belong to the open batch",
+                    self.describe_state(),
+                );
+            }
+        }
+        if self.audit >= AuditLevel::Full {
+            self.mem.audit().map_err(|e| e.at_cycle(now))?;
+            // Frame conservation: every frame ever minted is exactly one of
+            // free, resident, or awaiting an in-flight eviction's transfer.
+            let minted = self.mem.minted_frames();
+            let tracked = self.mem.free_frames() as u64
+                + self.mem.resident_count() as u64
+                + self.pending_free.len() as u64;
+            if minted != tracked {
+                return violated(
+                    "frame conservation: minted == free + resident + pending",
+                    format!("minted={minted} tracked={tracked} ({})", self.describe_state()),
+                );
+            }
+        }
+        Ok(())
+    }
+
     /// Assembles end-of-run statistics.
     pub fn stats(&self) -> UvmStats {
         UvmStats {
@@ -502,8 +748,6 @@ impl UvmRuntime {
 mod tests {
     use super::*;
 
-    const PAGE: u64 = 65_536;
-
     fn cfg(cap: Option<u64>) -> UvmConfig {
         UvmConfig { gpu_mem_pages: cap, ..UvmConfig::default() }
     }
@@ -512,13 +756,16 @@ mod tests {
         PageId::new(i)
     }
 
+    /// Per-page (page, cycle) event times, in occurrence order.
+    type Timeline = Vec<(PageId, Cycle)>;
+
     /// Drives the runtime's own scheduled events to completion, returning
     /// (install times, evict times) per page and the final time.
-    fn drain(rt: &mut UvmRuntime, initial: Vec<UvmOutput>) -> (Vec<(PageId, Cycle)>, Vec<(PageId, Cycle)>) {
+    fn drain(rt: &mut UvmRuntime, initial: Vec<UvmOutput>) -> (Timeline, Timeline) {
         let mut queue: Vec<(Cycle, UvmEvent)> = Vec::new();
         let mut installs = Vec::new();
         let mut evicts = Vec::new();
-        let mut apply = |outs: Vec<UvmOutput>, at: Cycle, queue: &mut Vec<(Cycle, UvmEvent)>, installs: &mut Vec<(PageId, Cycle)>, evicts: &mut Vec<(PageId, Cycle)>| {
+        let apply = |outs: Vec<UvmOutput>, at: Cycle, queue: &mut Vec<(Cycle, UvmEvent)>, installs: &mut Timeline, evicts: &mut Timeline| {
             for o in outs {
                 match o {
                     UvmOutput::Schedule { at, event } => queue.push((at, event)),
@@ -531,7 +778,7 @@ mod tests {
         while !queue.is_empty() {
             queue.sort_by_key(|&(t, _)| t);
             let (t, e) = queue.remove(0);
-            let outs = rt.on_event(e, t);
+            let outs = rt.on_event(e, t).unwrap();
             apply(outs, t, &mut queue, &mut installs, &mut evicts);
         }
         (installs, evicts)
@@ -540,7 +787,7 @@ mod tests {
     #[test]
     fn single_fault_single_batch() {
         let mut rt = UvmRuntime::new(&cfg(None), &PolicyConfig { prefetch: PrefetchPolicy::None, ..PolicyConfig::baseline() }, 1000);
-        let outs = rt.record_fault(p(5), 100);
+        let outs = rt.record_fault(p(5), 100).unwrap();
         let (installs, _) = drain(&mut rt, outs);
         assert_eq!(installs.len(), 1);
         let (page, at) = installs[0];
@@ -556,11 +803,11 @@ mod tests {
     #[test]
     fn faults_during_batch_form_next_batch() {
         let mut rt = UvmRuntime::new(&cfg(None), &PolicyConfig { prefetch: PrefetchPolicy::None, ..PolicyConfig::baseline() }, 1000);
-        let outs = rt.record_fault(p(1), 0);
+        let outs = rt.record_fault(p(1), 0).unwrap();
         assert_eq!(outs.len(), 1); // DrainBuffer scheduled
-        let outs = rt.on_event(UvmEvent::DrainBuffer, 1_000);
+        let outs = rt.on_event(UvmEvent::DrainBuffer, 1_000).unwrap();
         // Fault raised while the first batch is handling: queues silently.
-        assert!(rt.record_fault(p(2), 5_000).is_empty());
+        assert!(rt.record_fault(p(2), 5_000).unwrap().is_empty());
         let (installs, _) = drain(&mut rt, outs);
         assert_eq!(installs.len(), 2);
         let s = rt.stats();
@@ -574,8 +821,8 @@ mod tests {
     #[test]
     fn same_cycle_faults_join_via_isr_window() {
         let mut rt = UvmRuntime::new(&cfg(None), &PolicyConfig { prefetch: PrefetchPolicy::None, ..PolicyConfig::baseline() }, 1000);
-        let mut outs = rt.record_fault(p(1), 0);
-        outs.extend(rt.record_fault(p(2), 400)); // inside the 1 us ISR window
+        let mut outs = rt.record_fault(p(1), 0).unwrap();
+        outs.extend(rt.record_fault(p(2), 400).unwrap()); // inside the 1 us ISR window
         let (installs, _) = drain(&mut rt, outs);
         assert_eq!(installs.len(), 2);
         assert_eq!(rt.stats().num_batches(), 1);
@@ -584,9 +831,9 @@ mod tests {
     #[test]
     fn batch_groups_simultaneous_faults() {
         let mut rt = UvmRuntime::new(&cfg(None), &PolicyConfig { prefetch: PrefetchPolicy::None, ..PolicyConfig::baseline() }, 1000);
-        let mut outs = rt.record_fault(p(3), 0);
-        outs.extend(rt.record_fault(p(1), 0));
-        outs.extend(rt.record_fault(p(2), 0));
+        let mut outs = rt.record_fault(p(3), 0).unwrap();
+        outs.extend(rt.record_fault(p(1), 0).unwrap());
+        outs.extend(rt.record_fault(p(2), 0).unwrap());
         let (installs, _) = drain(&mut rt, outs);
         let s = rt.stats();
         assert_eq!(s.num_batches(), 1);
@@ -602,7 +849,7 @@ mod tests {
         // 16 of 32 pages of region 0 fault: 50% threshold fires.
         let mut outs = Vec::new();
         for i in 0..16 {
-            outs.extend(rt.record_fault(p(i * 2), 0));
+            outs.extend(rt.record_fault(p(i * 2), 0).unwrap());
         }
         let (installs, _) = drain(&mut rt, outs);
         assert_eq!(installs.len(), 32);
@@ -615,11 +862,11 @@ mod tests {
     fn serialized_eviction_blocks_migration() {
         let policy = PolicyConfig { prefetch: PrefetchPolicy::None, ..PolicyConfig::baseline() };
         let mut rt = UvmRuntime::new(&cfg(Some(1)), &policy, 1000);
-        let outs = rt.record_fault(p(1), 0);
+        let outs = rt.record_fault(p(1), 0).unwrap();
         let (installs, _) = drain(&mut rt, outs);
         let first_arrival = installs[0].1;
         // Now page 1 is resident and memory is full; fault page 2.
-        let outs = rt.record_fault(p(2), first_arrival + 1);
+        let outs = rt.record_fault(p(2), first_arrival + 1).unwrap();
         let (installs, evicts) = drain(&mut rt, outs);
         assert_eq!(evicts.len(), 1);
         assert_eq!(evicts[0].0, p(1));
@@ -635,10 +882,10 @@ mod tests {
     fn unobtrusive_eviction_overlaps_handling() {
         let policy = PolicyConfig { prefetch: PrefetchPolicy::None, ..PolicyConfig::ue_only() };
         let mut rt = UvmRuntime::new(&cfg(Some(1)), &policy, 1000);
-        let outs = rt.record_fault(p(1), 0);
+        let outs = rt.record_fault(p(1), 0).unwrap();
         let (installs, _) = drain(&mut rt, outs);
         let t = installs[0].1;
-        let outs = rt.record_fault(p(2), t + 1);
+        let outs = rt.record_fault(p(2), t + 1).unwrap();
         let (_, evicts) = drain(&mut rt, outs);
         assert_eq!(rt.preemptive_evictions(), 1);
         // The eviction started right at batch start (top-half ISR), inside
@@ -654,9 +901,9 @@ mod tests {
     fn ideal_eviction_is_free() {
         let policy = PolicyConfig { prefetch: PrefetchPolicy::None, ..PolicyConfig::ideal_eviction() };
         let mut rt = UvmRuntime::new(&cfg(Some(1)), &policy, 1000);
-        let outs = rt.record_fault(p(1), 0);
+        let outs = rt.record_fault(p(1), 0).unwrap();
         drain(&mut rt, outs);
-        let outs = rt.record_fault(p(2), 100_000);
+        let outs = rt.record_fault(p(2), 100_000).unwrap();
         drain(&mut rt, outs);
         let s = rt.stats();
         let b = &s.batches[1];
@@ -670,11 +917,11 @@ mod tests {
     fn premature_eviction_detected_on_refault() {
         let policy = PolicyConfig { prefetch: PrefetchPolicy::None, ..PolicyConfig::baseline() };
         let mut rt = UvmRuntime::new(&cfg(Some(1)), &policy, 1000);
-        let outs = rt.record_fault(p(1), 0);
+        let outs = rt.record_fault(p(1), 0).unwrap();
         drain(&mut rt, outs);
-        let outs = rt.record_fault(p(2), 100_000); // evicts p1
+        let outs = rt.record_fault(p(2), 100_000).unwrap(); // evicts p1
         drain(&mut rt, outs);
-        let outs = rt.record_fault(p(1), 200_000); // refault: premature
+        let outs = rt.record_fault(p(1), 200_000).unwrap(); // refault: premature
         drain(&mut rt, outs);
         let s = rt.stats();
         assert_eq!(s.premature_evictions, 1);
@@ -685,15 +932,15 @@ mod tests {
     fn fault_on_inflight_page_is_absorbed() {
         let policy = PolicyConfig { prefetch: PrefetchPolicy::None, ..PolicyConfig::baseline() };
         let mut rt = UvmRuntime::new(&cfg(None), &policy, 1000);
-        let outs = rt.record_fault(p(1), 0);
+        let outs = rt.record_fault(p(1), 0).unwrap();
         // A duplicate inside the ISR window coalesces in the buffer.
-        assert!(rt.record_fault(p(1), 10).is_empty());
+        assert!(rt.record_fault(p(1), 10).unwrap().is_empty());
         let outs = {
             assert_eq!(outs.len(), 1);
-            rt.on_event(UvmEvent::DrainBuffer, 1_000)
+            rt.on_event(UvmEvent::DrainBuffer, 1_000).unwrap()
         };
         // A duplicate while the batch is open is absorbed by the open plan.
-        assert!(rt.record_fault(p(1), 5_000).is_empty());
+        assert!(rt.record_fault(p(1), 5_000).unwrap().is_empty());
         drain(&mut rt, outs);
         let s = rt.stats();
         assert_eq!(s.num_batches(), 1);
@@ -709,7 +956,7 @@ mod tests {
         for round in 0..5u64 {
             let mut outs = Vec::new();
             for i in 0..3 {
-                outs.extend(rt.record_fault(p(round * 3 + i), round * 1_000_000));
+                outs.extend(rt.record_fault(p(round * 3 + i), round * 1_000_000).unwrap());
             }
             drain(&mut rt, outs);
             assert!(rt.resident_pages() <= 4, "round {round}: {}", rt.resident_pages());
@@ -722,7 +969,7 @@ mod tests {
         let mut rt = UvmRuntime::new(&cfg(Some(2)), &policy, 1000);
         let mut outs = Vec::new();
         for i in 0..5 {
-            outs.extend(rt.record_fault(p(i), 0));
+            outs.extend(rt.record_fault(p(i), 0).unwrap());
         }
         let (installs, evicts) = drain(&mut rt, outs);
         assert_eq!(installs.len(), 5);
@@ -737,7 +984,7 @@ mod tests {
         let mut rt = UvmRuntime::new(&cfg(None), &PolicyConfig::baseline(), 10_000);
         let mut outs = Vec::new();
         for i in 0..200 {
-            outs.extend(rt.record_fault(p(i * 7), i));
+            outs.extend(rt.record_fault(p(i * 7), i).unwrap());
         }
         let (_, evicts) = drain(&mut rt, outs);
         assert!(evicts.is_empty());
@@ -750,7 +997,7 @@ mod tests {
         let mut rt = UvmRuntime::new(&cfg(None), &policy, 10_000);
         let mut outs = Vec::new();
         for i in 0..100 {
-            outs.extend(rt.record_fault(p(i), 0));
+            outs.extend(rt.record_fault(p(i), 0).unwrap());
         }
         drain(&mut rt, outs);
         let s = rt.stats();
@@ -766,7 +1013,7 @@ mod tests {
         let mut rt = UvmRuntime::new(&cfg(Some(2)), &policy, 1000);
         let mut outs = Vec::new();
         for i in 0..5 {
-            outs.extend(rt.record_fault(p(i), 0));
+            outs.extend(rt.record_fault(p(i), 0).unwrap());
         }
         // Drive until the batch finishes.
         let (installs, evicts) = drain(&mut rt, outs);
@@ -774,7 +1021,7 @@ mod tests {
         assert!(evicts.iter().any(|&(pg, _)| pg.index() < 5), "no same-batch eviction");
         // Re-fault an evicted page: a fresh batch must deliver it again.
         let victim = evicts[0].0;
-        let outs = rt.record_fault(victim, 10_000_000);
+        let outs = rt.record_fault(victim, 10_000_000).unwrap();
         assert!(!outs.is_empty(), "refault swallowed");
         let (installs, _) = drain(&mut rt, outs);
         assert_eq!(installs.len(), 1);
@@ -792,14 +1039,14 @@ mod tests {
         // Fill memory.
         let mut outs = Vec::new();
         for i in 0..2 {
-            outs.extend(rt.record_fault(p(i), 0));
+            outs.extend(rt.record_fault(p(i), 0).unwrap());
         }
         drain(&mut rt, outs);
         // A two-page batch: PE must evict two pages at batch start, so the
         // migrations are not serialized behind reactive evictions.
         let mut outs = Vec::new();
         for i in 2..4 {
-            outs.extend(rt.record_fault(p(i), 1_000_000));
+            outs.extend(rt.record_fault(p(i), 1_000_000).unwrap());
         }
         let (_, evicts) = drain(&mut rt, outs);
         assert_eq!(evicts.len(), 2);
@@ -816,12 +1063,12 @@ mod tests {
         // Fig. 3's shape: bigger batches => lower per-page cost.
         let policy = PolicyConfig { prefetch: PrefetchPolicy::None, ..PolicyConfig::baseline() };
         let mut small = UvmRuntime::new(&cfg(None), &policy, 10_000);
-        let outs = small.record_fault(p(0), 0);
+        let outs = small.record_fault(p(0), 0).unwrap();
         drain(&mut small, outs);
         let mut large = UvmRuntime::new(&cfg(None), &policy, 10_000);
         let mut outs = Vec::new();
         for i in 0..64 {
-            outs.extend(large.record_fault(p(i), 0));
+            outs.extend(large.record_fault(p(i), 0).unwrap());
         }
         drain(&mut large, outs);
         let t_small = small.stats().batches[0].per_page_time().unwrap();

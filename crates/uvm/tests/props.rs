@@ -3,10 +3,11 @@
 
 use batmem_types::config::UvmConfig;
 use batmem_types::policy::{EvictionPolicy, PolicyConfig, PrefetchPolicy};
-use batmem_types::{Cycle, PageId};
+use batmem_types::{AuditLevel, Cycle, PageId};
 use batmem_uvm::{FaultBuffer, MemoryManager, TreePrefetcher, UvmEvent, UvmOutput, UvmRuntime};
 use proptest::prelude::*;
-use std::collections::{BTreeSet, HashSet};
+use std::collections::hash_map::Entry;
+use std::collections::{BTreeSet, HashMap, HashSet};
 
 proptest! {
     #[test]
@@ -67,7 +68,7 @@ proptest! {
                 None => {
                     let (victims, _) = m.pick_victims(&pinned);
                     prop_assert!(!victims.is_empty());
-                    let f = m.remove(victims[0]);
+                    let f = m.remove(victims[0]).unwrap();
                     prop_assert!(in_use.remove(&f.index()), "freed unknown frame");
                     m.release_frame(f);
                     m.take_frame().unwrap()
@@ -75,10 +76,102 @@ proptest! {
             };
             prop_assert!(in_use.insert(frame.index()), "frame handed out twice");
             prop_assert!(in_use.len() as u64 <= cap);
-            m.mark_resident(page, frame);
+            m.mark_resident(page, frame).unwrap();
+        }
+    }
+
+    /// Model-based frame accounting: arbitrary interleavings of
+    /// `take_frame`/`mark_resident`/`remove`/`release_frame` never leak a
+    /// frame, never double-free one, reject illegal transitions with a typed
+    /// error (without corrupting the books), and pass a full audit after
+    /// every single operation.
+    #[test]
+    fn frame_accounting_never_leaks_or_double_frees(
+        ops in prop::collection::vec((0u8..4, 0u64..48), 1..250),
+        cap in 1u64..16,
+    ) {
+        let mut m = MemoryManager::new(Some(cap), Default::default(), 32);
+        let pinned = HashSet::new();
+        // Model state: page -> frame index for checked-out frames, plus the
+        // set of frame indices sitting in the free pool.
+        let mut model_resident: HashMap<u64, u32> = HashMap::new();
+        let mut model_free: HashSet<u32> = HashSet::new();
+        for &(kind, p) in &ops {
+            let page = PageId::new(p);
+            match kind {
+                // Install: take a frame and map a page onto it.
+                0 => match m.take_frame() {
+                    Some(f) => {
+                        // A reused frame must come from the free pool; a
+                        // minted one must be brand new.
+                        if !model_free.remove(&f.index()) {
+                            prop_assert!(
+                                (model_resident.len() + model_free.len()) < cap as usize,
+                                "minted frame {} beyond capacity", f.index()
+                            );
+                        }
+                        match model_resident.entry(p) {
+                            Entry::Occupied(_) => {
+                                // Double install must be rejected and must
+                                // leave the books untouched.
+                                prop_assert!(m.mark_resident(page, f).is_err());
+                                m.release_frame(f);
+                                model_free.insert(f.index());
+                            }
+                            Entry::Vacant(slot) => {
+                                m.mark_resident(page, f).unwrap();
+                                slot.insert(f.index());
+                            }
+                        }
+                    }
+                    None => prop_assert!(
+                        model_free.is_empty()
+                            && (model_resident.len() + model_free.len()) as u64 >= cap,
+                        "take_frame refused below capacity"
+                    ),
+                },
+                // Remove a specific page (legal only when resident).
+                1 => {
+                    if model_resident.contains_key(&p) {
+                        let f = m.remove(page).unwrap();
+                        prop_assert_eq!(model_resident.remove(&p), Some(f.index()));
+                        m.release_frame(f);
+                        model_free.insert(f.index());
+                    } else {
+                        prop_assert!(m.remove(page).is_err(), "removed non-resident page");
+                    }
+                }
+                // Touch: LRU bump, never changes accounting.
+                2 => m.touch(page),
+                // Evict an LRU victim, as the runtime does under pressure.
+                _ => {
+                    if m.resident_count() > 0 {
+                        let (victims, _) = m.pick_victims(&pinned);
+                        prop_assert!(!victims.is_empty());
+                        let f = m.remove(victims[0]).unwrap();
+                        prop_assert_eq!(
+                            model_resident.remove(&victims[0].index()),
+                            Some(f.index())
+                        );
+                        m.release_frame(f);
+                        model_free.insert(f.index());
+                    }
+                }
+            }
+            m.audit().unwrap();
+            prop_assert_eq!(m.resident_count() as u64, model_resident.len() as u64);
+            prop_assert_eq!(m.free_frames(), model_free.len());
+            prop_assert!(m.minted_frames() <= cap, "minted past capacity");
+            prop_assert_eq!(
+                m.minted_frames(),
+                (model_resident.len() + model_free.len()) as u64
+            );
         }
     }
 }
+
+/// Per-page (page, cycle) event times, in occurrence order.
+type Timeline = Vec<(PageId, Cycle)>;
 
 /// Drives a `UvmRuntime` through its own scheduled events, applying faults
 /// at their prescribed times, and returns (installs, evicts, stats).
@@ -86,9 +179,12 @@ fn simulate(
     policy: &PolicyConfig,
     capacity: Option<u64>,
     faults: &[(u64, Cycle)],
-) -> (Vec<(PageId, Cycle)>, Vec<(PageId, Cycle)>, batmem_uvm::UvmStats) {
+) -> (Timeline, Timeline, batmem_uvm::UvmStats) {
     let cfg = UvmConfig { gpu_mem_pages: capacity, ..UvmConfig::default() };
     let mut rt = UvmRuntime::new(&cfg, policy, 2_000);
+    // Every property run doubles as an auditor stress test: conservation
+    // laws are re-checked after each event the runtime processes.
+    rt.set_audit(AuditLevel::Full);
     // Timeline: merge fault injections with runtime events.
     let mut injections: Vec<(Cycle, PageId)> =
         faults.iter().map(|&(p, t)| (t, PageId::new(p))).collect();
@@ -135,7 +231,7 @@ fn simulate(
             // A fault only arises when the page is neither mapped nor
             // already migrating (the engine's guard).
             if !resident.contains(&page) && !rt.is_inflight(page) && !rt.is_resident(page) {
-                let outs = rt.record_fault(page, t);
+                let outs = rt.record_fault(page, t).unwrap();
                 apply(outs, &mut queue, &mut installs, &mut evicts, &mut resident, t);
             }
         } else {
@@ -146,7 +242,7 @@ fn simulate(
                 .map(|(i, _)| i)
                 .unwrap();
             let (t, e) = queue.remove(i);
-            let outs = rt.on_event(e, t);
+            let outs = rt.on_event(e, t).unwrap();
             apply(outs, &mut queue, &mut installs, &mut evicts, &mut resident, t);
         }
     }

@@ -86,7 +86,7 @@ impl Bfs {
         let coo_src = if variant == BfsVariant::Dwc {
             let mut v = Vec::with_capacity(graph.num_edges() as usize);
             for s in 0..graph.num_vertices() {
-                v.extend(std::iter::repeat(s).take(graph.degree(s) as usize));
+                v.extend(std::iter::repeat_n(s, graph.degree(s) as usize));
             }
             v
         } else {
@@ -234,7 +234,7 @@ impl Kernel for BfsKernel {
                 if s < e {
                     // Ping-pong worklists: even levels read `worklist`,
                     // odd levels read vprops[1].
-                    let (cur, next) = if self.level % 2 == 0 {
+                    let (cur, next) = if self.level.is_multiple_of(2) {
                         (&sh.arrays.worklist, &sh.arrays.vprops[1])
                     } else {
                         (&sh.arrays.vprops[1], &sh.arrays.worklist)

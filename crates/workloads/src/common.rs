@@ -131,7 +131,7 @@ mod tests {
         assert!(a.weights.is_some());
         assert!(a.coo_src.is_some());
         assert_eq!(a.vprops.len(), 2);
-        assert!(a.footprint_bytes() % PAGE_BYTES == 0);
+        assert!(a.footprint_bytes().is_multiple_of(PAGE_BYTES));
         // Rough accounting: offsets 257*8 + 3 edge arrays + 2 props +
         // worklist + counters, page-rounded.
         assert!(a.footprint_bytes() > (1024 * 4 * 3) as u64);

@@ -82,7 +82,7 @@ impl Kernel for PrKernel {
         let (s, e) = warp_item_range(block, warp_in_block, total);
         if s < e {
             // Ping-pong rank buffers across iterations.
-            let (cur, next) = if self.iter % 2 == 0 { (0, 1) } else { (1, 0) };
+            let (cur, next) = if self.iter.is_multiple_of(2) { (0, 1) } else { (1, 0) };
             b.load_seq(&sh.arrays.vprops[cur], s, e - s);
             b.load_seq(&sh.arrays.vprops[2], s, e - s); // degrees
             b.load_seq(&sh.arrays.offsets, s, e - s + 1);

@@ -47,7 +47,7 @@ impl Strided {
     ) -> Self {
         assert!(num_blocks > 0 && pages_per_warp > 0 && repeats > 0, "empty workload");
         assert!(
-            threads_per_block > 0 && threads_per_block % 32 == 0,
+            threads_per_block > 0 && threads_per_block.is_multiple_of(32),
             "threads_per_block must be a multiple of 32"
         );
         let warps = u64::from(num_blocks) * u64::from(threads_per_block / 32);
@@ -156,7 +156,7 @@ impl SharedPages {
     pub fn new(num_blocks: u32, threads_per_block: u32, regs_per_thread: u32, pages: u64, compute_between: u32) -> Self {
         assert!(num_blocks > 0 && pages > 0, "empty workload");
         assert!(
-            threads_per_block > 0 && threads_per_block % 32 == 0,
+            threads_per_block > 0 && threads_per_block.is_multiple_of(32),
             "threads_per_block must be a multiple of 32"
         );
         let page_bytes = crate::common::PAGE_BYTES;

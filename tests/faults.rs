@@ -1,0 +1,163 @@
+//! Fault-injection robustness suite.
+//!
+//! Every policy preset must either complete or return a typed [`SimError`]
+//! under injected hostility — never panic or hang — and crafted completion
+//! loss must trip the engine's deadlock detection or forward-progress
+//! watchdog, depending on whether the policy keeps the event queue alive.
+
+use batmem::{policies, PolicyConfig, Simulation};
+use batmem_graph::gen;
+use batmem_types::{AuditLevel, SimError};
+use batmem_uvm::InjectConfig;
+use batmem_workloads::registry;
+use std::sync::Arc;
+
+fn presets() -> Vec<(&'static str, PolicyConfig)> {
+    vec![
+        ("baseline", policies::baseline()),
+        ("compression", policies::baseline_with_compression()),
+        ("to", policies::to_only()),
+        ("ue", policies::ue_only()),
+        ("to_ue", policies::to_ue()),
+        ("ideal", policies::ideal_eviction()),
+    ]
+}
+
+#[test]
+fn every_preset_survives_noisy_injection() {
+    // Jitter, stalls, duplicate faults, and dropped prefetches perturb the
+    // batch boundaries but never lose a completion: every preset must still
+    // run to completion, with the full auditor watching.
+    let graph = Arc::new(gen::rmat(10, 8, 7));
+    for (label, policy) in presets() {
+        for seed in [1u64, 2, 3] {
+            let w = registry::build("BFS-TTC", Arc::clone(&graph)).unwrap();
+            let result = Simulation::builder()
+                .policy(policy)
+                .memory_ratio(0.4)
+                .audit(AuditLevel::Full)
+                .inject(InjectConfig::noisy(seed))
+                .try_run(w);
+            match result {
+                Ok(m) => {
+                    assert!(m.cycles > 0, "{label}/seed{seed}: empty run");
+                    assert!(m.blocks_retired > 0, "{label}/seed{seed}: no blocks retired");
+                }
+                Err(e) => panic!("{label}/seed{seed}: typed failure on a survivable run: {e}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn noisy_injection_is_deterministic_per_seed() {
+    let graph = Arc::new(gen::rmat(10, 8, 7));
+    let run = || {
+        let w = registry::build("PR", Arc::clone(&graph)).unwrap();
+        Simulation::builder()
+            .policy(policies::to_ue())
+            .memory_ratio(0.5)
+            .inject(InjectConfig::noisy(99))
+            .try_run(w)
+            .unwrap()
+    };
+    let (a, b) = (run(), run());
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(a.uvm.faults_raised, b.uvm.faults_raised);
+    assert_eq!(a.uvm.evictions, b.uvm.evictions);
+}
+
+#[test]
+fn noisy_injection_slows_the_run_down() {
+    // The injected jitter and stalls are real simulated latency: the same
+    // workload must take longer than the clean run.
+    let graph = Arc::new(gen::rmat(10, 8, 7));
+    let run = |inject: Option<InjectConfig>| {
+        let w = registry::build("BFS-TTC", Arc::clone(&graph)).unwrap();
+        let mut b = Simulation::builder().policy(policies::baseline()).memory_ratio(0.5);
+        if let Some(i) = inject {
+            b = b.inject(i);
+        }
+        b.try_run(w).unwrap()
+    };
+    let clean = run(None);
+    let noisy = run(Some(InjectConfig::noisy(5)));
+    assert!(
+        noisy.cycles > clean.cycles,
+        "injected PCIe delay did not slow the run: {} <= {}",
+        noisy.cycles,
+        clean.cycles
+    );
+}
+
+#[test]
+fn lost_completions_are_caught_not_hung() {
+    // Dropping DMA completion events strands a batch forever. Depending on
+    // the policy the engine either drains its queue (deadlock) or keeps
+    // spinning on self-rescheduling events (livelock, caught by the
+    // watchdog) — both must surface as typed errors, never as a hang.
+    let graph = Arc::new(gen::rmat(10, 8, 7));
+    for (label, policy) in presets() {
+        let w = registry::build("BFS-TTC", Arc::clone(&graph)).unwrap();
+        let err = Simulation::builder()
+            .policy(policy)
+            .memory_ratio(0.5)
+            .watchdog_budget(20_000)
+            .inject(InjectConfig::lost_completions(1, 3))
+            .try_run(w)
+            .expect_err(&format!("{label}: run completed despite lost completions"));
+        assert!(
+            matches!(err, SimError::Deadlock { .. } | SimError::Livelock { .. }),
+            "{label}: expected deadlock/livelock, got {err}"
+        );
+        assert!(err.cycle().is_some(), "{label}: mid-run error lost its cycle");
+    }
+}
+
+#[test]
+fn lost_completion_deadlocks_the_baseline() {
+    // The baseline schedules nothing periodic: once the stranded batch's
+    // waiters are asleep the event queue drains with blocks outstanding.
+    let graph = Arc::new(gen::rmat(10, 8, 7));
+    let w = registry::build("BFS-TTC", Arc::clone(&graph)).unwrap();
+    let err = Simulation::builder()
+        .policy(policies::baseline())
+        .memory_ratio(0.5)
+        .inject(InjectConfig::lost_completions(1, 3))
+        .try_run(w)
+        .unwrap_err();
+    match err {
+        SimError::Deadlock { cycle, detail } => {
+            assert!(cycle > 0);
+            assert!(!detail.is_empty(), "deadlock dump is empty");
+        }
+        other => panic!("expected deadlock, got {other}"),
+    }
+}
+
+#[test]
+fn watchdog_catches_the_livelock_from_lost_completions() {
+    // Thread Oversubscription keeps a periodic lifetime-sampling event in
+    // the queue, so the queue never drains: only the forward-progress
+    // watchdog can catch the stranded run.
+    let graph = Arc::new(gen::rmat(10, 8, 7));
+    let w = registry::build("BFS-TTC", Arc::clone(&graph)).unwrap();
+    let budget = 10_000;
+    let err = Simulation::builder()
+        .policy(policies::to_ue())
+        .memory_ratio(0.5)
+        .watchdog_budget(budget)
+        .inject(InjectConfig::lost_completions(1, 3))
+        .try_run(w)
+        .unwrap_err();
+    match err {
+        SimError::Livelock { events_without_progress, snapshot, .. } => {
+            assert!(
+                events_without_progress >= budget,
+                "watchdog fired early: {events_without_progress} < {budget}"
+            );
+            assert!(!snapshot.is_empty(), "livelock dump is empty");
+        }
+        other => panic!("expected livelock, got {other}"),
+    }
+}

@@ -134,7 +134,7 @@ fn bench_end_to_end() {
     let graph = Arc::new(gen::rmat(10, 8, 42));
     bench("end_to_end/bfs_ttc_scale10_to_ue", 10, || {
         let w = registry::build("BFS-TTC", Arc::clone(&graph)).unwrap();
-        Simulation::builder().policy(policies::to_ue()).memory_ratio(0.5).run(w)
+        Simulation::builder().policy(policies::to_ue()).memory_ratio(0.5).try_run(w).unwrap()
     });
 }
 

@@ -7,10 +7,67 @@
 //! ```
 
 use batmem_bench::figures;
-use batmem_bench::runner::{suite_results, ConfigName, SuiteConfig};
+use batmem_bench::runner::{parallel_map, run_one_traced, suite_results, ConfigName, SuiteConfig};
+use std::path::Path;
 
-const USAGE: &str = "usage: figures -- <table1|fig1|fig3|fig5|fig8|fig11|fig12|fig13|fig14|fig15|fig16|fig17|fig18|ctxswitch|pe|all> ...
+const USAGE: &str = "usage: figures -- <table1|fig1|fig3|fig5|fig8|fig11|fig12|fig13|fig14|fig15|fig16|fig17|fig18|ctxswitch|pe|sweep [outdir]|all> ...
 environment: BATMEM_SCALE (default 15), BATMEM_EDGE_FACTOR (default 16)";
+
+/// Env-var overrides are a binary concern: the library's
+/// `SuiteConfig::default()` is pure (the paper's evaluation point), and
+/// this entry point layers `BATMEM_SCALE` / `BATMEM_EDGE_FACTOR` on top.
+fn suite_from_env() -> SuiteConfig {
+    let mut suite = SuiteConfig::paper();
+    if let Some(scale) = std::env::var("BATMEM_SCALE").ok().and_then(|s| s.parse().ok()) {
+        suite = suite.with_scale(scale);
+    }
+    if let Some(ef) = std::env::var("BATMEM_EDGE_FACTOR").ok().and_then(|s| s.parse().ok()) {
+        suite = suite.with_edge_factor(ef);
+    }
+    suite
+}
+
+/// Probe-instrumented mini-sweep with machine-readable artifacts:
+/// `sweep.csv` + `sweep.json` (one MetricsSink row per run) and
+/// `trace-<workload>-<config>.jsonl` (structured tracer output) in `out`.
+fn sweep(suite: &SuiteConfig, out: &Path) {
+    const TRACE_CAPACITY: usize = 64 * 1024;
+    let graph = suite.graph();
+    let jobs: Vec<(&str, ConfigName)> = ["BFS-TTC", "PR", "SSSP-TWC"]
+        .into_iter()
+        .flat_map(|w| [(w, ConfigName::Baseline), (w, ConfigName::ToUe)])
+        .collect();
+    let outcomes = parallel_map(jobs, |&(w, c)| {
+        (w, c, run_one_traced(w, c, suite, &graph, TRACE_CAPACITY))
+    });
+    std::fs::create_dir_all(out).expect("create artifact directory");
+    let mut csv = String::from(batmem::probes::MetricsRow::csv_header());
+    csv.push('\n');
+    let mut json_rows = Vec::new();
+    for (w, c, outcome) in outcomes {
+        match outcome {
+            Ok((metrics, row, trace)) => {
+                csv.push_str(&row.to_csv_row());
+                csv.push('\n');
+                json_rows.push(row.to_json());
+                let slug = format!("{w}-{}", c.label()).replace(['/', '+'], "_");
+                std::fs::write(out.join(format!("trace-{slug}.jsonl")), trace)
+                    .expect("write trace artifact");
+                println!(
+                    "sweep: {w}/{} {} cycles, {} batches, trace-{slug}.jsonl",
+                    c.label(),
+                    metrics.cycles,
+                    metrics.uvm.num_batches(),
+                );
+            }
+            Err(e) => eprintln!("sweep: {w}/{} failed: {e}", c.label()),
+        }
+    }
+    std::fs::write(out.join("sweep.csv"), csv).expect("write sweep.csv");
+    std::fs::write(out.join("sweep.json"), format!("[{}]", json_rows.join(",")))
+        .expect("write sweep.json");
+    println!("sweep: artifacts in {}", out.display());
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -18,7 +75,7 @@ fn main() {
         eprintln!("{USAGE}");
         std::process::exit(2);
     }
-    let suite = SuiteConfig::default();
+    let suite = suite_from_env();
     println!(
         "suite: R-MAT scale {} (2^{} vertices, edge factor {}), oversubscription ratio {}",
         suite.scale, suite.scale, suite.edge_factor, suite.ratio
@@ -45,8 +102,17 @@ fn main() {
         None
     };
 
-    for arg in &args {
+    let mut skip_next = false;
+    for (i, arg) in args.iter().enumerate() {
+        if std::mem::take(&mut skip_next) {
+            continue;
+        }
         match arg.as_str() {
+            "sweep" => {
+                let out = args.get(i + 1).cloned().unwrap_or_else(|| "artifacts".to_string());
+                skip_next = args.get(i + 1).is_some();
+                sweep(&suite, Path::new(&out));
+            }
             "table1" => figures::table1(&suite),
             "fig1" => figures::fig1(&suite),
             "fig3" => figures::fig3(&suite),

@@ -1,70 +1,26 @@
 //! Parallel execution of the evaluation suite.
 
 use crate::error::BenchError;
-use batmem::{policies, EtcConfig, PolicyConfig, RunMetrics, SimConfig, Simulation};
+use batmem::probes::{MetricsRow, MetricsSink, Tracer};
+use batmem::{policies, RunMetrics, SimConfig, Simulation};
 use batmem_graph::{gen, Csr};
 use batmem_workloads::registry;
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
-/// The named configurations of Fig. 11, in presentation order.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub enum ConfigName {
-    /// `BASELINE` (tree prefetching, serialized eviction).
-    Baseline,
-    /// `BASELINE with PCIe Compression`.
-    BaselineCompressed,
-    /// `TO`.
-    To,
-    /// `UE`.
-    Ue,
-    /// `TO+UE`.
-    ToUe,
-    /// `ETC`.
-    Etc,
-    /// `IDEAL EVICTION` (Fig. 8).
-    IdealEviction,
-    /// Unlimited GPU memory (the Fig. 8 normalization point).
-    Unlimited,
-}
-
-impl ConfigName {
-    /// Display label matching the paper's figures.
-    pub fn label(self) -> &'static str {
-        match self {
-            ConfigName::Baseline => "BASELINE",
-            ConfigName::BaselineCompressed => "BASELINE+PCIeC",
-            ConfigName::To => "TO",
-            ConfigName::Ue => "UE",
-            ConfigName::ToUe => "TO+UE",
-            ConfigName::Etc => "ETC",
-            ConfigName::IdealEviction => "IDEAL-EVICT",
-            ConfigName::Unlimited => "UNLIMITED",
-        }
-    }
-
-    fn policy(self) -> (PolicyConfig, Option<EtcConfig>) {
-        match self {
-            ConfigName::Baseline | ConfigName::Unlimited => (policies::baseline(), None),
-            ConfigName::BaselineCompressed => (policies::baseline_with_compression(), None),
-            ConfigName::To => (policies::to_only(), None),
-            ConfigName::Ue => (policies::ue_only(), None),
-            ConfigName::ToUe => (policies::to_ue(), None),
-            ConfigName::Etc => {
-                let (p, e) = policies::etc();
-                (p, Some(e))
-            }
-            ConfigName::IdealEviction => (policies::ideal_eviction(), None),
-        }
-    }
-}
+pub use batmem::policies::ConfigName;
 
 /// Suite-wide parameters (graph scale, oversubscription ratio, ...).
+///
+/// [`SuiteConfig::default`] is the paper's evaluation point (R-MAT scale
+/// 15, edge factor 16, 50% oversubscription) and reads no environment;
+/// binaries that accept `BATMEM_SCALE`-style overrides parse them
+/// themselves and apply the `with_*` builders.
 #[derive(Debug, Clone)]
 pub struct SuiteConfig {
-    /// R-MAT scale (vertices = 2^scale). Overridable via `BATMEM_SCALE`.
+    /// R-MAT scale (vertices = 2^scale).
     pub scale: u32,
-    /// R-MAT edge factor. Overridable via `BATMEM_EDGE_FACTOR`.
+    /// R-MAT edge factor.
     pub edge_factor: u32,
     /// Graph seed.
     pub seed: u64,
@@ -76,14 +32,53 @@ pub struct SuiteConfig {
 
 impl Default for SuiteConfig {
     fn default() -> Self {
-        let scale = std::env::var("BATMEM_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(15);
-        let edge_factor =
-            std::env::var("BATMEM_EDGE_FACTOR").ok().and_then(|s| s.parse().ok()).unwrap_or(16);
-        Self { scale, edge_factor, seed: 42, ratio: 0.5, sim: SimConfig::default() }
+        Self::paper()
     }
 }
 
 impl SuiteConfig {
+    /// The paper's evaluation point: R-MAT scale 15, edge factor 16, seed
+    /// 42, 50% memory oversubscription, Table 1 system configuration.
+    pub fn paper() -> Self {
+        Self::new(15, 16)
+    }
+
+    /// A suite over an R-MAT graph of `scale` and `edge_factor`, with the
+    /// paper's seed, ratio, and system configuration.
+    pub fn new(scale: u32, edge_factor: u32) -> Self {
+        Self { scale, edge_factor, seed: 42, ratio: 0.5, sim: SimConfig::default() }
+    }
+
+    /// Replaces the R-MAT scale.
+    pub fn with_scale(mut self, scale: u32) -> Self {
+        self.scale = scale;
+        self
+    }
+
+    /// Replaces the R-MAT edge factor.
+    pub fn with_edge_factor(mut self, edge_factor: u32) -> Self {
+        self.edge_factor = edge_factor;
+        self
+    }
+
+    /// Replaces the graph seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Replaces the memory oversubscription ratio.
+    pub fn with_ratio(mut self, ratio: f64) -> Self {
+        self.ratio = ratio;
+        self
+    }
+
+    /// Replaces the base system configuration.
+    pub fn with_sim(mut self, sim: SimConfig) -> Self {
+        self.sim = sim;
+        self
+    }
+
     /// The shared input graph.
     pub fn graph(&self) -> Arc<Csr> {
         Arc::new(gen::rmat(self.scale, self.edge_factor, self.seed))
@@ -177,7 +172,7 @@ pub fn run_one(
     suite: &SuiteConfig,
     graph: &Arc<Csr>,
 ) -> Result<RunMetrics, BenchError> {
-    let (policy, etc) = config.policy();
+    let (policy, etc) = policies::preset(config);
     let graph = if name.starts_with("GC-") { suite.graph_for(name) } else { Arc::clone(graph) };
     let workload = registry::build(name, graph)
         .ok_or_else(|| BenchError::msg(format!("unknown workload `{name}`")))?;
@@ -190,6 +185,43 @@ pub fn run_one(
     }
     b.try_run(workload)
         .map_err(|e| BenchError::context(&format!("{name}/{}", config.label()), &e))
+}
+
+/// Like [`run_one`], but with a [`MetricsSink`] and a bounded [`Tracer`]
+/// attached: returns the metrics plus the sink's machine-readable row and
+/// the retained trace as JSON Lines.
+///
+/// The probes are constructed inside the call, so this composes with
+/// [`parallel_map`] — everything returned is plain `Send` data.
+pub fn run_one_traced(
+    name: &str,
+    config: ConfigName,
+    suite: &SuiteConfig,
+    graph: &Arc<Csr>,
+    trace_capacity: usize,
+) -> Result<(RunMetrics, MetricsRow, String), BenchError> {
+    let (policy, etc) = policies::preset(config);
+    let graph = if name.starts_with("GC-") { suite.graph_for(name) } else { Arc::clone(graph) };
+    let workload = registry::build(name, graph)
+        .ok_or_else(|| BenchError::msg(format!("unknown workload `{name}`")))?;
+    let sink = MetricsSink::labeled(format!("{name}/{}", config.label()));
+    let tracer = Tracer::bounded(trace_capacity);
+    let mut b = Simulation::builder()
+        .config(suite.sim.clone())
+        .policy(policy)
+        .probe(sink.clone())
+        .probe(tracer.clone());
+    if config != ConfigName::Unlimited {
+        b = b.memory_ratio(suite.ratio);
+    }
+    if let Some(e) = etc {
+        b = b.etc(e);
+    }
+    let metrics = b
+        .try_run(workload)
+        .map_err(|e| BenchError::context(&format!("{name}/{}", config.label()), &e))?;
+    let row = sink.rows().pop().expect("finished run seals one row");
+    Ok((metrics, row, tracer.to_jsonl()))
 }
 
 /// Runs `f` over `items` on a thread pool, preserving order.
@@ -265,15 +297,24 @@ mod tests {
 
     #[test]
     fn etc_config_carries_framework() {
-        let (_, etc) = ConfigName::Etc.policy();
+        let (_, etc) = policies::preset(ConfigName::Etc);
         assert!(etc.unwrap().enabled);
-        assert!(ConfigName::Baseline.policy().1.is_none());
+        assert!(policies::preset(ConfigName::Baseline).1.is_none());
+    }
+
+    #[test]
+    fn default_suite_is_the_paper_point_without_env() {
+        let suite = SuiteConfig::default();
+        assert_eq!(suite.scale, 15);
+        assert_eq!(suite.edge_factor, 16);
+        let tuned = SuiteConfig::new(8, 4).with_seed(7).with_ratio(0.75);
+        assert_eq!((tuned.scale, tuned.edge_factor, tuned.seed, tuned.ratio), (8, 4, 7, 0.75));
     }
 
     #[test]
     fn suite_runs_one_small_workload() {
         let suite =
-            SuiteConfig { scale: 8, edge_factor: 4, seed: 1, ratio: 0.5, sim: SimConfig::default() };
+            SuiteConfig::new(8, 4).with_seed(1);
         let graph = suite.graph();
         let m = run_one("BFS-TTC", ConfigName::Baseline, &suite, &graph).unwrap();
         assert!(m.cycles > 0);
@@ -284,7 +325,7 @@ mod tests {
     #[test]
     fn unknown_workload_is_an_error_not_a_panic() {
         let suite =
-            SuiteConfig { scale: 8, edge_factor: 4, seed: 1, ratio: 0.5, sim: SimConfig::default() };
+            SuiteConfig::new(8, 4).with_seed(1);
         let graph = suite.graph();
         let err = run_one("NO-SUCH-WORKLOAD", ConfigName::Baseline, &suite, &graph).unwrap_err();
         assert!(err.to_string().contains("NO-SUCH-WORKLOAD"));
@@ -293,7 +334,7 @@ mod tests {
     #[test]
     fn invalid_config_is_reported_per_row_not_panicked() {
         let mut suite =
-            SuiteConfig { scale: 8, edge_factor: 4, seed: 1, ratio: 0.5, sim: SimConfig::default() };
+            SuiteConfig::new(8, 4).with_seed(1);
         suite.sim.gpu.num_sms = 0;
         let graph = suite.graph();
         let err = run_one("BFS-TTC", ConfigName::Baseline, &suite, &graph).unwrap_err();
@@ -303,7 +344,7 @@ mod tests {
     #[test]
     fn geomean_of_constants_is_the_constant() {
         let suite =
-            SuiteConfig { scale: 8, edge_factor: 4, seed: 1, ratio: 0.5, sim: SimConfig::default() };
+            SuiteConfig::new(8, 4).with_seed(1);
         let graph = suite.graph();
         let m = run_one("PR", ConfigName::Baseline, &suite, &graph).unwrap();
         let mut results = HashMap::new();

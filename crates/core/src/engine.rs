@@ -13,6 +13,7 @@ use batmem_sim::ops::{Kernel, KernelSpec, Workload, WarpOp};
 use batmem_sim::sm::{occupancy, Occupancy, Sm};
 use batmem_sim::warp::{WarpContext, WarpPhase};
 use batmem_types::policy::PolicyConfig;
+use batmem_types::probe::{Probe, ProbeEvent, ProbeHub, SharedProbes};
 use batmem_types::{AuditLevel, BlockId, Cycle, KernelId, PageId, SimConfig, SimError, SmId};
 use batmem_uvm::{InjectConfig, OversubController, UvmEvent, UvmOutput, UvmRuntime};
 use batmem_vmem::{Mmu, TranslationOutcome};
@@ -32,12 +33,13 @@ impl Simulation {
 }
 
 /// Builder for a simulation run.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Default)]
 pub struct SimulationBuilder {
     config: SimConfig,
     etc: EtcConfig,
     memory_ratio: Option<f64>,
     inject: Option<InjectConfig>,
+    probes: ProbeHub,
 }
 
 impl SimulationBuilder {
@@ -92,6 +94,20 @@ impl SimulationBuilder {
         self
     }
 
+    /// Attaches an observer of the run's typed event stream (see
+    /// [`Probe`]). Call repeatedly to attach several — events fan out to
+    /// all of them in attachment order. With no probe attached the engine
+    /// never constructs an event, so the hot path is unchanged.
+    ///
+    /// Shipped probes live in [`crate::probes`]: a bounded structured
+    /// tracer, a per-batch timeline aggregator, and a CSV/JSON metrics
+    /// sink. They are cheap handles: clone one, attach the clone, and read
+    /// the results from the original after the run.
+    pub fn probe(mut self, probe: impl Probe + 'static) -> Self {
+        self.probes.attach(Box::new(probe));
+        self
+    }
+
     /// Overrides the forward-progress watchdog budget: the run fails with
     /// [`SimError::Livelock`] after this many consecutive events without
     /// forward progress. `0` disables the watchdog.
@@ -109,6 +125,10 @@ impl SimulationBuilder {
     ///
     /// Panics with the [`SimError`]'s message on invalid configuration or
     /// internal invariant violations.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `try_run`, which returns a typed `SimError` instead of panicking"
+    )]
     pub fn run(self, workload: Box<dyn Workload>) -> RunMetrics {
         match self.try_run(workload) {
             Ok(m) => m,
@@ -159,7 +179,8 @@ impl SimulationBuilder {
                 self.config.policy.proactive_eviction = true;
             }
         }
-        Engine::new(self.config, self.etc, self.inject, workload, footprint_pages).run()
+        Engine::new(self.config, self.etc, self.inject, self.probes, workload, footprint_pages)
+            .run()
     }
 }
 
@@ -197,6 +218,7 @@ struct Engine {
     waiters: HashMap<PageId, Vec<(usize, usize)>>,
     seen_fault_pages: HashSet<PageId>,
     throttled_count: u16,
+    probes: SharedProbes,
     // metrics
     finished_at: Option<Cycle>,
     memory_pages: Option<u64>,
@@ -216,11 +238,14 @@ impl Engine {
         cfg: SimConfig,
         etc: EtcConfig,
         inject: Option<InjectConfig>,
+        probes: ProbeHub,
         workload: Box<dyn Workload>,
         footprint_pages: u64,
     ) -> Self {
+        let probes = SharedProbes::new(probes);
         let mut uvm = UvmRuntime::new(&cfg.uvm, &cfg.policy, footprint_pages);
         uvm.set_audit(cfg.audit);
+        uvm.set_probes(probes.clone());
         if let Some(i) = inject {
             uvm.set_injector(i);
         }
@@ -255,6 +280,7 @@ impl Engine {
             waiters: HashMap::new(),
             seen_fault_pages: HashSet::new(),
             throttled_count: 0,
+            probes,
             finished_at: None,
             memory_pages,
             blocks_retired: 0,
@@ -348,6 +374,9 @@ impl Engine {
                 let sig = self.progress_signature();
                 if sig == last_sig {
                     stagnant += 1;
+                    self.probes.emit_with(self.clock, || ProbeEvent::WatchdogTick {
+                        events_without_progress: stagnant,
+                    });
                     if stagnant >= budget {
                         return Err(SimError::Livelock {
                             cycle: self.clock,
@@ -370,6 +399,7 @@ impl Engine {
                 detail: "work completed but no finish time was recorded".to_string(),
             });
         };
+        self.probes.finish(finished_at);
         let mmu_stats = self.mmu.stats();
         Ok(RunMetrics {
             cycles: finished_at,
@@ -399,6 +429,9 @@ impl Engine {
         let kernel = self.workload.kernel(KernelId::new(k));
         self.spec = kernel.spec();
         self.occ = occupancy(&self.cfg.gpu, &self.spec);
+        let blocks = self.spec.num_blocks;
+        self.probes
+            .emit_with(self.clock, || ProbeEvent::KernelLaunched { kernel: k, blocks });
         self.kernel = Some(kernel);
         self.kernel_idx = k;
         self.blocks.clear();
@@ -608,6 +641,13 @@ impl Engine {
                 warp.waiting_pages = n;
                 warp.phase = WarpPhase::FaultBlocked;
             }
+            let block_id = self.blocks[b].id;
+            self.probes.emit_with(self.clock, || ProbeEvent::WarpStalled {
+                sm: sm as u16,
+                block: block_id.index() as u32,
+                warp: w as u16,
+                waiting_pages: n,
+            });
             for (page, tl) in faulted {
                 self.waiters.entry(page).or_default().push((b, w));
                 // The fault reaches the fault buffer when the walk fails.
@@ -656,6 +696,13 @@ impl Engine {
         let Some(list) = self.waiters.remove(&page) else { return };
         for (b, w) in list {
             if self.blocks[b].warps[w].page_arrived() {
+                let block_id = self.blocks[b].id;
+                let sm = self.block_sm[b];
+                self.probes.emit_with(self.clock, || ProbeEvent::WarpResumed {
+                    sm: sm as u16,
+                    block: block_id.index() as u32,
+                    warp: w as u16,
+                });
                 match self.blocks[b].residency {
                     BlockResidency::Active => {
                         self.blocks[b].warps[w].phase = WarpPhase::Ready;
@@ -699,6 +746,11 @@ impl Engine {
         let done = self.sms[sm].begin_switch(self.clock, cost);
         self.ctx_switches += 1;
         self.ctx_switch_cycles += cost;
+        self.probes.emit_with(self.clock, || ProbeEvent::ContextSwitch {
+            sm: sm as u16,
+            cost,
+            restore: false,
+        });
         self.blocks[out].residency = BlockResidency::Inactive;
         self.sms[sm].deactivate(out);
         self.blocks[inc].residency = BlockResidency::SwitchingIn;
@@ -749,6 +801,11 @@ impl Engine {
                 let done = self.sms[sm].begin_switch(self.clock, restore);
                 self.ctx_switches += 1;
                 self.ctx_switch_cycles += restore;
+                self.probes.emit_with(self.clock, || ProbeEvent::ContextSwitch {
+                    sm: sm as u16,
+                    cost: restore,
+                    restore: true,
+                });
                 self.blocks[inc].residency = BlockResidency::SwitchingIn;
                 self.events.push(done, Event::SwitchInDone { sm, block: inc });
                 self.top_up_inactive();
@@ -826,7 +883,7 @@ mod tests {
         let w = Strided::new(1, 32, 32, 1, 0, 1);
         let m = Simulation::builder()
             .policy(no_prefetch(PolicyConfig::baseline()))
-            .run(Box::new(w));
+            .try_run(Box::new(w)).unwrap();
         assert_eq!(m.uvm.num_batches(), 1);
         assert_eq!(m.uvm.batches[0].faults, 1);
         // Lower bound: ISR (1k) + handling (20k) + page transfer (~4.2k).
@@ -840,7 +897,7 @@ mod tests {
         let w = SharedPages::new(64, 256, 32, 3, 10);
         let m = Simulation::builder()
             .policy(no_prefetch(PolicyConfig::baseline()))
-            .run(Box::new(w));
+            .try_run(Box::new(w)).unwrap();
         let faults: u64 = m.uvm.batches.iter().map(|b| u64::from(b.faults)).sum();
         assert_eq!(faults, 3, "shared pages must fault once each");
         assert_eq!(m.blocks_retired, 64);
@@ -853,7 +910,7 @@ mod tests {
         let w = Strided::new(200, 256, 56, 2, 50, 3);
         let mut policy = no_prefetch(PolicyConfig::to_only());
         policy.oversubscription = ToConfig { max_extra_blocks: 3, ..ToConfig::enabled() };
-        let m = Simulation::builder().policy(policy).memory_ratio(0.25).run(Box::new(w));
+        let m = Simulation::builder().policy(policy).memory_ratio(0.25).try_run(Box::new(w)).unwrap();
         assert!(m.ctx_switches > 0, "no switches despite fault stalls");
         assert!(m.ctx_switch_cycles > 0);
         assert_eq!(m.blocks_retired, 200);
@@ -865,7 +922,7 @@ mod tests {
         let mut policy = no_prefetch(PolicyConfig::to_only());
         policy.oversubscription =
             ToConfig { trigger: SwitchTrigger::AnyStall, ..ToConfig::enabled() };
-        let m = Simulation::builder().policy(policy).run(Box::new(w));
+        let m = Simulation::builder().policy(policy).try_run(Box::new(w)).unwrap();
         assert_eq!(m.uvm.evictions, 0);
         assert!(m.ctx_switches > 0, "AnyStall must switch on memory stalls");
     }
@@ -879,7 +936,7 @@ mod tests {
             let w = Strided::new(200, 256, 56, 2, 0, 4);
             let mut policy = no_prefetch(PolicyConfig::to_only());
             policy.oversubscription = ToConfig { trigger, ..ToConfig::enabled() };
-            Simulation::builder().policy(policy).run(Box::new(w))
+            Simulation::builder().policy(policy).try_run(Box::new(w)).unwrap()
         };
         let fault_stall = run(SwitchTrigger::FaultStall);
         let any_stall = run(SwitchTrigger::AnyStall);
@@ -895,7 +952,7 @@ mod tests {
         let m = Simulation::builder()
             .policy(no_prefetch(PolicyConfig::baseline()))
             .memory_pages(2)
-            .run(Box::new(w));
+            .try_run(Box::new(w)).unwrap();
         assert_eq!(m.blocks_retired, 8);
         assert!(m.uvm.evictions > 0);
         assert!(m.uvm.peak_resident_pages <= 2);
@@ -906,7 +963,7 @@ mod tests {
         let w = SharedPages::new(8, 256, 32, 12, 5);
         let mut policy = no_prefetch(PolicyConfig::ue_only());
         policy.eviction = EvictionPolicy::Unobtrusive;
-        let m = Simulation::builder().policy(policy).memory_pages(2).run(Box::new(w));
+        let m = Simulation::builder().policy(policy).memory_pages(2).try_run(Box::new(w)).unwrap();
         assert_eq!(m.blocks_retired, 8);
     }
 
@@ -915,7 +972,7 @@ mod tests {
         // repeats * compute with one page per warp: after the first touch,
         // everything is compute; the page count equals warps.
         let w = Strided::new(4, 64, 16, 1, 1_000, 16);
-        let m = Simulation::builder().policy(no_prefetch(PolicyConfig::baseline())).run(Box::new(w));
+        let m = Simulation::builder().policy(no_prefetch(PolicyConfig::baseline())).try_run(Box::new(w)).unwrap();
         let faults: u64 = m.uvm.batches.iter().map(|b| u64::from(b.faults)).sum();
         assert_eq!(faults, 4 * 2); // 4 blocks x 2 warps x 1 page
         assert!(m.mem_ops > faults);
@@ -924,7 +981,7 @@ mod tests {
     #[test]
     fn mem_ops_count_replays() {
         let w = Strided::new(1, 32, 32, 4, 0, 1);
-        let m = Simulation::builder().policy(no_prefetch(PolicyConfig::baseline())).run(Box::new(w));
+        let m = Simulation::builder().policy(no_prefetch(PolicyConfig::baseline())).try_run(Box::new(w)).unwrap();
         // 4 loads + 4 replays after their faults.
         assert_eq!(m.mem_ops, 8);
     }
@@ -935,7 +992,7 @@ mod tests {
         let m = Simulation::builder()
             .policy(no_prefetch(PolicyConfig::baseline()))
             .memory_ratio(0.25)
-            .run(Box::new(w));
+            .try_run(Box::new(w)).unwrap();
         assert_eq!(m.memory_pages, Some(32));
     }
 

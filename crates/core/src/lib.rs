@@ -21,10 +21,31 @@
 //! let metrics = Simulation::builder()
 //!     .policy(policies::to_ue())        // the paper's proposal
 //!     .memory_ratio(0.5)                // 50% memory oversubscription
-//!     .run(workload);
+//!     .try_run(workload)
+//!     .unwrap();
 //!
 //! assert!(metrics.cycles > 0);
 //! assert!(metrics.uvm.num_batches() > 0);
+//! ```
+//!
+//! To observe a run rather than just its end-state, attach probes (see
+//! [`probes`] and [`SimulationBuilder::probe`]):
+//!
+//! ```
+//! use batmem::{policies, Simulation};
+//! use batmem::probes::{Timeline, Tracer};
+//! use batmem_workloads::synthetic::Strided;
+//!
+//! let tracer = Tracer::bounded(64 * 1024);
+//! let timeline = Timeline::new();
+//! let _ = Simulation::builder()
+//!     .policy(policies::baseline())
+//!     .probe(tracer.clone())
+//!     .probe(timeline.clone())
+//!     .try_run(Box::new(Strided::new(1, 32, 32, 2, 0, 1)))
+//!     .unwrap();
+//! assert!(tracer.len() > 0);               // structured JSONL events
+//! assert_eq!(timeline.num_batches(), 1);   // per-batch spans
 //! ```
 //!
 //! The [`Simulation`] builder selects policies; [`RunMetrics`] carries
@@ -38,9 +59,12 @@
 mod engine;
 pub mod experiments;
 mod metrics;
+pub mod probes;
 
 pub use engine::{Simulation, SimulationBuilder};
 pub use metrics::RunMetrics;
+
+pub use batmem_types::probe::{EvictionCause, Probe, ProbeEvent};
 
 pub use batmem_etc::EtcConfig;
 pub use batmem_types::config::SimConfig;
@@ -50,6 +74,70 @@ pub use batmem_types::policy::PolicyConfig;
 pub mod policies {
     use batmem_etc::EtcConfig;
     use batmem_types::policy::PolicyConfig;
+
+    /// The named configurations of Fig. 11, in presentation order.
+    ///
+    /// [`preset`] maps each name to its policy knobs; this is the single
+    /// source of truth the bench harness and examples share.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+    pub enum ConfigName {
+        /// `BASELINE` (tree prefetching, serialized eviction).
+        Baseline,
+        /// `BASELINE with PCIe Compression`.
+        BaselineCompressed,
+        /// `TO`.
+        To,
+        /// `UE`.
+        Ue,
+        /// `TO+UE`.
+        ToUe,
+        /// `ETC`.
+        Etc,
+        /// `IDEAL EVICTION` (Fig. 8).
+        IdealEviction,
+        /// Unlimited GPU memory (the Fig. 8 normalization point).
+        Unlimited,
+    }
+
+    impl ConfigName {
+        /// Display label matching the paper's figures.
+        pub fn label(self) -> &'static str {
+            match self {
+                ConfigName::Baseline => "BASELINE",
+                ConfigName::BaselineCompressed => "BASELINE+PCIeC",
+                ConfigName::To => "TO",
+                ConfigName::Ue => "UE",
+                ConfigName::ToUe => "TO+UE",
+                ConfigName::Etc => "ETC",
+                ConfigName::IdealEviction => "IDEAL-EVICT",
+                ConfigName::Unlimited => "UNLIMITED",
+            }
+        }
+
+        /// The policy knobs of this configuration; shorthand for
+        /// [`preset`].
+        pub fn preset(self) -> (PolicyConfig, Option<EtcConfig>) {
+            preset(self)
+        }
+    }
+
+    /// The policy knobs (and, for `ETC`, the framework configuration) of
+    /// the named preset. `Unlimited` shares the baseline policy — only its
+    /// memory sizing differs, which is the caller's concern.
+    pub fn preset(name: ConfigName) -> (PolicyConfig, Option<EtcConfig>) {
+        match name {
+            ConfigName::Baseline | ConfigName::Unlimited => (baseline(), None),
+            ConfigName::BaselineCompressed => (baseline_with_compression(), None),
+            ConfigName::To => (to_only(), None),
+            ConfigName::Ue => (ue_only(), None),
+            ConfigName::ToUe => (to_ue(), None),
+            ConfigName::Etc => {
+                let (p, e) = etc();
+                (p, Some(e))
+            }
+            ConfigName::IdealEviction => (ideal_eviction(), None),
+        }
+    }
 
     /// `BASELINE`: state-of-the-art tree prefetching, serialized eviction.
     pub fn baseline() -> PolicyConfig {

@@ -16,6 +16,9 @@
 //!   prefetching, PCIe compression).
 //! * [`error`] — structured simulation errors ([`SimError`]) and the
 //!   invariant-audit knob ([`AuditLevel`]).
+//! * [`probe`] — the pluggable observation layer: the [`Probe`] trait, the
+//!   typed [`ProbeEvent`] stream, and the fan-out plumbing the engine and
+//!   UVM runtime emit through.
 //! * [`rng`] — the deterministic seeded generator used wherever the
 //!   simulator needs reproducible randomness.
 //!
@@ -39,6 +42,7 @@ pub mod config;
 pub mod error;
 pub mod ids;
 pub mod policy;
+pub mod probe;
 pub mod rng;
 pub mod time;
 
@@ -46,5 +50,6 @@ pub use addr::{FrameId, PageId, RegionId, VirtAddr};
 pub use config::SimConfig;
 pub use error::{AuditLevel, SimError};
 pub use ids::{BlockId, KernelId, SmId, WarpId};
+pub use probe::{EvictionCause, Probe, ProbeEvent, ProbeHub, SharedProbes};
 pub use rng::DetRng;
 pub use time::Cycle;

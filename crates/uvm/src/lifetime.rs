@@ -63,11 +63,15 @@ impl LifetimeTracker {
         self.evicted_awaiting_refault.insert(page);
     }
 
-    /// Records a fault for `page`; detects re-faults of evicted pages.
-    pub fn on_fault(&mut self, page: PageId) {
-        if self.evicted_awaiting_refault.remove(&page) {
+    /// Records a fault for `page`. Returns `true` when the fault re-touches
+    /// an evicted page — i.e. exactly when it classifies that page's last
+    /// eviction as premature.
+    pub fn on_fault(&mut self, page: PageId) -> bool {
+        let premature = self.evicted_awaiting_refault.remove(&page);
+        if premature {
             self.premature_evictions += 1;
         }
+        premature
     }
 
     /// Closes the current sampling window and returns the running average

@@ -31,6 +31,13 @@
 //! [`UvmRuntime::set_audit`] additionally re-derives the runtime's
 //! conservation laws after every event, and [`UvmRuntime::set_injector`]
 //! arms deterministic fault injection for robustness tests.
+//!
+//! Observation goes through the probe layer: every fault, batch
+//! open/close, migration, eviction (with its cause and pinned/premature
+//! classification) is emitted as a
+//! [`ProbeEvent`](batmem_types::probe::ProbeEvent) on the
+//! [`SharedProbes`] handle installed by [`UvmRuntime::set_probes`] —
+//! [`UvmStats`] is merely the built-in aggregate of the same stream.
 
 use crate::batch::BatchRecord;
 use crate::fault::FaultBuffer;
@@ -42,6 +49,7 @@ use crate::prefetch::TreePrefetcher;
 use crate::stats::UvmStats;
 use batmem_types::config::UvmConfig;
 use batmem_types::policy::{EvictionGranularity, EvictionPolicy, PolicyConfig, PrefetchPolicy};
+use batmem_types::probe::{EvictionCause, ProbeEvent, SharedProbes};
 use batmem_types::{AuditLevel, Cycle, FrameId, PageId, SimError};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, HashSet};
@@ -141,6 +149,7 @@ pub struct UvmRuntime {
     proactive_evictions: u64,
     audit: AuditLevel,
     injector: Option<FaultInjector>,
+    probes: SharedProbes,
 }
 
 impl UvmRuntime {
@@ -181,6 +190,7 @@ impl UvmRuntime {
             proactive_evictions: 0,
             audit: AuditLevel::Off,
             injector: None,
+            probes: SharedProbes::disabled(),
         }
     }
 
@@ -194,6 +204,13 @@ impl UvmRuntime {
     /// Arms deterministic fault injection (see [`InjectConfig`]).
     pub fn set_injector(&mut self, cfg: InjectConfig) {
         self.injector = Some(FaultInjector::new(cfg));
+    }
+
+    /// Installs the probe emission handle (shared with the engine). The
+    /// default handle is inert; with it, every emission site below is a
+    /// single predictable branch.
+    pub fn set_probes(&mut self, probes: SharedProbes) {
+        self.probes = probes;
     }
 
     /// What the injector has done so far (`None` when injection is off).
@@ -210,7 +227,10 @@ impl UvmRuntime {
     /// resident in the runtime's planned view — the engine should never
     /// raise a fault for a page it could have translated.
     pub fn record_fault(&mut self, page: PageId, now: Cycle) -> Result<Vec<UvmOutput>, SimError> {
-        self.lifetime.on_fault(page);
+        if self.lifetime.on_fault(page) {
+            // The refault just classified the page's eviction as premature.
+            self.probes.emit_with(now, || ProbeEvent::PrematureEviction { page });
+        }
         if let Some(plan) = &self.current {
             if plan.page_set.contains(&page) {
                 // Absorb the fault only while the open batch will still
@@ -224,6 +244,7 @@ impl UvmRuntime {
                 };
                 if will_arrive {
                     self.faults_on_pending += 1;
+                    self.probes.emit_with(now, || ProbeEvent::FaultAbsorbed { page });
                     return Ok(Vec::new());
                 }
             }
@@ -235,10 +256,12 @@ impl UvmRuntime {
             });
         }
         self.buffer.record(page, now);
+        self.probes.emit_with(now, || ProbeEvent::FaultRaised { page });
         if self.injector.as_mut().is_some_and(|i| i.duplicate_fault()) {
             // Spurious duplicate fault delivery: coalesces in the buffer
             // (and shows up in the dedup counters), as on real hardware.
             self.buffer.record(page, now);
+            self.probes.emit_with(now, || ProbeEvent::FaultRaised { page });
         }
         if self.state == State::Idle {
             self.state = State::Draining;
@@ -349,6 +372,12 @@ impl UvmRuntime {
             page_set,
             planned_arrival: HashMap::new(),
         };
+        self.probes.emit_with(now, || ProbeEvent::BatchOpened {
+            batch: id,
+            faults: plan.record.faults,
+            prefetches: plan.record.prefetches,
+            handling_cycles: handling,
+        });
         outputs.push(UvmOutput::Schedule { at: now + handling, event: UvmEvent::HandlingDone { batch: id } });
 
         // Unobtrusive Eviction: the top-half ISR checks the memory status
@@ -358,7 +387,7 @@ impl UvmRuntime {
             && self.mem.at_capacity()
             && self.pending_free.is_empty()
         {
-            self.schedule_evictions(now, &mut plan, &mut outputs, false)?;
+            self.schedule_evictions(now, &mut plan, &mut outputs, EvictionCause::Preemptive)?;
             self.preemptive_evictions += 1;
         }
 
@@ -372,7 +401,7 @@ impl UvmRuntime {
             let mut need = (plan.pages.len() as u64).saturating_sub(available);
             while need > 0 && self.mem.resident_count() > 0 {
                 let before = self.pending_free.len();
-                self.schedule_evictions(now, &mut plan, &mut outputs, true)?;
+                self.schedule_evictions(now, &mut plan, &mut outputs, EvictionCause::Proactive)?;
                 let freed = (self.pending_free.len() - before) as u64;
                 if freed == 0 {
                     break;
@@ -390,9 +419,9 @@ impl UvmRuntime {
     /// Schedules enough evictions to free at least one frame, pushing the
     /// freed frames into `pending_free` tagged with their availability
     /// times.
-    /// `overlap` forces UE-style device-to-host scheduling regardless of
-    /// the base eviction policy (used by proactive eviction).
-    fn schedule_evictions(&mut self, earliest: Cycle, plan: &mut BatchPlan, outputs: &mut Vec<UvmOutput>, overlap: bool) -> Result<(), SimError> {
+    /// A [`EvictionCause::Proactive`] cause forces UE-style device-to-host
+    /// scheduling regardless of the base eviction policy.
+    fn schedule_evictions(&mut self, earliest: Cycle, plan: &mut BatchPlan, outputs: &mut Vec<UvmOutput>, cause: EvictionCause) -> Result<(), SimError> {
         let (victims, forced) = self.mem.pick_victims(&plan.page_set);
         if victims.is_empty() {
             return Err(SimError::Accounting {
@@ -434,7 +463,11 @@ impl UvmRuntime {
                 .unwrap_or(0)
                 .max(earliest);
             let frame = self.mem.remove(victim).map_err(|e| e.at_cycle(earliest))?;
-            let effective = if overlap { EvictionPolicy::Unobtrusive } else { self.policy.eviction };
+            let effective = if cause == EvictionCause::Proactive {
+                EvictionPolicy::Unobtrusive
+            } else {
+                self.policy.eviction
+            };
             let (start, ready) = match effective {
                 EvictionPolicy::SerializedLru => {
                     // §3 / Fig. 4: eviction and migration serialize — the
@@ -455,6 +488,16 @@ impl UvmRuntime {
                     // favorable consistent schedule).
                     self.ideal_evicts.push((victim, avail));
                     self.pending_free.push(Reverse((avail, frame)));
+                    self.probes.emit_with(earliest, || ProbeEvent::EvictionBegun {
+                        page: victim,
+                        cause,
+                        forced_pinned: forced,
+                        start: avail,
+                    });
+                    self.probes.emit_with(earliest, || ProbeEvent::EvictionFinished {
+                        page: victim,
+                        ready: avail,
+                    });
                     plan.record.evictions += 1;
                     if forced {
                         plan.record.forced_pinned_evictions += 1;
@@ -464,6 +507,13 @@ impl UvmRuntime {
             };
             outputs.push(UvmOutput::Schedule { at: start, event: UvmEvent::EvictionStarted { page: victim } });
             self.lifetime.on_evict(victim, start);
+            self.probes.emit_with(earliest, || ProbeEvent::EvictionBegun {
+                page: victim,
+                cause,
+                forced_pinned: forced,
+                start,
+            });
+            self.probes.emit_with(earliest, || ProbeEvent::EvictionFinished { page: victim, ready });
             self.pending_free.push(Reverse((ready, frame)));
             plan.record.evictions += 1;
             if forced {
@@ -481,7 +531,7 @@ impl UvmRuntime {
             self.pending_free.pop();
             return Ok((frame, ready));
         }
-        self.schedule_evictions(now, plan, outputs, false)?;
+        self.schedule_evictions(now, plan, outputs, EvictionCause::Demand)?;
         match self.pending_free.pop() {
             Some(Reverse((ready, frame))) => Ok((frame, ready)),
             None => Err(SimError::Accounting {
@@ -527,6 +577,12 @@ impl UvmRuntime {
             if i == 0 {
                 plan.record.first_migration_start = tr.start;
             }
+            self.probes.emit_with(now, || ProbeEvent::MigrationStarted {
+                batch,
+                page,
+                start: tr.start,
+                end: tr.end,
+            });
             for (victim, avail) in self.ideal_evicts.drain(..) {
                 let at = tr.start.max(avail);
                 outputs.push(UvmOutput::Schedule { at, event: UvmEvent::EvictionStarted { page: victim } });
@@ -563,6 +619,7 @@ impl UvmRuntime {
                 detail: format!("arrival of page {page} that is not in flight"),
             });
         };
+        self.probes.emit_with(now, || ProbeEvent::MigrationCompleted { page, frame });
         let mut outputs = vec![UvmOutput::Install { page, frame }];
         let finished = {
             let Some(plan) = self.current.as_mut() else {
@@ -584,6 +641,17 @@ impl UvmRuntime {
         if finished {
             if let Some(mut plan) = self.current.take() {
                 plan.record.end = now;
+                let r = plan.record;
+                self.probes.emit_with(now, || ProbeEvent::BatchClosed {
+                    batch: r.id,
+                    faults: r.faults,
+                    prefetches: r.prefetches,
+                    evictions: r.evictions,
+                    forced_pinned_evictions: r.forced_pinned_evictions,
+                    migrated_bytes: r.migrated_bytes,
+                    opened_at: r.start,
+                    first_migration_start: r.first_migration_start,
+                });
                 self.finished_batches.push(plan.record);
             }
             self.state = State::Idle;

@@ -21,7 +21,11 @@ fn main() {
 
     let graph = Arc::new(gen::rmat(14, 16, 7));
     let workload = registry::build("BFS-TTC", graph).expect("known workload");
-    let metrics = Simulation::builder().policy(policy).memory_ratio(0.5).run(workload);
+    let metrics = Simulation::builder()
+        .policy(policy)
+        .memory_ratio(0.5)
+        .try_run(workload)
+        .expect("simulation failed");
 
     println!("eviction mode: {mode}");
     println!(

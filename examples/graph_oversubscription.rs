@@ -15,7 +15,8 @@ fn main() {
 
     let unlimited = Simulation::builder()
         .policy(policies::baseline())
-        .run(registry::build(&name, Arc::clone(&graph)).expect("known workload"));
+        .try_run(registry::build(&name, Arc::clone(&graph)).expect("known workload"))
+        .expect("simulation failed");
 
     println!("workload {name}; unlimited-memory time {} us", unlimited.cycles / 1_000);
     println!(
@@ -26,11 +27,13 @@ fn main() {
         let base = Simulation::builder()
             .policy(policies::baseline())
             .memory_ratio(ratio)
-            .run(registry::build(&name, Arc::clone(&graph)).unwrap());
+            .try_run(registry::build(&name, Arc::clone(&graph)).unwrap())
+            .expect("simulation failed");
         let ue = Simulation::builder()
             .policy(policies::ue_only())
             .memory_ratio(ratio)
-            .run(registry::build(&name, Arc::clone(&graph)).unwrap());
+            .try_run(registry::build(&name, Arc::clone(&graph)).unwrap())
+            .expect("simulation failed");
         println!(
             "{:>6.1} {:>12} {:>10.2} {:>12} {:>10.2}",
             ratio,

@@ -14,7 +14,7 @@ fn run(name: &str, ratio: f64, policy: batmem::PolicyConfig, etc: Option<batmem:
     if let Some(e) = etc {
         b = b.etc(e);
     }
-    b.run(workload)
+    b.try_run(workload).expect("simulation failed")
 }
 
 fn main() {

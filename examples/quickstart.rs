@@ -20,7 +20,8 @@ fn main() {
     let metrics = Simulation::builder()
         .policy(policies::to_ue())
         .memory_ratio(0.5)
-        .run(workload);
+        .try_run(workload)
+        .expect("simulation failed");
 
     println!();
     println!("executed {} kernels, {} blocks, {} warps", metrics.kernels, metrics.blocks_retired, metrics.warps_retired);

@@ -1,0 +1,49 @@
+#!/usr/bin/env sh
+# Compare an engine_hotpaths run against the checked-in baseline and fail
+# on regressions beyond a tolerance. Guards the probe layer's
+# zero-overhead-when-off contract: with no probe attached, the hot paths
+# must stay where they were.
+#
+# usage: check_bench_regression.sh <baseline.txt> <current.txt> [tolerance_pct]
+#
+# Both files are `cargo bench -p batmem-bench` output (extra lines are
+# ignored). Comparison uses each benchmark's *min* time — the mean absorbs
+# scheduler noise on shared CI runners, the min is the honest floor.
+set -eu
+
+baseline=${1:?usage: check_bench_regression.sh <baseline.txt> <current.txt> [tolerance_pct]}
+current=${2:?usage: check_bench_regression.sh <baseline.txt> <current.txt> [tolerance_pct]}
+tolerance=${3:-10}
+
+awk -v tol="$tolerance" '
+    # Rows look like:
+    #   name/case    123.5 us/iter (min   86.2 us, 200 iters)
+    function min_of(line,    i) {
+        for (i = 1; i <= NF; i++) if ($i == "(min") return $(i + 1)
+        return ""
+    }
+    FNR == 1 { file++ }
+    /us\/iter/ && file == 1 { base[$1] = min_of($0); order[n++] = $1 }
+    /us\/iter/ && file == 2 { cur[$1] = min_of($0) }
+    END {
+        if (n == 0) { print "error: no benchmarks in baseline"; exit 2 }
+        printf "%-36s %12s %12s %9s\n", "benchmark", "baseline-min", "current-min", "delta"
+        failed = 0
+        for (i = 0; i < n; i++) {
+            name = order[i]
+            if (!(name in cur)) {
+                printf "%-36s %12.1f %12s %9s  MISSING\n", name, base[name], "-", "-"
+                failed = 1
+                continue
+            }
+            delta = 100 * (cur[name] - base[name]) / base[name]
+            verdict = delta > tol ? "REGRESSED" : "ok"
+            if (delta > tol) failed = 1
+            printf "%-36s %12.1f %12.1f %+8.1f%%  %s\n", name, base[name], cur[name], delta, verdict
+        }
+        for (name in cur) if (!(name in base))
+            printf "%-36s %12s %12.1f %9s  new (not in baseline)\n", name, "-", cur[name], "-"
+        if (failed) { print "\nFAIL: hot paths regressed more than " tol "% vs baseline"; exit 1 }
+        print "\nOK: all hot paths within " tol "% of baseline"
+    }
+' "$baseline" "$current"

@@ -8,7 +8,7 @@ use std::sync::Arc;
 fn run_once(name: &str, seed: u64) -> batmem::RunMetrics {
     let graph = Arc::new(gen::rmat(11, 8, seed));
     let w = registry::build(name, graph).unwrap();
-    Simulation::builder().policy(policies::to_ue()).memory_ratio(0.5).run(w)
+    Simulation::builder().policy(policies::to_ue()).memory_ratio(0.5).try_run(w).unwrap()
 }
 
 #[test]
@@ -41,10 +41,10 @@ fn different_policies_differ() {
     let base = Simulation::builder()
         .policy(policies::baseline())
         .memory_ratio(0.5)
-        .run(registry::build("BFS-TTC", Arc::clone(&graph)).unwrap());
+        .try_run(registry::build("BFS-TTC", Arc::clone(&graph)).unwrap()).unwrap();
     let ue = Simulation::builder()
         .policy(policies::ue_only())
         .memory_ratio(0.5)
-        .run(registry::build("BFS-TTC", graph).unwrap());
+        .try_run(registry::build("BFS-TTC", graph).unwrap()).unwrap();
     assert_ne!(base.cycles, ue.cycles);
 }

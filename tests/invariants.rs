@@ -8,7 +8,7 @@ use std::sync::Arc;
 fn run(name: &str, policy: batmem::PolicyConfig, ratio: f64) -> RunMetrics {
     let graph = Arc::new(gen::rmat(12, 8, 21));
     let w = registry::build(name, graph).unwrap();
-    Simulation::builder().policy(policy).memory_ratio(ratio).run(w)
+    Simulation::builder().policy(policy).memory_ratio(ratio).try_run(w).unwrap()
 }
 
 fn check_batch_structure(m: &RunMetrics, label: &str) {

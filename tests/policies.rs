@@ -15,7 +15,7 @@ fn graph() -> Arc<batmem_graph::Csr> {
 
 fn run(name: &str, policy: batmem::PolicyConfig, ratio: f64) -> RunMetrics {
     let w = registry::build(name, graph()).unwrap();
-    Simulation::builder().policy(policy).memory_ratio(ratio).run(w)
+    Simulation::builder().policy(policy).memory_ratio(ratio).try_run(w).unwrap()
 }
 
 #[test]
@@ -94,7 +94,7 @@ fn traditional_gpu_context_switching_hurts() {
         ..ToConfig::enabled()
     };
     let w = registry::build("BFS-TTC", graph()).unwrap();
-    let any_stall = Simulation::builder().policy(policy).memory_ratio(1.0).run(w);
+    let any_stall = Simulation::builder().policy(policy).memory_ratio(1.0).try_run(w).unwrap();
     assert!(any_stall.ctx_switches > 0, "AnyStall trigger never fired");
     assert!(
         any_stall.cycles > base.cycles,
@@ -132,7 +132,7 @@ fn etc_runs_and_uses_compression_capacity() {
     let (policy, etc) = policies::etc();
     let w = registry::build("BFS-TTC", graph()).unwrap();
     let base = run("BFS-TTC", policies::baseline(), 0.5);
-    let m = Simulation::builder().policy(policy).etc(etc).memory_ratio(0.5).run(w);
+    let m = Simulation::builder().policy(policy).etc(etc).memory_ratio(0.5).try_run(w).unwrap();
     // CC inflates effective capacity over the plain baseline.
     assert!(m.memory_pages.unwrap() > base.memory_pages.unwrap());
     assert!(m.cycles > 0);
@@ -148,10 +148,10 @@ fn sensitivity_fault_handling_time_monotone() {
     let cheap = Simulation::builder()
         .config(cheap_cfg)
         .memory_ratio(0.5)
-        .run(registry::build("BFS-TTC", graph()).unwrap());
+        .try_run(registry::build("BFS-TTC", graph()).unwrap()).unwrap();
     let costly = Simulation::builder()
         .config(costly_cfg)
         .memory_ratio(0.5)
-        .run(registry::build("BFS-TTC", graph()).unwrap());
+        .try_run(registry::build("BFS-TTC", graph()).unwrap()).unwrap();
     assert!(costly.cycles > cheap.cycles);
 }

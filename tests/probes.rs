@@ -1,0 +1,226 @@
+//! Probe-layer completeness and ordering tests.
+//!
+//! The contract under test: the typed event stream is *complete* with
+//! respect to the built-in statistics — replaying a tracer's events must
+//! reproduce the exact `RunMetrics` counters (batches, faults, migrations,
+//! evictions, premature evictions) that the default aggregation reports.
+//! If an emission site is dropped or double-fires, these tests break.
+
+use batmem::probes::{MetricsSink, Timeline, Tracer};
+use batmem::{policies, ProbeEvent, RunMetrics, Simulation};
+use batmem_graph::gen;
+use batmem_workloads::registry;
+use std::sync::Arc;
+
+/// A BFS run small enough for an unbounded trace but oversubscribed
+/// enough to exercise batches, evictions, refaults, and context switches.
+fn traced_bfs_run() -> (RunMetrics, Tracer, Timeline, MetricsSink) {
+    let graph = Arc::new(gen::rmat(10, 8, 42));
+    let workload = registry::build("BFS-TTC", graph).expect("known workload");
+    let tracer = Tracer::bounded(1 << 22); // effectively unbounded here
+    let timeline = Timeline::new();
+    let sink = MetricsSink::labeled("bfs/to_ue");
+    let metrics = Simulation::builder()
+        .policy(policies::to_ue())
+        .memory_ratio(0.5)
+        .probe(tracer.clone())
+        .probe(timeline.clone())
+        .probe(sink.clone())
+        .try_run(workload)
+        .expect("simulation succeeds");
+    assert_eq!(tracer.dropped(), 0, "trace must be lossless for replay");
+    (metrics, tracer, timeline, sink)
+}
+
+#[derive(Default)]
+struct Replay {
+    fault_raised: u64,
+    fault_absorbed: u64,
+    batches_opened: u64,
+    batches_closed: u64,
+    migrations_started: u64,
+    migrations_completed: u64,
+    evictions_begun: u64,
+    evictions_finished: u64,
+    premature: u64,
+    warp_stalls: u64,
+    warp_resumes: u64,
+    ctx_switches: u64,
+    kernels: u64,
+    closed_prefetches: u64,
+    closed_migrated_bytes: u64,
+}
+
+fn replay(tracer: &Tracer) -> Replay {
+    let mut r = Replay::default();
+    for (_, ev) in tracer.events() {
+        match ev {
+            ProbeEvent::FaultRaised { .. } => r.fault_raised += 1,
+            ProbeEvent::FaultAbsorbed { .. } => r.fault_absorbed += 1,
+            ProbeEvent::BatchOpened { .. } => r.batches_opened += 1,
+            ProbeEvent::BatchClosed { prefetches, migrated_bytes, .. } => {
+                r.batches_closed += 1;
+                r.closed_prefetches += u64::from(prefetches);
+                r.closed_migrated_bytes += migrated_bytes;
+            }
+            ProbeEvent::MigrationStarted { .. } => r.migrations_started += 1,
+            ProbeEvent::MigrationCompleted { .. } => r.migrations_completed += 1,
+            ProbeEvent::EvictionBegun { .. } => r.evictions_begun += 1,
+            ProbeEvent::EvictionFinished { .. } => r.evictions_finished += 1,
+            ProbeEvent::PrematureEviction { .. } => r.premature += 1,
+            ProbeEvent::WarpStalled { .. } => r.warp_stalls += 1,
+            ProbeEvent::WarpResumed { .. } => r.warp_resumes += 1,
+            ProbeEvent::ContextSwitch { .. } => r.ctx_switches += 1,
+            ProbeEvent::KernelLaunched { .. } => r.kernels += 1,
+            _ => {}
+        }
+    }
+    r
+}
+
+#[test]
+fn tracer_replay_reproduces_run_metrics() {
+    let (m, tracer, _, _) = traced_bfs_run();
+    let r = replay(&tracer);
+
+    // The headline Fig. 11-class counters, event-for-counter.
+    assert_eq!(r.batches_closed, m.uvm.num_batches(), "batches");
+    assert_eq!(r.batches_opened, m.uvm.num_batches(), "every batch opens once");
+    assert_eq!(r.fault_raised, m.uvm.faults_raised, "faults raised");
+    assert_eq!(r.fault_absorbed, m.uvm.faults_on_inflight, "absorbed faults");
+    assert_eq!(r.evictions_begun, m.uvm.evictions, "evictions");
+    assert_eq!(r.evictions_finished, m.uvm.evictions, "eviction completions");
+    assert_eq!(r.premature, m.uvm.premature_evictions, "premature evictions");
+    assert_eq!(r.ctx_switches, m.ctx_switches, "context switches");
+    assert_eq!(r.kernels, u64::from(m.kernels), "kernel launches");
+
+    // Page migrations: one started+completed pair per batch page.
+    let batch_pages: u64 = m.uvm.batches.iter().map(|b| u64::from(b.pages())).sum();
+    assert_eq!(r.migrations_started, batch_pages, "migrations started");
+    assert_eq!(r.migrations_completed, batch_pages, "migrations completed");
+
+    // Per-batch payloads aggregate to the stats totals.
+    assert_eq!(r.closed_prefetches, m.uvm.prefetches, "prefetches");
+    let migrated: u64 = m.uvm.batches.iter().map(|b| b.migrated_bytes).sum();
+    assert_eq!(r.closed_migrated_bytes, migrated, "migrated bytes");
+
+    // Each stalled warp resumed exactly once per stall (the run completed).
+    assert_eq!(r.warp_stalls, r.warp_resumes, "stall/resume pairing");
+
+    // The run exercised what it claims to exercise.
+    assert!(r.batches_closed > 1, "want a multi-batch run");
+    assert!(r.evictions_begun > 0, "want an oversubscribed run");
+    assert_eq!(tracer.finished_at(), Some(m.cycles));
+}
+
+#[test]
+fn event_stream_is_well_ordered() {
+    let (_, tracer, _, _) = traced_bfs_run();
+    let events = tracer.events();
+
+    // Emission times are monotone non-decreasing.
+    let mut prev = 0;
+    for &(at, _) in &events {
+        assert!(at >= prev, "time went backwards in the trace: {at} < {prev}");
+        prev = at;
+    }
+
+    // Batches open and close in sequence order, strictly alternating:
+    // the runtime processes one batch at a time.
+    let mut open: Option<u64> = None;
+    let mut last_closed: Option<u64> = None;
+    for (_, ev) in &events {
+        match *ev {
+            ProbeEvent::BatchOpened { batch, .. } => {
+                assert_eq!(open, None, "batch {batch} opened while another is open");
+                if let Some(prev) = last_closed {
+                    assert!(batch > prev, "batch ids must increase");
+                }
+                open = Some(batch);
+            }
+            ProbeEvent::BatchClosed { batch, .. } => {
+                assert_eq!(open, Some(batch), "batch {batch} closed while not open");
+                open = None;
+                last_closed = Some(batch);
+            }
+            ProbeEvent::MigrationStarted { batch, .. } => {
+                assert_eq!(open, Some(batch), "migration outside its batch window");
+            }
+            _ => {}
+        }
+    }
+    assert_eq!(open, None, "a batch was left open at end of run");
+}
+
+#[test]
+fn timeline_and_sink_agree_with_run_metrics() {
+    let (m, _, timeline, sink) = traced_bfs_run();
+
+    assert_eq!(timeline.num_batches() as u64, m.uvm.num_batches());
+    assert_eq!(timeline.evictions(), m.uvm.evictions);
+    assert_eq!(timeline.premature_evictions(), m.uvm.premature_evictions);
+    assert_eq!(timeline.finished_at(), Some(m.cycles));
+
+    // Spans carry the same per-batch payloads as the BatchRecords.
+    let spans = timeline.batches();
+    for (span, rec) in spans.iter().zip(&m.uvm.batches) {
+        assert_eq!(span.batch, rec.id);
+        assert_eq!(span.faults, rec.faults);
+        assert_eq!(span.prefetches, rec.prefetches);
+        assert_eq!(span.migrated_bytes, rec.migrated_bytes);
+        assert_eq!(span.opened_at, rec.start);
+        assert_eq!(span.closed_at, rec.end);
+        assert_eq!(span.first_migration_start, rec.first_migration_start);
+    }
+
+    // Histogram mass equals the batch count.
+    let sizes: u64 = timeline.size_histogram().iter().map(|&(_, n)| n).sum();
+    assert_eq!(sizes, m.uvm.num_batches());
+
+    let rows = sink.rows();
+    assert_eq!(rows.len(), 1);
+    let row = &rows[0];
+    assert_eq!(row.label, "bfs/to_ue");
+    assert_eq!(row.cycles, m.cycles);
+    assert_eq!(row.batches, m.uvm.num_batches());
+    assert_eq!(row.faults_raised, m.uvm.faults_raised);
+    assert_eq!(row.evictions, m.uvm.evictions);
+    assert_eq!(row.premature_evictions, m.uvm.premature_evictions);
+    assert_eq!(row.ctx_switches, m.ctx_switches);
+    assert_eq!(row.prefetches, m.uvm.prefetches);
+}
+
+#[test]
+fn bounded_tracer_drops_oldest_but_keeps_counting() {
+    let graph = Arc::new(gen::rmat(9, 8, 42));
+    let workload = registry::build("BFS-TTC", graph).expect("known workload");
+    let tiny = Tracer::bounded(32);
+    let _ = Simulation::builder()
+        .policy(policies::baseline())
+        .memory_ratio(0.5)
+        .probe(tiny.clone())
+        .try_run(workload)
+        .expect("simulation succeeds");
+    assert_eq!(tiny.len(), 32, "ring stays at capacity");
+    assert!(tiny.dropped() > 0, "a busy run must overflow 32 slots");
+    assert_eq!(tiny.to_jsonl().lines().count(), 32);
+}
+
+#[test]
+fn probe_attachment_does_not_change_the_simulation() {
+    let run = |probe: bool| {
+        let graph = Arc::new(gen::rmat(9, 8, 42));
+        let workload = registry::build("BFS-TTC", graph).expect("known workload");
+        let mut b = Simulation::builder().policy(policies::to_ue()).memory_ratio(0.5);
+        if probe {
+            b = b.probe(Tracer::bounded(1024)).probe(Timeline::new());
+        }
+        b.try_run(workload).expect("simulation succeeds")
+    };
+    let bare = run(false);
+    let probed = run(true);
+    assert_eq!(bare.cycles, probed.cycles, "probes must not perturb timing");
+    assert_eq!(bare.uvm.num_batches(), probed.uvm.num_batches());
+    assert_eq!(bare.uvm.evictions, probed.uvm.evictions);
+    assert_eq!(bare.ctx_switches, probed.ctx_switches);
+}

@@ -13,7 +13,6 @@ use batmem_types::{FrameId, PageId, SimConfig, SmId};
 use batmem_uvm::{FaultBuffer, MemoryManager, PciePipes, TreePrefetcher, UvmRuntime};
 use batmem_vmem::Mmu;
 use batmem_workloads::registry;
-use std::collections::HashSet;
 use std::hint::black_box;
 use std::sync::Arc;
 use std::time::Instant;
@@ -55,18 +54,17 @@ fn bench_prefetcher() {
 fn bench_memory_manager() {
     bench("memmgr/fill_evict_4096", 100, || {
         let mut m = MemoryManager::new(Some(4096), Default::default(), 32);
-        let pinned = HashSet::new();
         for i in 0..8192u64 {
             let frame = match m.take_frame() {
                 Some(f) => f,
                 None => {
-                    let (v, _) = m.pick_victims(&pinned);
-                    let f = m.remove(v[0]).expect("victim is resident");
+                    let (v, _) = m.pick_victims(|_| false);
+                    let f = m.remove(v[0], 0).expect("victim is resident");
                     m.release_frame(f);
                     m.take_frame().unwrap()
                 }
             };
-            m.mark_resident(PageId::new(i), frame).expect("fresh page");
+            m.mark_resident(PageId::new(i), frame, 0).expect("fresh page");
         }
         m.resident_count()
     });
@@ -75,14 +73,14 @@ fn bench_memory_manager() {
 fn bench_mmu_translate() {
     let mut mmu = Mmu::new(&SimConfig::default());
     for i in 0..64u64 {
-        mmu.install(PageId::new(i), FrameId::new(i as u32));
+        mmu.install(PageId::new(i), FrameId::new(i as u32), 0).expect("fresh page");
         let _ = mmu.translate(SmId::new(0), PageId::new(i), 0);
     }
     let mut now = 0;
     bench("mmu/translate_hit_path_x1024", 500, || {
         for _ in 0..1024 {
             now += 1;
-            black_box(mmu.translate(SmId::new(0), PageId::new(now % 64), now));
+            black_box(mmu.translate(SmId::new(0), PageId::new(now % 64), now).expect("resident"));
         }
     });
 }

@@ -12,12 +12,12 @@ use batmem_sim::events::EventQueue;
 use batmem_sim::ops::{Kernel, KernelSpec, Workload, WarpOp};
 use batmem_sim::sm::{occupancy, Occupancy, Sm};
 use batmem_sim::warp::{WarpContext, WarpPhase};
+use batmem_types::dense::{PageMap, PageSet};
 use batmem_types::policy::PolicyConfig;
 use batmem_types::probe::{Probe, ProbeEvent, ProbeHub, SharedProbes};
 use batmem_types::{AuditLevel, BlockId, Cycle, KernelId, PageId, SimConfig, SimError, SmId};
 use batmem_uvm::{InjectConfig, OversubController, UvmEvent, UvmOutput, UvmRuntime};
 use batmem_vmem::{Mmu, TranslationOutcome};
-use std::collections::{HashMap, HashSet};
 
 /// Entry point: configure with [`Simulation::builder`], then
 /// [`SimulationBuilder::run`] (panicking) or [`SimulationBuilder::try_run`]
@@ -215,8 +215,8 @@ struct Engine {
     sms: Vec<Sm>,
     grid_cursor: u32,
     blocks_remaining: u32,
-    waiters: HashMap<PageId, Vec<(usize, usize)>>,
-    seen_fault_pages: HashSet<PageId>,
+    waiters: PageMap<Vec<(usize, usize)>>,
+    seen_fault_pages: PageSet,
     throttled_count: u16,
     probes: SharedProbes,
     // metrics
@@ -277,8 +277,8 @@ impl Engine {
             sms: (0..num_sms).map(|_| Sm::new()).collect(),
             grid_cursor: 0,
             blocks_remaining: 0,
-            waiters: HashMap::new(),
-            seen_fault_pages: HashSet::new(),
+            waiters: PageMap::with_capacity(footprint_pages as usize),
+            seen_fault_pages: PageSet::with_capacity(footprint_pages as usize),
             throttled_count: 0,
             probes,
             finished_at: None,
@@ -329,8 +329,8 @@ impl Engine {
     /// waiters would sleep forever — exactly the livelock class the
     /// fault-injection tests provoke).
     fn audit_cross_state(&self) -> Result<(), SimError> {
-        for (page, list) in &self.waiters {
-            if self.mmu.is_resident(*page) {
+        for (page, list) in self.waiters.iter() {
+            if self.mmu.is_resident(page) {
                 return Err(SimError::InvariantViolated {
                     cycle: self.clock,
                     invariant: "pages with fault waiters are not MMU-resident",
@@ -361,12 +361,12 @@ impl Engine {
                 Event::RaiseFault { page } => self.on_raise_fault(page)?,
                 Event::Uvm(e) => {
                     let outs = self.uvm.on_event(e, self.clock)?;
-                    self.apply_outputs(outs);
+                    self.apply_outputs(outs)?;
                     if self.cfg.audit >= AuditLevel::Full {
                         self.audit_cross_state()?;
                     }
                 }
-                Event::SwitchInDone { sm, block } => self.on_switch_in_done(sm, block),
+                Event::SwitchInDone { sm, block } => self.on_switch_in_done(sm, block)?,
                 Event::Sample => self.on_sample(),
                 Event::EtcTick => self.on_etc_tick(),
             }
@@ -557,9 +557,9 @@ impl Engine {
                 self.blocks[b].warps[w].phase = WarpPhase::Finished;
                 self.warps_retired += 1;
                 if self.blocks[b].all_finished() {
-                    self.retire_block(b);
+                    self.retire_block(b)?;
                 } else {
-                    self.maybe_switch(sm);
+                    self.maybe_switch(sm)?;
                 }
             }
             Some(WarpOp::Compute(c)) => {
@@ -590,7 +590,7 @@ impl Engine {
             {
                 continue;
             }
-            let t = self.mmu.translate(SmId::new(sm as u16), page, self.clock);
+            let t = self.mmu.translate(SmId::new(sm as u16), page, self.clock)?;
             if t.latency > l1_hit {
                 // L1 TLB miss: refresh the page's LRU stamp (the manager's
                 // aged-LRU approximation).
@@ -649,11 +649,16 @@ impl Engine {
                 waiting_pages: n,
             });
             for (page, tl) in faulted {
-                self.waiters.entry(page).or_default().push((b, w));
+                match self.waiters.get_mut(page) {
+                    Some(list) => list.push((b, w)),
+                    None => {
+                        self.waiters.insert(page, vec![(b, w)]);
+                    }
+                }
                 // The fault reaches the fault buffer when the walk fails.
                 self.events.push(self.clock + tl, Event::RaiseFault { page });
             }
-            self.maybe_switch(sm);
+            self.maybe_switch(sm)?;
         }
         Ok(())
     }
@@ -670,30 +675,31 @@ impl Engine {
         }
         let outs = self.uvm.record_fault(page, self.clock)?;
         self.faults_recorded += 1;
-        self.apply_outputs(outs);
+        self.apply_outputs(outs)?;
         Ok(())
     }
 
-    fn apply_outputs(&mut self, outs: Vec<UvmOutput>) {
+    fn apply_outputs(&mut self, outs: Vec<UvmOutput>) -> Result<(), SimError> {
         for o in outs {
             match o {
                 UvmOutput::Schedule { at, event } => {
                     self.events.push(at.max(self.clock), Event::Uvm(event));
                 }
                 UvmOutput::Install { page, frame } => {
-                    self.mmu.install(page, frame);
+                    self.mmu.install(page, frame, self.clock)?;
                     self.pages_installed += 1;
-                    self.wake_waiters(page);
+                    self.wake_waiters(page)?;
                 }
                 UvmOutput::Evict { page } => {
-                    self.mmu.evict(page);
+                    self.mmu.evict(page, self.clock)?;
                 }
             }
         }
+        Ok(())
     }
 
-    fn wake_waiters(&mut self, page: PageId) {
-        let Some(list) = self.waiters.remove(&page) else { return };
+    fn wake_waiters(&mut self, page: PageId) -> Result<(), SimError> {
+        let Some(list) = self.waiters.remove(page) else { return Ok(()) };
         for (b, w) in list {
             if self.blocks[b].warps[w].page_arrived() {
                 let block_id = self.blocks[b].id;
@@ -713,18 +719,19 @@ impl Engine {
                         // An inactive block just became runnable: a stalled
                         // active block can now yield to it.
                         let sm = self.block_sm[b];
-                        self.maybe_switch(sm);
+                        self.maybe_switch(sm)?;
                     }
                 }
             }
         }
+        Ok(())
     }
 
     // ---- thread oversubscription (VT context switching) --------------------
 
-    fn maybe_switch(&mut self, sm: usize) {
+    fn maybe_switch(&mut self, sm: usize) -> Result<(), SimError> {
         if !self.to_enabled() || !self.oversub.switching_allowed() {
-            return;
+            return Ok(());
         }
         let trigger = self.cfg.policy.oversubscription.trigger;
         let out = self.sms[sm]
@@ -732,13 +739,13 @@ impl Engine {
             .iter()
             .copied()
             .find(|&b| self.blocks[b].residency == BlockResidency::Active && self.blocks[b].is_fully_stalled(trigger));
-        let Some(out) = out else { return };
+        let Some(out) = out else { return Ok(()) };
         let inc = self.sms[sm]
             .inactive
             .iter()
             .copied()
             .find(|&b| self.blocks[b].residency == BlockResidency::Inactive && self.blocks[b].is_switch_in_ready());
-        let Some(inc) = inc else { return };
+        let Some(inc) = inc else { return Ok(()) };
         let cost = self
             .cfg
             .gpu
@@ -752,30 +759,31 @@ impl Engine {
             restore: false,
         });
         self.blocks[out].residency = BlockResidency::Inactive;
-        self.sms[sm].deactivate(out);
+        self.sms[sm].deactivate(out, self.clock)?;
         self.blocks[inc].residency = BlockResidency::SwitchingIn;
         self.events.push(done, Event::SwitchInDone { sm, block: inc });
+        Ok(())
     }
 
-    fn on_switch_in_done(&mut self, sm: usize, block: usize) {
-        self.sms[sm].activate(block);
+    fn on_switch_in_done(&mut self, sm: usize, block: usize) -> Result<(), SimError> {
+        self.sms[sm].activate(block, self.clock)?;
         self.activate_block(block);
         // Chain: another active block may be stalled with another inactive
         // block ready.
-        self.maybe_switch(sm);
+        self.maybe_switch(sm)
     }
 
     // ---- retirement and refill ---------------------------------------------
 
-    fn retire_block(&mut self, b: usize) {
+    fn retire_block(&mut self, b: usize) -> Result<(), SimError> {
         let sm = self.block_sm[b];
         self.blocks[b].residency = BlockResidency::Retired;
-        self.sms[sm].remove(b);
+        self.sms[sm].remove(b, self.clock)?;
         self.blocks_retired += 1;
         self.blocks_remaining -= 1;
         if self.blocks_remaining == 0 {
             self.next_kernel();
-            return;
+            return Ok(());
         }
         // Refill the freed active slot: prefer a resident inactive block
         // (restore-only context cost), then a fresh grid block.
@@ -809,13 +817,14 @@ impl Engine {
                 self.blocks[inc].residency = BlockResidency::SwitchingIn;
                 self.events.push(done, Event::SwitchInDone { sm, block: inc });
                 self.top_up_inactive();
-                return;
+                return Ok(());
             }
         }
         self.dispatch_block(sm, true);
         if self.to_enabled() {
             self.top_up_inactive();
         }
+        Ok(())
     }
 
     // ---- periodic controllers ----------------------------------------------
@@ -852,8 +861,10 @@ impl Engine {
             let lo = self.sms.len() - old_count as usize;
             let hi = self.sms.len() - new_count as usize;
             for sm in lo..hi {
-                let resident: Vec<usize> = self.sms[sm].active.clone();
-                for b in resident {
+                // Nothing below mutates the SM's active list, so index into
+                // it directly instead of cloning it per released SM.
+                for i in 0..self.sms[sm].active.len() {
+                    let b = self.sms[sm].active[i];
                     for w in 0..self.blocks[b].warps.len() {
                         if self.blocks[b].warps[w].phase == WarpPhase::Ready {
                             self.events.push(self.clock, Event::WarpWake { block: b, warp: w });

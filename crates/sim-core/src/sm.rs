@@ -2,7 +2,7 @@
 
 use crate::ops::KernelSpec;
 use batmem_types::config::GpuConfig;
-use batmem_types::Cycle;
+use batmem_types::{Cycle, SimError};
 
 /// How many blocks of a given kernel an SM can schedule and host.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -54,48 +54,73 @@ impl Sm {
         self.active.len() + self.inactive.len()
     }
 
+    /// Builds a [`SimError::StateMachine`] snapshotting the SM's lists.
+    fn bad_transition(&self, now: Cycle, event: String, detail: &str) -> SimError {
+        SimError::StateMachine {
+            cycle: now,
+            event,
+            state: format!("active={:?} inactive={:?}", self.active, self.inactive),
+            detail: detail.to_string(),
+        }
+    }
+
     /// Moves `arena_idx` from the active to the inactive list.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the block is not active.
-    pub fn deactivate(&mut self, arena_idx: usize) {
-        let pos = self
-            .active
-            .iter()
-            .position(|&b| b == arena_idx)
-            .expect("deactivating a block that is not active");
+    /// Returns [`SimError::StateMachine`] stamped with `now` if the block
+    /// is not active.
+    pub fn deactivate(&mut self, arena_idx: usize, now: Cycle) -> Result<(), SimError> {
+        let Some(pos) = self.active.iter().position(|&b| b == arena_idx) else {
+            return Err(self.bad_transition(
+                now,
+                format!("Deactivate(block:{arena_idx})"),
+                "deactivating a block that is not active",
+            ));
+        };
         self.active.remove(pos);
         self.inactive.push(arena_idx);
+        Ok(())
     }
 
     /// Moves `arena_idx` from the inactive to the active list.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the block is not inactive.
-    pub fn activate(&mut self, arena_idx: usize) {
-        let pos = self
-            .inactive
-            .iter()
-            .position(|&b| b == arena_idx)
-            .expect("activating a block that is not inactive");
+    /// Returns [`SimError::StateMachine`] stamped with `now` if the block
+    /// is not inactive.
+    pub fn activate(&mut self, arena_idx: usize, now: Cycle) -> Result<(), SimError> {
+        let Some(pos) = self.inactive.iter().position(|&b| b == arena_idx) else {
+            return Err(self.bad_transition(
+                now,
+                format!("Activate(block:{arena_idx})"),
+                "activating a block that is not inactive",
+            ));
+        };
         self.inactive.remove(pos);
         self.active.push(arena_idx);
+        Ok(())
     }
 
     /// Removes a retired block from whichever list holds it.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the block is not resident on this SM.
-    pub fn remove(&mut self, arena_idx: usize) {
+    /// Returns [`SimError::StateMachine`] stamped with `now` if the block
+    /// is not resident on this SM.
+    pub fn remove(&mut self, arena_idx: usize, now: Cycle) -> Result<(), SimError> {
         if let Some(pos) = self.active.iter().position(|&b| b == arena_idx) {
             self.active.remove(pos);
+            Ok(())
         } else if let Some(pos) = self.inactive.iter().position(|&b| b == arena_idx) {
             self.inactive.remove(pos);
+            Ok(())
         } else {
-            panic!("removing a block that is not resident");
+            Err(self.bad_transition(
+                now,
+                format!("Retire(block:{arena_idx})"),
+                "removing a block that is not resident",
+            ))
         }
     }
 
@@ -160,20 +185,28 @@ mod tests {
         let mut sm = Sm::new();
         sm.active.push(7);
         sm.inactive.push(9);
-        sm.deactivate(7);
+        sm.deactivate(7, 0).unwrap();
         assert_eq!(sm.active, Vec::<usize>::new());
         assert_eq!(sm.inactive, vec![9, 7]);
-        sm.activate(9);
+        sm.activate(9, 0).unwrap();
         assert_eq!(sm.active, vec![9]);
-        sm.remove(9);
-        sm.remove(7);
+        sm.remove(9, 0).unwrap();
+        sm.remove(7, 0).unwrap();
         assert_eq!(sm.resident_blocks(), 0);
     }
 
     #[test]
-    #[should_panic(expected = "not active")]
-    fn deactivate_missing_panics() {
-        Sm::new().deactivate(0);
+    fn bad_transitions_are_state_machine_errors() {
+        let mut sm = Sm::new();
+        let err = sm.deactivate(0, 123).unwrap_err();
+        assert!(matches!(err, SimError::StateMachine { .. }), "{err}");
+        assert_eq!(err.cycle(), Some(123));
+        assert!(err.to_string().contains("not active"));
+        let err = sm.activate(0, 124).unwrap_err();
+        assert!(err.to_string().contains("not inactive"));
+        let err = sm.remove(0, 125).unwrap_err();
+        assert!(err.to_string().contains("not resident"));
+        assert_eq!(err.cycle(), Some(125));
     }
 
     #[test]

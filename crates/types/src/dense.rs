@@ -1,0 +1,497 @@
+//! Dense page-indexed collections for the simulator's hot paths.
+//!
+//! Page IDs in this simulator are dense: the workload footprint is fixed at
+//! kernel launch and pages are numbered `0..footprint_pages`, so any
+//! per-page state can live in a flat table indexed by [`PageId::index`]
+//! instead of a hash map. The collections here replace the
+//! `HashMap`/`HashSet`/`BTreeMap` containers that used to sit on the
+//! per-event paths (fault recording, batch planning, LRU maintenance,
+//! page-table installs) — same observable behaviour, no hashing, no
+//! rebalancing, and O(1) per-batch clears.
+//!
+//! * [`PageSet`] — a growable bitmap over page indices.
+//! * [`PageMap`] — a growable `Vec<Option<V>>` keyed by page index.
+//! * [`EpochPageSet`] / [`EpochPageMap`] — epoch-stamped variants whose
+//!   `clear` is O(1) (bump the epoch) so per-batch scratch state can be
+//!   reused allocation-free across thousands of batches.
+//!
+//! All collections grow on insert and answer `false`/`None` for any index
+//! beyond what they have seen, so callers that cannot size them up front
+//! (e.g. the lifetime tracker, which is built before the workload is known)
+//! still work unchanged.
+
+use crate::addr::PageId;
+
+/// A growable set of pages backed by a bitmap.
+///
+/// # Examples
+///
+/// ```
+/// use batmem_types::dense::PageSet;
+/// use batmem_types::PageId;
+///
+/// let mut s = PageSet::new();
+/// assert!(s.insert(PageId::new(5)));
+/// assert!(!s.insert(PageId::new(5)));
+/// assert!(s.contains(PageId::new(5)));
+/// assert!(!s.contains(PageId::new(99)));
+/// assert_eq!(s.len(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PageSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl PageSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty set pre-sized for pages `0..pages`.
+    pub fn with_capacity(pages: usize) -> Self {
+        Self { words: vec![0; pages.div_ceil(64)], len: 0 }
+    }
+
+    #[inline]
+    fn slot(page: PageId) -> (usize, u64) {
+        let i = page.index() as usize;
+        (i / 64, 1u64 << (i % 64))
+    }
+
+    /// Inserts `page`; returns `true` if it was not already present.
+    #[inline]
+    pub fn insert(&mut self, page: PageId) -> bool {
+        let (w, bit) = Self::slot(page);
+        if w >= self.words.len() {
+            self.words.resize(w + 1, 0);
+        }
+        let fresh = self.words[w] & bit == 0;
+        self.words[w] |= bit;
+        self.len += usize::from(fresh);
+        fresh
+    }
+
+    /// Removes `page`; returns `true` if it was present.
+    #[inline]
+    pub fn remove(&mut self, page: PageId) -> bool {
+        let (w, bit) = Self::slot(page);
+        if w >= self.words.len() || self.words[w] & bit == 0 {
+            return false;
+        }
+        self.words[w] &= !bit;
+        self.len -= 1;
+        true
+    }
+
+    /// Whether `page` is in the set.
+    #[inline]
+    pub fn contains(&self, page: PageId) -> bool {
+        let (w, bit) = Self::slot(page);
+        w < self.words.len() && self.words[w] & bit != 0
+    }
+
+    /// Number of pages in the set.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Removes every page, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+        self.len = 0;
+    }
+}
+
+/// A growable map from pages to values, backed by a flat `Vec<Option<V>>`.
+///
+/// Iteration order is ascending page index (deterministic, unlike the hash
+/// maps this replaces — none of the replaced call sites depended on
+/// iteration order, as the determinism suite proves).
+///
+/// # Examples
+///
+/// ```
+/// use batmem_types::dense::PageMap;
+/// use batmem_types::PageId;
+///
+/// let mut m: PageMap<u32> = PageMap::new();
+/// assert_eq!(m.insert(PageId::new(3), 7), None);
+/// assert_eq!(m.insert(PageId::new(3), 8), Some(7));
+/// assert_eq!(m.get(PageId::new(3)), Some(&8));
+/// assert_eq!(m.remove(PageId::new(3)), Some(8));
+/// assert!(m.is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct PageMap<V> {
+    slots: Vec<Option<V>>,
+    len: usize,
+}
+
+impl<V> Default for PageMap<V> {
+    fn default() -> Self {
+        Self { slots: Vec::new(), len: 0 }
+    }
+}
+
+impl<V> PageMap<V> {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty map pre-sized for pages `0..pages`.
+    pub fn with_capacity(pages: usize) -> Self {
+        let mut slots = Vec::new();
+        slots.resize_with(pages, || None);
+        Self { slots, len: 0 }
+    }
+
+    /// Inserts `value` for `page`, returning the previous value if any.
+    #[inline]
+    pub fn insert(&mut self, page: PageId, value: V) -> Option<V> {
+        let i = page.index() as usize;
+        if i >= self.slots.len() {
+            self.slots.resize_with(i + 1, || None);
+        }
+        let prev = self.slots[i].replace(value);
+        self.len += usize::from(prev.is_none());
+        prev
+    }
+
+    /// Returns a reference to `page`'s value, if present.
+    #[inline]
+    pub fn get(&self, page: PageId) -> Option<&V> {
+        self.slots.get(page.index() as usize)?.as_ref()
+    }
+
+    /// Returns a mutable reference to `page`'s value, if present.
+    #[inline]
+    pub fn get_mut(&mut self, page: PageId) -> Option<&mut V> {
+        self.slots.get_mut(page.index() as usize)?.as_mut()
+    }
+
+    /// Removes and returns `page`'s value, if present.
+    #[inline]
+    pub fn remove(&mut self, page: PageId) -> Option<V> {
+        let taken = self.slots.get_mut(page.index() as usize)?.take();
+        self.len -= usize::from(taken.is_some());
+        taken
+    }
+
+    /// Whether `page` has a value.
+    #[inline]
+    pub fn contains(&self, page: PageId) -> bool {
+        self.get(page).is_some()
+    }
+
+    /// Number of pages with a value.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Removes every entry, keeping the allocation.
+    pub fn clear(&mut self) {
+        for s in &mut self.slots {
+            *s = None;
+        }
+        self.len = 0;
+    }
+
+    /// Iterates `(page, &value)` in ascending page order.
+    pub fn iter(&self) -> impl Iterator<Item = (PageId, &V)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|v| (PageId::new(i as u64), v)))
+    }
+}
+
+/// A page set with O(1) `clear`, for per-batch scratch state.
+///
+/// Membership is an epoch stamp per page: `clear` bumps the current epoch,
+/// invalidating every mark at once without touching the table. The table is
+/// allocated once and reused across every batch of a run.
+///
+/// # Examples
+///
+/// ```
+/// use batmem_types::dense::EpochPageSet;
+/// use batmem_types::PageId;
+///
+/// let mut s = EpochPageSet::new();
+/// s.insert(PageId::new(2));
+/// assert!(s.contains(PageId::new(2)));
+/// s.clear();
+/// assert!(!s.contains(PageId::new(2)));
+/// assert_eq!(s.len(), 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EpochPageSet {
+    marks: Vec<u32>,
+    epoch: u32,
+    len: usize,
+}
+
+impl Default for EpochPageSet {
+    fn default() -> Self {
+        Self { marks: Vec::new(), epoch: 1, len: 0 }
+    }
+}
+
+impl EpochPageSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts `page`; returns `true` if it was not already present.
+    #[inline]
+    pub fn insert(&mut self, page: PageId) -> bool {
+        let i = page.index() as usize;
+        if i >= self.marks.len() {
+            self.marks.resize(i + 1, 0);
+        }
+        let fresh = self.marks[i] != self.epoch;
+        self.marks[i] = self.epoch;
+        self.len += usize::from(fresh);
+        fresh
+    }
+
+    /// Whether `page` is in the set (this epoch).
+    #[inline]
+    pub fn contains(&self, page: PageId) -> bool {
+        self.marks.get(page.index() as usize) == Some(&self.epoch)
+    }
+
+    /// Number of pages inserted this epoch.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Empties the set in O(1) by starting a new epoch.
+    pub fn clear(&mut self) {
+        if self.epoch == u32::MAX {
+            // Epoch wrap (once per 2^32 - 1 clears): reset every mark.
+            self.marks.fill(0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+        self.len = 0;
+    }
+}
+
+/// A page map with O(1) `clear`, for per-batch scratch state.
+///
+/// Same epoch scheme as [`EpochPageSet`]; values stamped in an older epoch
+/// are dead and simply overwritten on the next insert.
+///
+/// # Examples
+///
+/// ```
+/// use batmem_types::dense::EpochPageMap;
+/// use batmem_types::PageId;
+///
+/// let mut m: EpochPageMap<u64> = EpochPageMap::new();
+/// m.insert(PageId::new(4), 900);
+/// assert_eq!(m.get(PageId::new(4)), Some(900));
+/// m.clear();
+/// assert_eq!(m.get(PageId::new(4)), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EpochPageMap<V: Copy> {
+    marks: Vec<u32>,
+    values: Vec<V>,
+    epoch: u32,
+    len: usize,
+}
+
+impl<V: Copy + Default> Default for EpochPageMap<V> {
+    fn default() -> Self {
+        Self { marks: Vec::new(), values: Vec::new(), epoch: 1, len: 0 }
+    }
+}
+
+impl<V: Copy + Default> EpochPageMap<V> {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts `value` for `page`, returning the previous value from this
+    /// epoch if any.
+    #[inline]
+    pub fn insert(&mut self, page: PageId, value: V) -> Option<V> {
+        let i = page.index() as usize;
+        if i >= self.marks.len() {
+            self.marks.resize(i + 1, 0);
+            self.values.resize(i + 1, V::default());
+        }
+        let prev = (self.marks[i] == self.epoch).then_some(self.values[i]);
+        self.marks[i] = self.epoch;
+        self.values[i] = value;
+        self.len += usize::from(prev.is_none());
+        prev
+    }
+
+    /// Returns `page`'s value from this epoch, if present.
+    #[inline]
+    pub fn get(&self, page: PageId) -> Option<V> {
+        let i = page.index() as usize;
+        (self.marks.get(i) == Some(&self.epoch)).then(|| self.values[i])
+    }
+
+    /// Whether `page` has a value this epoch.
+    #[inline]
+    pub fn contains(&self, page: PageId) -> bool {
+        self.marks.get(page.index() as usize) == Some(&self.epoch)
+    }
+
+    /// Number of pages with a value this epoch.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Empties the map in O(1) by starting a new epoch.
+    pub fn clear(&mut self) {
+        if self.epoch == u32::MAX {
+            self.marks.fill(0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+        self.len = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: u64) -> PageId {
+        PageId::new(i)
+    }
+
+    #[test]
+    fn page_set_insert_remove_contains() {
+        let mut s = PageSet::new();
+        assert!(s.is_empty());
+        assert!(s.insert(p(0)));
+        assert!(s.insert(p(63)));
+        assert!(s.insert(p(64)));
+        assert!(!s.insert(p(64)));
+        assert_eq!(s.len(), 3);
+        assert!(s.contains(p(63)));
+        assert!(!s.contains(p(1)));
+        assert!(!s.contains(p(1_000_000))); // beyond allocation: false, no growth
+        assert!(s.remove(p(63)));
+        assert!(!s.remove(p(63)));
+        assert!(!s.remove(p(999))); // never inserted
+        assert_eq!(s.len(), 2);
+        s.clear();
+        assert!(s.is_empty());
+        assert!(!s.contains(p(0)));
+    }
+
+    #[test]
+    fn page_set_with_capacity_starts_empty() {
+        let s = PageSet::with_capacity(130);
+        assert!(s.is_empty());
+        assert!(!s.contains(p(129)));
+    }
+
+    #[test]
+    fn page_map_behaves_like_a_map() {
+        let mut m: PageMap<&'static str> = PageMap::new();
+        assert_eq!(m.insert(p(10), "a"), None);
+        assert_eq!(m.insert(p(10), "b"), Some("a"));
+        assert_eq!(m.get(p(10)), Some(&"b"));
+        assert_eq!(m.get(p(11)), None);
+        assert!(m.contains(p(10)));
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.remove(p(10)), Some("b"));
+        assert_eq!(m.remove(p(10)), None);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn page_map_iterates_in_page_order() {
+        let mut m: PageMap<u32> = PageMap::with_capacity(8);
+        m.insert(p(5), 50);
+        m.insert(p(1), 10);
+        m.insert(p(3), 30);
+        let got: Vec<_> = m.iter().map(|(k, v)| (k.index(), *v)).collect();
+        assert_eq!(got, vec![(1, 10), (3, 30), (5, 50)]);
+        m.clear();
+        assert_eq!(m.iter().count(), 0);
+    }
+
+    #[test]
+    fn epoch_set_clear_is_logical() {
+        let mut s = EpochPageSet::new();
+        assert!(s.insert(p(7)));
+        assert!(!s.insert(p(7)));
+        assert_eq!(s.len(), 1);
+        s.clear();
+        assert!(s.is_empty());
+        assert!(!s.contains(p(7)));
+        assert!(s.insert(p(7))); // fresh again in the new epoch
+    }
+
+    #[test]
+    fn epoch_set_survives_epoch_wrap() {
+        let mut s = EpochPageSet::new();
+        s.insert(p(3));
+        s.epoch = u32::MAX - 1;
+        s.marks[3] = u32::MAX - 1; // keep page 3 current
+        s.clear(); // -> MAX
+        assert!(!s.contains(p(3)));
+        s.insert(p(2));
+        s.clear(); // wrap: marks reset
+        assert!(!s.contains(p(2)));
+        assert!(s.insert(p(2)));
+        assert!(s.contains(p(2)));
+    }
+
+    #[test]
+    fn epoch_map_stores_per_epoch_values() {
+        let mut m: EpochPageMap<u64> = EpochPageMap::new();
+        assert_eq!(m.insert(p(1), 100), None);
+        assert_eq!(m.insert(p(1), 200), Some(100));
+        assert_eq!(m.get(p(1)), Some(200));
+        assert_eq!(m.len(), 1);
+        m.clear();
+        assert_eq!(m.get(p(1)), None);
+        assert!(!m.contains(p(1)));
+        assert_eq!(m.insert(p(1), 300), None); // stale value not reported
+        assert_eq!(m.get(p(1)), Some(300));
+    }
+
+    #[test]
+    fn epoch_map_out_of_range_reads_are_none() {
+        let m: EpochPageMap<u64> = EpochPageMap::new();
+        assert_eq!(m.get(p(12345)), None);
+        assert!(!m.contains(p(12345)));
+        assert!(m.is_empty());
+    }
+}

@@ -151,9 +151,10 @@ impl SimError {
         SimError::InvalidConfig { field, reason: reason.into() }
     }
 
-    /// Stamps a mid-run cycle onto an error minted somewhere the clock was
-    /// not visible (the memory manager reports cycle 0; the runtime rewrites
-    /// it with the event's delivery time).
+    /// Stamps a mid-run cycle onto an error. Every in-tree error producer
+    /// now takes the caller's clock and stamps errors at the mint site, so
+    /// this is only needed by external drivers that replay stored errors at
+    /// a different simulated time.
     pub fn at_cycle(mut self, at: Cycle) -> Self {
         match &mut self {
             SimError::InvalidConfig { .. } => {}

@@ -14,6 +14,8 @@
 //! * [`policy`] — the policy knobs that select between the paper's baseline
 //!   and proposed mechanisms (thread oversubscription, unobtrusive eviction,
 //!   prefetching, PCIe compression).
+//! * [`dense`] — dense page-indexed collections (flat tables and epoch
+//!   sets) backing the simulator's per-event hot paths.
 //! * [`error`] — structured simulation errors ([`SimError`]) and the
 //!   invariant-audit knob ([`AuditLevel`]).
 //! * [`probe`] — the pluggable observation layer: the [`Probe`] trait, the
@@ -39,6 +41,7 @@
 
 pub mod addr;
 pub mod config;
+pub mod dense;
 pub mod error;
 pub mod ids;
 pub mod policy;

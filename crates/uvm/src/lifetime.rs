@@ -6,8 +6,8 @@
 //! eviction** is an eviction of a page for which the GPU generates a fault
 //! again later (§4.1, §6.1).
 
+use batmem_types::dense::{PageMap, PageSet};
 use batmem_types::{Cycle, PageId};
-use std::collections::{HashMap, HashSet};
 
 /// A periodic lifetime sample handed to the oversubscription controller.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -23,8 +23,8 @@ pub struct LifetimeSample {
 /// eviction counts.
 #[derive(Debug, Clone, Default)]
 pub struct LifetimeTracker {
-    alloc_at: HashMap<PageId, Cycle>,
-    evicted_awaiting_refault: HashSet<PageId>,
+    alloc_at: PageMap<Cycle>,
+    evicted_awaiting_refault: PageSet,
     window_sum: u128,
     window_count: u64,
     last_avg: Option<f64>,
@@ -51,7 +51,7 @@ impl LifetimeTracker {
     ///
     /// Panics in debug builds if the page was never installed.
     pub fn on_evict(&mut self, page: PageId, now: Cycle) {
-        let born = self.alloc_at.remove(&page);
+        let born = self.alloc_at.remove(page);
         debug_assert!(born.is_some(), "evicting untracked page {page}");
         if let Some(born) = born {
             let life = u128::from(now.saturating_sub(born));
@@ -67,7 +67,7 @@ impl LifetimeTracker {
     /// an evicted page — i.e. exactly when it classifies that page's last
     /// eviction as premature.
     pub fn on_fault(&mut self, page: PageId) -> bool {
-        let premature = self.evicted_awaiting_refault.remove(&page);
+        let premature = self.evicted_awaiting_refault.remove(page);
         if premature {
             self.premature_evictions += 1;
         }

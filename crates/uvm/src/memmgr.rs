@@ -5,10 +5,37 @@
 //! The manager holds the runtime's *planned* residency: the batch planner
 //! allocates frames and selects eviction victims here, while the MMU's page
 //! table tracks the warps' view (which lags by the transfer latencies).
+//!
+//! Per-page state lives in a dense table indexed by page number (page IDs
+//! are dense `0..footprint_pages`, fixed at launch — see DESIGN.md "dense
+//! page state"), and the LRU is an intrusive doubly-linked list threaded
+//! through that table: `mark_resident`/`touch`/`remove` are O(1), and a
+//! victim scan walks the list from the LRU head instead of rescanning a
+//! `BTreeMap` of age stamps. List order equals the old ascending-stamp
+//! order (every refresh moves a page to the MRU tail), so victim selection
+//! is bit-identical to the stamp-based implementation it replaced.
 
 use batmem_types::policy::EvictionGranularity;
-use batmem_types::{FrameId, PageId, SimError};
-use std::collections::{BTreeMap, HashMap, HashSet};
+use batmem_types::{Cycle, FrameId, PageId, SimError};
+
+/// Null link in the intrusive LRU list.
+const NIL: u32 = u32::MAX;
+
+/// Dense per-page state: the frame (valid while resident) and the page's
+/// links in the intrusive LRU list.
+#[derive(Debug, Clone, Copy)]
+struct PageEntry {
+    frame: FrameId,
+    prev: u32,
+    next: u32,
+    resident: bool,
+}
+
+impl Default for PageEntry {
+    fn default() -> Self {
+        Self { frame: FrameId::new(0), prev: NIL, next: NIL, resident: false }
+    }
+}
 
 /// Physical frame allocation and LRU victim selection.
 #[derive(Debug, Clone)]
@@ -19,11 +46,12 @@ pub struct MemoryManager {
     next_frame: u32,
     /// Frames returned by evictions and available for reuse.
     free: Vec<FrameId>,
-    resident: HashMap<PageId, FrameId>,
-    /// LRU bookkeeping: ascending stamp = least recently used first.
-    stamp_of: HashMap<PageId, u64>,
-    by_stamp: BTreeMap<u64, PageId>,
-    next_stamp: u64,
+    /// Dense per-page table; index = page number.
+    pages: Vec<PageEntry>,
+    /// LRU list head (least recently used) and tail (most recently used).
+    head: u32,
+    tail: u32,
+    resident_count: usize,
     granularity: EvictionGranularity,
     pages_per_region: u64,
     evictions: u64,
@@ -46,10 +74,10 @@ impl MemoryManager {
             capacity,
             next_frame: 0,
             free: Vec::new(),
-            resident: HashMap::new(),
-            stamp_of: HashMap::new(),
-            by_stamp: BTreeMap::new(),
-            next_stamp: 0,
+            pages: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            resident_count: 0,
             granularity,
             pages_per_region,
             evictions: 0,
@@ -95,43 +123,80 @@ impl MemoryManager {
             }
     }
 
+    /// Appends list node `i` at the MRU tail.
+    #[inline]
+    fn link_tail(&mut self, i: u32) {
+        let e = &mut self.pages[i as usize];
+        e.prev = self.tail;
+        e.next = NIL;
+        if self.tail != NIL {
+            self.pages[self.tail as usize].next = i;
+        } else {
+            self.head = i;
+        }
+        self.tail = i;
+    }
+
+    /// Unlinks list node `i`.
+    #[inline]
+    fn unlink(&mut self, i: u32) {
+        let PageEntry { prev, next, .. } = self.pages[i as usize];
+        if prev != NIL {
+            self.pages[prev as usize].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.pages[next as usize].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
     /// Marks `page` resident in `frame` and stamps it most recently used.
     ///
     /// # Errors
     ///
-    /// Returns [`SimError::Accounting`] if the page is already resident
-    /// (a double install would leak the page's previous frame).
-    pub fn mark_resident(&mut self, page: PageId, frame: FrameId) -> Result<(), SimError> {
-        if let Some(&prev) = self.resident.get(&page) {
+    /// Returns [`SimError::Accounting`] stamped with `now` if the page is
+    /// already resident (a double install would leak the page's previous
+    /// frame) or its index does not fit the dense table.
+    pub fn mark_resident(&mut self, page: PageId, frame: FrameId, now: Cycle) -> Result<(), SimError> {
+        let i = page.index();
+        if i >= u64::from(NIL) {
             return Err(SimError::Accounting {
-                cycle: 0,
+                cycle: now,
+                detail: format!("page {page} exceeds the dense page-table range"),
+            });
+        }
+        let i = i as usize;
+        if i >= self.pages.len() {
+            self.pages.resize(i + 1, PageEntry::default());
+        }
+        if self.pages[i].resident {
+            let prev = self.pages[i].frame;
+            return Err(SimError::Accounting {
+                cycle: now,
                 detail: format!(
                     "page {page} marked resident twice (held {prev}, offered {frame})"
                 ),
             });
         }
-        self.resident.insert(page, frame);
-        self.peak_resident = self.peak_resident.max(self.resident.len());
-        self.bump(page);
+        self.pages[i].frame = frame;
+        self.pages[i].resident = true;
+        self.resident_count += 1;
+        self.peak_resident = self.peak_resident.max(self.resident_count);
+        self.link_tail(i as u32);
         Ok(())
     }
 
-    /// Refreshes `page`'s LRU stamp if it is resident (called on access).
+    /// Refreshes `page`'s LRU position if it is resident (called on access).
     pub fn touch(&mut self, page: PageId) {
-        if self.resident.contains_key(&page) {
+        if self.is_resident(page) {
             self.touches += 1;
-            self.bump(page);
+            let i = page.index() as u32;
+            self.unlink(i);
+            self.link_tail(i);
         }
-    }
-
-    fn bump(&mut self, page: PageId) {
-        if let Some(old) = self.stamp_of.remove(&page) {
-            self.by_stamp.remove(&old);
-        }
-        let s = self.next_stamp;
-        self.next_stamp += 1;
-        self.stamp_of.insert(page, s);
-        self.by_stamp.insert(s, page);
     }
 
     /// Removes `page` from residency (eviction), returning its frame to
@@ -140,24 +205,24 @@ impl MemoryManager {
     ///
     /// # Errors
     ///
-    /// Returns [`SimError::Accounting`] if the page is not resident or its
-    /// LRU stamp is missing (either means the books are already corrupt).
-    pub fn remove(&mut self, page: PageId) -> Result<FrameId, SimError> {
-        let Some(frame) = self.resident.remove(&page) else {
+    /// Returns [`SimError::Accounting`] stamped with `now` if the page is
+    /// not resident (the books are already corrupt).
+    pub fn remove(&mut self, page: PageId, now: Cycle) -> Result<FrameId, SimError> {
+        if !self.is_resident(page) {
             return Err(SimError::Accounting {
-                cycle: 0,
+                cycle: now,
                 detail: format!("evicting page {page} that is not resident"),
             });
-        };
-        let Some(stamp) = self.stamp_of.remove(&page) else {
-            return Err(SimError::Accounting {
-                cycle: 0,
-                detail: format!("resident page {page} has no LRU stamp"),
-            });
-        };
-        self.by_stamp.remove(&stamp);
+        }
+        let i = page.index() as u32;
+        self.unlink(i);
+        let e = &mut self.pages[i as usize];
+        e.resident = false;
+        e.prev = NIL;
+        e.next = NIL;
+        self.resident_count -= 1;
         self.evictions += 1;
-        Ok(frame)
+        Ok(e.frame)
     }
 
     /// Returns an eviction-completed frame to the free pool.
@@ -166,48 +231,68 @@ impl MemoryManager {
     }
 
     /// Selects the pages to evict to free at least one frame, preferring
-    /// pages outside `pinned`. Returns pages in eviction order, plus
-    /// whether the selection was **forced** to take a pinned page.
+    /// pages for which `pinned` returns `false`. Returns pages in eviction
+    /// order, plus whether the selection was **forced** to take a pinned
+    /// page.
     ///
     /// With [`EvictionGranularity::Page`] one page is returned; with
-    /// [`EvictionGranularity::RootChunk`] every resident page of the LRU
-    /// page's region is returned (the driver's
-    /// `pick_and_evict_root_chunk`).
+    /// [`EvictionGranularity::RootChunk`] the resident pages of the LRU
+    /// page's region are returned (the driver's
+    /// `pick_and_evict_root_chunk`), seed first, the rest in ascending page
+    /// order. An unforced root-chunk sweep excludes pinned region-mates —
+    /// the driver may not evict a chunk with pinned pages without first
+    /// unpinning it (DESIGN.md §3) — while a forced sweep takes the whole
+    /// resident region and reports `forced = true`.
     ///
     /// Returns an empty vector if nothing is resident.
-    pub fn pick_victims(&self, pinned: &HashSet<PageId>) -> (Vec<PageId>, bool) {
-        let lru = self.by_stamp.values().find(|p| !pinned.contains(p)).copied();
+    pub fn pick_victims(&self, pinned: impl Fn(PageId) -> bool) -> (Vec<PageId>, bool) {
+        let mut cur = self.head;
+        let mut lru = None;
+        while cur != NIL {
+            let p = PageId::new(u64::from(cur));
+            if !pinned(p) {
+                lru = Some(p);
+                break;
+            }
+            cur = self.pages[cur as usize].next;
+        }
         let (seed, forced) = match lru {
             Some(p) => (p, false),
-            None => match self.by_stamp.values().next().copied() {
-                Some(p) => (p, true),
-                None => return (Vec::new(), false),
-            },
+            None if self.head != NIL => (PageId::new(u64::from(self.head)), true),
+            None => return (Vec::new(), false),
         };
         match self.granularity {
             EvictionGranularity::Page => (vec![seed], forced),
             EvictionGranularity::RootChunk => {
                 let region = seed.index() / self.pages_per_region;
                 let first = region * self.pages_per_region;
-                let mut pages: Vec<PageId> = (first..first + self.pages_per_region)
-                    .map(PageId::new)
-                    .filter(|p| self.resident.contains_key(p))
-                    .collect();
                 // Evict the seed first so one frame frees as early as possible.
-                pages.sort_by_key(|p| (p != &seed, p.index()));
+                let mut pages = vec![seed];
+                for idx in first..first + self.pages_per_region {
+                    if idx == seed.index() {
+                        continue;
+                    }
+                    let p = PageId::new(idx);
+                    if self.is_resident(p) && (forced || !pinned(p)) {
+                        pages.push(p);
+                    }
+                }
                 (pages, forced)
             }
         }
     }
 
     /// Whether `page` is (planned) resident.
+    #[inline]
     pub fn is_resident(&self, page: PageId) -> bool {
-        self.resident.contains_key(&page)
+        self.pages
+            .get(page.index() as usize)
+            .is_some_and(|e| e.resident)
     }
 
     /// Number of resident pages.
     pub fn resident_count(&self) -> usize {
-        self.resident.len()
+        self.resident_count
     }
 
     /// Total evictions performed.
@@ -243,50 +328,70 @@ impl MemoryManager {
     /// Re-derives the manager's internal invariants from scratch.
     ///
     /// Called by the runtime auditor under
-    /// [`AuditLevel::Full`](batmem_types::AuditLevel). Checks that the LRU
-    /// index mirrors the residency map exactly, that no frame is tracked
-    /// twice, and that the books never exceed minted frames or capacity.
-    pub fn audit(&self) -> Result<(), SimError> {
+    /// [`AuditLevel::Full`](batmem_types::AuditLevel) with the audit's
+    /// simulated time, which stamps any violation. Checks that the LRU list
+    /// is well-linked and mirrors the residency flags exactly, that no
+    /// frame is tracked twice, and that the books never exceed minted
+    /// frames or capacity.
+    pub fn audit(&self, now: Cycle) -> Result<(), SimError> {
         let violated = |invariant: &'static str, snapshot: String| {
-            Err(SimError::InvariantViolated { cycle: 0, invariant, snapshot })
+            Err(SimError::InvariantViolated { cycle: now, invariant, snapshot })
         };
-        if self.stamp_of.len() != self.resident.len() || self.by_stamp.len() != self.resident.len()
-        {
+        // Walk the LRU list: every node resident, links round-trip, length
+        // matches the resident count (which covers "every resident page is
+        // listed", since list nodes are distinct table slots).
+        let mut listed = 0usize;
+        let mut prev = NIL;
+        let mut cur = self.head;
+        while cur != NIL {
+            let Some(e) = self.pages.get(cur as usize) else {
+                return violated("LRU links stay in the table", format!("link {cur} out of range"));
+            };
+            if !e.resident {
+                return violated(
+                    "listed pages are resident",
+                    format!("page:{cur} is in the LRU list but not resident"),
+                );
+            }
+            if e.prev != prev {
+                return violated(
+                    "LRU list is well-linked",
+                    format!("page:{cur} prev {} != walked {prev}", e.prev),
+                );
+            }
+            listed += 1;
+            if listed > self.pages.len() {
+                return violated("LRU list is acyclic", format!("walked {listed} nodes"));
+            }
+            prev = cur;
+            cur = e.next;
+        }
+        if prev != self.tail {
             return violated(
-                "LRU index mirrors residency",
-                format!(
-                    "resident={} stamp_of={} by_stamp={}",
-                    self.resident.len(),
-                    self.stamp_of.len(),
-                    self.by_stamp.len()
-                ),
+                "LRU tail terminates the list",
+                format!("walk ended at {prev}, tail is {}", self.tail),
             );
         }
-        for (page, stamp) in &self.stamp_of {
-            if self.by_stamp.get(stamp) != Some(page) {
-                return violated(
-                    "stamp maps round-trip",
-                    format!("page {page} stamp {stamp} does not round-trip"),
-                );
-            }
-            if !self.resident.contains_key(page) {
-                return violated(
-                    "stamped pages are resident",
-                    format!("page {page} has a stamp but is not resident"),
-                );
-            }
+        if listed != self.resident_count {
+            return violated(
+                "LRU list mirrors residency",
+                format!("listed={listed} resident={}", self.resident_count),
+            );
         }
-        let mut seen: HashSet<FrameId> = HashSet::new();
-        for f in self.free.iter().chain(self.resident.values()) {
-            if !seen.insert(*f) {
-                return violated("no frame tracked twice", format!("{f} appears twice"));
-            }
+        let mut seen = vec![false; self.next_frame as usize];
+        let resident_frames =
+            self.pages.iter().filter(|e| e.resident).map(|e| e.frame);
+        for f in self.free.iter().copied().chain(resident_frames) {
             if f.index() >= self.next_frame {
                 return violated(
                     "tracked frames were minted",
                     format!("{f} >= next_frame {}", self.next_frame),
                 );
             }
+            if seen[f.index() as usize] {
+                return violated("no frame tracked twice", format!("{f} appears twice"));
+            }
+            seen[f.index() as usize] = true;
         }
         if let Some(cap) = self.capacity {
             if u64::from(self.next_frame) > cap {
@@ -303,6 +408,7 @@ impl MemoryManager {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::HashSet;
 
     fn p(i: u64) -> PageId {
         PageId::new(i)
@@ -310,6 +416,10 @@ mod tests {
 
     fn mgr(cap: u64) -> MemoryManager {
         MemoryManager::new(Some(cap), EvictionGranularity::Page, 32)
+    }
+
+    fn unpinned(_: PageId) -> bool {
+        false
     }
 
     #[test]
@@ -346,10 +456,10 @@ mod tests {
         let mut m = mgr(3);
         for i in 0..3 {
             let f = m.take_frame().unwrap();
-            m.mark_resident(p(i), f).unwrap();
+            m.mark_resident(p(i), f, 0).unwrap();
         }
         m.touch(p(0)); // 0 refreshed; LRU is now 1
-        let (v, forced) = m.pick_victims(&HashSet::new());
+        let (v, forced) = m.pick_victims(unpinned);
         assert_eq!(v, vec![p(1)]);
         assert!(!forced);
     }
@@ -359,14 +469,14 @@ mod tests {
         let mut m = mgr(2);
         for i in 0..2 {
             let f = m.take_frame().unwrap();
-            m.mark_resident(p(i), f).unwrap();
+            m.mark_resident(p(i), f, 0).unwrap();
         }
         let pinned: HashSet<PageId> = [p(0)].into_iter().collect();
-        let (v, forced) = m.pick_victims(&pinned);
+        let (v, forced) = m.pick_victims(|q| pinned.contains(&q));
         assert_eq!(v, vec![p(1)]);
         assert!(!forced);
         let all: HashSet<PageId> = [p(0), p(1)].into_iter().collect();
-        let (v, forced) = m.pick_victims(&all);
+        let (v, forced) = m.pick_victims(|q| all.contains(&q));
         assert_eq!(v, vec![p(0)]); // LRU even though pinned
         assert!(forced);
     }
@@ -374,7 +484,7 @@ mod tests {
     #[test]
     fn empty_manager_has_no_victim() {
         let m = mgr(2);
-        let (v, forced) = m.pick_victims(&HashSet::new());
+        let (v, forced) = m.pick_victims(unpinned);
         assert!(v.is_empty());
         assert!(!forced);
     }
@@ -386,10 +496,10 @@ mod tests {
         // region 1.
         for i in [0u64, 2, 3, 5] {
             let f = m.take_frame().unwrap();
-            m.mark_resident(p(i), f).unwrap();
+            m.mark_resident(p(i), f, 0).unwrap();
         }
         m.touch(p(0)); // LRU seed becomes page 2
-        let (v, _) = m.pick_victims(&HashSet::new());
+        let (v, _) = m.pick_victims(unpinned);
         assert_eq!(v[0], p(2)); // seed first
         let mut rest = v[1..].to_vec();
         rest.sort();
@@ -397,12 +507,42 @@ mod tests {
     }
 
     #[test]
+    fn unforced_root_chunk_sweep_excludes_pinned_region_mates() {
+        let mut m = MemoryManager::new(Some(10), EvictionGranularity::RootChunk, 4);
+        for i in [0u64, 1, 2, 3] {
+            let f = m.take_frame().unwrap();
+            m.mark_resident(p(i), f, 0).unwrap();
+        }
+        // Pages 1 and 3 are pinned (in the current batch); the LRU seed 0
+        // is free, so the sweep is unforced and must not carry the pinned
+        // region-mates.
+        let pinned: HashSet<PageId> = [p(1), p(3)].into_iter().collect();
+        let (v, forced) = m.pick_victims(|q| pinned.contains(&q));
+        assert!(!forced);
+        assert_eq!(v, vec![p(0), p(2)]);
+    }
+
+    #[test]
+    fn forced_root_chunk_sweep_takes_pinned_pages_and_reports_it() {
+        let mut m = MemoryManager::new(Some(10), EvictionGranularity::RootChunk, 4);
+        for i in [0u64, 1, 2] {
+            let f = m.take_frame().unwrap();
+            m.mark_resident(p(i), f, 0).unwrap();
+        }
+        // Everything resident is pinned: the sweep is forced, takes the
+        // whole resident region, and says so.
+        let (v, forced) = m.pick_victims(|_| true);
+        assert!(forced);
+        assert_eq!(v, vec![p(0), p(1), p(2)]);
+    }
+
+    #[test]
     fn remove_makes_page_non_resident_and_counts() {
         let mut m = mgr(1);
         let f = m.take_frame().unwrap();
-        m.mark_resident(p(7), f).unwrap();
+        m.mark_resident(p(7), f, 0).unwrap();
         assert!(m.is_resident(p(7)));
-        let got = m.remove(p(7)).unwrap();
+        let got = m.remove(p(7), 0).unwrap();
         assert_eq!(got, f);
         assert!(!m.is_resident(p(7)));
         assert_eq!(m.evictions(), 1);
@@ -413,20 +553,32 @@ mod tests {
     fn double_mark_is_an_accounting_error() {
         let mut m = mgr(2);
         let f = m.take_frame().unwrap();
-        m.mark_resident(p(1), f).unwrap();
-        let err = m.mark_resident(p(1), f).unwrap_err();
+        m.mark_resident(p(1), f, 70).unwrap();
+        let err = m.mark_resident(p(1), f, 70).unwrap_err();
         assert!(matches!(err, SimError::Accounting { .. }), "{err}");
         assert!(err.to_string().contains("resident twice"));
         // The failed insert must not corrupt the books.
-        m.audit().unwrap();
+        m.audit(70).unwrap();
     }
 
     #[test]
     fn remove_of_non_resident_is_an_accounting_error() {
         let mut m = mgr(2);
-        let err = m.remove(p(3)).unwrap_err();
+        let err = m.remove(p(3), 0).unwrap_err();
         assert!(matches!(err, SimError::Accounting { .. }), "{err}");
-        m.audit().unwrap();
+        m.audit(0).unwrap();
+    }
+
+    #[test]
+    fn errors_carry_the_callers_clock() {
+        let mut m = mgr(2);
+        let err = m.remove(p(3), 41_778).unwrap_err();
+        assert_eq!(err.cycle(), Some(41_778));
+        assert!(err.to_string().contains("41778"));
+        let f = m.take_frame().unwrap();
+        m.mark_resident(p(1), f, 50).unwrap();
+        let err = m.mark_resident(p(1), f, 99).unwrap_err();
+        assert_eq!(err.cycle(), Some(99));
     }
 
     #[test]
@@ -438,14 +590,14 @@ mod tests {
                 let frame = match m.take_frame() {
                     Some(f) => f,
                     None => {
-                        let (v, _) = m.pick_victims(&HashSet::new());
-                        let f = m.remove(v[0]).unwrap();
+                        let (v, _) = m.pick_victims(unpinned);
+                        let f = m.remove(v[0], 0).unwrap();
                         m.release_frame(f);
                         m.take_frame().unwrap()
                     }
                 };
-                m.mark_resident(page, frame).unwrap();
-                m.audit().unwrap();
+                m.mark_resident(page, frame, 0).unwrap();
+                m.audit(0).unwrap();
             }
         }
         assert_eq!(m.minted_frames(), 4);

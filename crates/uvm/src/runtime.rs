@@ -48,11 +48,12 @@ use crate::pcie::PciePipes;
 use crate::prefetch::TreePrefetcher;
 use crate::stats::UvmStats;
 use batmem_types::config::UvmConfig;
-use batmem_types::policy::{EvictionGranularity, EvictionPolicy, PolicyConfig, PrefetchPolicy};
+use batmem_types::dense::{EpochPageMap, EpochPageSet, PageMap};
+use batmem_types::policy::{EvictionPolicy, PolicyConfig, PrefetchPolicy};
 use batmem_types::probe::{EvictionCause, ProbeEvent, SharedProbes};
 use batmem_types::{AuditLevel, Cycle, FrameId, PageId, SimError};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::collections::BinaryHeap;
 
 /// Events the runtime schedules for itself through the engine's queue.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -116,8 +117,6 @@ enum State {
 struct BatchPlan {
     record: BatchRecord,
     pages: Vec<PageId>,
-    page_set: HashSet<PageId>,
-    planned_arrival: HashMap<PageId, Cycle>,
     remaining: usize,
 }
 
@@ -133,10 +132,15 @@ pub struct UvmRuntime {
     lifetime: LifetimeTracker,
     state: State,
     current: Option<BatchPlan>,
+    /// Pages of the open batch (dense epoch set, cleared per batch; only
+    /// meaningful while `current` is `Some`).
+    batch_pages: EpochPageSet,
+    /// Planned arrival time per open-batch page (same epoch discipline).
+    planned_arrival: EpochPageMap<Cycle>,
     /// Frames freed by in-flight evictions, keyed by availability time.
     pending_free: BinaryHeap<Reverse<(Cycle, FrameId)>>,
     /// Pages of the current batch being migrated, with assigned frames.
-    inflight: HashMap<PageId, FrameId>,
+    inflight: PageMap<FrameId>,
     /// Upper bound on valid page indices (prefetch never crosses it).
     valid_pages: u64,
     /// Ideal-eviction victims awaiting their shootdown timestamp (emitted
@@ -179,8 +183,10 @@ impl UvmRuntime {
             lifetime: LifetimeTracker::new(),
             state: State::Idle,
             current: None,
+            batch_pages: EpochPageSet::new(),
+            planned_arrival: EpochPageMap::new(),
             pending_free: BinaryHeap::new(),
-            inflight: HashMap::new(),
+            inflight: PageMap::new(),
             ideal_evicts: Vec::new(),
             valid_pages,
             batch_seq: 0,
@@ -231,22 +237,20 @@ impl UvmRuntime {
             // The refault just classified the page's eviction as premature.
             self.probes.emit_with(now, || ProbeEvent::PrematureEviction { page });
         }
-        if let Some(plan) = &self.current {
-            if plan.page_set.contains(&page) {
-                // Absorb the fault only while the open batch will still
-                // deliver the page: before planning, or while its transfer
-                // is in flight. A batch page that already arrived and was
-                // then force-evicted (capacity below batch size) must be
-                // treated as a fresh fault, or its waiters starve.
-                let will_arrive = match self.state {
-                    State::Draining | State::Handling => true,
-                    _ => self.inflight.contains_key(&page),
-                };
-                if will_arrive {
-                    self.faults_on_pending += 1;
-                    self.probes.emit_with(now, || ProbeEvent::FaultAbsorbed { page });
-                    return Ok(Vec::new());
-                }
+        if self.current.is_some() && self.batch_pages.contains(page) {
+            // Absorb the fault only while the open batch will still
+            // deliver the page: before planning, or while its transfer
+            // is in flight. A batch page that already arrived and was
+            // then force-evicted (capacity below batch size) must be
+            // treated as a fresh fault, or its waiters starve.
+            let will_arrive = match self.state {
+                State::Draining | State::Handling => true,
+                _ => self.inflight.contains(page),
+            };
+            if will_arrive {
+                self.faults_on_pending += 1;
+                self.probes.emit_with(now, || ProbeEvent::FaultAbsorbed { page });
+                return Ok(Vec::new());
             }
         }
         if self.mem.is_resident(page) {
@@ -343,13 +347,14 @@ impl UvmRuntime {
             Some(inj) => prefetched.into_iter().filter(|_| !inj.drop_prefetch()).collect(),
             None => prefetched,
         };
-        let mut pages = faulted.clone();
-        pages.extend(prefetched.iter().copied());
+        let num_faults = faulted.len();
+        let mut pages = faulted;
+        pages.extend(prefetched);
         pages.sort_unstable();
         pages.dedup();
 
         let handling = self.cfg.fault_handling_base
-            + self.cfg.fault_handling_per_fault * faulted.len() as Cycle;
+            + self.cfg.fault_handling_per_fault * num_faults as Cycle;
         let id = self.batch_seq;
         self.batch_seq += 1;
         let record = BatchRecord {
@@ -358,20 +363,18 @@ impl UvmRuntime {
             handling_done: now + handling,
             first_migration_start: 0,
             end: 0,
-            faults: faulted.len() as u32,
-            prefetches: (pages.len() - faulted.len()) as u32,
+            faults: num_faults as u32,
+            prefetches: (pages.len() - num_faults) as u32,
             evictions: 0,
             forced_pinned_evictions: 0,
             migrated_bytes: 0,
         };
-        let page_set: HashSet<PageId> = pages.iter().copied().collect();
-        let mut plan = BatchPlan {
-            record,
-            remaining: pages.len(),
-            pages,
-            page_set,
-            planned_arrival: HashMap::new(),
-        };
+        self.batch_pages.clear();
+        for &pg in &pages {
+            self.batch_pages.insert(pg);
+        }
+        self.planned_arrival.clear();
+        let mut plan = BatchPlan { record, remaining: pages.len(), pages };
         self.probes.emit_with(now, || ProbeEvent::BatchOpened {
             batch: id,
             faults: plan.record.faults,
@@ -422,7 +425,8 @@ impl UvmRuntime {
     /// A [`EvictionCause::Proactive`] cause forces UE-style device-to-host
     /// scheduling regardless of the base eviction policy.
     fn schedule_evictions(&mut self, earliest: Cycle, plan: &mut BatchPlan, outputs: &mut Vec<UvmOutput>, cause: EvictionCause) -> Result<(), SimError> {
-        let (victims, forced) = self.mem.pick_victims(&plan.page_set);
+        let pinned = &self.batch_pages;
+        let (victims, forced) = self.mem.pick_victims(|p| pinned.contains(p));
         if victims.is_empty() {
             return Err(SimError::Accounting {
                 cycle: earliest,
@@ -431,21 +435,18 @@ impl UvmRuntime {
             });
         }
         // Pinned pages (the open batch's own) must never be selected unless
-        // the batch itself overflows capacity (`forced`). Page-granularity
-        // only: a root-chunk sweep legitimately carries pinned region-mates
-        // of an unpinned LRU seed.
-        if self.audit.enabled()
-            && !forced
-            && self.policy.eviction_granularity == EvictionGranularity::Page
-        {
-            if let Some(v) = victims.iter().find(|v| plan.page_set.contains(v)) {
+        // the batch itself overflows capacity (`forced`). This now covers
+        // root-chunk sweeps too: an unforced sweep excludes pinned
+        // region-mates of its unpinned LRU seed (DESIGN.md §3).
+        if self.audit.enabled() && !forced {
+            if let Some(v) = victims.iter().find(|v| self.batch_pages.contains(**v)) {
                 return Err(SimError::InvariantViolated {
                     cycle: earliest,
                     invariant: "pinned pages are never victims unless forced",
                     snapshot: format!(
                         "victim {v} is pinned by open batch {} ({} pages)",
                         plan.record.id,
-                        plan.page_set.len()
+                        self.batch_pages.len()
                     ),
                 });
             }
@@ -456,13 +457,13 @@ impl UvmRuntime {
             // one cycle later, so that waiters woken by the arrival observe
             // the page resident and make forward progress even when the
             // eviction is immediate.
-            let avail = plan
+            let avail = self
                 .planned_arrival
-                .get(&victim)
-                .map(|&t| t + 1)
+                .get(victim)
+                .map(|t| t + 1)
                 .unwrap_or(0)
                 .max(earliest);
-            let frame = self.mem.remove(victim).map_err(|e| e.at_cycle(earliest))?;
+            let frame = self.mem.remove(victim, earliest)?;
             let effective = if cause == EvictionCause::Proactive {
                 EvictionPolicy::Unobtrusive
             } else {
@@ -567,8 +568,8 @@ impl UvmRuntime {
         }
         let mut outputs = Vec::new();
         let page_bytes = self.cfg.page_bytes();
-        let pages = plan.pages.clone();
-        for (i, page) in pages.into_iter().enumerate() {
+        for i in 0..plan.pages.len() {
+            let page = plan.pages[i];
             let (frame, ready) = self.acquire_frame(now, &mut plan, &mut outputs)?;
             // Injected PCIe perturbation: jitter/stalls delay when this
             // transfer may claim the host-to-device pipe.
@@ -589,10 +590,10 @@ impl UvmRuntime {
                 self.lifetime.on_evict(victim, at);
             }
             plan.record.migrated_bytes += page_bytes;
-            self.mem.mark_resident(page, frame).map_err(|e| e.at_cycle(now))?;
+            self.mem.mark_resident(page, frame, now)?;
             self.lifetime.on_install(page, tr.end);
             self.inflight.insert(page, frame);
-            plan.planned_arrival.insert(page, tr.end);
+            self.planned_arrival.insert(page, tr.end);
             // Injected lost DMA completion: the transfer occupies the pipe
             // but its PageArrived event never fires, stranding the batch.
             let lost = self.injector.as_mut().is_some_and(|i| i.drop_arrival());
@@ -613,7 +614,7 @@ impl UvmRuntime {
                 "no batch is migrating",
             ));
         }
-        let Some(frame) = self.inflight.remove(&page) else {
+        let Some(frame) = self.inflight.remove(page) else {
             return Err(SimError::Accounting {
                 cycle: now,
                 detail: format!("arrival of page {page} that is not in flight"),
@@ -677,7 +678,7 @@ impl UvmRuntime {
 
     /// Whether `page` is currently migrating.
     pub fn is_inflight(&self, page: PageId) -> bool {
-        self.inflight.contains_key(&page)
+        self.inflight.contains(page)
     }
 
     /// Whether `page` is resident in the runtime's planned view (which may
@@ -756,17 +757,22 @@ impl UvmRuntime {
         }
         if let Some(plan) = &self.current {
             let planned = plan.record.faults as usize + plan.record.prefetches as usize;
-            if planned != plan.pages.len() || plan.page_set.len() != plan.pages.len() {
+            if planned != plan.pages.len() || self.batch_pages.len() != plan.pages.len() {
                 return violated(
                     "batch page counts are conserved",
                     format!(
                         "faults+prefetches={planned} pages={} set={}",
                         plan.pages.len(),
-                        plan.page_set.len()
+                        self.batch_pages.len()
                     ),
                 );
             }
-            if !self.inflight.keys().all(|p| plan.page_set.contains(p)) {
+            // Every in-flight page belongs to the open batch: batch pages
+            // and in-flight pages are both duplicate-free, so counting the
+            // batch pages that are in flight is an O(batch) subset check.
+            let inflight_batch_pages =
+                plan.pages.iter().filter(|p| self.inflight.contains(**p)).count();
+            if inflight_batch_pages != self.inflight.len() {
                 return violated(
                     "in-flight pages belong to the open batch",
                     self.describe_state(),
@@ -774,7 +780,7 @@ impl UvmRuntime {
             }
         }
         if self.audit >= AuditLevel::Full {
-            self.mem.audit().map_err(|e| e.at_cycle(now))?;
+            self.mem.audit(now)?;
             // Frame conservation: every frame ever minted is exactly one of
             // free, resident, or awaiting an in-flight eviction's transfer.
             let minted = self.mem.minted_frames();

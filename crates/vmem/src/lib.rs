@@ -24,13 +24,14 @@
 //! let page = PageId::new(7);
 //!
 //! // Non-resident page: the walk completes, then faults.
-//! let t = mmu.translate(SmId::new(0), page, 0);
+//! let t = mmu.translate(SmId::new(0), page, 0)?;
 //! assert_eq!(t.outcome, TranslationOutcome::Fault);
 //!
 //! // Make it resident, then translation succeeds (and later hits the TLB).
-//! mmu.install(page, FrameId::new(3));
-//! let t = mmu.translate(SmId::new(0), page, 1000);
+//! mmu.install(page, FrameId::new(3), 500)?;
+//! let t = mmu.translate(SmId::new(0), page, 1000)?;
 //! assert_eq!(t.outcome, TranslationOutcome::Resident(FrameId::new(3)));
+//! # Ok::<(), batmem_types::SimError>(())
 //! ```
 
 #![forbid(unsafe_code)]

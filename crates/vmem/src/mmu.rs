@@ -3,7 +3,7 @@
 use crate::page_table::GpuPageTable;
 use crate::tlb::{Tlb, TlbStats};
 use crate::walker::PageTableWalker;
-use batmem_types::{Cycle, FrameId, PageId, SimConfig, SmId};
+use batmem_types::{Cycle, FrameId, PageId, SimConfig, SimError, SmId};
 
 /// The outcome of an address translation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -85,28 +85,38 @@ impl Mmu {
     /// no resident mapping is a fault; faulting translations do **not**
     /// fill the TLBs.
     ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Accounting`] if a TLB holds an entry for a
+    /// non-resident page — TLB entries exist only for resident pages, so
+    /// this means a shootdown was lost.
+    ///
     /// # Panics
     ///
     /// Panics if `sm` is out of range for the configured SM count.
-    pub fn translate(&mut self, sm: SmId, page: PageId, now: Cycle) -> Translation {
+    pub fn translate(&mut self, sm: SmId, page: PageId, now: Cycle) -> Result<Translation, SimError> {
+        let stale = |level: &str| SimError::Accounting {
+            cycle: now,
+            detail: format!("{level} TLB holds an entry for non-resident page {page}"),
+        };
         let l1 = &mut self.l1_tlbs[sm.index()];
         if l1.lookup(page) {
             // TLB entries exist only for resident pages.
-            let frame = self.page_table.translate(page).expect("L1 TLB entry for non-resident page");
-            return Translation {
+            let frame = self.page_table.translate(page).ok_or_else(|| stale("L1"))?;
+            return Ok(Translation {
                 latency: self.l1_hit_latency,
                 outcome: TranslationOutcome::Resident(frame),
-            };
+            });
         }
         let mut latency = self.l1_hit_latency + self.l2_hit_latency;
         if self.l2_tlb.lookup(page) {
-            let frame = self.page_table.translate(page).expect("L2 TLB entry for non-resident page");
+            let frame = self.page_table.translate(page).ok_or_else(|| stale("L2"))?;
             self.l1_tlbs[sm.index()].insert(page);
-            return Translation { latency, outcome: TranslationOutcome::Resident(frame) };
+            return Ok(Translation { latency, outcome: TranslationOutcome::Resident(frame) });
         }
         let walk_done = self.walker.begin_walk(now + latency, page);
         latency = walk_done - now;
-        match self.page_table.translate(page) {
+        Ok(match self.page_table.translate(page) {
             Some(frame) => {
                 self.l1_tlbs[sm.index()].insert(page);
                 self.l2_tlb.insert(page);
@@ -116,34 +126,46 @@ impl Mmu {
                 self.faults += 1;
                 Translation { latency, outcome: TranslationOutcome::Fault }
             }
-        }
+        })
     }
 
     /// Installs a resident mapping (page migration completed).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the page is already resident — the UVM runtime must never
-    /// double-migrate a page.
-    pub fn install(&mut self, page: PageId, frame: FrameId) {
-        let prev = self.page_table.install(page, frame);
-        assert!(prev.is_none(), "page {page} migrated while already resident");
+    /// Returns [`SimError::Accounting`] if the page is already resident —
+    /// the UVM runtime must never double-migrate a page.
+    pub fn install(&mut self, page: PageId, frame: FrameId, now: Cycle) -> Result<(), SimError> {
+        match self.page_table.install(page, frame) {
+            None => Ok(()),
+            Some(prev) => Err(SimError::Accounting {
+                cycle: now,
+                detail: format!(
+                    "page {page} migrated while already resident (held {prev}, offered {frame})"
+                ),
+            }),
+        }
     }
 
     /// Evicts `page`: removes the mapping and shoots down every TLB.
     ///
     /// Returns the frame the page occupied.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the page is not resident.
-    pub fn evict(&mut self, page: PageId) -> FrameId {
-        let frame = self.page_table.remove(page).expect("evicting non-resident page");
+    /// Returns [`SimError::Accounting`] if the page is not resident.
+    pub fn evict(&mut self, page: PageId, now: Cycle) -> Result<FrameId, SimError> {
+        let Some(frame) = self.page_table.remove(page) else {
+            return Err(SimError::Accounting {
+                cycle: now,
+                detail: format!("evicting non-resident page {page}"),
+            });
+        };
         for tlb in &mut self.l1_tlbs {
             tlb.invalidate(page);
         }
         self.l2_tlb.invalidate(page);
-        frame
+        Ok(frame)
     }
 
     /// Whether `page` is resident.
@@ -192,19 +214,19 @@ mod tests {
     fn miss_walk_fault_then_resident_path() {
         let mut m = mmu();
         let page = PageId::new(3);
-        let t = m.translate(SmId::new(0), page, 0);
+        let t = m.translate(SmId::new(0), page, 0).unwrap();
         assert_eq!(t.outcome, TranslationOutcome::Fault);
         // Walk latency: L1 + L2 lookup + walk + PWC miss penalty.
         assert_eq!(t.latency, 1 + 10 + 200 + 100);
 
-        m.install(page, FrameId::new(0));
-        let t = m.translate(SmId::new(0), page, 1000);
+        m.install(page, FrameId::new(0), 0).unwrap();
+        let t = m.translate(SmId::new(0), page, 1000).unwrap();
         assert!(matches!(t.outcome, TranslationOutcome::Resident(_)));
         // This walk hits the PWC (same group).
         assert_eq!(t.latency, 1 + 10 + 200);
 
         // Now cached in the L1 TLB.
-        let t = m.translate(SmId::new(0), page, 2000);
+        let t = m.translate(SmId::new(0), page, 2000).unwrap();
         assert_eq!(t.latency, 1);
     }
 
@@ -212,11 +234,11 @@ mod tests {
     fn l2_tlb_serves_other_sms() {
         let mut m = mmu();
         let page = PageId::new(3);
-        m.install(page, FrameId::new(0));
-        let _ = m.translate(SmId::new(0), page, 0); // fills L1(0) and L2
-        let t = m.translate(SmId::new(1), page, 1000);
+        m.install(page, FrameId::new(0), 0).unwrap();
+        let _ = m.translate(SmId::new(0), page, 0).unwrap(); // fills L1(0) and L2
+        let t = m.translate(SmId::new(1), page, 1000).unwrap();
         assert_eq!(t.latency, 1 + 10); // L2 hit
-        let t = m.translate(SmId::new(1), page, 2000);
+        let t = m.translate(SmId::new(1), page, 2000).unwrap();
         assert_eq!(t.latency, 1); // now L1(1) hit
     }
 
@@ -224,10 +246,10 @@ mod tests {
     fn faults_do_not_fill_tlbs() {
         let mut m = mmu();
         let page = PageId::new(3);
-        let _ = m.translate(SmId::new(0), page, 0);
+        let _ = m.translate(SmId::new(0), page, 0).unwrap();
         // Second translation must walk again (would be a latency-1 TLB hit
         // if the fault had been cached).
-        let t = m.translate(SmId::new(0), page, 10_000);
+        let t = m.translate(SmId::new(0), page, 10_000).unwrap();
         assert!(t.latency > 100);
         assert_eq!(m.stats().faults, 2);
     }
@@ -236,31 +258,35 @@ mod tests {
     fn evict_shoots_down_all_tlbs() {
         let mut m = mmu();
         let page = PageId::new(5);
-        m.install(page, FrameId::new(1));
-        let _ = m.translate(SmId::new(0), page, 0);
-        let _ = m.translate(SmId::new(2), page, 0);
-        let frame = m.evict(page);
+        m.install(page, FrameId::new(1), 0).unwrap();
+        let _ = m.translate(SmId::new(0), page, 0).unwrap();
+        let _ = m.translate(SmId::new(2), page, 0).unwrap();
+        let frame = m.evict(page, 40_000).unwrap();
         assert_eq!(frame, FrameId::new(1));
         assert!(!m.is_resident(page));
         // Both L1 copies and the L2 copy are gone: next access faults.
-        let t = m.translate(SmId::new(0), page, 50_000);
+        let t = m.translate(SmId::new(0), page, 50_000).unwrap();
         assert_eq!(t.outcome, TranslationOutcome::Fault);
         assert!(m.stats().l1.shootdowns + m.stats().l2.shootdowns >= 3);
     }
 
     #[test]
-    #[should_panic(expected = "already resident")]
-    fn double_install_panics() {
+    fn double_install_is_an_accounting_error() {
         let mut m = mmu();
-        m.install(PageId::new(1), FrameId::new(0));
-        m.install(PageId::new(1), FrameId::new(1));
+        m.install(PageId::new(1), FrameId::new(0), 0).unwrap();
+        let err = m.install(PageId::new(1), FrameId::new(1), 777).unwrap_err();
+        assert!(matches!(err, SimError::Accounting { .. }), "{err}");
+        assert_eq!(err.cycle(), Some(777));
+        assert!(err.to_string().contains("already resident"));
     }
 
     #[test]
-    #[should_panic(expected = "non-resident")]
-    fn evicting_absent_page_panics() {
+    fn evicting_absent_page_is_an_accounting_error() {
         let mut m = mmu();
-        m.evict(PageId::new(1));
+        let err = m.evict(PageId::new(1), 55).unwrap_err();
+        assert!(matches!(err, SimError::Accounting { .. }), "{err}");
+        assert_eq!(err.cycle(), Some(55));
+        assert!(err.to_string().contains("non-resident"));
     }
 
     #[test]
@@ -269,7 +295,7 @@ mod tests {
         // Issue more concurrent walks than walker threads (64).
         let mut latencies = Vec::new();
         for i in 0..80 {
-            let t = m.translate(SmId::new(0), PageId::new(1000 + i * 600), 0);
+            let t = m.translate(SmId::new(0), PageId::new(1000 + i * 600), 0).unwrap();
             latencies.push(t.latency);
         }
         assert!(latencies[79] > latencies[0]);

@@ -1,7 +1,7 @@
 //! The GPU page table: resident virtual-page → device-frame mappings.
 
+use batmem_types::dense::PageMap;
 use batmem_types::{FrameId, PageId};
-use std::collections::HashMap;
 
 /// The GPU-side page table.
 ///
@@ -9,9 +9,12 @@ use std::collections::HashMap;
 /// completed page-table walk into a page fault. The UVM runtime installs an
 /// entry when a page's migration finishes and removes it when the page is
 /// evicted (§2.2 of the paper).
+///
+/// Entries live in a dense page-indexed table (page IDs are dense
+/// `0..footprint_pages`), so translate/install/remove are array accesses.
 #[derive(Debug, Clone, Default)]
 pub struct GpuPageTable {
-    entries: HashMap<PageId, FrameId>,
+    entries: PageMap<FrameId>,
     installs: u64,
     removals: u64,
 }
@@ -24,12 +27,12 @@ impl GpuPageTable {
 
     /// Looks up the frame backing `page`, if resident.
     pub fn translate(&self, page: PageId) -> Option<FrameId> {
-        self.entries.get(&page).copied()
+        self.entries.get(page).copied()
     }
 
     /// Whether `page` is resident.
     pub fn is_resident(&self, page: PageId) -> bool {
-        self.entries.contains_key(&page)
+        self.entries.contains(page)
     }
 
     /// Installs a mapping (page migration completed).
@@ -43,7 +46,7 @@ impl GpuPageTable {
 
     /// Removes a mapping (page evicted), returning the frame it occupied.
     pub fn remove(&mut self, page: PageId) -> Option<FrameId> {
-        let f = self.entries.remove(&page);
+        let f = self.entries.remove(page);
         if f.is_some() {
             self.removals += 1;
         }
@@ -65,9 +68,9 @@ impl GpuPageTable {
         self.removals
     }
 
-    /// Iterates over resident `(page, frame)` pairs in unspecified order.
+    /// Iterates over resident `(page, frame)` pairs in ascending page order.
     pub fn iter(&self) -> impl Iterator<Item = (PageId, FrameId)> + '_ {
-        self.entries.iter().map(|(&p, &f)| (p, f))
+        self.entries.iter().map(|(p, &f)| (p, f))
     }
 }
 
@@ -111,10 +114,9 @@ mod tests {
     #[test]
     fn iter_yields_resident_pairs() {
         let mut pt = GpuPageTable::new();
-        pt.install(PageId::new(1), FrameId::new(10));
         pt.install(PageId::new(2), FrameId::new(20));
-        let mut pairs: Vec<_> = pt.iter().collect();
-        pairs.sort();
+        pt.install(PageId::new(1), FrameId::new(10));
+        let pairs: Vec<_> = pt.iter().collect();
         assert_eq!(
             pairs,
             vec![(PageId::new(1), FrameId::new(10)), (PageId::new(2), FrameId::new(20))]

@@ -4,18 +4,25 @@
 # zero-overhead-when-off contract: with no probe attached, the hot paths
 # must stay where they were.
 #
-# usage: check_bench_regression.sh <baseline.txt> <current.txt> [tolerance_pct]
+# usage: check_bench_regression.sh <baseline.txt> <current.txt> [tolerance_pct] [improve_pct]
 #
 # Both files are `cargo bench -p batmem-bench` output (extra lines are
 # ignored). Comparison uses each benchmark's *min* time — the mean absorbs
 # scheduler noise on shared CI runners, the min is the honest floor.
+#
+# A large *improvement* also fails: a min that drops more than improve_pct
+# (default 25%) below the baseline means the baseline predates an
+# optimization and no longer guards anything — re-pin it with a fresh
+# `cargo bench -p batmem-bench` capture instead of coasting on stale
+# numbers.
 set -eu
 
-baseline=${1:?usage: check_bench_regression.sh <baseline.txt> <current.txt> [tolerance_pct]}
-current=${2:?usage: check_bench_regression.sh <baseline.txt> <current.txt> [tolerance_pct]}
+baseline=${1:?usage: check_bench_regression.sh <baseline.txt> <current.txt> [tolerance_pct] [improve_pct]}
+current=${2:?usage: check_bench_regression.sh <baseline.txt> <current.txt> [tolerance_pct] [improve_pct]}
 tolerance=${3:-10}
+improvement=${4:-25}
 
-awk -v tol="$tolerance" '
+awk -v tol="$tolerance" -v imp="$improvement" '
     # Rows look like:
     #   name/case    123.5 us/iter (min   86.2 us, 200 iters)
     function min_of(line,    i) {
@@ -37,13 +44,20 @@ awk -v tol="$tolerance" '
                 continue
             }
             delta = 100 * (cur[name] - base[name]) / base[name]
-            verdict = delta > tol ? "REGRESSED" : "ok"
-            if (delta > tol) failed = 1
+            verdict = "ok"
+            if (delta > tol) { verdict = "REGRESSED"; failed = 1 }
+            else if (delta < -imp) { verdict = "stale baseline - re-pin"; stale = 1 }
             printf "%-36s %12.1f %12.1f %+8.1f%%  %s\n", name, base[name], cur[name], delta, verdict
         }
         for (name in cur) if (!(name in base))
             printf "%-36s %12s %12.1f %9s  new (not in baseline)\n", name, "-", cur[name], "-"
         if (failed) { print "\nFAIL: hot paths regressed more than " tol "% vs baseline"; exit 1 }
+        if (stale) {
+            print "\nFAIL: min time improved more than " imp "% vs baseline - the baseline is"
+            print "stale and guards nothing; re-pin crates/bench/baselines/engine_hotpaths.txt"
+            print "from a fresh `cargo bench -p batmem-bench` run"
+            exit 1
+        }
         print "\nOK: all hot paths within " tol "% of baseline"
     }
 ' "$baseline" "$current"

@@ -10,7 +10,9 @@ use batmem::{policies, Simulation};
 use batmem_graph::gen;
 use batmem_types::policy::PcieCompression;
 use batmem_types::{FrameId, PageId, SimConfig, SmId};
-use batmem_uvm::{FaultBuffer, MemoryManager, PciePipes, TreePrefetcher, UvmRuntime};
+use batmem_uvm::{
+    FaultBuffer, MemoryManager, PciePipes, PolicyRegistry, StrategyCtx, TreePrefetcher, UvmRuntime,
+};
 use batmem_vmem::Mmu;
 use batmem_workloads::registry;
 use std::hint::black_box;
@@ -95,32 +97,52 @@ fn bench_pcie() {
     });
 }
 
+/// Feeds 512 faults into `rt` and drives the runtime's own events to
+/// completion; returns the batch count.
+fn drive_512_faults(mut rt: UvmRuntime) -> u64 {
+    let mut outs = Vec::new();
+    for i in 0..512u64 {
+        outs.extend(rt.record_fault(PageId::new(i * 3), 0).expect("fresh fault"));
+    }
+    let mut queue: Vec<(u64, batmem_uvm::UvmEvent)> = Vec::new();
+    let push = |os: Vec<batmem_uvm::UvmOutput>, q: &mut Vec<_>| {
+        for o in os {
+            if let batmem_uvm::UvmOutput::Schedule { at, event } = o {
+                q.push((at, event));
+            }
+        }
+    };
+    push(outs, &mut queue);
+    while !queue.is_empty() {
+        queue.sort_by_key(|&(t, _)| t);
+        let (t, e) = queue.remove(0);
+        let os = rt.on_event(e, t).expect("runtime accepts its own events");
+        push(os, &mut queue);
+    }
+    rt.stats().num_batches()
+}
+
 fn bench_uvm_batch() {
     let cfg = batmem_types::config::UvmConfig { gpu_mem_pages: Some(256), ..Default::default() };
     let policy = batmem_types::policy::PolicyConfig::baseline();
     bench("uvm/batch_512_faults", 100, || {
-        let mut rt = UvmRuntime::new(&cfg, &policy, 100_000);
-        let mut outs = Vec::new();
-        for i in 0..512u64 {
-            outs.extend(rt.record_fault(PageId::new(i * 3), 0).expect("fresh fault"));
-        }
-        // Drive the runtime's own events to completion.
-        let mut queue: Vec<(u64, batmem_uvm::UvmEvent)> = Vec::new();
-        let push = |os: Vec<batmem_uvm::UvmOutput>, q: &mut Vec<_>| {
-            for o in os {
-                if let batmem_uvm::UvmOutput::Schedule { at, event } = o {
-                    q.push((at, event));
-                }
-            }
-        };
-        push(outs, &mut queue);
-        while !queue.is_empty() {
-            queue.sort_by_key(|&(t, _)| t);
-            let (t, e) = queue.remove(0);
-            let os = rt.on_event(e, t).expect("runtime accepts its own events");
-            push(os, &mut queue);
-        }
-        rt.stats().num_batches()
+        drive_512_faults(UvmRuntime::new(&cfg, &policy, 100_000))
+    });
+}
+
+fn bench_uvm_batch_registry() {
+    // The same workload through the refactored construction path: UE +
+    // tree strategies resolved by registry name, so any overhead of the
+    // spec-driven plumbing (or of dynamic dispatch in the pipeline) shows
+    // up against the enum-built row above.
+    let cfg = batmem_types::config::UvmConfig { gpu_mem_pages: Some(256), ..Default::default() };
+    let policy = batmem_types::policy::PolicyConfig::ue_only();
+    let reg = PolicyRegistry::builtin();
+    let ctx = StrategyCtx { pages_per_region: cfg.pages_per_region() };
+    bench("uvm/batch_512_faults_registry_ue", 100, || {
+        let eviction = reg.build_eviction("ue", &ctx).expect("builtin spec");
+        let prefetcher = reg.build_prefetcher("tree:50", &ctx).expect("builtin spec");
+        drive_512_faults(UvmRuntime::with_strategies(&cfg, &policy, 100_000, eviction, prefetcher))
     });
 }
 
@@ -144,6 +166,7 @@ fn main() {
     bench_mmu_translate();
     bench_pcie();
     bench_uvm_batch();
+    bench_uvm_batch_registry();
     bench_graph_gen();
     bench_end_to_end();
 }

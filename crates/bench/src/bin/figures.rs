@@ -7,10 +7,18 @@
 //! ```
 
 use batmem_bench::figures;
-use batmem_bench::runner::{parallel_map, run_one_traced, suite_results, ConfigName, SuiteConfig};
+use batmem_bench::runner::{
+    parallel_map, run_custom, run_one_traced, suite_results, ConfigName, CustomPolicy, SuiteConfig,
+};
+use batmem::PolicyRegistry;
 use std::path::Path;
 
 const USAGE: &str = "usage: figures -- <table1|fig1|fig3|fig5|fig8|fig11|fig12|fig13|fig14|fig15|fig16|fig17|fig18|ctxswitch|pe|sweep [outdir]|all> ...
+       figures -- --list-policies
+       figures -- [--eviction <spec>] [--prefetch <spec>] [--oversubscription <spec>] [--compression] [--workload <name>]...
+custom runs: any policy flag switches to a single-run mode over the named
+workloads (default BFS-TTC); specs are registry names, e.g. `--eviction
+random:7 --prefetch tree:25` (see --list-policies)
 environment: BATMEM_SCALE (default 15), BATMEM_EDGE_FACTOR (default 16)";
 
 /// Env-var overrides are a binary concern: the library's
@@ -69,13 +77,108 @@ fn sweep(suite: &SuiteConfig, out: &Path) {
     println!("sweep: artifacts in {}", out.display());
 }
 
+/// Prints every registered policy, grouped by axis, and the spec syntax.
+fn list_policies() {
+    let reg = PolicyRegistry::builtin();
+    println!("registered policies (spec syntax: name[:param...]):");
+    let mut axis = None;
+    for d in reg.descriptors() {
+        if axis != Some(d.axis) {
+            axis = Some(d.axis);
+            println!("  --{}", d.axis);
+        }
+        println!("    {:<24} {}", format!("{}{}", d.name, d.params), d.summary);
+    }
+}
+
+/// Runs each workload once under the custom policy combination and prints
+/// a one-line summary per run. Exits non-zero if any run fails (e.g. an
+/// unknown spec name).
+fn run_custom_combo(suite: &SuiteConfig, custom: &CustomPolicy, workloads: &[String]) {
+    let graph = suite.graph();
+    let mut failed = false;
+    for w in workloads {
+        match run_custom(w, custom, suite, &graph) {
+            Ok(m) => println!(
+                "custom: {w}/{} {} cycles, {} batches, {} evictions",
+                custom.label(),
+                m.cycles,
+                m.uvm.num_batches(),
+                m.uvm.evictions,
+            ),
+            Err(e) => {
+                eprintln!("custom: {w}/{} failed: {e}", custom.label());
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.is_empty() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--list-policies") {
+        list_policies();
+        return;
+    }
+    // Custom-combo flags: any policy flag switches from figure mode to a
+    // single run per requested workload.
+    let mut custom = CustomPolicy::default();
+    let mut custom_mode = false;
+    let mut workloads: Vec<String> = Vec::new();
+    let take_flag = |args: &mut Vec<String>, flag: &str| -> Option<String> {
+        let i = args.iter().position(|a| a == flag)?;
+        if i + 1 >= args.len() {
+            eprintln!("{flag} needs a value\n{USAGE}");
+            std::process::exit(2);
+        }
+        let v = args.remove(i + 1);
+        args.remove(i);
+        Some(v)
+    };
+    if let Some(v) = take_flag(&mut args, "--eviction") {
+        custom.eviction = v;
+        custom_mode = true;
+    }
+    if let Some(v) = take_flag(&mut args, "--prefetch") {
+        custom.prefetch = v;
+        custom_mode = true;
+    }
+    if let Some(v) = take_flag(&mut args, "--oversubscription") {
+        custom.oversubscription = v;
+        custom_mode = true;
+    }
+    while let Some(v) = take_flag(&mut args, "--workload") {
+        workloads.push(v);
+        custom_mode = true;
+    }
+    if let Some(i) = args.iter().position(|a| a == "--compression") {
+        args.remove(i);
+        custom.compression = true;
+        custom_mode = true;
+    }
+    if args.is_empty() && !custom_mode {
         eprintln!("{USAGE}");
         std::process::exit(2);
     }
     let suite = suite_from_env();
+    if custom_mode {
+        if !args.is_empty() {
+            eprintln!("cannot mix figure names with custom policy flags: {args:?}\n{USAGE}");
+            std::process::exit(2);
+        }
+        if workloads.is_empty() {
+            workloads.push("BFS-TTC".to_string());
+        }
+        println!(
+            "suite: R-MAT scale {} (2^{} vertices, edge factor {}), oversubscription ratio {}",
+            suite.scale, suite.scale, suite.edge_factor, suite.ratio
+        );
+        run_custom_combo(&suite, &custom, &workloads);
+        return;
+    }
     println!(
         "suite: R-MAT scale {} (2^{} vertices, edge factor {}), oversubscription ratio {}",
         suite.scale, suite.scale, suite.edge_factor, suite.ratio

@@ -162,6 +162,72 @@ impl SuiteResults {
     }
 }
 
+/// A policy combination assembled from registry spec strings rather than a
+/// named preset — what `figures --eviction random:7 --prefetch none` runs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CustomPolicy {
+    /// Eviction strategy spec (`lru`, `ue`, `ideal`, `random:7`).
+    pub eviction: String,
+    /// Prefetcher spec (`none`, `tree:50`).
+    pub prefetch: String,
+    /// Oversubscription spec (`none`, `to`, `to:any`, `etc`, `etc:25`).
+    pub oversubscription: String,
+    /// Enables PCIe compression on the transfer pipes.
+    pub compression: bool,
+}
+
+impl Default for CustomPolicy {
+    /// The baseline combination, as spec strings.
+    fn default() -> Self {
+        let base = policies::registry_specs(ConfigName::Baseline);
+        Self {
+            eviction: base.eviction.to_string(),
+            prefetch: base.prefetch.to_string(),
+            oversubscription: base.oversubscription.to_string(),
+            compression: base.compression,
+        }
+    }
+}
+
+impl CustomPolicy {
+    /// Display label, e.g. `lru/tree:50/none`.
+    pub fn label(&self) -> String {
+        let mut s = format!("{}/{}/{}", self.eviction, self.prefetch, self.oversubscription);
+        if self.compression {
+            s.push_str("/+pciec");
+        }
+        s
+    }
+}
+
+/// Runs one workload under an arbitrary registry-resolved policy
+/// combination. Unknown spec names come back as [`BenchError`] (wrapping
+/// the registry's typed `UnknownPolicy` error), like every other failure.
+pub fn run_custom(
+    name: &str,
+    custom: &CustomPolicy,
+    suite: &SuiteConfig,
+    graph: &Arc<Csr>,
+) -> Result<RunMetrics, BenchError> {
+    let graph = if name.starts_with("GC-") { suite.graph_for(name) } else { Arc::clone(graph) };
+    let workload = registry::build(name, graph)
+        .ok_or_else(|| BenchError::msg(format!("unknown workload `{name}`")))?;
+    let policy = if custom.compression {
+        batmem::PolicyConfig::baseline_with_compression()
+    } else {
+        batmem::PolicyConfig::baseline()
+    };
+    Simulation::builder()
+        .config(suite.sim.clone())
+        .policy(policy)
+        .eviction(custom.eviction.clone())
+        .prefetch(custom.prefetch.clone())
+        .oversubscription(custom.oversubscription.clone())
+        .memory_ratio(suite.ratio)
+        .try_run(workload)
+        .map_err(|e| BenchError::context(&format!("{name}/{}", custom.label()), &e))
+}
+
 /// Runs one workload under one configuration.
 ///
 /// Never panics: unknown workloads, invalid configurations, and simulation
@@ -320,6 +386,23 @@ mod tests {
         assert!(m.cycles > 0);
         let unlimited = run_one("BFS-TTC", ConfigName::Unlimited, &suite, &graph).unwrap();
         assert!(unlimited.memory_pages.is_none());
+    }
+
+    #[test]
+    fn custom_combo_runs_and_unknown_spec_is_an_error() {
+        let suite = SuiteConfig::new(8, 4).with_seed(1);
+        let graph = suite.graph();
+        let custom = CustomPolicy {
+            eviction: "random:7".into(),
+            prefetch: "none".into(),
+            ..CustomPolicy::default()
+        };
+        assert_eq!(custom.label(), "random:7/none/none");
+        let m = run_custom("BFS-TTC", &custom, &suite, &graph).unwrap();
+        assert!(m.cycles > 0);
+        let bad = CustomPolicy { eviction: "mru".into(), ..CustomPolicy::default() };
+        let err = run_custom("BFS-TTC", &bad, &suite, &graph).unwrap_err();
+        assert!(err.to_string().contains("unknown eviction policy"), "{err}");
     }
 
     #[test]

@@ -16,12 +16,15 @@ use batmem_types::dense::{PageMap, PageSet};
 use batmem_types::policy::PolicyConfig;
 use batmem_types::probe::{Probe, ProbeEvent, ProbeHub, SharedProbes};
 use batmem_types::{AuditLevel, BlockId, Cycle, KernelId, PageId, SimConfig, SimError, SmId};
-use batmem_uvm::{InjectConfig, OversubController, UvmEvent, UvmOutput, UvmRuntime};
+use batmem_uvm::registry::{eviction_spec_of, prefetch_spec_of};
+use batmem_uvm::{
+    EvictionStrategy, InjectConfig, OversubscriptionHandler, PolicyRegistry, Prefetcher,
+    StrategyCtx, UvmEvent, UvmOutput, UvmRuntime,
+};
 use batmem_vmem::{Mmu, TranslationOutcome};
 
 /// Entry point: configure with [`Simulation::builder`], then
-/// [`SimulationBuilder::run`] (panicking) or [`SimulationBuilder::try_run`]
-/// (returns a typed [`SimError`]).
+/// [`SimulationBuilder::try_run`] (returns a typed [`SimError`]).
 #[derive(Debug)]
 pub struct Simulation;
 
@@ -40,6 +43,10 @@ pub struct SimulationBuilder {
     memory_ratio: Option<f64>,
     inject: Option<InjectConfig>,
     probes: ProbeHub,
+    registry: PolicyRegistry,
+    eviction_spec: Option<String>,
+    prefetch_spec: Option<String>,
+    oversub_spec: Option<String>,
 }
 
 impl SimulationBuilder {
@@ -58,6 +65,41 @@ impl SimulationBuilder {
     /// Enables the ETC framework with `etc`.
     pub fn etc(mut self, etc: EtcConfig) -> Self {
         self.etc = etc;
+        self
+    }
+
+    /// Replaces the policy registry the spec strings resolve against
+    /// (defaults to [`PolicyRegistry::builtin`]). Register a custom
+    /// strategy, pass the registry here, and name it via
+    /// [`eviction`](Self::eviction)/[`prefetch`](Self::prefetch)/
+    /// [`oversubscription`](Self::oversubscription) — no engine changes
+    /// needed.
+    pub fn registry(mut self, registry: PolicyRegistry) -> Self {
+        self.registry = registry;
+        self
+    }
+
+    /// Selects the eviction strategy by registry spec (`lru`, `ue`,
+    /// `ideal`, `random:7`). Overrides the [`policy`](Self::policy)
+    /// preset's eviction knob.
+    pub fn eviction(mut self, spec: impl Into<String>) -> Self {
+        self.eviction_spec = Some(spec.into());
+        self
+    }
+
+    /// Selects the prefetcher by registry spec (`none`, `tree:50`).
+    /// Overrides the [`policy`](Self::policy) preset's prefetch knob.
+    pub fn prefetch(mut self, spec: impl Into<String>) -> Self {
+        self.prefetch_spec = Some(spec.into());
+        self
+    }
+
+    /// Selects the oversubscription handling by registry spec (`none`,
+    /// `to`, `to:any`, `etc`, `etc:25`). Overrides both the
+    /// [`policy`](Self::policy) preset's TO knob and any
+    /// [`etc`](Self::etc) framework configuration.
+    pub fn oversubscription(mut self, spec: impl Into<String>) -> Self {
+        self.oversub_spec = Some(spec.into());
         self
     }
 
@@ -116,34 +158,15 @@ impl SimulationBuilder {
         self
     }
 
-    /// Runs `workload` to completion and returns the metrics.
-    ///
-    /// Thin wrapper over [`try_run`](Self::try_run) for callers that prefer
-    /// the original panicking contract.
-    ///
-    /// # Panics
-    ///
-    /// Panics with the [`SimError`]'s message on invalid configuration or
-    /// internal invariant violations.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `try_run`, which returns a typed `SimError` instead of panicking"
-    )]
-    pub fn run(self, workload: Box<dyn Workload>) -> RunMetrics {
-        match self.try_run(workload) {
-            Ok(m) => m,
-            Err(e) => panic!("simulation failed: {e}"),
-        }
-    }
-
     /// Runs `workload` to completion, returning a typed [`SimError`]
     /// instead of panicking.
     ///
     /// # Errors
     ///
-    /// * [`SimError::InvalidConfig`] — the configuration failed
-    ///   [`SimConfig::validate`] (or the memory ratio / workload shape is
-    ///   degenerate); nothing was simulated.
+    /// * [`SimError::InvalidConfig`] / [`SimError::UnknownPolicy`] — the
+    ///   configuration failed [`SimConfig::validate`], a policy spec did
+    ///   not resolve, or the memory ratio / workload shape is degenerate;
+    ///   nothing was simulated.
     /// * [`SimError::StateMachine`] / [`SimError::Accounting`] — an engine
     ///   bug surfaced mid-run; the error carries the cycle and state.
     /// * [`SimError::InvariantViolated`] — an enabled audit found a
@@ -152,6 +175,31 @@ impl SimulationBuilder {
     ///   the end-of-run check caught a run that stopped making progress.
     pub fn try_run(mut self, workload: Box<dyn Workload>) -> Result<RunMetrics, SimError> {
         self.config.validate()?;
+        // Resolve the oversubscription spec first: it rewrites the TO knobs
+        // and the ETC framework configuration that the sizing logic below
+        // consumes.
+        let oversub = match &self.oversub_spec {
+            Some(spec) => {
+                let sel = self.registry.build_oversubscription(spec)?;
+                self.config.policy.oversubscription = sel.to;
+                self.etc = sel.etc.unwrap_or_default();
+                sel.handler
+            }
+            None => Box::new(batmem_uvm::OversubController::new(
+                self.config.policy.oversubscription,
+            )),
+        };
+        let ctx = StrategyCtx { pages_per_region: self.config.uvm.pages_per_region() };
+        let eviction: Box<dyn EvictionStrategy> = match &self.eviction_spec {
+            Some(spec) => self.registry.build_eviction(spec, &ctx)?,
+            None => self.registry.build_eviction(eviction_spec_of(self.config.policy.eviction), &ctx)?,
+        };
+        let prefetcher: Box<dyn Prefetcher> = match &self.prefetch_spec {
+            Some(spec) => self.registry.build_prefetcher(spec, &ctx)?,
+            None => {
+                self.registry.build_prefetcher(&prefetch_spec_of(self.config.policy.prefetch), &ctx)?
+            }
+        };
         if let Some(ratio) = self.memory_ratio {
             if !ratio.is_finite() || ratio <= 0.0 {
                 return Err(SimError::invalid_config(
@@ -179,8 +227,18 @@ impl SimulationBuilder {
                 self.config.policy.proactive_eviction = true;
             }
         }
-        Engine::new(self.config, self.etc, self.inject, self.probes, workload, footprint_pages)
-            .run()
+        Engine::new(
+            self.config,
+            self.etc,
+            self.inject,
+            self.probes,
+            workload,
+            footprint_pages,
+            eviction,
+            prefetcher,
+            oversub,
+        )
+        .run()
     }
 }
 
@@ -201,7 +259,7 @@ struct Engine {
     mmu: Mmu,
     mem: MemPath,
     uvm: UvmRuntime,
-    oversub: OversubController,
+    oversub: Box<dyn OversubscriptionHandler>,
     throttle: ThrottleController,
     cc: CapacityCompression,
     etc_enabled: bool,
@@ -234,6 +292,7 @@ struct Engine {
 }
 
 impl Engine {
+    #[allow(clippy::too_many_arguments)] // private constructor, one call site
     fn new(
         cfg: SimConfig,
         etc: EtcConfig,
@@ -241,9 +300,13 @@ impl Engine {
         probes: ProbeHub,
         workload: Box<dyn Workload>,
         footprint_pages: u64,
+        eviction: Box<dyn EvictionStrategy>,
+        prefetcher: Box<dyn Prefetcher>,
+        oversub: Box<dyn OversubscriptionHandler>,
     ) -> Self {
         let probes = SharedProbes::new(probes);
-        let mut uvm = UvmRuntime::new(&cfg.uvm, &cfg.policy, footprint_pages);
+        let mut uvm =
+            UvmRuntime::with_strategies(&cfg.uvm, &cfg.policy, footprint_pages, eviction, prefetcher);
         uvm.set_audit(cfg.audit);
         uvm.set_probes(probes.clone());
         if let Some(i) = inject {
@@ -251,7 +314,6 @@ impl Engine {
         }
         let mmu = Mmu::new(&cfg);
         let mem = MemPath::new(&cfg.mem, cfg.gpu.num_sms);
-        let oversub = OversubController::new(cfg.policy.oversubscription);
         let throttle = ThrottleController::new(etc, cfg.gpu.num_sms);
         let cc = CapacityCompression::new(&etc);
         let num_sms = cfg.gpu.num_sms as usize;

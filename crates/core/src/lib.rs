@@ -68,7 +68,8 @@ pub use batmem_types::probe::{EvictionCause, Probe, ProbeEvent};
 
 pub use batmem_etc::EtcConfig;
 pub use batmem_types::config::SimConfig;
-pub use batmem_types::policy::PolicyConfig;
+pub use batmem_types::policy::{PolicyAxis, PolicyConfig, PolicyDescriptor};
+pub use batmem_uvm::{OversubSelection, PolicyRegistry, StrategyCtx};
 
 /// The policy presets of Fig. 11, by their names in the paper.
 pub mod policies {
@@ -172,5 +173,42 @@ pub mod policies {
     /// `ETC` (Li et al.), irregular-application mode.
     pub fn etc() -> (PolicyConfig, EtcConfig) {
         (PolicyConfig::baseline(), EtcConfig::irregular())
+    }
+
+    /// A preset expressed as the registry spec strings that reproduce it —
+    /// what `--eviction`/`--prefetch`/`--oversubscription` would be passed
+    /// on a bench binary's command line to run the same configuration.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct PresetSpecs {
+        /// Eviction strategy spec (`lru`, `ue`, `ideal`).
+        pub eviction: &'static str,
+        /// Prefetcher spec (`none`, `tree:50`).
+        pub prefetch: &'static str,
+        /// Oversubscription spec (`none`, `to`, `etc`).
+        pub oversubscription: &'static str,
+        /// Whether PCIe compression is on. Not a registry axis — it shapes
+        /// the transfer pipes rather than a pipeline decision point.
+        pub compression: bool,
+    }
+
+    /// The registry spec strings of each named preset: the same knobs as
+    /// [`preset`], expressed as the names the
+    /// [`PolicyRegistry`](crate::PolicyRegistry) resolves.
+    pub fn registry_specs(name: ConfigName) -> PresetSpecs {
+        let base = PresetSpecs {
+            eviction: "lru",
+            prefetch: "tree:50",
+            oversubscription: "none",
+            compression: false,
+        };
+        match name {
+            ConfigName::Baseline | ConfigName::Unlimited => base,
+            ConfigName::BaselineCompressed => PresetSpecs { compression: true, ..base },
+            ConfigName::To => PresetSpecs { oversubscription: "to", ..base },
+            ConfigName::Ue => PresetSpecs { eviction: "ue", ..base },
+            ConfigName::ToUe => PresetSpecs { eviction: "ue", oversubscription: "to", ..base },
+            ConfigName::Etc => PresetSpecs { oversubscription: "etc", ..base },
+            ConfigName::IdealEviction => PresetSpecs { eviction: "ideal", ..base },
+        }
     }
 }

@@ -70,6 +70,24 @@ impl EtcConfig {
         Self { enabled: true, proactive_eviction: false, ..Self::default() }
     }
 
+    /// The irregular preset with a non-default MT throttle fraction — the
+    /// parameterized form behind the policy registry's `etc:<percent>`
+    /// spec.
+    ///
+    /// # Errors
+    ///
+    /// Rejects percentages above 100 (MT cannot disable more SMs than
+    /// exist).
+    pub fn irregular_with_throttle(percent: u8) -> Result<Self, batmem_types::SimError> {
+        if percent > 100 {
+            return Err(batmem_types::SimError::invalid_config(
+                "etc.throttle_percent",
+                format!("must be <= 100, got {percent}"),
+            ));
+        }
+        Ok(Self { throttle_percent: percent, ..Self::irregular() })
+    }
+
     /// Effective device capacity in pages under compression.
     pub fn effective_capacity(&self, base_pages: u64) -> u64 {
         if self.enabled {
@@ -250,6 +268,14 @@ mod tests {
         assert_eq!(c.effective_capacity(100), 115);
         let off = EtcConfig::default();
         assert_eq!(off.effective_capacity(100), 100);
+    }
+
+    #[test]
+    fn parameterized_throttle_preset() {
+        let c = EtcConfig::irregular_with_throttle(25).unwrap();
+        assert!(c.enabled);
+        assert_eq!(c.throttle_percent, 25);
+        assert!(EtcConfig::irregular_with_throttle(101).is_err());
     }
 
     #[test]

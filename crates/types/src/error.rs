@@ -107,6 +107,15 @@ pub enum SimError {
         /// Diagnostic dump of what was still outstanding.
         detail: String,
     },
+    /// A policy-registry lookup named a strategy that is not registered.
+    UnknownPolicy {
+        /// Which policy axis the lookup was on (`eviction`, `prefetch`, …).
+        axis: &'static str,
+        /// The name that failed to resolve.
+        name: String,
+        /// Comma-separated list of names the registry does know.
+        known: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -139,6 +148,9 @@ impl fmt::Display for SimError {
             SimError::Deadlock { cycle, detail } => {
                 write!(f, "deadlock at cycle {cycle}: event queue empty but {detail}")
             }
+            SimError::UnknownPolicy { axis, name, known } => {
+                write!(f, "unknown {axis} policy `{name}` (known: {known})")
+            }
         }
     }
 }
@@ -157,7 +169,7 @@ impl SimError {
     /// a different simulated time.
     pub fn at_cycle(mut self, at: Cycle) -> Self {
         match &mut self {
-            SimError::InvalidConfig { .. } => {}
+            SimError::InvalidConfig { .. } | SimError::UnknownPolicy { .. } => {}
             SimError::StateMachine { cycle, .. }
             | SimError::Accounting { cycle, .. }
             | SimError::InvariantViolated { cycle, .. }
@@ -170,7 +182,7 @@ impl SimError {
     /// The simulated cycle the error occurred at, if it happened mid-run.
     pub fn cycle(&self) -> Option<Cycle> {
         match self {
-            SimError::InvalidConfig { .. } => None,
+            SimError::InvalidConfig { .. } | SimError::UnknownPolicy { .. } => None,
             SimError::StateMachine { cycle, .. }
             | SimError::Accounting { cycle, .. }
             | SimError::InvariantViolated { cycle, .. }
@@ -211,6 +223,21 @@ mod tests {
         let e: Box<dyn std::error::Error> =
             Box::new(SimError::Deadlock { cycle: 9, detail: "3 blocks remaining".into() });
         assert!(e.to_string().contains("deadlock"));
+    }
+
+    #[test]
+    fn unknown_policy_has_no_cycle_and_names_the_axis() {
+        let e = SimError::UnknownPolicy {
+            axis: "eviction",
+            name: "mru".into(),
+            known: "ideal, lru, random, ue".into(),
+        };
+        assert_eq!(e.cycle(), None);
+        let s = e.to_string();
+        assert!(s.contains("eviction"));
+        assert!(s.contains("`mru`"));
+        assert!(s.contains("lru"));
+        assert_eq!(e.clone().at_cycle(99).cycle(), None);
     }
 
     #[test]

@@ -15,6 +15,7 @@
 
 use crate::error::SimError;
 use crate::time::Cycle;
+use std::fmt;
 
 /// Page prefetching policy applied while a batch is preprocessed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -145,6 +146,52 @@ impl PcieCompression {
             bytes
         }
     }
+}
+
+/// The decision point of the fault pipeline a registered strategy plugs into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PolicyAxis {
+    /// Victim selection and device-to-host transfer scheduling.
+    Eviction,
+    /// Batch-time page prefetch expansion.
+    Prefetch,
+    /// Thread-oversubscription degree control.
+    Oversubscription,
+}
+
+impl PolicyAxis {
+    /// Lower-case label used in error messages and CLI flags.
+    pub fn label(self) -> &'static str {
+        match self {
+            PolicyAxis::Eviction => "eviction",
+            PolicyAxis::Prefetch => "prefetch",
+            PolicyAxis::Oversubscription => "oversubscription",
+        }
+    }
+}
+
+impl fmt::Display for PolicyAxis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Self-description of a strategy registered in a policy registry.
+///
+/// Descriptors drive `--list-policies` introspection: a registry entry
+/// carries one next to its build closure so the CLI can enumerate what is
+/// available without constructing anything.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PolicyDescriptor {
+    /// Which pipeline decision point the strategy implements.
+    pub axis: PolicyAxis,
+    /// Registry key, matched against the name part of a spec string.
+    pub name: &'static str,
+    /// Human-readable parameter syntax (empty when the strategy takes none),
+    /// e.g. `":<threshold_percent>"` for `tree:50`.
+    pub params: &'static str,
+    /// One-line summary shown by `--list-policies`.
+    pub summary: &'static str,
 }
 
 /// The combined policy configuration.
@@ -308,6 +355,20 @@ mod tests {
         let mut p = PolicyConfig::baseline_with_compression();
         p.compression.ratio_x100 = 50;
         assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn policy_axis_labels_are_cli_friendly() {
+        assert_eq!(PolicyAxis::Eviction.label(), "eviction");
+        assert_eq!(PolicyAxis::Prefetch.to_string(), "prefetch");
+        assert_eq!(PolicyAxis::Oversubscription.label(), "oversubscription");
+        let d = PolicyDescriptor {
+            axis: PolicyAxis::Prefetch,
+            name: "tree",
+            params: ":<threshold_percent>",
+            summary: "tree-based density prefetcher",
+        };
+        assert_eq!(d, d.clone());
     }
 
     #[test]

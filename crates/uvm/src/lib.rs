@@ -2,24 +2,29 @@
 //!
 //! This crate models how the GPU runtime software handles demand paging,
 //! following the NVIDIA Pascal driver behaviour the paper dissects (§2.2,
-//! §3) and implementing the paper's two proposals:
+//! §3) and implementing the paper's two proposals. Since the staged-
+//! pipeline refactor the runtime is organized around explicit decision
+//! points:
 //!
-//! * **batched fault processing** ([`runtime::UvmRuntime`]): faults drain
-//!   from the replayable [`fault::FaultBuffer`] into a batch; the runtime
-//!   spends the *GPU runtime fault handling time* preprocessing (sorting,
-//!   deduplication, prefetch insertion via [`prefetch::TreePrefetcher`],
-//!   CPU page-table walks), then schedules page migrations over the PCIe
-//!   pipes ([`pcie::PciePipes`]);
-//! * **eviction engines** ([`batmem_types::policy::EvictionPolicy`]):
-//!   the baseline's reactive, serialized eviction; the paper's
-//!   **Unobtrusive Eviction** with a preemptive eviction at batch start and
-//!   pipelined bidirectional transfers; and the ideal zero-cost limit;
-//! * **Thread Oversubscription control** ([`oversub::OversubController`]):
-//!   the dynamic degree controller driven by the running average of page
-//!   lifetimes ([`lifetime::LifetimeTracker`]).
+//! * **the staged fault pipeline** ([`pipeline::UvmRuntime`]): fault
+//!   capture → batch formation → prefetch expansion → residency/eviction
+//!   decision → migration scheduling, one module per stage, scheduling
+//!   page migrations over the PCIe pipes ([`pcie::PciePipes`]);
+//! * **pluggable strategies** ([`strategies`]): each decision point is a
+//!   trait — [`strategies::EvictionStrategy`] (the baseline's reactive,
+//!   serialized eviction; the paper's **Unobtrusive Eviction** with a
+//!   preemptive eviction at batch start and pipelined bidirectional
+//!   transfers; the ideal zero-cost limit; a random-victim plugin),
+//!   [`strategies::Prefetcher`] ([`prefetch::TreePrefetcher`] or none),
+//!   and [`strategies::OversubscriptionHandler`] (the dynamic degree
+//!   controller [`oversub::OversubController`] driven by the running
+//!   average of page lifetimes, [`lifetime::LifetimeTracker`]);
+//! * **the policy registry** ([`registry::PolicyRegistry`]): strategies
+//!   are resolved by name (`lru`, `ue`, `tree:50`, `random:7`, `to`,
+//!   `etc`), so new policies register without touching the pipeline core.
 //!
 //! The runtime is a pure state machine: the simulation engine feeds it
-//! faults and events, and it returns [`runtime::UvmOutput`] commands
+//! faults and events, and it returns [`pipeline::UvmOutput`] commands
 //! (schedule event / install page / evict page) for the engine to apply to
 //! the MMU and the event queue. This keeps it deterministic and unit-testable
 //! without a GPU model.
@@ -34,9 +39,11 @@ pub mod lifetime;
 pub mod memmgr;
 pub mod oversub;
 pub mod pcie;
+pub mod pipeline;
 pub mod prefetch;
-pub mod runtime;
+pub mod registry;
 pub mod stats;
+pub mod strategies;
 
 pub use batch::BatchRecord;
 pub use fault::FaultBuffer;
@@ -45,6 +52,10 @@ pub use lifetime::LifetimeTracker;
 pub use memmgr::MemoryManager;
 pub use oversub::OversubController;
 pub use pcie::PciePipes;
+pub use pipeline::{UvmEvent, UvmOutput, UvmRuntime};
 pub use prefetch::TreePrefetcher;
-pub use runtime::{UvmEvent, UvmOutput, UvmRuntime};
+pub use registry::{OversubSelection, PolicyRegistry, StrategyCtx};
 pub use stats::UvmStats;
+pub use strategies::{
+    EvictionStrategy, EvictionTiming, OversubscriptionHandler, Prefetcher,
+};

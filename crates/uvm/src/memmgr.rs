@@ -282,6 +282,19 @@ impl MemoryManager {
         }
     }
 
+    /// Walks the resident pages in LRU order (least recently used first).
+    ///
+    /// Exists for eviction strategies whose victim selection is not the
+    /// plain LRU-head policy of [`pick_victims`](Self::pick_victims) — e.g.
+    /// a random-victim strategy samples uniformly from this walk.
+    pub fn pages_in_lru_order(&self) -> impl Iterator<Item = PageId> + '_ {
+        std::iter::successors((self.head != NIL).then_some(self.head), move |&i| {
+            let n = self.pages[i as usize].next;
+            (n != NIL).then_some(n)
+        })
+        .map(|i| PageId::new(u64::from(i)))
+    }
+
     /// Whether `page` is (planned) resident.
     #[inline]
     pub fn is_resident(&self, page: PageId) -> bool {
@@ -420,6 +433,21 @@ mod tests {
 
     fn unpinned(_: PageId) -> bool {
         false
+    }
+
+    #[test]
+    fn lru_walk_matches_touch_order() {
+        let mut m = mgr(3);
+        for i in 0..3 {
+            let f = m.take_frame().unwrap();
+            m.mark_resident(p(i), f, i).unwrap();
+        }
+        assert_eq!(m.pages_in_lru_order().collect::<Vec<_>>(), vec![p(0), p(1), p(2)]);
+        m.touch(p(0)); // now the coldest page is 1
+        assert_eq!(m.pages_in_lru_order().collect::<Vec<_>>(), vec![p(1), p(2), p(0)]);
+        assert_eq!(m.pages_in_lru_order().next(), Some(m.pick_victims(unpinned).0[0]));
+        let empty = mgr(3);
+        assert_eq!(empty.pages_in_lru_order().count(), 0);
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! more block per SM, up to the cap.
 
 use crate::lifetime::LifetimeSample;
+use crate::strategies::OversubscriptionHandler;
 use batmem_types::policy::ToConfig;
 
 /// The controller owning the current oversubscription degree.
@@ -71,6 +72,32 @@ impl OversubController {
     /// Times the controller raised the degree.
     pub fn increments(&self) -> u64 {
         self.increments
+    }
+}
+
+impl OversubscriptionHandler for OversubController {
+    fn name(&self) -> &'static str {
+        if self.config.enabled {
+            "to"
+        } else {
+            "none"
+        }
+    }
+
+    fn degree(&self) -> u32 {
+        OversubController::degree(self)
+    }
+
+    fn switching_allowed(&self) -> bool {
+        OversubController::switching_allowed(self)
+    }
+
+    fn on_sample(&mut self, sample: LifetimeSample) {
+        OversubController::on_sample(self, sample);
+    }
+
+    fn decrements(&self) -> u64 {
+        OversubController::decrements(self)
     }
 }
 

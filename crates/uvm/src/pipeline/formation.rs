@@ -1,0 +1,103 @@
+//! Stage 2 — batch formation and prefetch expansion: drain the fault
+//! buffer, sort and deduplicate, expand via the [`Prefetcher`] strategy,
+//! and open the batch's fault-handling window.
+//!
+//! [`Prefetcher`]: crate::strategies::Prefetcher
+
+use super::{BatchPlan, State, UvmEvent, UvmOutput, UvmRuntime};
+use crate::batch::BatchRecord;
+use batmem_types::probe::{EvictionCause, ProbeEvent};
+use batmem_types::{Cycle, PageId, SimError};
+
+impl UvmRuntime {
+    pub(crate) fn start_batch(&mut self, now: Cycle) -> Result<Vec<UvmOutput>, SimError> {
+        debug_assert_eq!(self.state, State::Idle);
+        let faulted: Vec<PageId> = self
+            .buffer
+            .drain_sorted()
+            .into_iter()
+            .filter(|p| !self.mem.is_resident(*p))
+            .collect();
+        if faulted.is_empty() {
+            return Ok(Vec::new());
+        }
+        let mut outputs = Vec::new();
+        let prefetched = {
+            let mem = &self.mem;
+            self.prefetcher.expand(&faulted, &|p| mem.is_resident(p), self.valid_pages)
+        };
+        // Injected prefetch drops: the candidate silently never migrates,
+        // so its eventual demand access must fault and recover.
+        let prefetched: Vec<PageId> = match &mut self.injector {
+            Some(inj) => prefetched.into_iter().filter(|_| !inj.drop_prefetch()).collect(),
+            None => prefetched,
+        };
+        let num_faults = faulted.len();
+        let mut pages = faulted;
+        pages.extend(prefetched);
+        pages.sort_unstable();
+        pages.dedup();
+
+        let handling = self.cfg.fault_handling_base
+            + self.cfg.fault_handling_per_fault * num_faults as Cycle;
+        let id = self.batch_seq;
+        self.batch_seq += 1;
+        let record = BatchRecord {
+            id,
+            start: now,
+            handling_done: now + handling,
+            first_migration_start: 0,
+            end: 0,
+            faults: num_faults as u32,
+            prefetches: (pages.len() - num_faults) as u32,
+            evictions: 0,
+            forced_pinned_evictions: 0,
+            migrated_bytes: 0,
+        };
+        self.batch_pages.clear();
+        for &pg in &pages {
+            self.batch_pages.insert(pg);
+        }
+        self.planned_arrival.clear();
+        let mut plan = BatchPlan { record, remaining: pages.len(), pages };
+        self.probes.emit_with(now, || ProbeEvent::BatchOpened {
+            batch: id,
+            faults: plan.record.faults,
+            prefetches: plan.record.prefetches,
+            handling_cycles: handling,
+        });
+        outputs.push(UvmOutput::Schedule { at: now + handling, event: UvmEvent::HandlingDone { batch: id } });
+
+        // Unobtrusive Eviction: the top-half ISR checks the memory status
+        // tracker and issues one preemptive eviction so the first migration
+        // can start unhindered (§4.2, Fig. 9 steps 2-3).
+        if self.eviction.preemptive() && self.mem.at_capacity() && self.pending_free.is_empty() {
+            self.schedule_evictions(now, &mut plan, &mut outputs, EvictionCause::Preemptive)?;
+            self.preemptive_evictions += 1;
+        }
+
+        // ETC-style Proactive Eviction: predict the batch's frame demand
+        // and evict ahead of the allocations, overlapped with the handling
+        // window. Mispredicted victims show up as premature evictions,
+        // which is why ETC disables PE for irregular applications.
+        if self.policy.proactive_eviction {
+            let available =
+                self.mem.available_without_eviction() + self.pending_free.len() as u64;
+            let mut need = (plan.pages.len() as u64).saturating_sub(available);
+            while need > 0 && self.mem.resident_count() > 0 {
+                let before = self.pending_free.len();
+                self.schedule_evictions(now, &mut plan, &mut outputs, EvictionCause::Proactive)?;
+                let freed = (self.pending_free.len() - before) as u64;
+                if freed == 0 {
+                    break;
+                }
+                self.proactive_evictions += freed;
+                need = need.saturating_sub(freed);
+            }
+        }
+
+        self.current = Some(plan);
+        self.state = State::Handling;
+        Ok(outputs)
+    }
+}

@@ -1,0 +1,404 @@
+//! Unit tests for the staged fault pipeline, driven through the runtime's
+//! own scheduled events.
+
+use super::*;
+
+fn cfg(cap: Option<u64>) -> UvmConfig {
+    UvmConfig { gpu_mem_pages: cap, ..UvmConfig::default() }
+}
+
+fn p(i: u64) -> PageId {
+    PageId::new(i)
+}
+
+/// Shared policy constructor: the given preset with prefetching disabled,
+/// so batches contain exactly their faulted pages and timing assertions
+/// stay page-exact.
+fn no_prefetch(base: PolicyConfig) -> PolicyConfig {
+    PolicyConfig { prefetch: PrefetchPolicy::None, ..base }
+}
+
+/// Per-page (page, cycle) event times, in occurrence order.
+type Timeline = Vec<(PageId, Cycle)>;
+
+/// Drives the runtime's own scheduled events to completion, returning
+/// (install times, evict times) per page and the final time.
+fn drain(rt: &mut UvmRuntime, initial: Vec<UvmOutput>) -> (Timeline, Timeline) {
+    let mut queue: Vec<(Cycle, UvmEvent)> = Vec::new();
+    let mut installs = Vec::new();
+    let mut evicts = Vec::new();
+    let apply = |outs: Vec<UvmOutput>, at: Cycle, queue: &mut Vec<(Cycle, UvmEvent)>, installs: &mut Timeline, evicts: &mut Timeline| {
+        for o in outs {
+            match o {
+                UvmOutput::Schedule { at, event } => queue.push((at, event)),
+                UvmOutput::Install { page, .. } => installs.push((page, at)),
+                UvmOutput::Evict { page } => evicts.push((page, at)),
+            }
+        }
+    };
+    apply(initial, 0, &mut queue, &mut installs, &mut evicts);
+    while !queue.is_empty() {
+        queue.sort_by_key(|&(t, _)| t);
+        let (t, e) = queue.remove(0);
+        let outs = rt.on_event(e, t).unwrap();
+        apply(outs, t, &mut queue, &mut installs, &mut evicts);
+    }
+    (installs, evicts)
+}
+
+#[test]
+fn single_fault_single_batch() {
+    let mut rt = UvmRuntime::new(&cfg(None), &no_prefetch(PolicyConfig::baseline()), 1000);
+    let outs = rt.record_fault(p(5), 100).unwrap();
+    let (installs, _) = drain(&mut rt, outs);
+    assert_eq!(installs.len(), 1);
+    let (page, at) = installs[0];
+    assert_eq!(page, p(5));
+    // ISR latency + 20 us handling (+30/fault) + one 64 KB transfer.
+    assert_eq!(at, 100 + 1_000 + 20_000 + 30 + 4162);
+    let s = rt.stats();
+    assert_eq!(s.num_batches(), 1);
+    assert_eq!(s.batches[0].faults, 1);
+    assert_eq!(s.batches[0].fault_handling_time(), 20_030);
+}
+
+#[test]
+fn faults_during_batch_form_next_batch() {
+    let mut rt = UvmRuntime::new(&cfg(None), &no_prefetch(PolicyConfig::baseline()), 1000);
+    let outs = rt.record_fault(p(1), 0).unwrap();
+    assert_eq!(outs.len(), 1); // DrainBuffer scheduled
+    let outs = rt.on_event(UvmEvent::DrainBuffer, 1_000).unwrap();
+    // Fault raised while the first batch is handling: queues silently.
+    assert!(rt.record_fault(p(2), 5_000).unwrap().is_empty());
+    let (installs, _) = drain(&mut rt, outs);
+    assert_eq!(installs.len(), 2);
+    let s = rt.stats();
+    assert_eq!(s.num_batches(), 2);
+    assert_eq!(s.batches[0].faults, 1);
+    assert_eq!(s.batches[1].faults, 1);
+    // Second batch starts exactly when the first ends (replay path).
+    assert_eq!(s.batches[1].start, s.batches[0].end);
+}
+
+#[test]
+fn same_cycle_faults_join_via_isr_window() {
+    let mut rt = UvmRuntime::new(&cfg(None), &no_prefetch(PolicyConfig::baseline()), 1000);
+    let mut outs = rt.record_fault(p(1), 0).unwrap();
+    outs.extend(rt.record_fault(p(2), 400).unwrap()); // inside the 1 us ISR window
+    let (installs, _) = drain(&mut rt, outs);
+    assert_eq!(installs.len(), 2);
+    assert_eq!(rt.stats().num_batches(), 1);
+}
+
+#[test]
+fn batch_groups_simultaneous_faults() {
+    let mut rt = UvmRuntime::new(&cfg(None), &no_prefetch(PolicyConfig::baseline()), 1000);
+    let mut outs = rt.record_fault(p(3), 0).unwrap();
+    outs.extend(rt.record_fault(p(1), 0).unwrap());
+    outs.extend(rt.record_fault(p(2), 0).unwrap());
+    let (installs, _) = drain(&mut rt, outs);
+    let s = rt.stats();
+    assert_eq!(s.num_batches(), 1);
+    assert_eq!(s.batches[0].faults, 3);
+    // Pages migrate in ascending address order (preprocessing sort).
+    let pages: Vec<PageId> = installs.iter().map(|&(p, _)| p).collect();
+    assert_eq!(pages, vec![p(1), p(2), p(3)]);
+}
+
+#[test]
+fn prefetcher_fills_dense_regions() {
+    let mut rt = UvmRuntime::new(&cfg(None), &PolicyConfig::baseline(), 64);
+    // 16 of 32 pages of region 0 fault: 50% threshold fires.
+    let mut outs = Vec::new();
+    for i in 0..16 {
+        outs.extend(rt.record_fault(p(i * 2), 0).unwrap());
+    }
+    let (installs, _) = drain(&mut rt, outs);
+    assert_eq!(installs.len(), 32);
+    let s = rt.stats();
+    assert_eq!(s.batches[0].faults, 16);
+    assert_eq!(s.batches[0].prefetches, 16);
+}
+
+#[test]
+fn serialized_eviction_blocks_migration() {
+    let policy = no_prefetch(PolicyConfig::baseline());
+    let mut rt = UvmRuntime::new(&cfg(Some(1)), &policy, 1000);
+    let outs = rt.record_fault(p(1), 0).unwrap();
+    let (installs, _) = drain(&mut rt, outs);
+    let first_arrival = installs[0].1;
+    // Now page 1 is resident and memory is full; fault page 2.
+    let outs = rt.record_fault(p(2), first_arrival + 1).unwrap();
+    let (installs, evicts) = drain(&mut rt, outs);
+    assert_eq!(evicts.len(), 1);
+    assert_eq!(evicts[0].0, p(1));
+    let s = rt.stats();
+    let b = &s.batches[1];
+    // Migration could not start at handling_done: it waited for the
+    // eviction transfer.
+    assert!(b.first_migration_start > b.handling_done);
+    assert_eq!(installs.last().unwrap().0, p(2));
+}
+
+#[test]
+fn unobtrusive_eviction_overlaps_handling() {
+    let policy = no_prefetch(PolicyConfig::ue_only());
+    let mut rt = UvmRuntime::new(&cfg(Some(1)), &policy, 1000);
+    let outs = rt.record_fault(p(1), 0).unwrap();
+    let (installs, _) = drain(&mut rt, outs);
+    let t = installs[0].1;
+    let outs = rt.record_fault(p(2), t + 1).unwrap();
+    let (_, evicts) = drain(&mut rt, outs);
+    assert_eq!(rt.preemptive_evictions(), 1);
+    // The eviction started right at batch start (top-half ISR), inside
+    // the handling window.
+    let s = rt.stats();
+    let b = &s.batches[1];
+    assert_eq!(evicts.last().unwrap().1, b.start);
+    // And the first migration starts exactly at handling-done.
+    assert_eq!(b.first_migration_start, b.handling_done);
+}
+
+#[test]
+fn ideal_eviction_is_free() {
+    let policy = no_prefetch(PolicyConfig::ideal_eviction());
+    let mut rt = UvmRuntime::new(&cfg(Some(1)), &policy, 1000);
+    let outs = rt.record_fault(p(1), 0).unwrap();
+    drain(&mut rt, outs);
+    let outs = rt.record_fault(p(2), 100_000).unwrap();
+    drain(&mut rt, outs);
+    let s = rt.stats();
+    let b = &s.batches[1];
+    assert_eq!(b.first_migration_start, b.handling_done);
+    // No D2H traffic at all.
+    assert_eq!(s.d2h_bytes, 0);
+    assert_eq!(s.evictions, 1);
+}
+
+#[test]
+fn premature_eviction_detected_on_refault() {
+    let policy = no_prefetch(PolicyConfig::baseline());
+    let mut rt = UvmRuntime::new(&cfg(Some(1)), &policy, 1000);
+    let outs = rt.record_fault(p(1), 0).unwrap();
+    drain(&mut rt, outs);
+    let outs = rt.record_fault(p(2), 100_000).unwrap(); // evicts p1
+    drain(&mut rt, outs);
+    let outs = rt.record_fault(p(1), 200_000).unwrap(); // refault: premature
+    drain(&mut rt, outs);
+    let s = rt.stats();
+    assert_eq!(s.premature_evictions, 1);
+    assert_eq!(s.evictions, 2);
+}
+
+#[test]
+fn fault_on_inflight_page_is_absorbed() {
+    let policy = no_prefetch(PolicyConfig::baseline());
+    let mut rt = UvmRuntime::new(&cfg(None), &policy, 1000);
+    let outs = rt.record_fault(p(1), 0).unwrap();
+    // A duplicate inside the ISR window coalesces in the buffer.
+    assert!(rt.record_fault(p(1), 10).unwrap().is_empty());
+    let outs = {
+        assert_eq!(outs.len(), 1);
+        rt.on_event(UvmEvent::DrainBuffer, 1_000).unwrap()
+    };
+    // A duplicate while the batch is open is absorbed by the open plan.
+    assert!(rt.record_fault(p(1), 5_000).unwrap().is_empty());
+    drain(&mut rt, outs);
+    let s = rt.stats();
+    assert_eq!(s.num_batches(), 1);
+    assert_eq!(s.faults_deduped, 1);
+    assert_eq!(s.faults_on_inflight, 1);
+    assert_eq!(s.batches[0].faults, 1);
+}
+
+#[test]
+fn capacity_is_never_exceeded() {
+    let policy = no_prefetch(PolicyConfig::baseline());
+    let mut rt = UvmRuntime::new(&cfg(Some(4)), &policy, 1000);
+    for round in 0..5u64 {
+        let mut outs = Vec::new();
+        for i in 0..3 {
+            outs.extend(rt.record_fault(p(round * 3 + i), round * 1_000_000).unwrap());
+        }
+        drain(&mut rt, outs);
+        assert!(rt.resident_pages() <= 4, "round {round}: {}", rt.resident_pages());
+    }
+}
+
+#[test]
+fn batch_larger_than_capacity_forces_pinned_evictions() {
+    let policy = no_prefetch(PolicyConfig::baseline());
+    let mut rt = UvmRuntime::new(&cfg(Some(2)), &policy, 1000);
+    let mut outs = Vec::new();
+    for i in 0..5 {
+        outs.extend(rt.record_fault(p(i), 0).unwrap());
+    }
+    let (installs, evicts) = drain(&mut rt, outs);
+    assert_eq!(installs.len(), 5);
+    assert_eq!(evicts.len(), 3);
+    let s = rt.stats();
+    assert!(s.batches[0].forced_pinned_evictions > 0);
+    assert!(rt.resident_pages() <= 2);
+}
+
+#[test]
+fn unlimited_memory_never_evicts() {
+    let mut rt = UvmRuntime::new(&cfg(None), &PolicyConfig::baseline(), 10_000);
+    let mut outs = Vec::new();
+    for i in 0..200 {
+        outs.extend(rt.record_fault(p(i * 7), i).unwrap());
+    }
+    let (_, evicts) = drain(&mut rt, outs);
+    assert!(evicts.is_empty());
+    assert_eq!(rt.stats().evictions, 0);
+}
+
+#[test]
+fn handling_time_scales_with_batch_size() {
+    let policy = no_prefetch(PolicyConfig::baseline());
+    let mut rt = UvmRuntime::new(&cfg(None), &policy, 10_000);
+    let mut outs = Vec::new();
+    for i in 0..100 {
+        outs.extend(rt.record_fault(p(i), 0).unwrap());
+    }
+    drain(&mut rt, outs);
+    let s = rt.stats();
+    assert_eq!(s.batches[0].handling_done - s.batches[0].start, 20_000 + 30 * 100);
+}
+
+#[test]
+fn refault_of_force_evicted_batch_page_is_not_absorbed() {
+    // Capacity 2, batch of 5: later migrations force-evict earlier
+    // pages of the same batch. A fault for such a page while the batch
+    // is still open must be recorded for the next batch, not absorbed.
+    let policy = no_prefetch(PolicyConfig::baseline());
+    let mut rt = UvmRuntime::new(&cfg(Some(2)), &policy, 1000);
+    let mut outs = Vec::new();
+    for i in 0..5 {
+        outs.extend(rt.record_fault(p(i), 0).unwrap());
+    }
+    // Drive until the batch finishes.
+    let (installs, evicts) = drain(&mut rt, outs);
+    assert_eq!(installs.len(), 5);
+    assert!(evicts.iter().any(|&(pg, _)| pg.index() < 5), "no same-batch eviction");
+    // Re-fault an evicted page: a fresh batch must deliver it again.
+    let victim = evicts[0].0;
+    let outs = rt.record_fault(victim, 10_000_000).unwrap();
+    assert!(!outs.is_empty(), "refault swallowed");
+    let (installs, _) = drain(&mut rt, outs);
+    assert_eq!(installs.len(), 1);
+    assert_eq!(installs[0].0, victim);
+}
+
+#[test]
+fn proactive_eviction_frees_frames_ahead_of_demand() {
+    let policy = PolicyConfig {
+        proactive_eviction: true,
+        ..no_prefetch(PolicyConfig::baseline())
+    };
+    let mut rt = UvmRuntime::new(&cfg(Some(2)), &policy, 1000);
+    // Fill memory.
+    let mut outs = Vec::new();
+    for i in 0..2 {
+        outs.extend(rt.record_fault(p(i), 0).unwrap());
+    }
+    drain(&mut rt, outs);
+    // A two-page batch: PE must evict two pages at batch start, so the
+    // migrations are not serialized behind reactive evictions.
+    let mut outs = Vec::new();
+    for i in 2..4 {
+        outs.extend(rt.record_fault(p(i), 1_000_000).unwrap());
+    }
+    let (_, evicts) = drain(&mut rt, outs);
+    assert_eq!(evicts.len(), 2);
+    let s = rt.stats();
+    assert_eq!(s.proactive_evictions, 2);
+    let b = &s.batches[1];
+    // Evictions overlapped the handling window: first migration starts
+    // right at handling-done despite full memory.
+    assert_eq!(b.first_migration_start, b.handling_done);
+}
+
+#[test]
+fn per_page_time_amortizes_with_batch_size() {
+    // Fig. 3's shape: bigger batches => lower per-page cost.
+    let policy = no_prefetch(PolicyConfig::baseline());
+    let mut small = UvmRuntime::new(&cfg(None), &policy, 10_000);
+    let outs = small.record_fault(p(0), 0).unwrap();
+    drain(&mut small, outs);
+    let mut large = UvmRuntime::new(&cfg(None), &policy, 10_000);
+    let mut outs = Vec::new();
+    for i in 0..64 {
+        outs.extend(large.record_fault(p(i), 0).unwrap());
+    }
+    drain(&mut large, outs);
+    let t_small = small.stats().batches[0].per_page_time().unwrap();
+    let t_large = large.stats().batches[0].per_page_time().unwrap();
+    assert!(t_large < t_small / 2.0, "{t_large} vs {t_small}");
+}
+
+#[test]
+fn registry_built_strategies_match_enum_built_runtime() {
+    // The same faults through `new` (enum mapping) and `with_strategies`
+    // (registry construction) must produce identical timelines.
+    use crate::registry::{PolicyRegistry, StrategyCtx};
+    let policy = no_prefetch(PolicyConfig::ue_only());
+    let reg = PolicyRegistry::builtin();
+    let ctx = StrategyCtx { pages_per_region: cfg(Some(2)).pages_per_region() };
+    let mut via_enum = UvmRuntime::new(&cfg(Some(2)), &policy, 1000);
+    let mut via_registry = UvmRuntime::with_strategies(
+        &cfg(Some(2)),
+        &policy,
+        1000,
+        reg.build_eviction("ue", &ctx).unwrap(),
+        reg.build_prefetcher("none", &ctx).unwrap(),
+    );
+    let drive = |rt: &mut UvmRuntime| {
+        let mut all = (Vec::new(), Vec::new());
+        for round in 0..4u64 {
+            let mut outs = Vec::new();
+            for i in 0..3 {
+                outs.extend(rt.record_fault(p(round * 3 + i), round * 1_000_000).unwrap());
+            }
+            let (ins, evs) = drain(rt, outs);
+            all.0.extend(ins);
+            all.1.extend(evs);
+        }
+        all
+    };
+    assert_eq!(drive(&mut via_enum), drive(&mut via_registry));
+    assert_eq!(
+        format!("{:?}", via_enum.stats()),
+        format!("{:?}", via_registry.stats())
+    );
+}
+
+#[test]
+fn random_victim_plugs_in_without_touching_the_pipeline() {
+    // The registry-only strategy drives the full pipeline: victims come
+    // from the RNG, capacity holds, and transfers are serialized.
+    use crate::registry::{PolicyRegistry, StrategyCtx};
+    let policy = no_prefetch(PolicyConfig::baseline());
+    let reg = PolicyRegistry::builtin();
+    let ctx = StrategyCtx { pages_per_region: cfg(Some(4)).pages_per_region() };
+    let mut rt = UvmRuntime::with_strategies(
+        &cfg(Some(4)),
+        &policy,
+        1000,
+        reg.build_eviction("random:7", &ctx).unwrap(),
+        reg.build_prefetcher("none", &ctx).unwrap(),
+    );
+    rt.set_audit(AuditLevel::Full);
+    let mut evict_count = 0;
+    for round in 0..6u64 {
+        let mut outs = Vec::new();
+        for i in 0..3 {
+            outs.extend(rt.record_fault(p(round * 3 + i), round * 1_000_000).unwrap());
+        }
+        let (_, evicts) = drain(&mut rt, outs);
+        evict_count += evicts.len();
+        assert!(rt.resident_pages() <= 4);
+    }
+    assert!(evict_count > 0);
+    assert!(rt.stats().d2h_bytes > 0, "random victim schedules real transfers");
+}

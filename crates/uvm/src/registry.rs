@@ -1,0 +1,575 @@
+//! The name-keyed policy registry: spec strings in, strategy objects out.
+//!
+//! Every run is constructed from registry lookups — the presets in
+//! `batmem::policies` are just canonical spec strings — so adding a policy
+//! means registering a [`PolicyDescriptor`] plus a build closure; the
+//! pipeline core, the builder, and the CLI all pick it up unchanged.
+//!
+//! A **spec** is `name[:param[:param...]]`, e.g. `lru`, `tree:50`,
+//! `random:7`, `etc:25`. Unknown names resolve to
+//! [`SimError::UnknownPolicy`] (listing what *is* registered); malformed
+//! parameters resolve to [`SimError::InvalidConfig`].
+
+use crate::strategies::{
+    EvictionStrategy, IdealEviction, NoPrefetch, OversubscriptionHandler, Prefetcher,
+    RandomVictim, SerializedLruEviction, UnobtrusiveEviction,
+};
+use crate::OversubController;
+use crate::TreePrefetcher;
+use batmem_etc::EtcConfig;
+use batmem_types::policy::{
+    EvictionPolicy, PolicyAxis, PolicyDescriptor, PrefetchPolicy, SwitchTrigger, ToConfig,
+};
+use batmem_types::SimError;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Default seed for `random` when the spec names none; an arbitrary but
+/// fixed constant so bare `random` runs are reproducible.
+const RANDOM_VICTIM_DEFAULT_SEED: u64 = 42;
+
+/// Context handed to build closures: the config-derived values strategies
+/// may need at construction time.
+#[derive(Debug, Clone, Copy)]
+pub struct StrategyCtx {
+    /// Pages per 2 MB root chunk (sizes the tree prefetcher's regions).
+    pub pages_per_region: u64,
+}
+
+/// What an oversubscription spec resolves to. Unlike the other axes this
+/// carries configuration alongside the handler: TO parameterizes the block
+/// scheduler and ETC reshapes capacity, both outside the handler object.
+pub struct OversubSelection {
+    /// The thread-oversubscription configuration the engine should run
+    /// with (disabled for `none` and `etc`).
+    pub to: ToConfig,
+    /// ETC framework configuration, when the spec selects the ETC baseline.
+    pub etc: Option<EtcConfig>,
+    /// The degree controller consulted by the block scheduler.
+    pub handler: Box<dyn OversubscriptionHandler>,
+}
+
+impl fmt::Debug for OversubSelection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("OversubSelection")
+            .field("to", &self.to)
+            .field("etc", &self.etc)
+            .field("handler", &self.handler.name())
+            .finish()
+    }
+}
+
+type EvictionBuild =
+    Box<dyn Fn(&[&str], &StrategyCtx) -> Result<Box<dyn EvictionStrategy>, SimError> + Send + Sync>;
+type PrefetchBuild =
+    Box<dyn Fn(&[&str], &StrategyCtx) -> Result<Box<dyn Prefetcher>, SimError> + Send + Sync>;
+type OversubBuild = Box<dyn Fn(&[&str]) -> Result<OversubSelection, SimError> + Send + Sync>;
+
+/// The registry: three axes of named strategy constructors.
+pub struct PolicyRegistry {
+    eviction: BTreeMap<&'static str, (PolicyDescriptor, EvictionBuild)>,
+    prefetch: BTreeMap<&'static str, (PolicyDescriptor, PrefetchBuild)>,
+    oversubscription: BTreeMap<&'static str, (PolicyDescriptor, OversubBuild)>,
+}
+
+impl fmt::Debug for PolicyRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PolicyRegistry")
+            .field("eviction", &self.eviction.keys().collect::<Vec<_>>())
+            .field("prefetch", &self.prefetch.keys().collect::<Vec<_>>())
+            .field("oversubscription", &self.oversubscription.keys().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+impl Default for PolicyRegistry {
+    fn default() -> Self {
+        Self::builtin()
+    }
+}
+
+impl PolicyRegistry {
+    /// An empty registry (external embedders composing from scratch).
+    pub fn empty() -> Self {
+        Self {
+            eviction: BTreeMap::new(),
+            prefetch: BTreeMap::new(),
+            oversubscription: BTreeMap::new(),
+        }
+    }
+
+    /// The registry pre-loaded with every in-tree strategy.
+    pub fn builtin() -> Self {
+        let mut r = Self::empty();
+        r.register_eviction(
+            PolicyDescriptor {
+                axis: PolicyAxis::Eviction,
+                name: "lru",
+                params: "",
+                summary: "baseline: reactive LRU eviction serialized behind migrations (Fig. 4)",
+            },
+            |params, _ctx| {
+                expect_no_params("eviction", "lru", params)?;
+                Ok(Box::new(SerializedLruEviction))
+            },
+        );
+        r.register_eviction(
+            PolicyDescriptor {
+                axis: PolicyAxis::Eviction,
+                name: "ue",
+                params: "",
+                summary: "Unobtrusive Eviction: preemptive at batch start, pipelined D2H (§4.2)",
+            },
+            |params, _ctx| {
+                expect_no_params("eviction", "ue", params)?;
+                Ok(Box::new(UnobtrusiveEviction))
+            },
+        );
+        r.register_eviction(
+            PolicyDescriptor {
+                axis: PolicyAxis::Eviction,
+                name: "ideal",
+                params: "",
+                summary: "zero-latency eviction limit study (Fig. 8)",
+            },
+            |params, _ctx| {
+                expect_no_params("eviction", "ideal", params)?;
+                Ok(Box::new(IdealEviction))
+            },
+        );
+        r.register_eviction(
+            PolicyDescriptor {
+                axis: PolicyAxis::Eviction,
+                name: "random",
+                params: ":<seed>",
+                summary: "uniform random victim with serialized transfers (plugin demo)",
+            },
+            |params, _ctx| {
+                let seed = match params {
+                    [] => RANDOM_VICTIM_DEFAULT_SEED,
+                    [s] => parse_u64("eviction.random.seed", s)?,
+                    _ => return Err(too_many_params("eviction", "random", params)),
+                };
+                Ok(Box::new(RandomVictim::new(seed)))
+            },
+        );
+        r.register_prefetch(
+            PolicyDescriptor {
+                axis: PolicyAxis::Prefetch,
+                name: "none",
+                params: "",
+                summary: "no prefetching: only faulted pages migrate",
+            },
+            |params, _ctx| {
+                expect_no_params("prefetch", "none", params)?;
+                Ok(Box::new(NoPrefetch))
+            },
+        );
+        r.register_prefetch(
+            PolicyDescriptor {
+                axis: PolicyAxis::Prefetch,
+                name: "tree",
+                params: ":<threshold_percent>",
+                summary: "tree-based density prefetcher (HPCA'16 / NVIDIA driver), default 50%",
+            },
+            |params, ctx| {
+                let threshold = match params {
+                    [] => 50,
+                    [s] => parse_u64("prefetch.tree.threshold_percent", s)?,
+                    _ => return Err(too_many_params("prefetch", "tree", params)),
+                };
+                if threshold == 0 || threshold > 100 {
+                    return Err(SimError::invalid_config(
+                        "prefetch.tree.threshold_percent",
+                        format!("must be in 1..=100, got {threshold}"),
+                    ));
+                }
+                Ok(Box::new(TreePrefetcher::new(ctx.pages_per_region, threshold as u8)))
+            },
+        );
+        r.register_oversubscription(
+            PolicyDescriptor {
+                axis: PolicyAxis::Oversubscription,
+                name: "none",
+                params: "",
+                summary: "no thread oversubscription",
+            },
+            |params| {
+                expect_no_params("oversubscription", "none", params)?;
+                let to = ToConfig::default();
+                Ok(OversubSelection { to, etc: None, handler: Box::new(OversubController::new(to)) })
+            },
+        );
+        r.register_oversubscription(
+            PolicyDescriptor {
+                axis: PolicyAxis::Oversubscription,
+                name: "to",
+                params: ":fault|any",
+                summary: "Thread Oversubscription with the dynamic degree controller (§4.1)",
+            },
+            |params| {
+                let trigger = match params {
+                    [] | ["fault"] => SwitchTrigger::FaultStall,
+                    ["any"] => SwitchTrigger::AnyStall,
+                    [other] => {
+                        return Err(SimError::invalid_config(
+                            "oversubscription.to.trigger",
+                            format!("expected `fault` or `any`, got `{other}`"),
+                        ))
+                    }
+                    _ => return Err(too_many_params("oversubscription", "to", params)),
+                };
+                let to = ToConfig { trigger, ..ToConfig::enabled() };
+                Ok(OversubSelection { to, etc: None, handler: Box::new(OversubController::new(to)) })
+            },
+        );
+        r.register_oversubscription(
+            PolicyDescriptor {
+                axis: PolicyAxis::Oversubscription,
+                name: "etc",
+                params: ":<throttle_percent>",
+                summary: "ETC framework (ASPLOS'19): MT + CC, PE off (irregular preset)",
+            },
+            |params| {
+                let etc = match params {
+                    [] => EtcConfig::irregular(),
+                    [s] => {
+                        let pct = parse_u64("etc.throttle_percent", s)?;
+                        let pct = u8::try_from(pct).map_err(|_| {
+                            SimError::invalid_config(
+                                "etc.throttle_percent",
+                                format!("must be <= 100, got {pct}"),
+                            )
+                        })?;
+                        EtcConfig::irregular_with_throttle(pct)?
+                    }
+                    _ => return Err(too_many_params("oversubscription", "etc", params)),
+                };
+                let to = ToConfig::default();
+                Ok(OversubSelection {
+                    to,
+                    etc: Some(etc),
+                    handler: Box::new(OversubController::new(to)),
+                })
+            },
+        );
+        r
+    }
+
+    /// Registers (or replaces) an eviction strategy under `desc.name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `desc.axis` is not [`PolicyAxis::Eviction`] — a registry
+    /// whose introspection lies about its entries is a programming error.
+    pub fn register_eviction(
+        &mut self,
+        desc: PolicyDescriptor,
+        build: impl Fn(&[&str], &StrategyCtx) -> Result<Box<dyn EvictionStrategy>, SimError>
+            + Send
+            + Sync
+            + 'static,
+    ) {
+        assert_eq!(desc.axis, PolicyAxis::Eviction, "descriptor axis mismatch for {}", desc.name);
+        self.eviction.insert(desc.name, (desc, Box::new(build)));
+    }
+
+    /// Registers (or replaces) a prefetcher under `desc.name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `desc.axis` is not [`PolicyAxis::Prefetch`].
+    pub fn register_prefetch(
+        &mut self,
+        desc: PolicyDescriptor,
+        build: impl Fn(&[&str], &StrategyCtx) -> Result<Box<dyn Prefetcher>, SimError>
+            + Send
+            + Sync
+            + 'static,
+    ) {
+        assert_eq!(desc.axis, PolicyAxis::Prefetch, "descriptor axis mismatch for {}", desc.name);
+        self.prefetch.insert(desc.name, (desc, Box::new(build)));
+    }
+
+    /// Registers (or replaces) an oversubscription handler under
+    /// `desc.name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `desc.axis` is not [`PolicyAxis::Oversubscription`].
+    pub fn register_oversubscription(
+        &mut self,
+        desc: PolicyDescriptor,
+        build: impl Fn(&[&str]) -> Result<OversubSelection, SimError> + Send + Sync + 'static,
+    ) {
+        assert_eq!(
+            desc.axis,
+            PolicyAxis::Oversubscription,
+            "descriptor axis mismatch for {}",
+            desc.name
+        );
+        self.oversubscription.insert(desc.name, (desc, Box::new(build)));
+    }
+
+    /// Builds an eviction strategy from a spec string (`lru`, `random:7`).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::UnknownPolicy`] for an unregistered name,
+    /// [`SimError::InvalidConfig`] for malformed parameters.
+    pub fn build_eviction(
+        &self,
+        spec: &str,
+        ctx: &StrategyCtx,
+    ) -> Result<Box<dyn EvictionStrategy>, SimError> {
+        let (name, params) = split_spec(spec);
+        let (_, build) = self.eviction.get(name).ok_or_else(|| SimError::UnknownPolicy {
+            axis: PolicyAxis::Eviction.label(),
+            name: name.to_string(),
+            known: known_names(&self.eviction),
+        })?;
+        build(&params, ctx)
+    }
+
+    /// Builds a prefetcher from a spec string (`none`, `tree:50`).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::UnknownPolicy`] for an unregistered name,
+    /// [`SimError::InvalidConfig`] for malformed parameters.
+    pub fn build_prefetcher(
+        &self,
+        spec: &str,
+        ctx: &StrategyCtx,
+    ) -> Result<Box<dyn Prefetcher>, SimError> {
+        let (name, params) = split_spec(spec);
+        let (_, build) = self.prefetch.get(name).ok_or_else(|| SimError::UnknownPolicy {
+            axis: PolicyAxis::Prefetch.label(),
+            name: name.to_string(),
+            known: known_names(&self.prefetch),
+        })?;
+        build(&params, ctx)
+    }
+
+    /// Resolves an oversubscription spec (`none`, `to:any`, `etc:25`) into
+    /// its configuration + handler bundle.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::UnknownPolicy`] for an unregistered name,
+    /// [`SimError::InvalidConfig`] for malformed parameters.
+    pub fn build_oversubscription(&self, spec: &str) -> Result<OversubSelection, SimError> {
+        let (name, params) = split_spec(spec);
+        let (_, build) =
+            self.oversubscription.get(name).ok_or_else(|| SimError::UnknownPolicy {
+                axis: PolicyAxis::Oversubscription.label(),
+                name: name.to_string(),
+                known: known_names(&self.oversubscription),
+            })?;
+        build(&params)
+    }
+
+    /// All registered descriptors, ordered by axis then name — the data
+    /// behind `--list-policies`.
+    pub fn descriptors(&self) -> Vec<PolicyDescriptor> {
+        let mut out: Vec<PolicyDescriptor> =
+            self.eviction.values().map(|(d, _)| *d).collect();
+        out.extend(self.prefetch.values().map(|(d, _)| *d));
+        out.extend(self.oversubscription.values().map(|(d, _)| *d));
+        out
+    }
+}
+
+/// Canonical spec string for an [`EvictionPolicy`] enum value — the bridge
+/// from [`PolicyConfig`](batmem_types::policy::PolicyConfig) presets to
+/// registry names.
+pub fn eviction_spec_of(policy: EvictionPolicy) -> &'static str {
+    match policy {
+        EvictionPolicy::SerializedLru => "lru",
+        EvictionPolicy::Unobtrusive => "ue",
+        EvictionPolicy::Ideal => "ideal",
+    }
+}
+
+/// Canonical spec string for a [`PrefetchPolicy`] enum value.
+pub fn prefetch_spec_of(policy: PrefetchPolicy) -> String {
+    match policy {
+        PrefetchPolicy::None => "none".to_string(),
+        PrefetchPolicy::Tree { threshold_percent } => format!("tree:{threshold_percent}"),
+    }
+}
+
+/// Splits `name[:p1[:p2...]]` into the name and its parameter list.
+fn split_spec(spec: &str) -> (&str, Vec<&str>) {
+    let mut parts = spec.split(':');
+    let name = parts.next().unwrap_or("");
+    (name, parts.collect())
+}
+
+fn known_names<V>(map: &BTreeMap<&'static str, V>) -> String {
+    map.keys().copied().collect::<Vec<_>>().join(", ")
+}
+
+fn expect_no_params(axis: &str, name: &str, params: &[&str]) -> Result<(), SimError> {
+    if params.is_empty() {
+        Ok(())
+    } else {
+        Err(SimError::InvalidConfig {
+            field: "policy.spec",
+            reason: format!("{axis} policy `{name}` takes no parameters, got `{}`", params.join(":")),
+        })
+    }
+}
+
+fn too_many_params(axis: &str, name: &str, params: &[&str]) -> SimError {
+    SimError::InvalidConfig {
+        field: "policy.spec",
+        reason: format!("too many parameters for {axis} policy `{name}`: `{}`", params.join(":")),
+    }
+}
+
+fn parse_u64(field: &'static str, s: &str) -> Result<u64, SimError> {
+    s.parse::<u64>()
+        .map_err(|_| SimError::invalid_config(field, format!("expected an integer, got `{s}`")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> StrategyCtx {
+        StrategyCtx { pages_per_region: 32 }
+    }
+
+    #[test]
+    fn builtin_names_resolve_on_every_axis() {
+        let r = PolicyRegistry::builtin();
+        for spec in ["lru", "ue", "ideal", "random", "random:7"] {
+            let s = r.build_eviction(spec, &ctx()).unwrap();
+            assert_eq!(s.name(), split_spec(spec).0);
+        }
+        for spec in ["none", "tree", "tree:75"] {
+            let s = r.build_prefetcher(spec, &ctx()).unwrap();
+            assert_eq!(s.name(), split_spec(spec).0);
+        }
+        for spec in ["none", "to", "to:fault", "to:any", "etc", "etc:25"] {
+            r.build_oversubscription(spec).unwrap();
+        }
+    }
+
+    #[test]
+    fn unknown_name_is_a_typed_error_listing_known_names() {
+        let r = PolicyRegistry::builtin();
+        let err = r.build_eviction("mru", &ctx()).unwrap_err();
+        match &err {
+            SimError::UnknownPolicy { axis, name, known } => {
+                assert_eq!(*axis, "eviction");
+                assert_eq!(name, "mru");
+                assert_eq!(known, "ideal, lru, random, ue");
+            }
+            other => panic!("expected UnknownPolicy, got {other:?}"),
+        }
+        assert!(matches!(
+            r.build_prefetcher("oracle", &ctx()),
+            Err(SimError::UnknownPolicy { axis: "prefetch", .. })
+        ));
+        assert!(matches!(
+            r.build_oversubscription("learned"),
+            Err(SimError::UnknownPolicy { axis: "oversubscription", .. })
+        ));
+    }
+
+    #[test]
+    fn malformed_params_are_invalid_config() {
+        let r = PolicyRegistry::builtin();
+        assert!(matches!(
+            r.build_eviction("lru:3", &ctx()),
+            Err(SimError::InvalidConfig { .. })
+        ));
+        assert!(matches!(
+            r.build_eviction("random:x", &ctx()),
+            Err(SimError::InvalidConfig { .. })
+        ));
+        assert!(matches!(
+            r.build_prefetcher("tree:0", &ctx()),
+            Err(SimError::InvalidConfig { .. })
+        ));
+        assert!(matches!(
+            r.build_prefetcher("tree:101", &ctx()),
+            Err(SimError::InvalidConfig { .. })
+        ));
+        assert!(matches!(
+            r.build_oversubscription("to:sometimes"),
+            Err(SimError::InvalidConfig { .. })
+        ));
+        assert!(matches!(
+            r.build_oversubscription("etc:101"),
+            Err(SimError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn oversub_specs_carry_their_configuration() {
+        let r = PolicyRegistry::builtin();
+        let none = r.build_oversubscription("none").unwrap();
+        assert!(!none.to.enabled && none.etc.is_none());
+        assert_eq!(none.handler.degree(), 0);
+
+        let to = r.build_oversubscription("to:any").unwrap();
+        assert!(to.to.enabled);
+        assert_eq!(to.to.trigger, SwitchTrigger::AnyStall);
+        assert!(to.handler.switching_allowed());
+
+        let etc = r.build_oversubscription("etc:30").unwrap();
+        assert!(!etc.to.enabled);
+        assert_eq!(etc.etc.unwrap().throttle_percent, 30);
+    }
+
+    #[test]
+    fn enum_to_spec_bridges_round_trip() {
+        let r = PolicyRegistry::builtin();
+        for p in [EvictionPolicy::SerializedLru, EvictionPolicy::Unobtrusive, EvictionPolicy::Ideal]
+        {
+            r.build_eviction(eviction_spec_of(p), &ctx()).unwrap();
+        }
+        for p in [PrefetchPolicy::None, PrefetchPolicy::Tree { threshold_percent: 50 }] {
+            r.build_prefetcher(&prefetch_spec_of(p), &ctx()).unwrap();
+        }
+    }
+
+    #[test]
+    fn replacement_and_external_registration() {
+        let mut r = PolicyRegistry::builtin();
+        let before = r.descriptors().len();
+        r.register_eviction(
+            PolicyDescriptor {
+                axis: PolicyAxis::Eviction,
+                name: "mru",
+                params: "",
+                summary: "most-recently-used victim (test plugin)",
+            },
+            |_, _| Ok(Box::new(SerializedLruEviction)),
+        );
+        assert_eq!(r.descriptors().len(), before + 1);
+        r.build_eviction("mru", &ctx()).unwrap();
+        // Replacing an existing name does not grow the registry.
+        r.register_eviction(
+            PolicyDescriptor {
+                axis: PolicyAxis::Eviction,
+                name: "mru",
+                params: "",
+                summary: "replaced",
+            },
+            |_, _| Ok(Box::new(IdealEviction)),
+        );
+        assert_eq!(r.descriptors().len(), before + 1);
+    }
+
+    #[test]
+    fn descriptors_are_ordered_by_axis_then_name() {
+        let d = PolicyRegistry::builtin().descriptors();
+        let names: Vec<&str> = d.iter().map(|d| d.name).collect();
+        assert_eq!(names, ["ideal", "lru", "random", "ue", "none", "tree", "etc", "none", "to"]);
+        assert!(d.iter().take(4).all(|d| d.axis == PolicyAxis::Eviction));
+    }
+}

@@ -1,0 +1,124 @@
+//! Pluggable strategy traits for the staged fault pipeline, and the
+//! built-in implementations.
+//!
+//! Each decision point of the pipeline (see [`crate::pipeline`]) is a
+//! trait object owned by the runtime:
+//!
+//! * [`EvictionStrategy`] — victim selection and device-to-host transfer
+//!   scheduling ([`serialized_lru`], [`unobtrusive`], [`ideal`], and the
+//!   registry-only [`random_victim`] plugin);
+//! * [`Prefetcher`] — batch-time page expansion ([`tree`], [`no_prefetch`]);
+//! * [`OversubscriptionHandler`] — thread-oversubscription degree control
+//!   (implemented by [`crate::oversub::OversubController`]).
+//!
+//! Strategies are constructed by name through
+//! [`PolicyRegistry`](crate::registry::PolicyRegistry); the pipeline core
+//! never matches on policy enums, so a new strategy is a new module plus a
+//! registry entry — zero diff inside the pipeline.
+
+pub mod ideal;
+pub mod no_prefetch;
+pub mod random_victim;
+pub mod serialized_lru;
+pub mod tree;
+pub mod unobtrusive;
+
+pub use ideal::IdealEviction;
+pub use no_prefetch::NoPrefetch;
+pub use random_victim::RandomVictim;
+pub use serialized_lru::SerializedLruEviction;
+pub use unobtrusive::UnobtrusiveEviction;
+
+use crate::lifetime::LifetimeSample;
+use crate::memmgr::MemoryManager;
+use crate::pcie::PciePipes;
+use batmem_types::{Cycle, PageId};
+
+/// When an evicted frame becomes reusable, as decided by an
+/// [`EvictionStrategy`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvictionTiming {
+    /// A device-to-host transfer was scheduled: the victim's page-table
+    /// entry dies at `start` (TLB shootdown) and the frame is free at
+    /// `ready`.
+    Transfer {
+        /// When the eviction transfer claims the device-to-host pipe.
+        start: Cycle,
+        /// When the freed frame becomes available.
+        ready: Cycle,
+    },
+    /// The frame frees instantly with no transfer (the ideal limit study);
+    /// the pipeline defers the shootdown to the consuming migration's
+    /// start, the most favorable consistent schedule.
+    Instant,
+}
+
+/// Victim selection + eviction transfer scheduling (the pipeline's
+/// residency/eviction stage).
+pub trait EvictionStrategy: std::fmt::Debug + Send {
+    /// Registry name this strategy was built under (diagnostics).
+    fn name(&self) -> &'static str;
+
+    /// Picks the victim set for one eviction round. `pinned` marks pages
+    /// of the open batch, which must not be selected unless the batch
+    /// itself overflows capacity — in that case return `forced = true`.
+    ///
+    /// The default is the memory manager's LRU policy (head of the aged-LRU
+    /// list, widened to the root chunk under that granularity).
+    fn pick_victims(
+        &mut self,
+        mem: &MemoryManager,
+        pinned: &dyn Fn(PageId) -> bool,
+    ) -> (Vec<PageId>, bool) {
+        mem.pick_victims(pinned)
+    }
+
+    /// Schedules one victim's eviction on the PCIe pipes. `avail` is the
+    /// earliest cycle the victim's data may leave (it may still be
+    /// arriving), `page_bytes` the transfer size.
+    fn schedule(&mut self, pipes: &mut PciePipes, avail: Cycle, page_bytes: u64) -> EvictionTiming;
+
+    /// Whether the top-half ISR should issue one preemptive eviction at
+    /// batch start when memory is at capacity (§4.2 of the paper).
+    fn preemptive(&self) -> bool {
+        false
+    }
+}
+
+/// Batch-time page expansion (the pipeline's prefetch-expansion stage).
+pub trait Prefetcher: std::fmt::Debug + Send {
+    /// Registry name this strategy was built under (diagnostics).
+    fn name(&self) -> &'static str;
+
+    /// Expands a batch's faulted pages with prefetch candidates. `covered`
+    /// reports pages already resident (they count toward density but must
+    /// not be re-issued); `valid_pages` bounds the address space.
+    fn expand(
+        &mut self,
+        faulted: &[PageId],
+        covered: &dyn Fn(PageId) -> bool,
+        valid_pages: u64,
+    ) -> Vec<PageId>;
+
+    /// Total prefetches issued so far.
+    fn issued(&self) -> u64;
+}
+
+/// Thread-oversubscription degree control (the block scheduler's handoff
+/// point; consulted by the engine, not the UVM pipeline itself).
+pub trait OversubscriptionHandler: std::fmt::Debug + Send {
+    /// Registry name this handler was built under (diagnostics).
+    fn name(&self) -> &'static str;
+
+    /// The allowed number of extra (inactive) blocks per SM right now.
+    fn degree(&self) -> u32;
+
+    /// Whether context switch-ins are currently allowed at all.
+    fn switching_allowed(&self) -> bool;
+
+    /// Feeds one page-lifetime sample to the dynamic controller.
+    fn on_sample(&mut self, sample: LifetimeSample);
+
+    /// Times the handler lowered the degree (reported in run metrics).
+    fn decrements(&self) -> u64;
+}

@@ -1,0 +1,27 @@
+//! The null prefetcher: only faulted pages migrate.
+
+use super::Prefetcher;
+use batmem_types::PageId;
+
+/// Disables prefetching — every batch contains exactly its faulted pages.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoPrefetch;
+
+impl Prefetcher for NoPrefetch {
+    fn name(&self) -> &'static str {
+        "none"
+    }
+
+    fn expand(
+        &mut self,
+        _faulted: &[PageId],
+        _covered: &dyn Fn(PageId) -> bool,
+        _valid_pages: u64,
+    ) -> Vec<PageId> {
+        Vec::new()
+    }
+
+    fn issued(&self) -> u64 {
+        0
+    }
+}

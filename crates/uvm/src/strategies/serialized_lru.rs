@@ -1,0 +1,26 @@
+//! The baseline eviction engine: reactive, serialized behind migrations.
+
+use super::{EvictionStrategy, EvictionTiming};
+use crate::pcie::PciePipes;
+use batmem_types::Cycle;
+
+/// The NVIDIA-driver baseline (§3 of the paper): an eviction is requested
+/// reactively when an allocation fails, and the incoming page's transfer is
+/// **serialized** behind the eviction — the device-to-host transfer blocks
+/// the host-to-device pipe (Fig. 4).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SerializedLruEviction;
+
+impl EvictionStrategy for SerializedLruEviction {
+    fn name(&self) -> &'static str {
+        "lru"
+    }
+
+    fn schedule(&mut self, pipes: &mut PciePipes, avail: Cycle, page_bytes: u64) -> EvictionTiming {
+        // §3 / Fig. 4: eviction and migration serialize — the eviction
+        // transfer blocks the host-to-device pipe.
+        let tr = pipes.schedule_d2h(avail.max(pipes.h2d_free_at()), page_bytes);
+        pipes.stall_h2d_until(tr.end);
+        EvictionTiming::Transfer { start: tr.start, ready: tr.end }
+    }
+}

@@ -1,0 +1,29 @@
+//! [`Prefetcher`] adapter for the tree-based prefetcher mechanism.
+//!
+//! The density machinery itself lives in [`crate::prefetch`]; this module
+//! only binds it to the pipeline's strategy trait.
+
+use super::Prefetcher;
+use crate::prefetch::TreePrefetcher;
+use batmem_types::PageId;
+
+impl Prefetcher for TreePrefetcher {
+    fn name(&self) -> &'static str {
+        "tree"
+    }
+
+    fn expand(
+        &mut self,
+        faulted: &[PageId],
+        covered: &dyn Fn(PageId) -> bool,
+        valid_pages: u64,
+    ) -> Vec<PageId> {
+        // Fully qualified: the inherent generic `expand` would otherwise
+        // shadow this trait method and recurse.
+        TreePrefetcher::expand(self, faulted, covered, valid_pages)
+    }
+
+    fn issued(&self) -> u64 {
+        TreePrefetcher::issued(self)
+    }
+}

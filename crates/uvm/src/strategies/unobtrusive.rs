@@ -1,0 +1,39 @@
+//! Unobtrusive Eviction (§4.2) — the paper's proposed eviction engine.
+
+use super::{EvictionStrategy, EvictionTiming};
+use crate::pcie::PciePipes;
+use batmem_types::Cycle;
+
+/// Schedules an eviction pipelined on the device-to-host direction,
+/// concurrent with host-to-device migrations (§4.2 / Fig. 10).
+///
+/// A free function because the pipeline also uses this timing for
+/// [`EvictionCause::Proactive`](batmem_types::probe::EvictionCause)
+/// evictions regardless of the configured eviction strategy: proactive
+/// eviction exists precisely to overlap the handling window, so
+/// serializing it would contradict its definition.
+pub fn pipelined(pipes: &mut PciePipes, avail: Cycle, page_bytes: u64) -> EvictionTiming {
+    let tr = pipes.schedule_d2h(avail, page_bytes);
+    EvictionTiming::Transfer { start: tr.start, ready: tr.end }
+}
+
+/// Unobtrusive Eviction (§4.2): one preemptive eviction is issued by the
+/// top-half ISR at batch start (overlapping the runtime fault-handling
+/// window), and subsequent evictions are pipelined on the device-to-host
+/// direction concurrently with host-to-device migrations.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct UnobtrusiveEviction;
+
+impl EvictionStrategy for UnobtrusiveEviction {
+    fn name(&self) -> &'static str {
+        "ue"
+    }
+
+    fn schedule(&mut self, pipes: &mut PciePipes, avail: Cycle, page_bytes: u64) -> EvictionTiming {
+        pipelined(pipes, avail, page_bytes)
+    }
+
+    fn preemptive(&self) -> bool {
+        true
+    }
+}

@@ -1,0 +1,171 @@
+//! Registry-level integration tests at the [`Simulation`] builder
+//! boundary: spec resolution, preset ↔ spec-string equivalence, and
+//! external plugin registration.
+
+use batmem::policies::{self, ConfigName};
+use batmem::{PolicyAxis, PolicyConfig, PolicyDescriptor, PolicyRegistry, RunMetrics, Simulation};
+use batmem_graph::Csr;
+use batmem_types::{PageId, SimError};
+use batmem_uvm::{EvictionStrategy, EvictionTiming, MemoryManager, PciePipes};
+use batmem_workloads::registry as workloads;
+use std::sync::Arc;
+
+const ALL_CONFIGS: [ConfigName; 8] = [
+    ConfigName::Baseline,
+    ConfigName::BaselineCompressed,
+    ConfigName::To,
+    ConfigName::Ue,
+    ConfigName::ToUe,
+    ConfigName::Etc,
+    ConfigName::IdealEviction,
+    ConfigName::Unlimited,
+];
+
+fn graph() -> Arc<Csr> {
+    Arc::new(batmem_graph::gen::rmat(8, 4, 1))
+}
+
+/// The seed path: policy enums + explicit ETC framework, as every caller
+/// ran before the registry existed.
+fn run_preset(name: ConfigName) -> RunMetrics {
+    let w = workloads::build("BFS-TTC", graph()).unwrap();
+    let (policy, etc) = policies::preset(name);
+    let mut b = Simulation::builder().policy(policy);
+    if name != ConfigName::Unlimited {
+        b = b.memory_ratio(0.5);
+    }
+    if let Some(e) = etc {
+        b = b.etc(e);
+    }
+    b.try_run(w).unwrap()
+}
+
+/// The refactored path: the same configuration expressed purely as
+/// registry spec strings.
+fn run_specs(name: ConfigName) -> RunMetrics {
+    let w = workloads::build("BFS-TTC", graph()).unwrap();
+    let specs = policies::registry_specs(name);
+    let policy = if specs.compression {
+        PolicyConfig::baseline_with_compression()
+    } else {
+        PolicyConfig::baseline()
+    };
+    let mut b = Simulation::builder()
+        .policy(policy)
+        .eviction(specs.eviction)
+        .prefetch(specs.prefetch)
+        .oversubscription(specs.oversubscription);
+    if name != ConfigName::Unlimited {
+        b = b.memory_ratio(0.5);
+    }
+    b.try_run(w).unwrap()
+}
+
+#[test]
+fn every_preset_resolves_through_the_registry() {
+    let reg = PolicyRegistry::builtin();
+    let ctx = batmem::StrategyCtx { pages_per_region: 32 };
+    for name in ALL_CONFIGS {
+        let specs = policies::registry_specs(name);
+        reg.build_eviction(specs.eviction, &ctx)
+            .unwrap_or_else(|e| panic!("{name:?} eviction: {e}"));
+        reg.build_prefetcher(specs.prefetch, &ctx)
+            .unwrap_or_else(|e| panic!("{name:?} prefetch: {e}"));
+        reg.build_oversubscription(specs.oversubscription)
+            .unwrap_or_else(|e| panic!("{name:?} oversubscription: {e}"));
+    }
+}
+
+#[test]
+fn spec_driven_runs_match_preset_runs_exactly() {
+    // The differential check behind the refactor: a preset expressed as
+    // registry spec strings produces bit-identical metrics to the policy
+    // enums it replaced, for every named configuration.
+    for name in ALL_CONFIGS {
+        let preset = run_preset(name);
+        let specs = run_specs(name);
+        assert_eq!(
+            format!("{preset:?}"),
+            format!("{specs:?}"),
+            "{name:?}: spec-driven run diverged from the preset run"
+        );
+    }
+}
+
+#[test]
+fn unknown_spec_is_a_typed_error_at_the_builder() {
+    let w = workloads::build("BFS-TTC", graph()).unwrap();
+    let err = Simulation::builder().eviction("mru").memory_ratio(0.5).try_run(w).unwrap_err();
+    match err {
+        SimError::UnknownPolicy { axis, name, known } => {
+            assert_eq!(axis, "eviction");
+            assert_eq!(name, "mru");
+            assert!(known.contains("lru"), "{known}");
+        }
+        other => panic!("expected UnknownPolicy, got {other:?}"),
+    }
+    let w = workloads::build("BFS-TTC", graph()).unwrap();
+    let err = Simulation::builder().prefetch("tree:0").memory_ratio(0.5).try_run(w).unwrap_err();
+    assert!(matches!(err, SimError::InvalidConfig { .. }), "{err:?}");
+}
+
+/// Most-recently-used victim selection — deliberately the opposite of the
+/// builtin LRU, so a run under it must behave differently.
+#[derive(Debug)]
+struct MruEviction;
+
+impl EvictionStrategy for MruEviction {
+    fn name(&self) -> &'static str {
+        "mru"
+    }
+
+    fn pick_victims(
+        &mut self,
+        mem: &MemoryManager,
+        pinned: &dyn Fn(PageId) -> bool,
+    ) -> (Vec<PageId>, bool) {
+        match mem.pages_in_lru_order().filter(|&p| !pinned(p)).last() {
+            Some(p) => (vec![p], false),
+            None => mem.pick_victims(pinned),
+        }
+    }
+
+    fn schedule(&mut self, pipes: &mut PciePipes, avail: u64, page_bytes: u64) -> EvictionTiming {
+        let tr = pipes.schedule_d2h(avail.max(pipes.h2d_free_at()), page_bytes);
+        pipes.stall_h2d_until(tr.end);
+        EvictionTiming::Transfer { start: tr.start, ready: tr.end }
+    }
+}
+
+#[test]
+fn external_plugin_registers_without_touching_the_pipeline() {
+    let mut reg = PolicyRegistry::builtin();
+    reg.register_eviction(
+        PolicyDescriptor {
+            axis: PolicyAxis::Eviction,
+            name: "mru",
+            params: "",
+            summary: "most-recently-used victim (integration-test plugin)",
+        },
+        |_, _| Ok(Box::new(MruEviction)),
+    );
+    let run = |spec: &str, reg: PolicyRegistry| {
+        let w = workloads::build("BFS-TTC", graph()).unwrap();
+        Simulation::builder()
+            .registry(reg)
+            .eviction(spec)
+            .prefetch("none")
+            .memory_ratio(0.25)
+            .try_run(w)
+            .unwrap()
+    };
+    let mru = run("mru", reg);
+    let lru = run("lru", PolicyRegistry::builtin());
+    assert!(mru.uvm.evictions > 0, "plugin run never evicted");
+    assert_eq!(mru.blocks_retired, lru.blocks_retired);
+    assert_ne!(
+        format!("{:?}", mru.uvm),
+        format!("{:?}", lru.uvm),
+        "an MRU victim policy should not reproduce the LRU run exactly"
+    );
+}

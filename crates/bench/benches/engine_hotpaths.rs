@@ -8,6 +8,7 @@
 
 use batmem::{policies, Simulation};
 use batmem_graph::gen;
+use batmem_sim::EventQueue;
 use batmem_types::policy::PcieCompression;
 use batmem_types::{FrameId, PageId, SimConfig, SmId};
 use batmem_uvm::{
@@ -33,6 +34,50 @@ fn bench<R>(name: &str, iters: u32, mut f: impl FnMut() -> R) {
     }
     let mean = total / f64::from(iters);
     println!("{name:<36} {:>12.1} us/iter (min {:>10.1} us, {iters} iters)", mean * 1e6, best * 1e6);
+}
+
+fn bench_event_queue() {
+    // The warp-wake fast path: every push lands at the current cycle, so
+    // all traffic stays in the same-cycle FIFO ring.
+    let mut q: EventQueue<u32> = EventQueue::with_capacity(1024);
+    let mut now = 0u64;
+    bench("events/push_pop_same_cycle_x1024", 500, || {
+        for i in 0..1024u32 {
+            q.push(now, i);
+        }
+        let mut acc = 0u32;
+        while let Some((_, v)) = q.pop() {
+            acc = acc.wrapping_add(v);
+        }
+        now += 1;
+        q.push(now, 0);
+        q.pop(); // advance the ring's cycle for the next iteration
+        acc
+    });
+
+    // Mixed scheduling horizons, shaped like the engine's real event mix:
+    // same-cycle wakes, short memory latencies, fault-handling windows,
+    // and far-future periodic ticks that overflow the wheel.
+    let mut q: EventQueue<u32> = EventQueue::with_capacity(1024);
+    let mut now = 0u64;
+    bench("events/mixed_horizon_x1024", 500, || {
+        for i in 0..1024u32 {
+            let delta = match i % 8 {
+                0..=2 => 0,                   // ring: re-enqueue at `now`
+                3 | 4 => u64::from(i) % 600,  // wheel L0/L1: memory latency
+                5 => 20_000,                  // wheel L2: handling window
+                6 => 100_000,                 // wheel L3: sample period
+                _ => 20_000_000,              // overflow: beyond the horizon
+            };
+            q.push(now + delta, i);
+        }
+        let mut acc = 0u32;
+        while let Some((t, v)) = q.pop() {
+            now = t;
+            acc = acc.wrapping_add(v);
+        }
+        acc
+    });
 }
 
 fn bench_fault_buffer() {
@@ -98,26 +143,28 @@ fn bench_pcie() {
 }
 
 /// Feeds 512 faults into `rt` and drives the runtime's own events to
-/// completion; returns the batch count.
+/// completion; returns the batch count. Uses the engine's allocation-free
+/// `_into` entry points with one recycled scratch buffer, like the real
+/// event loop.
 fn drive_512_faults(mut rt: UvmRuntime) -> u64 {
-    let mut outs = Vec::new();
-    for i in 0..512u64 {
-        outs.extend(rt.record_fault(PageId::new(i * 3), 0).expect("fresh fault"));
-    }
+    let mut outs: Vec<batmem_uvm::UvmOutput> = Vec::new();
     let mut queue: Vec<(u64, batmem_uvm::UvmEvent)> = Vec::new();
-    let push = |os: Vec<batmem_uvm::UvmOutput>, q: &mut Vec<_>| {
-        for o in os {
+    let push = |os: &mut Vec<batmem_uvm::UvmOutput>, q: &mut Vec<_>| {
+        for o in os.drain(..) {
             if let batmem_uvm::UvmOutput::Schedule { at, event } = o {
                 q.push((at, event));
             }
         }
     };
-    push(outs, &mut queue);
+    for i in 0..512u64 {
+        rt.record_fault_into(PageId::new(i * 3), 0, &mut outs).expect("fresh fault");
+        push(&mut outs, &mut queue);
+    }
     while !queue.is_empty() {
         queue.sort_by_key(|&(t, _)| t);
         let (t, e) = queue.remove(0);
-        let os = rt.on_event(e, t).expect("runtime accepts its own events");
-        push(os, &mut queue);
+        rt.on_event_into(e, t, &mut outs).expect("runtime accepts its own events");
+        push(&mut outs, &mut queue);
     }
     rt.stats().num_batches()
 }
@@ -160,6 +207,7 @@ fn bench_end_to_end() {
 
 fn main() {
     println!("{:<36} {:>25}", "benchmark", "time");
+    bench_event_queue();
     bench_fault_buffer();
     bench_prefetcher();
     bench_memory_manager();

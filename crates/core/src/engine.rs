@@ -252,6 +252,7 @@ enum Event {
     EtcTick,
 }
 
+
 struct Engine {
     cfg: SimConfig,
     clock: Cycle,
@@ -277,6 +278,12 @@ struct Engine {
     seen_fault_pages: PageSet,
     throttled_count: u16,
     probes: SharedProbes,
+    // Recycled hot-loop scratch: taken, filled, cleared, and put back so
+    // the steady-state event loop performs no heap allocations.
+    uvm_out: Vec<UvmOutput>,
+    waiter_pool: Vec<Vec<(usize, usize)>>,
+    scratch_page_lat: Vec<(PageId, Cycle)>,
+    scratch_faulted: Vec<(PageId, Cycle)>,
     // metrics
     finished_at: Option<Cycle>,
     memory_pages: Option<u64>,
@@ -318,10 +325,13 @@ impl Engine {
         let cc = CapacityCompression::new(&etc);
         let num_sms = cfg.gpu.num_sms as usize;
         let memory_pages = cfg.uvm.gpu_mem_pages;
+        // Kernel launch wakes every schedulable warp at the same cycle:
+        // size the same-cycle ring for that burst up front.
+        let max_warps = num_sms * (cfg.gpu.threads_per_sm / cfg.gpu.warp_size).max(1) as usize;
         Self {
             cfg,
             clock: 0,
-            events: EventQueue::new(),
+            events: EventQueue::with_capacity(max_warps),
             mmu,
             mem,
             uvm,
@@ -353,6 +363,10 @@ impl Engine {
             ops_consumed: 0,
             pages_installed: 0,
             faults_recorded: 0,
+            uvm_out: Vec::new(),
+            waiter_pool: Vec::new(),
+            scratch_page_lat: Vec::new(),
+            scratch_faulted: Vec::new(),
         }
     }
 
@@ -375,13 +389,17 @@ impl Engine {
 
     /// One-line dump of what is outstanding, for livelock/deadlock errors.
     fn describe_stuck(&self) -> String {
+        let occ = self.events.occupancy();
         format!(
-            "kernel {}/{}, {} blocks outstanding, {} pages awaited, {} events queued; {}",
+            "kernel {}/{}, {} blocks outstanding, {} pages awaited, {} events queued (ring {} / wheel {} / overflow {}); {}",
             self.kernel_idx,
             self.workload.num_kernels(),
             self.blocks_remaining,
             self.waiters.len(),
             self.events.len(),
+            occ.ring,
+            occ.wheel,
+            occ.overflow,
             self.uvm.describe_state(),
         )
     }
@@ -422,8 +440,17 @@ impl Engine {
                 Event::WarpWake { block, warp } => self.on_warp_wake(block, warp)?,
                 Event::RaiseFault { page } => self.on_raise_fault(page)?,
                 Event::Uvm(e) => {
-                    let outs = self.uvm.on_event(e, self.clock)?;
-                    self.apply_outputs(outs)?;
+                    // Take/restore the recycled scratch so the runtime and
+                    // apply step borrow independently; steady state never
+                    // allocates.
+                    let mut outs = std::mem::take(&mut self.uvm_out);
+                    let res = self
+                        .uvm
+                        .on_event_into(e, self.clock, &mut outs)
+                        .and_then(|()| self.apply_outputs(&mut outs));
+                    outs.clear();
+                    self.uvm_out = outs;
+                    res?;
                     if self.cfg.audit >= AuditLevel::Full {
                         self.audit_cross_state()?;
                     }
@@ -436,8 +463,12 @@ impl Engine {
                 let sig = self.progress_signature();
                 if sig == last_sig {
                     stagnant += 1;
+                    let occ = self.events.occupancy();
                     self.probes.emit_with(self.clock, || ProbeEvent::WatchdogTick {
                         events_without_progress: stagnant,
+                        ring: occ.ring as u64,
+                        wheel: occ.wheel as u64,
+                        overflow: occ.overflow as u64,
                     });
                     if stagnant >= budget {
                         return Err(SimError::Livelock {
@@ -643,11 +674,22 @@ impl Engine {
         let page_shift = self.cfg.uvm.page_shift;
         let l1_hit = self.cfg.tlb.l1_hit_latency;
         // Translate each distinct page once (the coalescer and TLB port
-        // would collapse the duplicates anyway).
-        let mut page_lat: Vec<(PageId, Cycle)> = Vec::new();
-        let mut faulted: Vec<(PageId, Cycle)> = Vec::new();
+        // would collapse the duplicates anyway). The two per-op lists are
+        // recycled engine scratch; error exits may drop them (the run is
+        // aborting) but every success path hands them back empty.
+        let mut page_lat = std::mem::take(&mut self.scratch_page_lat);
+        let mut faulted = std::mem::take(&mut self.scratch_faulted);
+        debug_assert!(page_lat.is_empty() && faulted.is_empty());
+        // Coalesced addrs are line-sorted, so same-page runs are contiguous:
+        // remembering the previous page skips most dedup scans (and the fall
+        // through stays correct for unsorted streams).
+        let mut prev_page = None;
         for a in op.addrs() {
             let page = a.page(page_shift);
+            if prev_page == Some(page) {
+                continue;
+            }
+            prev_page = Some(page);
             if page_lat.iter().any(|&(p, _)| p == page) || faulted.iter().any(|&(p, _)| p == page)
             {
                 continue;
@@ -666,19 +708,34 @@ impl Engine {
         if faulted.is_empty() {
             let cc = self.cc.access_penalty();
             let mut total: Cycle = 0;
+            let mut prev: Option<(_, Cycle)> = None;
             for a in op.addrs() {
                 let page = a.page(page_shift);
-                let Some(tl) = page_lat.iter().find(|&&(p, _)| p == page).map(|&(_, l)| l) else {
-                    return Err(SimError::Accounting {
-                        cycle: self.clock,
-                        detail: format!("mem op touched page {page} that was never translated"),
-                    });
+                let tl = match prev {
+                    Some((p, l)) if p == page => l,
+                    _ => {
+                        let Some(l) =
+                            page_lat.iter().find(|&&(p, _)| p == page).map(|&(_, l)| l)
+                        else {
+                            return Err(SimError::Accounting {
+                                cycle: self.clock,
+                                detail: format!(
+                                    "mem op touched page {page} that was never translated"
+                                ),
+                            });
+                        };
+                        prev = Some((page, l));
+                        l
+                    }
                 };
                 let dl = self.mem.access(sm, *a) + cc;
                 total = total.max(tl + dl);
             }
             self.blocks[b].warps[w].phase = WarpPhase::MemWait;
             self.events.push(self.clock + total, Event::WarpWake { block: b, warp: w });
+            page_lat.clear();
+            self.scratch_page_lat = page_lat;
+            self.scratch_faulted = faulted;
         } else {
             // The warp stalls on its faulting pages. Replay is per-lane, as
             // on real hardware: lanes whose pages were resident complete
@@ -686,7 +743,9 @@ impl Engine {
             // guarantees forward progress when capacity is smaller than a
             // single op's page set (each replay resolves at least the page
             // that just arrived).
-            let retry_addrs: Vec<_> = op
+            // Collects into an AddrList: at most the original op's (warp-
+            // bounded) transactions, so the retry stays allocation-free.
+            let retry_addrs: batmem_sim::ops::AddrList = op
                 .addrs()
                 .iter()
                 .filter(|a| faulted.iter().any(|&(p, _)| p == a.page(page_shift)))
@@ -710,16 +769,21 @@ impl Engine {
                 warp: w as u16,
                 waiting_pages: n,
             });
-            for (page, tl) in faulted {
+            for (page, tl) in faulted.drain(..) {
                 match self.waiters.get_mut(page) {
                     Some(list) => list.push((b, w)),
                     None => {
-                        self.waiters.insert(page, vec![(b, w)]);
+                        let mut list = self.waiter_pool.pop().unwrap_or_default();
+                        list.push((b, w));
+                        self.waiters.insert(page, list);
                     }
                 }
                 // The fault reaches the fault buffer when the walk fails.
                 self.events.push(self.clock + tl, Event::RaiseFault { page });
             }
+            page_lat.clear();
+            self.scratch_page_lat = page_lat;
+            self.scratch_faulted = faulted;
             self.maybe_switch(sm)?;
         }
         Ok(())
@@ -735,14 +799,20 @@ impl Engine {
             let refault = !self.seen_fault_pages.insert(page);
             self.throttle.on_fault(refault);
         }
-        let outs = self.uvm.record_fault(page, self.clock)?;
-        self.faults_recorded += 1;
-        self.apply_outputs(outs)?;
-        Ok(())
+        let mut outs = std::mem::take(&mut self.uvm_out);
+        let res = self.uvm.record_fault_into(page, self.clock, &mut outs).and_then(|()| {
+            self.faults_recorded += 1;
+            self.apply_outputs(&mut outs)
+        });
+        outs.clear();
+        self.uvm_out = outs;
+        res
     }
 
-    fn apply_outputs(&mut self, outs: Vec<UvmOutput>) -> Result<(), SimError> {
-        for o in outs {
+    /// Applies and drains the runtime's commands; `outs` is the engine's
+    /// recycled scratch and comes back empty.
+    fn apply_outputs(&mut self, outs: &mut Vec<UvmOutput>) -> Result<(), SimError> {
+        for o in outs.drain(..) {
             match o {
                 UvmOutput::Schedule { at, event } => {
                     self.events.push(at.max(self.clock), Event::Uvm(event));
@@ -761,8 +831,8 @@ impl Engine {
     }
 
     fn wake_waiters(&mut self, page: PageId) -> Result<(), SimError> {
-        let Some(list) = self.waiters.remove(page) else { return Ok(()) };
-        for (b, w) in list {
+        let Some(mut list) = self.waiters.remove(page) else { return Ok(()) };
+        for &(b, w) in &list {
             if self.blocks[b].warps[w].page_arrived() {
                 let block_id = self.blocks[b].id;
                 let sm = self.block_sm[b];
@@ -786,6 +856,9 @@ impl Engine {
                 }
             }
         }
+        // Recycle the waiter list's capacity for the next faulting page.
+        list.clear();
+        self.waiter_pool.push(list);
         Ok(())
     }
 

@@ -132,8 +132,11 @@ pub fn event_to_json(at: Cycle, event: &ProbeEvent) -> String {
         ProbeEvent::ContextSwitch { sm, cost, restore } => {
             let _ = write!(s, ",\"sm\":{sm},\"cost\":{cost},\"restore\":{restore}");
         }
-        ProbeEvent::WatchdogTick { events_without_progress } => {
-            let _ = write!(s, ",\"events_without_progress\":{events_without_progress}");
+        ProbeEvent::WatchdogTick { events_without_progress, ring, wheel, overflow } => {
+            let _ = write!(
+                s,
+                ",\"events_without_progress\":{events_without_progress},\"ring\":{ring},\"wheel\":{wheel},\"overflow\":{overflow}"
+            );
         }
         ProbeEvent::KernelLaunched { kernel, blocks } => {
             let _ = write!(s, ",\"kernel\":{kernel},\"blocks\":{blocks}");
@@ -761,7 +764,7 @@ mod tests {
             ProbeEvent::WarpStalled { sm: 0, block: 1, warp: 2, waiting_pages: 3 },
             ProbeEvent::WarpResumed { sm: 0, block: 1, warp: 2 },
             ProbeEvent::ContextSwitch { sm: 0, cost: 100, restore: true },
-            ProbeEvent::WatchdogTick { events_without_progress: 5 },
+            ProbeEvent::WatchdogTick { events_without_progress: 5, ring: 1, wheel: 2, overflow: 3 },
             ProbeEvent::KernelLaunched { kernel: 0, blocks: 64 },
         ];
         for ev in events {

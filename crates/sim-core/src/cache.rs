@@ -49,16 +49,20 @@ impl DataCache {
         let set = (line % self.sets.len() as u64) as usize;
         let ways = self.ways;
         let entries = &mut self.sets[set];
-        if let Some(pos) = entries.iter().position(|&l| l == line) {
-            let l = entries.remove(pos);
-            entries.push(l);
+        // Scan from the MRU end: temporal locality means the hit is usually
+        // near the back. Rotating in place keeps recency order without the
+        // double shift of a remove-then-push.
+        if let Some(pos) = entries.iter().rposition(|&l| l == line) {
+            entries[pos..].rotate_left(1);
             self.stats.hits += 1;
             true
         } else {
             if entries.len() == ways {
-                entries.remove(0);
+                entries.rotate_left(1);
+                *entries.last_mut().expect("set is non-empty") = line;
+            } else {
+                entries.push(line);
             }
-            entries.push(line);
             self.stats.misses += 1;
             false
         }

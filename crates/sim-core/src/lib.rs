@@ -26,10 +26,11 @@ pub mod events;
 pub mod ops;
 pub mod sm;
 pub mod warp;
+mod wheel;
 
 pub use block::{BlockContext, BlockResidency};
 pub use cache::{DataCache, MemPath};
-pub use events::EventQueue;
+pub use events::{EventQueue, SchedulerOccupancy};
 pub use ops::{AccessStream, Kernel, KernelSpec, WarpOp, Workload};
 pub use sm::{Occupancy, Sm};
 pub use warp::{WarpContext, WarpPhase};

@@ -9,6 +9,95 @@
 
 use batmem_types::{BlockId, KernelId, VirtAddr};
 
+/// Transactions an [`AddrList`] stores without heap allocation: one warp's
+/// worth, which is the most a 32-lane coalescer emits per operation.
+pub const INLINE_TXNS: usize = 32;
+
+/// A coalesced memory operation's transaction addresses.
+///
+/// Up to [`INLINE_TXNS`] entries live inline — since the stream builders
+/// chunk coalesced transactions at warp size, every op they emit takes the
+/// inline path, so constructing and dropping ops on the engine's hot loop
+/// never touches the allocator. Wider lists (hand-built streams) spill to a
+/// heap vector transparently.
+#[derive(Clone)]
+pub struct AddrList(Repr);
+
+// The size asymmetry is the point: the inline variant IS the intended
+// storage, and ops this size move through `Vec`s and `Option`s a couple of
+// times per event — far cheaper than the malloc/free pair it replaces.
+#[allow(clippy::large_enum_variant)]
+#[derive(Clone)]
+enum Repr {
+    Inline { len: u8, buf: [VirtAddr; INLINE_TXNS] },
+    Heap(Vec<VirtAddr>),
+}
+
+impl AddrList {
+    /// The transactions as a slice.
+    pub fn as_slice(&self) -> &[VirtAddr] {
+        match &self.0 {
+            Repr::Inline { len, buf } => &buf[..usize::from(*len)],
+            Repr::Heap(v) => v,
+        }
+    }
+}
+
+impl std::ops::Deref for AddrList {
+    type Target = [VirtAddr];
+
+    fn deref(&self) -> &[VirtAddr] {
+        self.as_slice()
+    }
+}
+
+impl PartialEq for AddrList {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for AddrList {}
+
+impl std::fmt::Debug for AddrList {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list().entries(self.as_slice()).finish()
+    }
+}
+
+impl FromIterator<VirtAddr> for AddrList {
+    fn from_iter<I: IntoIterator<Item = VirtAddr>>(iter: I) -> Self {
+        let mut buf = [VirtAddr::default(); INLINE_TXNS];
+        let mut len = 0usize;
+        let mut iter = iter.into_iter();
+        for a in iter.by_ref() {
+            if len == INLINE_TXNS {
+                // Spill: keep what's inline, then extend on the heap.
+                let mut v = Vec::with_capacity(INLINE_TXNS * 2);
+                v.extend_from_slice(&buf);
+                v.push(a);
+                v.extend(iter);
+                return Self(Repr::Heap(v));
+            }
+            buf[len] = a;
+            len += 1;
+        }
+        Self(Repr::Inline { len: len as u8, buf })
+    }
+}
+
+impl From<Vec<VirtAddr>> for AddrList {
+    fn from(v: Vec<VirtAddr>) -> Self {
+        if v.len() <= INLINE_TXNS {
+            let mut buf = [VirtAddr::default(); INLINE_TXNS];
+            buf[..v.len()].copy_from_slice(&v);
+            Self(Repr::Inline { len: v.len() as u8, buf })
+        } else {
+            Self(Repr::Heap(v))
+        }
+    }
+}
+
 /// One warp-level operation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum WarpOp {
@@ -17,10 +106,10 @@ pub enum WarpOp {
     /// A coalesced load: one entry per distinct memory transaction the
     /// warp's 32 lanes generate (1 for a fully coalesced access, up to 32
     /// for fully divergent scatter/gather).
-    Load(Vec<VirtAddr>),
+    Load(AddrList),
     /// A coalesced store; timing-wise identical to a load in this model
     /// (write-allocate), tracked separately for statistics.
-    Store(Vec<VirtAddr>),
+    Store(AddrList),
 }
 
 impl WarpOp {
@@ -28,7 +117,7 @@ impl WarpOp {
     pub fn addrs(&self) -> &[VirtAddr] {
         match self {
             WarpOp::Compute(_) => &[],
-            WarpOp::Load(a) | WarpOp::Store(a) => a,
+            WarpOp::Load(a) | WarpOp::Store(a) => a.as_slice(),
         }
     }
 
@@ -142,7 +231,7 @@ mod tests {
         let c = WarpOp::Compute(5);
         assert!(c.addrs().is_empty());
         assert!(!c.is_mem());
-        let l = WarpOp::Load(vec![VirtAddr::new(64)]);
+        let l = WarpOp::Load(vec![VirtAddr::new(64)].into());
         assert_eq!(l.addrs(), &[VirtAddr::new(64)]);
         assert!(l.is_mem());
     }

@@ -102,8 +102,8 @@ mod tests {
     #[test]
     fn retry_takes_priority_over_stream() {
         let mut w = warp(vec![WarpOp::Compute(1)]);
-        w.pending_retry = Some(WarpOp::Load(vec![VirtAddr::new(0)]));
-        assert_eq!(w.take_next_op(), Some(WarpOp::Load(vec![VirtAddr::new(0)])));
+        w.pending_retry = Some(WarpOp::Load(vec![VirtAddr::new(0)].into()));
+        assert_eq!(w.take_next_op(), Some(WarpOp::Load(vec![VirtAddr::new(0)].into())));
         assert_eq!(w.take_next_op(), Some(WarpOp::Compute(1)));
         assert_eq!(w.take_next_op(), None);
     }

@@ -33,6 +33,68 @@ proptest! {
     }
 
     #[test]
+    fn event_queue_matches_heap_oracle_under_interleaved_ops(
+        // (op selector, time operand). Times deliberately cluster in a
+        // small range to force duplicate timestamps, with occasional huge
+        // jumps so pushes land in every tier (ring / wheel / overflow) and
+        // pops interleave with pushes — including pushes at or behind the
+        // last popped time, which the overflow tier must absorb.
+        ops in prop::collection::vec(
+            (0u8..8, prop_oneof![
+                0u64..50,
+                0u64..50,
+                0u64..50,
+                0u64..20_000,
+                0u64..20_000,
+                0u64..200_000_000,
+            ]),
+            0..400,
+        ),
+    ) {
+        // Oracle: the pre-rewrite scheduler — a plain (time, seq) min-heap.
+        let mut oracle: std::collections::BinaryHeap<std::cmp::Reverse<(u64, u64)>> =
+            std::collections::BinaryHeap::new();
+        let mut oracle_seq = 0u64;
+        let mut oracle_cur = 0u64;
+
+        let mut q = EventQueue::new();
+        let mut tag = 0u32;
+        for &(op, t) in &ops {
+            if op < 6 {
+                // Bias pushes toward the last popped time (op 4/5) to
+                // exercise the same-cycle ring against heap-held ties.
+                let time = if op >= 4 { oracle_cur.saturating_add(t % 3) } else { t };
+                q.push(time, tag);
+                oracle.push(std::cmp::Reverse((time, oracle_seq)));
+                oracle_seq += 1;
+                tag += 1;
+            } else {
+                let expected = oracle.pop().map(|std::cmp::Reverse((time, seq))| {
+                    oracle_cur = oracle_cur.max(time);
+                    (time, seq)
+                });
+                let got = q.pop();
+                prop_assert_eq!(got.map(|(time, _)| time), expected.map(|(time, _)| time));
+                // seq == tag by construction, so payload identity pins the
+                // full (time, seq) order, not just the timestamps.
+                prop_assert_eq!(
+                    got.map(|(_, x)| u64::from(x)),
+                    expected.map(|(_, seq)| seq)
+                );
+                prop_assert_eq!(q.peek_time(), oracle.peek().map(|&std::cmp::Reverse((time, _))| time));
+            }
+        }
+        // Drain both: every remaining event must agree too.
+        while let Some(std::cmp::Reverse((time, seq))) = oracle.pop() {
+            let got = q.pop();
+            prop_assert_eq!(got.map(|(x, _)| x), Some(time));
+            prop_assert_eq!(got.map(|(_, x)| u64::from(x)), Some(seq));
+        }
+        prop_assert_eq!(q.pop(), None);
+        prop_assert!(q.is_empty());
+    }
+
+    #[test]
     fn cache_repeat_access_within_line_always_hits(
         base in 0u64..1_000_000,
         offsets in prop::collection::vec(0u64..128, 1..20),

@@ -176,6 +176,12 @@ pub enum ProbeEvent {
     WatchdogTick {
         /// Consecutive events without forward progress so far.
         events_without_progress: u64,
+        /// Events pending in the scheduler's same-cycle ring tier.
+        ring: u64,
+        /// Events pending in the scheduler's timing-wheel tier.
+        wheel: u64,
+        /// Events pending in the scheduler's overflow-heap tier.
+        overflow: u64,
     },
     /// A kernel was launched onto the grid.
     KernelLaunched {

@@ -15,6 +15,24 @@ impl UvmRuntime {
     /// resident in the runtime's planned view — the engine should never
     /// raise a fault for a page it could have translated.
     pub fn record_fault(&mut self, page: PageId, now: Cycle) -> Result<Vec<UvmOutput>, SimError> {
+        let mut out = Vec::new();
+        self.record_fault_into(page, now, &mut out)?;
+        Ok(out)
+    }
+
+    /// Allocation-free variant of [`Self::record_fault`]: appends the
+    /// resulting commands to `out` (typically the engine's recycled
+    /// scratch) instead of allocating a fresh `Vec` per fault.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Self::record_fault`].
+    pub fn record_fault_into(
+        &mut self,
+        page: PageId,
+        now: Cycle,
+        out: &mut Vec<UvmOutput>,
+    ) -> Result<(), SimError> {
         if self.lifetime.on_fault(page) {
             // The refault just classified the page's eviction as premature.
             self.probes.emit_with(now, || ProbeEvent::PrematureEviction { page });
@@ -32,7 +50,7 @@ impl UvmRuntime {
             if will_arrive {
                 self.faults_on_pending += 1;
                 self.probes.emit_with(now, || ProbeEvent::FaultAbsorbed { page });
-                return Ok(Vec::new());
+                return Ok(());
             }
         }
         if self.mem.is_resident(page) {
@@ -51,12 +69,11 @@ impl UvmRuntime {
         }
         if self.state == State::Idle {
             self.state = State::Draining;
-            Ok(vec![UvmOutput::Schedule {
+            out.push(UvmOutput::Schedule {
                 at: now + self.cfg.isr_latency,
                 event: UvmEvent::DrainBuffer,
-            }])
-        } else {
-            Ok(Vec::new())
+            });
         }
+        Ok(())
     }
 }

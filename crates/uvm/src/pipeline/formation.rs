@@ -10,7 +10,13 @@ use batmem_types::probe::{EvictionCause, ProbeEvent};
 use batmem_types::{Cycle, PageId, SimError};
 
 impl UvmRuntime {
-    pub(crate) fn start_batch(&mut self, now: Cycle) -> Result<Vec<UvmOutput>, SimError> {
+    /// Appends the opened batch's commands to `outputs` (the engine's
+    /// recycled scratch).
+    pub(crate) fn start_batch(
+        &mut self,
+        now: Cycle,
+        outputs: &mut Vec<UvmOutput>,
+    ) -> Result<(), SimError> {
         debug_assert_eq!(self.state, State::Idle);
         let faulted: Vec<PageId> = self
             .buffer
@@ -19,9 +25,8 @@ impl UvmRuntime {
             .filter(|p| !self.mem.is_resident(*p))
             .collect();
         if faulted.is_empty() {
-            return Ok(Vec::new());
+            return Ok(());
         }
-        let mut outputs = Vec::new();
         let prefetched = {
             let mem = &self.mem;
             self.prefetcher.expand(&faulted, &|p| mem.is_resident(p), self.valid_pages)
@@ -72,7 +77,7 @@ impl UvmRuntime {
         // tracker and issues one preemptive eviction so the first migration
         // can start unhindered (§4.2, Fig. 9 steps 2-3).
         if self.eviction.preemptive() && self.mem.at_capacity() && self.pending_free.is_empty() {
-            self.schedule_evictions(now, &mut plan, &mut outputs, EvictionCause::Preemptive)?;
+            self.schedule_evictions(now, &mut plan, outputs, EvictionCause::Preemptive)?;
             self.preemptive_evictions += 1;
         }
 
@@ -86,7 +91,7 @@ impl UvmRuntime {
             let mut need = (plan.pages.len() as u64).saturating_sub(available);
             while need > 0 && self.mem.resident_count() > 0 {
                 let before = self.pending_free.len();
-                self.schedule_evictions(now, &mut plan, &mut outputs, EvictionCause::Proactive)?;
+                self.schedule_evictions(now, &mut plan, outputs, EvictionCause::Proactive)?;
                 let freed = (self.pending_free.len() - before) as u64;
                 if freed == 0 {
                     break;
@@ -98,6 +103,6 @@ impl UvmRuntime {
 
         self.current = Some(plan);
         self.state = State::Handling;
-        Ok(outputs)
+        Ok(())
     }
 }

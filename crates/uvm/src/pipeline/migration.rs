@@ -8,7 +8,14 @@ use batmem_types::probe::ProbeEvent;
 use batmem_types::{Cycle, PageId, SimError};
 
 impl UvmRuntime {
-    pub(crate) fn plan_migrations(&mut self, batch: u64, now: Cycle) -> Result<Vec<UvmOutput>, SimError> {
+    /// Appends the batch's migration commands to `outputs` (the engine's
+    /// recycled scratch).
+    pub(crate) fn plan_migrations(
+        &mut self,
+        batch: u64,
+        now: Cycle,
+        outputs: &mut Vec<UvmOutput>,
+    ) -> Result<(), SimError> {
         if self.state != State::Handling {
             return Err(self.unexpected(
                 now,
@@ -32,11 +39,10 @@ impl UvmRuntime {
                 &format!("stale batch (open batch is {open})"),
             ));
         }
-        let mut outputs = Vec::new();
         let page_bytes = self.cfg.page_bytes();
         for i in 0..plan.pages.len() {
             let page = plan.pages[i];
-            let (frame, ready) = self.acquire_frame(now, &mut plan, &mut outputs)?;
+            let (frame, ready) = self.acquire_frame(now, &mut plan, outputs)?;
             // Injected PCIe perturbation: jitter/stalls delay when this
             // transfer may claim the host-to-device pipe.
             let extra = self.injector.as_mut().map_or(0, FaultInjector::transfer_delay);
@@ -69,10 +75,17 @@ impl UvmRuntime {
         }
         self.current = Some(plan);
         self.state = State::Migrating;
-        Ok(outputs)
+        Ok(())
     }
 
-    pub(crate) fn page_arrived(&mut self, page: PageId, now: Cycle) -> Result<Vec<UvmOutput>, SimError> {
+    /// Appends the arrival's commands to `outputs` (the engine's recycled
+    /// scratch).
+    pub(crate) fn page_arrived(
+        &mut self,
+        page: PageId,
+        now: Cycle,
+        outputs: &mut Vec<UvmOutput>,
+    ) -> Result<(), SimError> {
         if self.state != State::Migrating {
             return Err(self.unexpected(
                 now,
@@ -87,7 +100,7 @@ impl UvmRuntime {
             });
         };
         self.probes.emit_with(now, || ProbeEvent::MigrationCompleted { page, frame });
-        let mut outputs = vec![UvmOutput::Install { page, frame }];
+        outputs.push(UvmOutput::Install { page, frame });
         let finished = {
             let Some(plan) = self.current.as_mut() else {
                 return Err(self.unexpected(
@@ -125,9 +138,9 @@ impl UvmRuntime {
             // Driver replay optimization (§2.2): service accumulated faults
             // immediately rather than waiting for a fresh interrupt.
             if !self.buffer.is_empty() {
-                outputs.extend(self.start_batch(now)?);
+                self.start_batch(now, outputs)?;
             }
         }
-        Ok(outputs)
+        Ok(())
     }
 }

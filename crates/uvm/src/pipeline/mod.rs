@@ -280,22 +280,43 @@ impl UvmRuntime {
     /// [`SimError::InvariantViolated`] when auditing is enabled and a
     /// conservation law fails after the event applies.
     pub fn on_event(&mut self, event: UvmEvent, now: Cycle) -> Result<Vec<UvmOutput>, SimError> {
-        let outputs = match event {
+        let mut out = Vec::new();
+        self.on_event_into(event, now, &mut out)?;
+        Ok(out)
+    }
+
+    /// Allocation-free variant of [`Self::on_event`]: appends the resulting
+    /// commands to `out` (typically the engine's recycled scratch buffer)
+    /// instead of allocating a fresh `Vec` per event.
+    ///
+    /// On error, `out` may hold a partial prefix of commands; callers must
+    /// not apply it.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Self::on_event`].
+    pub fn on_event_into(
+        &mut self,
+        event: UvmEvent,
+        now: Cycle,
+        out: &mut Vec<UvmOutput>,
+    ) -> Result<(), SimError> {
+        match event {
             UvmEvent::DrainBuffer => {
                 if self.state != State::Draining {
                     return Err(self.unexpected(now, "DrainBuffer", "drain outside the ISR window"));
                 }
                 self.state = State::Idle;
-                self.start_batch(now)
+                self.start_batch(now, out)?;
             }
-            UvmEvent::HandlingDone { batch } => self.plan_migrations(batch, now),
-            UvmEvent::PageArrived { page } => self.page_arrived(page, now),
-            UvmEvent::EvictionStarted { page } => Ok(vec![UvmOutput::Evict { page }]),
-        }?;
+            UvmEvent::HandlingDone { batch } => self.plan_migrations(batch, now, out)?,
+            UvmEvent::PageArrived { page } => self.page_arrived(page, now, out)?,
+            UvmEvent::EvictionStarted { page } => out.push(UvmOutput::Evict { page }),
+        }
         if self.audit.enabled() {
             self.check_invariants(now)?;
         }
-        Ok(outputs)
+        Ok(())
     }
 
     /// Builds a [`SimError::StateMachine`] snapshotting the current state.

@@ -167,14 +167,13 @@ impl BfsKernel {
         b.load_seq(&sh.arrays.edges, start, u64::from(deg));
         let nbrs = sh.graph.neighbors(v);
         b.load_gather(&sh.arrays.vprops[levels_arr], nbrs.iter().map(|&n| u64::from(n)));
-        let disc: Vec<u64> = nbrs
+        // Newly discovered vertices; an empty gather coalesces to no ops,
+        // so no emptiness check (or materialized list) is needed.
+        let disc = nbrs
             .iter()
             .filter(|&&n| sh.levels[n as usize] == self.level + 1)
-            .map(|&n| u64::from(n))
-            .collect();
-        if !disc.is_empty() {
-            b.store_gather(&sh.arrays.vprops[levels_arr], disc.iter().copied());
-        }
+            .map(|&n| u64::from(n));
+        b.store_gather(&sh.arrays.vprops[levels_arr], disc);
         b.compute(2 + deg / 8);
     }
 }

@@ -7,7 +7,7 @@
 //! into at most warp-size transactions per operation.
 
 use crate::layout::ArrayRef;
-use batmem_sim::ops::{AccessStream, VecStream, WarpOp};
+use batmem_sim::ops::{AccessStream, AddrList, VecStream, WarpOp};
 use batmem_types::VirtAddr;
 
 /// Default log2 of the transaction (cache line) size: 128 bytes.
@@ -17,6 +17,10 @@ pub const LINE_SHIFT: u32 = 7;
 #[derive(Debug, Clone)]
 pub struct StreamBuilder {
     ops: Vec<WarpOp>,
+    /// Line-id scratch recycled across coalesce calls; stream construction
+    /// runs once per warp wake-up on the engine's hot path, so the per-op
+    /// working set must not allocate.
+    lines: Vec<u64>,
     line_shift: u32,
     warp_size: usize,
 }
@@ -24,7 +28,7 @@ pub struct StreamBuilder {
 impl StreamBuilder {
     /// Creates a builder with the default 128-byte line and 32-lane warp.
     pub fn new() -> Self {
-        Self { ops: Vec::new(), line_shift: LINE_SHIFT, warp_size: 32 }
+        Self { ops: Vec::new(), lines: Vec::new(), line_shift: LINE_SHIFT, warp_size: 32 }
     }
 
     /// Appends `cycles` of computation (no-op when zero).
@@ -40,37 +44,63 @@ impl StreamBuilder {
         self
     }
 
-    fn coalesce(&self, addrs: impl Iterator<Item = VirtAddr>) -> Vec<Vec<VirtAddr>> {
-        // One transaction per distinct line. Sort-dedup keeps this
-        // O(k log k) — hub vertices in power-law graphs gather tens of
-        // thousands of addresses per operation.
-        let mut lines: Vec<u64> = addrs.map(|a| a.line(self.line_shift)).collect();
+    /// Coalesces `addrs` into per-line transactions and appends them as
+    /// `store`-or-load ops. One transaction per distinct line; sort-dedup
+    /// keeps this O(k log k) — hub vertices in power-law graphs gather tens
+    /// of thousands of addresses per operation. The line scratch is reused
+    /// across calls, so the only allocations are the op payloads themselves.
+    fn push_coalesced(&mut self, addrs: impl Iterator<Item = VirtAddr>, store: bool) {
+        let mut lines = std::mem::take(&mut self.lines);
+        lines.clear();
+        let shift = self.line_shift;
+        lines.extend(addrs.map(|a| a.line(shift)));
         lines.sort_unstable();
         lines.dedup();
-        lines
-            .chunks(self.warp_size)
-            .map(|chunk| {
-                chunk.iter().map(|&l| VirtAddr::new(l << self.line_shift)).collect()
-            })
-            .collect()
+        for chunk in lines.chunks(self.warp_size) {
+            let txns: AddrList =
+                chunk.iter().map(|&l| VirtAddr::new(l << shift)).collect();
+            self.ops.push(if store { WarpOp::Store(txns) } else { WarpOp::Load(txns) });
+        }
+        self.lines = lines;
+    }
+
+    /// Coalesces `count` consecutive elements starting at `start`
+    /// arithmetically: contiguous elements no wider than a line touch every
+    /// line from the first element's to the last element's, in ascending
+    /// order, so the sort-dedup pass (and its per-element materialization)
+    /// can be skipped outright.
+    fn push_seq(&mut self, array: &ArrayRef, start: u64, count: u64, store: bool) {
+        if count == 0 {
+            return;
+        }
+        let shift = self.line_shift;
+        if u64::from(array.elem_bytes()) > (1u64 << shift) {
+            // An element wider than a line can skip lines between
+            // consecutive element starts; use the general path.
+            self.push_coalesced((start..start + count).map(|i| array.addr(i)), store);
+            return;
+        }
+        let first = array.addr(start).line(shift);
+        let last = array.addr(start + count - 1).line(shift);
+        let mut line = first;
+        while line <= last {
+            let n = (last - line + 1).min(self.warp_size as u64);
+            let txns: AddrList = (line..line + n).map(|l| VirtAddr::new(l << shift)).collect();
+            self.ops.push(if store { WarpOp::Store(txns) } else { WarpOp::Load(txns) });
+            line += n;
+        }
     }
 
     /// Loads `count` consecutive elements of `array` starting at `start`
     /// (the fully coalesced pattern: one transaction per touched line).
     pub fn load_seq(&mut self, array: &ArrayRef, start: u64, count: u64) -> &mut Self {
-        let addrs = (start..start + count).map(|i| array.addr(i));
-        for chunk in self.coalesce(addrs) {
-            self.ops.push(WarpOp::Load(chunk));
-        }
+        self.push_seq(array, start, count, false);
         self
     }
 
     /// Stores `count` consecutive elements of `array` starting at `start`.
     pub fn store_seq(&mut self, array: &ArrayRef, start: u64, count: u64) -> &mut Self {
-        let addrs = (start..start + count).map(|i| array.addr(i));
-        for chunk in self.coalesce(addrs) {
-            self.ops.push(WarpOp::Store(chunk));
-        }
+        self.push_seq(array, start, count, true);
         self
     }
 
@@ -80,10 +110,7 @@ impl StreamBuilder {
     where
         I: IntoIterator<Item = u64>,
     {
-        let addrs: Vec<VirtAddr> = indices.into_iter().map(|i| array.addr(i)).collect();
-        for chunk in self.coalesce(addrs.into_iter()) {
-            self.ops.push(WarpOp::Load(chunk));
-        }
+        self.push_coalesced(indices.into_iter().map(|i| array.addr(i)), false);
         self
     }
 
@@ -92,10 +119,7 @@ impl StreamBuilder {
     where
         I: IntoIterator<Item = u64>,
     {
-        let addrs: Vec<VirtAddr> = indices.into_iter().map(|i| array.addr(i)).collect();
-        for chunk in self.coalesce(addrs.into_iter()) {
-            self.ops.push(WarpOp::Store(chunk));
-        }
+        self.push_coalesced(indices.into_iter().map(|i| array.addr(i)), true);
         self
     }
 

@@ -6,20 +6,55 @@
 //! BATMEM_SCALE=16 cargo run -p batmem-bench --release --bin figures -- fig17
 //! ```
 
-use batmem_bench::figures;
 use batmem_bench::runner::{
-    parallel_map, run_custom, run_one_traced, suite_results, ConfigName, CustomPolicy, SuiteConfig,
+    run_custom_injected, suite_results, ConfigName, CustomPolicy, SuiteConfig,
 };
+use batmem_bench::sweep::{self, ArtifactStore, CellPolicy, PoolConfig, SweepPlan};
+use batmem_bench::figures;
 use batmem::PolicyRegistry;
-use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
 
-const USAGE: &str = "usage: figures -- <table1|fig1|fig3|fig5|fig8|fig11|fig12|fig13|fig14|fig15|fig16|fig17|fig18|ctxswitch|pe|sweep [outdir]|all> ...
+const USAGE: &str = "usage: figures -- <table1|fig1|fig3|fig5|fig8|fig11|fig12|fig13|fig14|fig15|fig16|fig17|fig18|ctxswitch|pe|all> ...
        figures -- --list-policies
-       figures -- [--eviction <spec>] [--prefetch <spec>] [--oversubscription <spec>] [--compression] [--workload <name>]...
+       figures -- [--eviction <spec>] [--prefetch <spec>] [--oversubscription <spec>] [--compression] [--inject <spec>] [--workload <name>]...
+       figures -- sweep [outdir] [--workers N] [--max-retries K] [--cell-timeout SECS] [--resume]
+                  [--inject <spec>] [--workloads A,B] [--configs BASELINE,TO+UE] [--scales 8,10]
+                  [--ratios 0.5] [--seeds 42]
 custom runs: any policy flag switches to a single-run mode over the named
 workloads (default BFS-TTC); specs are registry names, e.g. `--eviction
-random:7 --prefetch tree:25` (see --list-policies)
+random:7 --prefetch tree:25` (see --list-policies); `--inject` takes
+off|noisy[:seed]|lost[:seed[:every]]
+sweep mode: fault-tolerant parallel sweep into a resumable artifact store
+(default outdir `artifacts`); ctrl-C drains gracefully, `--resume` skips
+completed cells
 environment: BATMEM_SCALE (default 15), BATMEM_EDGE_FACTOR (default 16)";
+
+/// Sweep-mode cancel flag, set by the SIGINT handler for a graceful drain.
+static CANCEL: AtomicBool = AtomicBool::new(false);
+
+/// Installs a SIGINT handler that only sets [`CANCEL`] — the pool notices,
+/// finishes in-flight cells, abandons the queue, and flushes the store.
+#[cfg(unix)]
+fn install_sigint_handler() {
+    extern "C" fn on_sigint(_sig: i32) {
+        // Async-signal-safe: a single atomic store, nothing else.
+        CANCEL.store(true, Ordering::SeqCst);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    // SAFETY: `signal` is the C standard library's handler registration;
+    // the handler is async-signal-safe (one atomic store, no allocation,
+    // no locks).
+    unsafe {
+        signal(SIGINT, on_sigint);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_sigint_handler() {}
 
 /// Env-var overrides are a binary concern: the library's
 /// `SuiteConfig::default()` is pure (the paper's evaluation point), and
@@ -35,46 +70,190 @@ fn suite_from_env() -> SuiteConfig {
     suite
 }
 
-/// Probe-instrumented mini-sweep with machine-readable artifacts:
-/// `sweep.csv` + `sweep.json` (one MetricsSink row per run) and
-/// `trace-<workload>-<config>.jsonl` (structured tracer output) in `out`.
-fn sweep(suite: &SuiteConfig, out: &Path) {
-    const TRACE_CAPACITY: usize = 64 * 1024;
-    let graph = suite.graph();
-    let jobs: Vec<(&str, ConfigName)> = ["BFS-TTC", "PR", "SSSP-TWC"]
-        .into_iter()
-        .flat_map(|w| [(w, ConfigName::Baseline), (w, ConfigName::ToUe)])
-        .collect();
-    let outcomes = parallel_map(jobs, |&(w, c)| {
-        (w, c, run_one_traced(w, c, suite, &graph, TRACE_CAPACITY))
-    });
-    std::fs::create_dir_all(out).expect("create artifact directory");
-    let mut csv = String::from(batmem::probes::MetricsRow::csv_header());
-    csv.push('\n');
-    let mut json_rows = Vec::new();
-    for (w, c, outcome) in outcomes {
-        match outcome {
-            Ok((metrics, row, trace)) => {
-                csv.push_str(&row.to_csv_row());
-                csv.push('\n');
-                json_rows.push(row.to_json());
-                let slug = format!("{w}-{}", c.label()).replace(['/', '+'], "_");
-                std::fs::write(out.join(format!("trace-{slug}.jsonl")), trace)
-                    .expect("write trace artifact");
-                println!(
-                    "sweep: {w}/{} {} cycles, {} batches, trace-{slug}.jsonl",
-                    c.label(),
-                    metrics.cycles,
-                    metrics.uvm.num_batches(),
-                );
-            }
-            Err(e) => eprintln!("sweep: {w}/{} failed: {e}", c.label()),
-        }
+/// Removes `flag value` from `args`, returning the value.
+fn take_flag(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let i = args.iter().position(|a| a == flag)?;
+    if i + 1 >= args.len() {
+        eprintln!("{flag} needs a value\n{USAGE}");
+        std::process::exit(2);
     }
-    std::fs::write(out.join("sweep.csv"), csv).expect("write sweep.csv");
-    std::fs::write(out.join("sweep.json"), format!("[{}]", json_rows.join(",")))
-        .expect("write sweep.json");
-    println!("sweep: artifacts in {}", out.display());
+    let v = args.remove(i + 1);
+    args.remove(i);
+    Some(v)
+}
+
+/// Removes a bare `flag` from `args`, returning whether it was present.
+fn take_switch(args: &mut Vec<String>, flag: &str) -> bool {
+    if let Some(i) = args.iter().position(|a| a == flag) {
+        args.remove(i);
+        true
+    } else {
+        false
+    }
+}
+
+/// Parses a comma-separated flag value into `T`s, exiting with usage on a
+/// malformed element.
+fn parse_csv_list<T: std::str::FromStr>(flag: &str, value: &str) -> Vec<T> {
+    value
+        .split(',')
+        .filter(|s| !s.is_empty())
+        .map(|s| {
+            s.trim().parse().unwrap_or_else(|_| {
+                eprintln!("{flag}: cannot parse `{s}`\n{USAGE}");
+                std::process::exit(2);
+            })
+        })
+        .collect()
+}
+
+/// The sweep-service entry point: `figures -- sweep [outdir] [flags]`.
+///
+/// Builds a [`SweepPlan`] from the flags (defaulting to the historical
+/// mini-sweep at the env-configured scale), runs it through the
+/// fault-tolerant pool, and exits non-zero when cells were quarantined
+/// (1) or the sweep was cancelled (130).
+fn sweep_main(mut args: Vec<String>, suite: &SuiteConfig) -> ! {
+    fn parse_one<T: std::str::FromStr>(flag: &str, value: &str) -> T {
+        value.trim().parse().unwrap_or_else(|_| {
+            eprintln!("{flag}: cannot parse `{value}`\n{USAGE}");
+            std::process::exit(2);
+        })
+    }
+    let mut pool = PoolConfig { progress_every: Some(Duration::from_secs(2)), ..PoolConfig::default() };
+    if let Some(v) = take_flag(&mut args, "--workers") {
+        pool.workers = parse_one::<usize>("--workers", &v).max(1);
+    }
+    if let Some(v) = take_flag(&mut args, "--max-retries") {
+        pool.max_retries = parse_one("--max-retries", &v);
+    }
+    if let Some(v) = take_flag(&mut args, "--cell-timeout") {
+        let secs: f64 = parse_one("--cell-timeout", &v);
+        if secs <= 0.0 {
+            eprintln!("--cell-timeout: must be positive seconds\n{USAGE}");
+            std::process::exit(2);
+        }
+        pool.cell_timeout = Some(Duration::from_secs_f64(secs));
+    }
+    let resume = take_switch(&mut args, "--resume");
+
+    // Plan axes: default is the historical mini-sweep at the suite's
+    // (env-overridable) evaluation point.
+    let mut plan = SweepPlan {
+        scales: vec![suite.scale],
+        edge_factors: vec![suite.edge_factor],
+        ratios: vec![suite.ratio],
+        seeds: vec![suite.seed],
+        ..SweepPlan::default()
+    };
+    if let Some(v) = take_flag(&mut args, "--workloads") {
+        plan.workloads = parse_csv_list("--workloads", &v);
+    }
+    if let Some(v) = take_flag(&mut args, "--configs") {
+        plan.policies = v
+            .split(',')
+            .filter(|s| !s.is_empty())
+            .map(|s| {
+                CellPolicy::Preset(ConfigName::from_label(s.trim()).unwrap_or_else(|| {
+                    let known: Vec<&str> =
+                        ConfigName::all().iter().map(|c| c.label()).collect();
+                    eprintln!("--configs: unknown config `{s}` (known: {})", known.join(", "));
+                    std::process::exit(2);
+                }))
+            })
+            .collect();
+    }
+    if let Some(v) = take_flag(&mut args, "--scales") {
+        plan.scales = parse_csv_list("--scales", &v);
+    }
+    if let Some(v) = take_flag(&mut args, "--ratios") {
+        plan.ratios = parse_csv_list("--ratios", &v);
+    }
+    if let Some(v) = take_flag(&mut args, "--seeds") {
+        plan.seeds = parse_csv_list("--seeds", &v);
+    }
+    if let Some(v) = take_flag(&mut args, "--inject") {
+        plan.inject = Some(v);
+    }
+    if args.len() > 1 {
+        eprintln!("sweep: unexpected arguments {args:?}\n{USAGE}");
+        std::process::exit(2);
+    }
+    let outdir = args.pop().unwrap_or_else(|| "artifacts".to_string());
+
+    let cells = match plan.cells() {
+        Ok(cells) => cells,
+        Err(e) => {
+            eprintln!("sweep: invalid plan: {e}");
+            std::process::exit(2);
+        }
+    };
+    // Refuse to silently mix plans: an existing store needs an explicit
+    // `--resume` (or a fresh outdir).
+    let has_prior_cells = std::fs::read_dir(std::path::Path::new(&outdir).join("cells"))
+        .map(|d| d.count() > 0)
+        .unwrap_or(false);
+    if has_prior_cells && !resume {
+        eprintln!(
+            "sweep: `{outdir}` already holds cell records; pass --resume to \
+             continue that sweep or point at a fresh directory"
+        );
+        std::process::exit(2);
+    }
+    let store = match ArtifactStore::open(&outdir) {
+        Ok(store) => store,
+        Err(e) => {
+            eprintln!("sweep: cannot open artifact store `{outdir}`: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    install_sigint_handler();
+    eprintln!(
+        "sweep: {} cells, {} workers, {} retries{}{} -> {}",
+        cells.len(),
+        pool.workers,
+        pool.max_retries,
+        pool.cell_timeout
+            .map(|t| format!(", {:.0}s cell deadline", t.as_secs_f64()))
+            .unwrap_or_default(),
+        if resume { ", resuming" } else { "" },
+        outdir,
+    );
+    let runner = sweep::cell_runner(suite.sim.clone());
+    let report = match sweep::run_sweep(&cells, &store, &pool, &CANCEL, runner) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("sweep: store failure: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    let failures = report.failures();
+    eprintln!(
+        "sweep: {} completed, {} quarantined, {} resumed, {} abandoned{}{}",
+        report.completed(),
+        failures.len(),
+        report.resumed.len(),
+        report.abandoned,
+        if report.discarded > 0 {
+            format!(", {} half-written records discarded", report.discarded)
+        } else {
+            String::new()
+        },
+        if report.cancelled { " (cancelled: resume with --resume)" } else { "" },
+    );
+    for rec in &failures {
+        eprintln!("sweep: quarantined {}", rec.report_line());
+    }
+    println!("sweep: artifacts in {outdir}");
+    if report.cancelled {
+        std::process::exit(130);
+    }
+    if !failures.is_empty() {
+        std::process::exit(1);
+    }
+    std::process::exit(0);
 }
 
 /// Prints every registered policy, grouped by axis, and the spec syntax.
@@ -91,14 +270,19 @@ fn list_policies() {
     }
 }
 
-/// Runs each workload once under the custom policy combination and prints
-/// a one-line summary per run. Exits non-zero if any run fails (e.g. an
-/// unknown spec name).
-fn run_custom_combo(suite: &SuiteConfig, custom: &CustomPolicy, workloads: &[String]) {
+/// Runs each workload once under the custom policy combination (plus an
+/// optional fault-injection spec) and prints a one-line summary per run.
+/// Exits non-zero if any run fails (e.g. an unknown spec name).
+fn run_custom_combo(
+    suite: &SuiteConfig,
+    custom: &CustomPolicy,
+    inject: Option<&str>,
+    workloads: &[String],
+) {
     let graph = suite.graph();
     let mut failed = false;
     for w in workloads {
-        match run_custom(w, custom, suite, &graph) {
+        match run_custom_injected(w, custom, inject, suite, &graph) {
             Ok(m) => println!(
                 "custom: {w}/{} {} cycles, {} batches, {} evictions",
                 custom.label(),
@@ -123,21 +307,17 @@ fn main() {
         list_policies();
         return;
     }
+    // The sweep service has its own flag grammar — branch before the
+    // custom-combo extraction below can misread `--workers` etc.
+    if args.first().map(String::as_str) == Some("sweep") {
+        sweep_main(args.split_off(1), &suite_from_env());
+    }
     // Custom-combo flags: any policy flag switches from figure mode to a
     // single run per requested workload.
     let mut custom = CustomPolicy::default();
     let mut custom_mode = false;
+    let mut inject: Option<String> = None;
     let mut workloads: Vec<String> = Vec::new();
-    let take_flag = |args: &mut Vec<String>, flag: &str| -> Option<String> {
-        let i = args.iter().position(|a| a == flag)?;
-        if i + 1 >= args.len() {
-            eprintln!("{flag} needs a value\n{USAGE}");
-            std::process::exit(2);
-        }
-        let v = args.remove(i + 1);
-        args.remove(i);
-        Some(v)
-    };
     if let Some(v) = take_flag(&mut args, "--eviction") {
         custom.eviction = v;
         custom_mode = true;
@@ -148,6 +328,10 @@ fn main() {
     }
     if let Some(v) = take_flag(&mut args, "--oversubscription") {
         custom.oversubscription = v;
+        custom_mode = true;
+    }
+    if let Some(v) = take_flag(&mut args, "--inject") {
+        inject = Some(v);
         custom_mode = true;
     }
     while let Some(v) = take_flag(&mut args, "--workload") {
@@ -176,7 +360,7 @@ fn main() {
             "suite: R-MAT scale {} (2^{} vertices, edge factor {}), oversubscription ratio {}",
             suite.scale, suite.scale, suite.edge_factor, suite.ratio
         );
-        run_custom_combo(&suite, &custom, &workloads);
+        run_custom_combo(&suite, &custom, inject.as_deref(), &workloads);
         return;
     }
     println!(
@@ -205,16 +389,11 @@ fn main() {
         None
     };
 
-    let mut skip_next = false;
-    for (i, arg) in args.iter().enumerate() {
-        if std::mem::take(&mut skip_next) {
-            continue;
-        }
+    for arg in &args {
         match arg.as_str() {
             "sweep" => {
-                let out = args.get(i + 1).cloned().unwrap_or_else(|| "artifacts".to_string());
-                skip_next = args.get(i + 1).is_some();
-                sweep(&suite, Path::new(&out));
+                eprintln!("`sweep` must be the first argument\n{USAGE}");
+                std::process::exit(2);
             }
             "table1" => figures::table1(&suite),
             "fig1" => figures::fig1(&suite),

@@ -2,7 +2,9 @@
 //!
 //! The `figures` binary (`cargo run -p batmem-bench --bin figures --release
 //! -- <fig>`) drives [`suite_results`] and the per-figure printers; the
-//! timing benches in `benches/` cover the simulator's hot paths.
+//! timing benches in `benches/` cover the simulator's hot paths; the
+//! [`sweep`] module is the fault-tolerant parallel sweep service (`figures
+//! sweep --workers N --resume`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -10,6 +12,7 @@
 pub mod error;
 pub mod figures;
 pub mod runner;
+pub mod sweep;
 
 pub use error::BenchError;
 pub use runner::{suite_results, ConfigName, SuiteConfig, SuiteResults};

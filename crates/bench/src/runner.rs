@@ -209,6 +209,26 @@ pub fn run_custom(
     suite: &SuiteConfig,
     graph: &Arc<Csr>,
 ) -> Result<RunMetrics, BenchError> {
+    run_custom_injected(name, custom, None, suite, graph)
+}
+
+/// Like [`run_custom`], with an optional fault-injection spec (`noisy:42`,
+/// `lost:1:3`, `off`) parsed next to the policy specs — the CLI's
+/// `--inject` flag. Unknown spec names come back as the registry-style
+/// typed error listing the known presets.
+pub fn run_custom_injected(
+    name: &str,
+    custom: &CustomPolicy,
+    inject: Option<&str>,
+    suite: &SuiteConfig,
+    graph: &Arc<Csr>,
+) -> Result<RunMetrics, BenchError> {
+    let context = format!("{name}/{}", custom.label());
+    let inject = match inject {
+        Some(spec) => batmem_uvm::InjectConfig::parse_spec(spec)
+            .map_err(|e| BenchError::context(&context, &e))?,
+        None => None,
+    };
     let graph = if name.starts_with("GC-") { suite.graph_for(name) } else { Arc::clone(graph) };
     let workload = registry::build(name, graph)
         .ok_or_else(|| BenchError::msg(format!("unknown workload `{name}`")))?;
@@ -217,15 +237,17 @@ pub fn run_custom(
     } else {
         batmem::PolicyConfig::baseline()
     };
-    Simulation::builder()
+    let mut b = Simulation::builder()
         .config(suite.sim.clone())
         .policy(policy)
         .eviction(custom.eviction.clone())
         .prefetch(custom.prefetch.clone())
         .oversubscription(custom.oversubscription.clone())
-        .memory_ratio(suite.ratio)
-        .try_run(workload)
-        .map_err(|e| BenchError::context(&format!("{name}/{}", custom.label()), &e))
+        .memory_ratio(suite.ratio);
+    if let Some(inject) = inject {
+        b = b.inject(inject);
+    }
+    b.try_run(workload).map_err(|e| BenchError::context(&context, &e))
 }
 
 /// Runs one workload under one configuration.
@@ -403,6 +425,26 @@ mod tests {
         let bad = CustomPolicy { eviction: "mru".into(), ..CustomPolicy::default() };
         let err = run_custom("BFS-TTC", &bad, &suite, &graph).unwrap_err();
         assert!(err.to_string().contains("unknown eviction policy"), "{err}");
+    }
+
+    #[test]
+    fn inject_spec_is_parsed_next_to_the_policy_specs() {
+        let suite = SuiteConfig::new(8, 4).with_seed(1);
+        let graph = suite.graph();
+        let custom = CustomPolicy::default();
+        let clean = run_custom_injected("BFS-TTC", &custom, Some("off"), &suite, &graph).unwrap();
+        let noisy =
+            run_custom_injected("BFS-TTC", &custom, Some("noisy:7"), &suite, &graph).unwrap();
+        assert_eq!(
+            clean.cycles,
+            run_custom("BFS-TTC", &custom, &suite, &graph).unwrap().cycles,
+            "`off` must be identical to no injection"
+        );
+        assert_ne!(clean.cycles, noisy.cycles, "noisy injection must perturb the run");
+        let err =
+            run_custom_injected("BFS-TTC", &custom, Some("chaos"), &suite, &graph).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("unknown inject policy") && msg.contains("noisy"), "{msg}");
     }
 
     #[test]

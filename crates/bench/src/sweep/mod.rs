@@ -1,0 +1,198 @@
+//! The fault-tolerant parallel sweep service.
+//!
+//! A [`SweepPlan`] (cartesian spec of workloads × policies × scales ×
+//! ratios × seeds) expands into content-hashed [`SweepCell`]s, which flow
+//! through a bounded job queue into a pool of worker threads — each owning
+//! an independent `Simulation` — while a results thread streams sealed
+//! [`MetricsRow`](batmem::probes::MetricsRow)s into a resumable on-disk
+//! [`ArtifactStore`]. See [`pool`] for the robustness contract (panic
+//! isolation, wall-clock deadlines, retry/backoff, graceful drain) and
+//! [`store`] for the resume protocol.
+//!
+//! ```no_run
+//! use batmem_bench::sweep::{self, ArtifactStore, PoolConfig, SweepPlan};
+//! use std::sync::atomic::AtomicBool;
+//!
+//! let plan = SweepPlan { scales: vec![8], edge_factors: vec![4], ..SweepPlan::default() };
+//! let store = ArtifactStore::open("artifacts/sweep-store").unwrap();
+//! let cancel = AtomicBool::new(false);
+//! let runner = sweep::cell_runner(Default::default());
+//! let report = sweep::run_sweep(
+//!     &plan.cells().unwrap(), &store, &PoolConfig::default(), &cancel, runner,
+//! ).unwrap();
+//! assert!(report.failures().is_empty());
+//! ```
+
+mod json;
+pub mod outcome;
+pub mod plan;
+pub mod pool;
+pub mod store;
+
+pub use outcome::{AttemptOutcome, CellRecord};
+pub use plan::{CellPolicy, SweepCell, SweepPlan};
+pub use pool::{run_sweep, CellRunner, PoolConfig, SweepReport};
+pub use store::{ArtifactStore, LoadedStore};
+
+use crate::error::BenchError;
+use batmem::policies::{self, ConfigName};
+use batmem::probes::{MetricsRow, MetricsSink};
+use batmem::{SimConfig, Simulation};
+use batmem_graph::{gen, Csr};
+use batmem_uvm::InjectConfig;
+use batmem_workloads::registry;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// A thread-safe cache of generated R-MAT graphs keyed by
+/// `(scale, edge_factor, seed)`, so the pool generates each input once
+/// however many cells share it.
+#[derive(Debug, Default)]
+pub struct GraphCache {
+    graphs: Mutex<HashMap<(u32, u32, u64), Arc<Csr>>>,
+}
+
+impl GraphCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The graph at `(scale, edge_factor, seed)`, generating it on first
+    /// use.
+    pub fn get(&self, scale: u32, edge_factor: u32, seed: u64) -> Arc<Csr> {
+        // Generation happens under the lock: the first requester builds the
+        // graph while sharers wait, rather than racing to build duplicates.
+        let mut graphs = self.graphs.lock().expect("graph cache lock poisoned");
+        Arc::clone(
+            graphs
+                .entry((scale, edge_factor, seed))
+                .or_insert_with(|| Arc::new(gen::rmat(scale, edge_factor, seed))),
+        )
+    }
+
+    /// Graphs currently cached.
+    pub fn len(&self) -> usize {
+        self.graphs.lock().expect("graph cache lock poisoned").len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The input scale for `workload` at plan scale `scale` — the coloring
+/// workloads run a smaller graph, mirroring
+/// [`SuiteConfig::graph_for`](crate::runner::SuiteConfig::graph_for).
+fn input_scale(workload: &str, scale: u32) -> u32 {
+    if workload.starts_with("GC-") {
+        scale.saturating_sub(3).max(8)
+    } else {
+        scale
+    }
+}
+
+/// Runs one cell to a sealed metrics row: builds (or reuses) the input
+/// graph, resolves the cell's policy and injection spec, attaches a
+/// [`MetricsSink`] labeled with the cell slug, and runs the simulation.
+///
+/// # Errors
+///
+/// Unknown workloads, unknown policy/inject specs, invalid configs, and
+/// simulation failures all come back as [`BenchError`] — the pool's retry
+/// and quarantine machinery consumes them.
+pub fn run_cell(
+    cell: &SweepCell,
+    sim: &SimConfig,
+    graphs: &GraphCache,
+) -> Result<MetricsRow, BenchError> {
+    let graph = graphs.get(input_scale(&cell.workload, cell.scale), cell.edge_factor, cell.seed);
+    let workload = registry::build(&cell.workload, graph)
+        .ok_or_else(|| BenchError::msg(format!("unknown workload `{}`", cell.workload)))?;
+    let sink = MetricsSink::labeled(cell.label());
+    let mut b = Simulation::builder().config(sim.clone()).probe(sink.clone());
+    match &cell.policy {
+        CellPolicy::Preset(name) => {
+            let (policy, etc) = policies::preset(*name);
+            b = b.policy(policy);
+            if let Some(e) = etc {
+                b = b.etc(e);
+            }
+            if *name != ConfigName::Unlimited {
+                b = b.memory_ratio(cell.ratio);
+            }
+        }
+        CellPolicy::Custom(custom) => {
+            let policy = if custom.compression {
+                batmem::PolicyConfig::baseline_with_compression()
+            } else {
+                batmem::PolicyConfig::baseline()
+            };
+            b = b
+                .policy(policy)
+                .eviction(custom.eviction.clone())
+                .prefetch(custom.prefetch.clone())
+                .oversubscription(custom.oversubscription.clone())
+                .memory_ratio(cell.ratio);
+        }
+    }
+    if let Some(spec) = &cell.inject {
+        if let Some(inject) = InjectConfig::parse_spec(spec)
+            .map_err(|e| BenchError::context(&cell.label(), &e))?
+        {
+            b = b.inject(inject);
+        }
+    }
+    b.try_run(workload).map_err(|e| BenchError::context(&cell.label(), &e))?;
+    Ok(sink.rows().pop().expect("finished run seals one row"))
+}
+
+/// The production [`CellRunner`]: [`run_cell`] over a fresh shared
+/// [`GraphCache`], with every cell using `sim` as the base system
+/// configuration.
+pub fn cell_runner(sim: SimConfig) -> CellRunner {
+    let graphs = Arc::new(GraphCache::new());
+    Arc::new(move |cell: &SweepCell| run_cell(cell, &sim, &graphs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn graph_cache_shares_instances() {
+        let cache = GraphCache::new();
+        assert!(cache.is_empty());
+        let a = cache.get(6, 2, 1);
+        let b = cache.get(6, 2, 1);
+        assert!(Arc::ptr_eq(&a, &b));
+        let c = cache.get(6, 2, 2);
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn coloring_workloads_get_the_reduced_input_scale() {
+        assert_eq!(input_scale("GC-TTC", 15), 12);
+        assert_eq!(input_scale("GC-DTC", 9), 8);
+        assert_eq!(input_scale("BFS-TTC", 15), 15);
+    }
+
+    #[test]
+    fn run_cell_reports_unknown_specs_as_typed_errors() {
+        let graphs = GraphCache::new();
+        let cell = SweepCell {
+            workload: "BFS-TTC".into(),
+            policy: CellPolicy::Preset(ConfigName::Baseline),
+            scale: 6,
+            edge_factor: 2,
+            ratio: 0.5,
+            seed: 1,
+            inject: Some("chaos".into()),
+            tag: String::new(),
+        };
+        let err = run_cell(&cell, &SimConfig::default(), &graphs).unwrap_err();
+        assert!(err.to_string().contains("unknown inject policy"), "{err}");
+    }
+}

@@ -1,0 +1,306 @@
+//! Sweep plans: a cartesian spec of (workload × policy × scale × ratio ×
+//! seed) expanded into content-hashed cells.
+
+use crate::error::BenchError;
+use crate::runner::CustomPolicy;
+use batmem::policies::ConfigName;
+use batmem_types::sweep::{CellId, StableHasher};
+use batmem_uvm::InjectConfig;
+use batmem_workloads::registry;
+
+/// The policy axis of one cell: a named paper preset or an arbitrary
+/// registry spec combination.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CellPolicy {
+    /// A Fig. 11 preset (`BASELINE`, `TO+UE`, …).
+    Preset(ConfigName),
+    /// Registry spec strings (`--eviction random:7 --prefetch none`).
+    Custom(CustomPolicy),
+}
+
+impl CellPolicy {
+    /// Display label: the preset's figure label, or the custom combo's
+    /// spec triple.
+    pub fn label(&self) -> String {
+        match self {
+            CellPolicy::Preset(c) => c.label().to_string(),
+            CellPolicy::Custom(c) => c.label(),
+        }
+    }
+}
+
+/// One fully-specified simulation run within a sweep.
+///
+/// A cell's identity is the stable content hash of every field
+/// ([`SweepCell::id`]); the artifact store keys records by it, which is
+/// what makes a killed sweep resumable — a cell re-expanded from the same
+/// plan hashes to the same id and finds its completed record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepCell {
+    /// Workload name (`BFS-TTC`, `PR`, …).
+    pub workload: String,
+    /// Policy under test.
+    pub policy: CellPolicy,
+    /// R-MAT scale (vertices = 2^scale).
+    pub scale: u32,
+    /// R-MAT edge factor.
+    pub edge_factor: u32,
+    /// Memory oversubscription ratio.
+    pub ratio: f64,
+    /// Graph seed.
+    pub seed: u64,
+    /// Fault-injection spec (`noisy:42`, `lost:1:3`), `None` = off.
+    pub inject: Option<String>,
+    /// Free-form discriminator hashed into the id for anything the other
+    /// fields do not capture (e.g. a non-default base `SimConfig`).
+    /// Empty by default.
+    pub tag: String,
+}
+
+impl SweepCell {
+    /// The cell's stable content hash — the artifact store key.
+    pub fn id(&self) -> CellId {
+        let mut h = StableHasher::new();
+        h.field("batmem-sweep-cell-v1")
+            .field(&self.workload)
+            .field(&self.policy.label())
+            .field(&self.scale.to_string())
+            .field(&self.edge_factor.to_string())
+            .field(&format!("{:016x}", self.ratio.to_bits()))
+            .field(&self.seed.to_string())
+            .field(self.inject.as_deref().unwrap_or("off"))
+            .field(&self.tag);
+        CellId::from_hash(h.finish())
+    }
+
+    /// Human-readable slug: `workload/policy@s<scale>e<ef>r<ratio>x<seed>`
+    /// plus the inject spec when one is set. Doubles as the metrics-row
+    /// label, so it never contains a comma.
+    pub fn label(&self) -> String {
+        let mut s = format!(
+            "{}/{}@s{}e{}r{}x{}",
+            self.workload,
+            self.policy.label(),
+            self.scale,
+            self.edge_factor,
+            self.ratio,
+            self.seed
+        );
+        if let Some(inj) = &self.inject {
+            s.push('+');
+            s.push_str(inj);
+        }
+        debug_assert!(!s.contains(','), "cell labels must stay comma-free: {s}");
+        s
+    }
+}
+
+/// A cartesian sweep specification. [`SweepPlan::cells`] expands it into
+/// the full matrix, in a deterministic order (workload-major, seed-minor).
+#[derive(Debug, Clone)]
+pub struct SweepPlan {
+    /// Workload names.
+    pub workloads: Vec<String>,
+    /// Policies.
+    pub policies: Vec<CellPolicy>,
+    /// R-MAT scales.
+    pub scales: Vec<u32>,
+    /// R-MAT edge factors.
+    pub edge_factors: Vec<u32>,
+    /// Oversubscription ratios.
+    pub ratios: Vec<f64>,
+    /// Graph seeds.
+    pub seeds: Vec<u64>,
+    /// Fault-injection spec applied to every cell (`None` = off).
+    pub inject: Option<String>,
+    /// Discriminator copied into every cell's [`SweepCell::tag`].
+    pub tag: String,
+}
+
+impl Default for SweepPlan {
+    /// The figure harness's historical mini-sweep: three representative
+    /// workloads × {BASELINE, TO+UE} at the paper's evaluation point.
+    fn default() -> Self {
+        Self {
+            workloads: vec!["BFS-TTC".into(), "PR".into(), "SSSP-TWC".into()],
+            policies: vec![
+                CellPolicy::Preset(ConfigName::Baseline),
+                CellPolicy::Preset(ConfigName::ToUe),
+            ],
+            scales: vec![15],
+            edge_factors: vec![16],
+            ratios: vec![0.5],
+            seeds: vec![42],
+            inject: None,
+            tag: String::new(),
+        }
+    }
+}
+
+impl SweepPlan {
+    /// Checks the plan before expansion: every axis non-empty, every
+    /// workload known to the registry, and the inject spec parseable.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BenchError`] naming the offending axis or spec; unknown
+    /// inject specs carry the registry-style known-names list.
+    pub fn validate(&self) -> Result<(), BenchError> {
+        for (axis, empty) in [
+            ("workloads", self.workloads.is_empty()),
+            ("policies", self.policies.is_empty()),
+            ("scales", self.scales.is_empty()),
+            ("edge_factors", self.edge_factors.is_empty()),
+            ("ratios", self.ratios.is_empty()),
+            ("seeds", self.seeds.is_empty()),
+        ] {
+            if empty {
+                return Err(BenchError::msg(format!("sweep plan axis `{axis}` is empty")));
+            }
+        }
+        for w in &self.workloads {
+            if !registry::irregular_names().contains(&w.as_str()) {
+                return Err(BenchError::msg(format!(
+                    "unknown workload `{w}` (known: {})",
+                    registry::irregular_names().join(", ")
+                )));
+            }
+        }
+        if let Some(spec) = &self.inject {
+            InjectConfig::parse_spec(spec).map_err(|e| BenchError::context("sweep plan", &e))?;
+        }
+        for &r in &self.ratios {
+            if !r.is_finite() || r <= 0.0 {
+                return Err(BenchError::msg(format!("ratio {r} must be positive")));
+            }
+        }
+        Ok(())
+    }
+
+    /// Expands the cartesian product into cells, after
+    /// [`validate`](Self::validate)-ing the plan.
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation failures.
+    pub fn cells(&self) -> Result<Vec<SweepCell>, BenchError> {
+        self.validate()?;
+        let mut out = Vec::new();
+        for w in &self.workloads {
+            for p in &self.policies {
+                for &scale in &self.scales {
+                    for &edge_factor in &self.edge_factors {
+                        for &ratio in &self.ratios {
+                            for &seed in &self.seeds {
+                                out.push(SweepCell {
+                                    workload: w.clone(),
+                                    policy: p.clone(),
+                                    scale,
+                                    edge_factor,
+                                    ratio,
+                                    seed,
+                                    inject: self.inject.clone(),
+                                    tag: self.tag.clone(),
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell() -> SweepCell {
+        SweepCell {
+            workload: "BFS-TTC".into(),
+            policy: CellPolicy::Preset(ConfigName::Baseline),
+            scale: 8,
+            edge_factor: 4,
+            ratio: 0.5,
+            seed: 42,
+            inject: None,
+            tag: String::new(),
+        }
+    }
+
+    #[test]
+    fn cell_ids_are_stable_and_distinguish_every_field() {
+        let base = cell();
+        assert_eq!(base.id(), cell().id(), "same config hashes the same");
+        let variants = [
+            SweepCell { workload: "PR".into(), ..cell() },
+            SweepCell { policy: CellPolicy::Preset(ConfigName::ToUe), ..cell() },
+            SweepCell { scale: 9, ..cell() },
+            SweepCell { edge_factor: 8, ..cell() },
+            SweepCell { ratio: 0.75, ..cell() },
+            SweepCell { seed: 43, ..cell() },
+            SweepCell { inject: Some("noisy:42".into()), ..cell() },
+            SweepCell { tag: "alt-sim".into(), ..cell() },
+        ];
+        let mut ids: Vec<_> = variants.iter().map(SweepCell::id).collect();
+        ids.push(base.id());
+        let n = ids.len();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), n, "every field must perturb the hash");
+    }
+
+    #[test]
+    fn labels_are_comma_free_and_name_the_point() {
+        let c = SweepCell { inject: Some("lost:1:3".into()), ..cell() };
+        let label = c.label();
+        assert_eq!(label, "BFS-TTC/BASELINE@s8e4r0.5x42+lost:1:3");
+        assert!(!label.contains(','));
+    }
+
+    #[test]
+    fn default_plan_expands_to_the_historical_mini_sweep() {
+        let cells = SweepPlan::default().cells().unwrap();
+        assert_eq!(cells.len(), 6); // 3 workloads x 2 policies
+        assert_eq!(cells[0].workload, "BFS-TTC");
+        assert_eq!(cells[0].policy.label(), "BASELINE");
+        assert_eq!(cells[5].workload, "SSSP-TWC");
+    }
+
+    #[test]
+    fn validation_rejects_bad_plans() {
+        let mut p = SweepPlan { workloads: vec![], ..SweepPlan::default() };
+        assert!(p.validate().unwrap_err().to_string().contains("workloads"));
+        p = SweepPlan { workloads: vec!["NOPE".into()], ..SweepPlan::default() };
+        assert!(p.validate().unwrap_err().to_string().contains("NOPE"));
+        p = SweepPlan { inject: Some("chaos".into()), ..SweepPlan::default() };
+        let err = p.validate().unwrap_err().to_string();
+        assert!(err.contains("inject") && err.contains("noisy"), "{err}");
+        p = SweepPlan { ratios: vec![0.0], ..SweepPlan::default() };
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn expansion_is_the_full_cartesian_product() {
+        let plan = SweepPlan {
+            workloads: vec!["BFS-TTC".into(), "PR".into()],
+            policies: vec![
+                CellPolicy::Preset(ConfigName::Baseline),
+                CellPolicy::Custom(CustomPolicy::default()),
+            ],
+            scales: vec![8, 9],
+            edge_factors: vec![4],
+            ratios: vec![0.5, 0.75],
+            seeds: vec![1, 2, 3],
+            inject: None,
+            tag: String::new(),
+        };
+        let cells = plan.cells().unwrap();
+        assert_eq!(cells.len(), 2 * 2 * 2 * 2 * 3);
+        let mut ids: Vec<_> = cells.iter().map(SweepCell::id).collect();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), cells.len(), "cells are pairwise distinct");
+    }
+}

@@ -101,6 +101,28 @@ pub mod policies {
     }
 
     impl ConfigName {
+        /// Every preset, in presentation order — the sweep service's
+        /// default policy axis.
+        pub fn all() -> &'static [ConfigName] {
+            &[
+                ConfigName::Baseline,
+                ConfigName::BaselineCompressed,
+                ConfigName::To,
+                ConfigName::Ue,
+                ConfigName::ToUe,
+                ConfigName::Etc,
+                ConfigName::IdealEviction,
+                ConfigName::Unlimited,
+            ]
+        }
+
+        /// Parses a figure label (`BASELINE`, `TO+UE`, …) back into the
+        /// preset; `None` for unknown labels. Inverse of
+        /// [`ConfigName::label`], used by sweep plans and artifact resume.
+        pub fn from_label(s: &str) -> Option<ConfigName> {
+            Self::all().iter().copied().find(|c| c.label() == s)
+        }
+
         /// Display label matching the paper's figures.
         pub fn label(self) -> &'static str {
             match self {

@@ -570,6 +570,50 @@ impl MetricsRow {
         )
     }
 
+    /// Parses a row previously rendered by [`MetricsRow::to_csv_row`].
+    ///
+    /// Labels never contain commas (they are `workload/policy@point`
+    /// slugs), but the parser is defensive anyway: the 16 counters are
+    /// taken from the right, and everything left of them is the label. The
+    /// sweep artifact store round-trips rows through this, so resume can
+    /// merge completed cells without re-running them.
+    ///
+    /// Returns `None` when the text does not have 16 trailing integers —
+    /// i.e. a truncated or corrupt record.
+    pub fn parse_csv_row(line: &str) -> Option<Self> {
+        let fields: Vec<&str> = line.trim_end_matches(['\r', '\n']).split(',').collect();
+        const COUNTERS: usize = 16;
+        if fields.len() < COUNTERS + 1 {
+            return None;
+        }
+        let label = fields[..fields.len() - COUNTERS].join(",");
+        let mut nums = [0u64; COUNTERS];
+        for (slot, text) in nums.iter_mut().zip(&fields[fields.len() - COUNTERS..]) {
+            *slot = text.parse().ok()?;
+        }
+        let [cycles, kernels, batches, faults_raised, faults_absorbed, prefetches, migrations, migrated_bytes, evictions, forced_pinned_evictions, premature_evictions, warp_stalls, warp_resumes, ctx_switches, ctx_switch_cycles, watchdog_ticks] =
+            nums;
+        Some(Self {
+            label,
+            cycles,
+            kernels,
+            batches,
+            faults_raised,
+            faults_absorbed,
+            prefetches,
+            migrations,
+            migrated_bytes,
+            evictions,
+            forced_pinned_evictions,
+            premature_evictions,
+            warp_stalls,
+            warp_resumes,
+            ctx_switches,
+            ctx_switch_cycles,
+            watchdog_ticks,
+        })
+    }
+
     /// The row as one JSON object.
     pub fn to_json(&self) -> String {
         format!(
@@ -861,5 +905,36 @@ mod tests {
     #[test]
     fn json_escape_handles_specials() {
         assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn metrics_row_roundtrips_through_csv() {
+        let row = MetricsRow {
+            label: "BFS-TTC/TO+UE@s8".into(),
+            cycles: 123,
+            kernels: 4,
+            batches: 5,
+            faults_raised: 6,
+            faults_absorbed: 7,
+            prefetches: 8,
+            migrations: 9,
+            migrated_bytes: 10,
+            evictions: 11,
+            forced_pinned_evictions: 12,
+            premature_evictions: 13,
+            warp_stalls: 14,
+            warp_resumes: 15,
+            ctx_switches: 16,
+            ctx_switch_cycles: 17,
+            watchdog_ticks: 18,
+        };
+        let parsed = MetricsRow::parse_csv_row(&row.to_csv_row()).unwrap();
+        assert_eq!(parsed, row);
+        // Defensive: a label with a comma still round-trips.
+        let odd = MetricsRow { label: "a,b".into(), ..row.clone() };
+        assert_eq!(MetricsRow::parse_csv_row(&odd.to_csv_row()).unwrap(), odd);
+        // Truncated or corrupt rows are rejected, not misparsed.
+        assert!(MetricsRow::parse_csv_row("x,1,2,3").is_none());
+        assert!(MetricsRow::parse_csv_row(&row.to_csv_row().replace("123", "xyz")).is_none());
     }
 }

@@ -23,6 +23,9 @@
 //!   UVM runtime emit through.
 //! * [`rng`] — the deterministic seeded generator used wherever the
 //!   simulator needs reproducible randomness.
+//! * [`sweep`] — sweep-service vocabulary: stable config hashing
+//!   ([`sweep::CellId`]), typed per-cell outcomes, and bounded retry
+//!   backoff shared by the bench harness's parallel runner.
 //!
 //! # Examples
 //!
@@ -47,6 +50,7 @@ pub mod ids;
 pub mod policy;
 pub mod probe;
 pub mod rng;
+pub mod sweep;
 pub mod time;
 
 pub use addr::{FrameId, PageId, RegionId, VirtAddr};
@@ -55,4 +59,5 @@ pub use error::{AuditLevel, SimError};
 pub use ids::{BlockId, KernelId, SmId, WarpId};
 pub use probe::{EvictionCause, Probe, ProbeEvent, ProbeHub, SharedProbes};
 pub use rng::DetRng;
+pub use sweep::{Backoff, CellId, OutcomeKind, StableHasher};
 pub use time::Cycle;

@@ -11,7 +11,7 @@
 //! to one built before this module existed (all hooks are `None`-guarded),
 //! which keeps the cycle-exact unit tests and figure sweeps untouched.
 
-use batmem_types::{Cycle, DetRng};
+use batmem_types::{Cycle, DetRng, SimError};
 
 /// What to perturb and how hard. The default injects nothing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -60,6 +60,59 @@ impl InjectConfig {
     /// forward-progress watchdog, depending on the policy.
     pub fn lost_completions(seed: u64, every: u64) -> Self {
         Self { seed, drop_arrival_every: every, ..Self::default() }
+    }
+
+    /// The injection spec names [`InjectConfig::parse_spec`] understands,
+    /// comma-separated — the `known` list of the typed error.
+    pub fn known_specs() -> &'static str {
+        "off, noisy[:seed], lost[:seed[:every]]"
+    }
+
+    /// Parses a CLI injection spec (`--inject noisy:42`) into a config.
+    ///
+    /// Spec syntax mirrors the policy registry's `name[:param...]`:
+    ///
+    /// * `off` — no injection (`None`).
+    /// * `noisy` / `noisy:<seed>` — [`InjectConfig::noisy`] (default seed
+    ///   42).
+    /// * `lost` / `lost:<seed>` / `lost:<seed>:<every>` —
+    ///   [`InjectConfig::lost_completions`] (default seed 42, every 3rd
+    ///   arrival dropped).
+    ///
+    /// # Errors
+    ///
+    /// Unknown preset names and malformed parameters return
+    /// [`SimError::UnknownPolicy`] on the `inject` axis, listing
+    /// [`InjectConfig::known_specs`] — same contract as the policy
+    /// registry's spec lookups.
+    pub fn parse_spec(spec: &str) -> Result<Option<Self>, SimError> {
+        let unknown = || SimError::UnknownPolicy {
+            axis: "inject",
+            name: spec.to_string(),
+            known: Self::known_specs().to_string(),
+        };
+        let mut parts = spec.split(':');
+        let name = parts.next().unwrap_or("");
+        let mut num = |default: u64| -> Result<u64, SimError> {
+            match parts.next() {
+                None => Ok(default),
+                Some(p) => p.parse().map_err(|_| unknown()),
+            }
+        };
+        let cfg = match name {
+            "off" => None,
+            "noisy" => Some(Self::noisy(num(42)?)),
+            "lost" => {
+                let seed = num(42)?;
+                let every = num(3)?;
+                Some(Self::lost_completions(seed, every))
+            }
+            _ => return Err(unknown()),
+        };
+        if parts.next().is_some() {
+            return Err(unknown()); // trailing parameters
+        }
+        Ok(cfg)
     }
 }
 
@@ -205,6 +258,32 @@ mod tests {
         let drops: Vec<bool> = (0..6).map(|_| inj.drop_arrival()).collect();
         assert_eq!(drops, vec![false, false, true, false, false, true]);
         assert_eq!(inj.stats().dropped_arrivals, 2);
+    }
+
+    #[test]
+    fn spec_parsing_covers_presets_and_rejects_unknowns() {
+        assert_eq!(InjectConfig::parse_spec("off").unwrap(), None);
+        assert_eq!(InjectConfig::parse_spec("noisy").unwrap(), Some(InjectConfig::noisy(42)));
+        assert_eq!(InjectConfig::parse_spec("noisy:7").unwrap(), Some(InjectConfig::noisy(7)));
+        assert_eq!(
+            InjectConfig::parse_spec("lost:1:5").unwrap(),
+            Some(InjectConfig::lost_completions(1, 5))
+        );
+        assert_eq!(
+            InjectConfig::parse_spec("lost").unwrap(),
+            Some(InjectConfig::lost_completions(42, 3))
+        );
+        for bad in ["", "chaos", "noisy:many", "noisy:1:2", "lost:1:2:3"] {
+            let err = InjectConfig::parse_spec(bad).unwrap_err();
+            match &err {
+                SimError::UnknownPolicy { axis, known, .. } => {
+                    assert_eq!(*axis, "inject");
+                    assert!(known.contains("noisy"), "{known}");
+                }
+                other => panic!("expected UnknownPolicy, got {other:?}"),
+            }
+            assert!(err.to_string().contains("inject"), "{err}");
+        }
     }
 
     #[test]

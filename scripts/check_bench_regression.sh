@@ -22,6 +22,21 @@ current=${2:?usage: check_bench_regression.sh <baseline.txt> <current.txt> [tole
 tolerance=${3:-10}
 improvement=${4:-25}
 
+# Fail with an actionable message instead of a bare awk error when either
+# input is missing or unreadable.
+if [ ! -r "$baseline" ]; then
+    echo "error: baseline file \`$baseline\` is missing or unreadable." >&2
+    echo "Pin one from a trusted checkout with:" >&2
+    echo "    cargo bench -p batmem-bench | tee $baseline" >&2
+    exit 2
+fi
+if [ ! -r "$current" ]; then
+    echo "error: current-run file \`$current\` is missing or unreadable." >&2
+    echo "Capture one with:" >&2
+    echo "    cargo bench -p batmem-bench | tee $current" >&2
+    exit 2
+fi
+
 awk -v tol="$tolerance" -v imp="$improvement" '
     # Rows look like:
     #   name/case    123.5 us/iter (min   86.2 us, 200 iters)

@@ -189,7 +189,10 @@ fn bench_uvm_batch_registry() {
     bench("uvm/batch_512_faults_registry_ue", 100, || {
         let eviction = reg.build_eviction("ue", &ctx).expect("builtin spec");
         let prefetcher = reg.build_prefetcher("tree:50", &ctx).expect("builtin spec");
-        drive_512_faults(UvmRuntime::with_strategies(&cfg, &policy, 100_000, eviction, prefetcher))
+        let coalesce = reg.build_coalesce("off").expect("builtin spec");
+        drive_512_faults(UvmRuntime::with_strategies(
+            &cfg, &policy, 100_000, eviction, prefetcher, coalesce,
+        ))
     });
 }
 

@@ -17,14 +17,17 @@ use std::time::Duration;
 
 const USAGE: &str = "usage: figures -- <table1|fig1|fig3|fig5|fig8|fig11|fig12|fig13|fig14|fig15|fig16|fig17|fig18|ctxswitch|pe|all> ...
        figures -- --list-policies
-       figures -- [--eviction <spec>] [--prefetch <spec>] [--oversubscription <spec>] [--compression] [--inject <spec>] [--workload <name>]...
+       figures -- [--eviction <spec>] [--prefetch <spec>] [--oversubscription <spec>] [--coalesce <spec>]
+                  [--page-size <kb>] [--compression] [--inject <spec>] [--workload <name>]...
        figures -- sweep [outdir] [--workers N] [--max-retries K] [--cell-timeout SECS] [--resume]
-                  [--inject <spec>] [--workloads A,B] [--configs BASELINE,TO+UE] [--scales 8,10]
-                  [--ratios 0.5] [--seeds 42]
+                  [--inject <spec>] [--coalesce <spec>] [--workloads A,B] [--configs BASELINE,TO+UE]
+                  [--scales 8,10] [--ratios 0.5] [--seeds 42]
 custom runs: any policy flag switches to a single-run mode over the named
 workloads (default BFS-TTC); specs are registry names, e.g. `--eviction
-random:7 --prefetch tree:25` (see --list-policies); `--inject` takes
-off|noisy[:seed]|lost[:seed[:every]]
+random:7 --prefetch tree:25` (see --list-policies); `--coalesce` takes
+off|greedy[:pct]|splinter:on-evict and prints a TLB summary when enabled;
+`--page-size` takes a power-of-two KB base page (default 64); `--inject`
+takes off|noisy[:seed]|lost[:seed[:every]]
 sweep mode: fault-tolerant parallel sweep into a resumable artifact store
 (default outdir `artifacts`); ctrl-C drains gracefully, `--resume` skips
 completed cells
@@ -175,6 +178,9 @@ fn sweep_main(mut args: Vec<String>, suite: &SuiteConfig) -> ! {
     if let Some(v) = take_flag(&mut args, "--inject") {
         plan.inject = Some(v);
     }
+    if let Some(v) = take_flag(&mut args, "--coalesce") {
+        plan.coalesce = Some(v);
+    }
     if args.len() > 1 {
         eprintln!("sweep: unexpected arguments {args:?}\n{USAGE}");
         std::process::exit(2);
@@ -283,13 +289,30 @@ fn run_custom_combo(
     let mut failed = false;
     for w in workloads {
         match run_custom_injected(w, custom, inject, suite, &graph) {
-            Ok(m) => println!(
-                "custom: {w}/{} {} cycles, {} batches, {} evictions",
-                custom.label(),
-                m.cycles,
-                m.uvm.num_batches(),
-                m.uvm.evictions,
-            ),
+            Ok(m) => {
+                println!(
+                    "custom: {w}/{} {} cycles, {} batches, {} evictions",
+                    custom.label(),
+                    m.cycles,
+                    m.uvm.num_batches(),
+                    m.uvm.evictions,
+                );
+                // Coalescing runs get a translation summary; the line is
+                // gated so plain runs keep their historical output.
+                if custom.coalesce != "off" {
+                    println!(
+                        "custom: {w}/{} tlb: {} large hits, {} L1 hits, {} walks \
+                         ({} large), {} coalesces, {} splinters",
+                        custom.label(),
+                        m.mmu.large_hits(),
+                        m.mmu.l1.hits,
+                        m.mmu.walks,
+                        m.mmu.large_walks,
+                        m.mmu.coalesces,
+                        m.mmu.splinters,
+                    );
+                }
+            }
             Err(e) => {
                 eprintln!("custom: {w}/{} failed: {e}", custom.label());
                 failed = true;
@@ -328,6 +351,17 @@ fn main() {
     }
     if let Some(v) = take_flag(&mut args, "--oversubscription") {
         custom.oversubscription = v;
+        custom_mode = true;
+    }
+    if let Some(v) = take_flag(&mut args, "--coalesce") {
+        custom.coalesce = v;
+        custom_mode = true;
+    }
+    if let Some(v) = take_flag(&mut args, "--page-size") {
+        custom.page_size_kb = Some(v.parse().unwrap_or_else(|_| {
+            eprintln!("--page-size: cannot parse `{v}` as KB\n{USAGE}");
+            std::process::exit(2);
+        }));
         custom_mode = true;
     }
     if let Some(v) = take_flag(&mut args, "--inject") {

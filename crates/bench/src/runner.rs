@@ -174,6 +174,13 @@ pub struct CustomPolicy {
     pub oversubscription: String,
     /// Enables PCIe compression on the transfer pipes.
     pub compression: bool,
+    /// Coalescing spec (`off`, `greedy`, `greedy:75`, `splinter:on-evict`).
+    /// `off` keeps the classic single-granularity translation path.
+    pub coalesce: String,
+    /// Base page size in KB; `None` keeps the suite's geometry (64 KB by
+    /// default). Large pages/regions stay at 2 MB or the base size,
+    /// whichever is larger.
+    pub page_size_kb: Option<u64>,
 }
 
 impl Default for CustomPolicy {
@@ -185,18 +192,55 @@ impl Default for CustomPolicy {
             prefetch: base.prefetch.to_string(),
             oversubscription: base.oversubscription.to_string(),
             compression: base.compression,
+            coalesce: "off".to_string(),
+            page_size_kb: None,
         }
     }
 }
 
 impl CustomPolicy {
-    /// Display label, e.g. `lru/tree:50/none`.
+    /// Display label, e.g. `lru/tree:50/none`. Non-default coalescing and
+    /// page-size settings are appended (`+co:greedy`, `+pg:4k`) so default
+    /// labels are unchanged from the three-axis era.
     pub fn label(&self) -> String {
         let mut s = format!("{}/{}/{}", self.eviction, self.prefetch, self.oversubscription);
         if self.compression {
             s.push_str("/+pciec");
         }
+        if self.coalesce != "off" {
+            s.push_str("/+co:");
+            s.push_str(&self.coalesce);
+        }
+        if let Some(kb) = self.page_size_kb {
+            s.push_str(&format!("/+pg:{kb}k"));
+        }
         s
+    }
+
+    /// The page geometry this combination runs under, derived from `base`
+    /// when [`page_size_kb`](Self::page_size_kb) overrides the base page:
+    /// large pages and regions sit at 2 MB, or the base page size when it
+    /// is larger.
+    ///
+    /// # Errors
+    ///
+    /// Returns the geometry's typed [`batmem_types::SimError::InvalidConfig`]
+    /// when the requested size is not a power of two in range.
+    pub fn geometry(
+        &self,
+        base: batmem_types::addr::PageGeometry,
+    ) -> Result<batmem_types::addr::PageGeometry, batmem_types::SimError> {
+        let Some(kb) = self.page_size_kb else { return Ok(base) };
+        let bytes = kb.saturating_mul(1024);
+        if !bytes.is_power_of_two() {
+            return Err(batmem_types::SimError::invalid_config(
+                "uvm.geometry.base_shift",
+                format!("--page-size must be a power-of-two KB count, got {kb}"),
+            ));
+        }
+        let base_shift = bytes.trailing_zeros();
+        let region_shift = base_shift.max(21);
+        batmem_types::addr::PageGeometry::base_region(base_shift, region_shift)
     }
 }
 
@@ -237,12 +281,16 @@ pub fn run_custom_injected(
     } else {
         batmem::PolicyConfig::baseline()
     };
+    let mut sim = suite.sim.clone();
+    sim.uvm.geometry =
+        custom.geometry(sim.uvm.geometry).map_err(|e| BenchError::context(&context, &e))?;
     let mut b = Simulation::builder()
-        .config(suite.sim.clone())
+        .config(sim)
         .policy(policy)
         .eviction(custom.eviction.clone())
         .prefetch(custom.prefetch.clone())
         .oversubscription(custom.oversubscription.clone())
+        .coalesce(custom.coalesce.clone())
         .memory_ratio(suite.ratio);
     if let Some(inject) = inject {
         b = b.inject(inject);

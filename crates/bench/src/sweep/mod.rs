@@ -111,7 +111,13 @@ pub fn run_cell(
     let workload = registry::build(&cell.workload, graph)
         .ok_or_else(|| BenchError::msg(format!("unknown workload `{}`", cell.workload)))?;
     let sink = MetricsSink::labeled(cell.label());
-    let mut b = Simulation::builder().config(sim.clone()).probe(sink.clone());
+    let mut sim = sim.clone();
+    if let CellPolicy::Custom(custom) = &cell.policy {
+        sim.uvm.geometry = custom
+            .geometry(sim.uvm.geometry)
+            .map_err(|e| BenchError::context(&cell.label(), &e))?;
+    }
+    let mut b = Simulation::builder().config(sim).probe(sink.clone());
     match &cell.policy {
         CellPolicy::Preset(name) => {
             let (policy, etc) = policies::preset(*name);
@@ -134,8 +140,14 @@ pub fn run_cell(
                 .eviction(custom.eviction.clone())
                 .prefetch(custom.prefetch.clone())
                 .oversubscription(custom.oversubscription.clone())
+                .coalesce(custom.coalesce.clone())
                 .memory_ratio(cell.ratio);
         }
+    }
+    // The plan-level coalesce axis applies to presets and customs alike
+    // (and, set last, wins over a custom combo's own spec).
+    if let Some(spec) = cell.coalesce_spec() {
+        b = b.coalesce(spec);
     }
     if let Some(spec) = &cell.inject {
         if let Some(inject) = InjectConfig::parse_spec(spec)
@@ -190,6 +202,7 @@ mod tests {
             ratio: 0.5,
             seed: 1,
             inject: Some("chaos".into()),
+            coalesce: None,
             tag: String::new(),
         };
         let err = run_cell(&cell, &SimConfig::default(), &graphs).unwrap_err();

@@ -51,6 +51,10 @@ pub struct SweepCell {
     pub seed: u64,
     /// Fault-injection spec (`noisy:42`, `lost:1:3`), `None` = off.
     pub inject: Option<String>,
+    /// Large-page coalescing spec (`greedy`, `splinter:on-evict`),
+    /// `None` = off. Only a non-off spec perturbs the cell id, so stores
+    /// written before the axis existed stay valid for `--resume`.
+    pub coalesce: Option<String>,
     /// Free-form discriminator hashed into the id for anything the other
     /// fields do not capture (e.g. a non-default base `SimConfig`).
     /// Empty by default.
@@ -70,7 +74,16 @@ impl SweepCell {
             .field(&self.seed.to_string())
             .field(self.inject.as_deref().unwrap_or("off"))
             .field(&self.tag);
+        if let Some(spec) = self.coalesce_spec() {
+            h.field("coalesce").field(spec);
+        }
         CellId::from_hash(h.finish())
+    }
+
+    /// The coalescing spec, normalized: `None` when the axis is off
+    /// (unset or literally `off`).
+    pub fn coalesce_spec(&self) -> Option<&str> {
+        self.coalesce.as_deref().filter(|s| *s != "off")
     }
 
     /// Human-readable slug: `workload/policy@s<scale>e<ef>r<ratio>x<seed>`
@@ -89,6 +102,10 @@ impl SweepCell {
         if let Some(inj) = &self.inject {
             s.push('+');
             s.push_str(inj);
+        }
+        if let Some(co) = self.coalesce_spec() {
+            s.push_str("+co:");
+            s.push_str(co);
         }
         debug_assert!(!s.contains(','), "cell labels must stay comma-free: {s}");
         s
@@ -113,6 +130,8 @@ pub struct SweepPlan {
     pub seeds: Vec<u64>,
     /// Fault-injection spec applied to every cell (`None` = off).
     pub inject: Option<String>,
+    /// Coalescing spec applied to every cell (`None` = off).
+    pub coalesce: Option<String>,
     /// Discriminator copied into every cell's [`SweepCell::tag`].
     pub tag: String,
 }
@@ -132,6 +151,7 @@ impl Default for SweepPlan {
             ratios: vec![0.5],
             seeds: vec![42],
             inject: None,
+            coalesce: None,
             tag: String::new(),
         }
     }
@@ -169,6 +189,11 @@ impl SweepPlan {
         if let Some(spec) = &self.inject {
             InjectConfig::parse_spec(spec).map_err(|e| BenchError::context("sweep plan", &e))?;
         }
+        if let Some(spec) = &self.coalesce {
+            batmem::PolicyRegistry::builtin()
+                .build_coalesce(spec)
+                .map_err(|e| BenchError::context("sweep plan", &e))?;
+        }
         for &r in &self.ratios {
             if !r.is_finite() || r <= 0.0 {
                 return Err(BenchError::msg(format!("ratio {r} must be positive")));
@@ -200,6 +225,7 @@ impl SweepPlan {
                                     ratio,
                                     seed,
                                     inject: self.inject.clone(),
+                                    coalesce: self.coalesce.clone(),
                                     tag: self.tag.clone(),
                                 });
                             }
@@ -225,8 +251,22 @@ mod tests {
             ratio: 0.5,
             seed: 42,
             inject: None,
+            coalesce: None,
             tag: String::new(),
         }
+    }
+
+    #[test]
+    fn off_coalesce_leaves_pre_axis_cell_ids_unchanged() {
+        // Stores written before the coalesce axis existed must stay
+        // resumable: both spellings of "off" hash identically to a cell
+        // that never had the field.
+        let base = cell();
+        assert_eq!(SweepCell { coalesce: Some("off".into()), ..cell() }.id(), base.id());
+        assert_eq!(SweepCell { coalesce: Some("off".into()), ..cell() }.label(), base.label());
+        let greedy = SweepCell { coalesce: Some("greedy".into()), ..cell() };
+        assert_ne!(greedy.id(), base.id(), "a live spec must perturb the hash");
+        assert_eq!(greedy.label(), "BFS-TTC/BASELINE@s8e4r0.5x42+co:greedy");
     }
 
     #[test]
@@ -241,6 +281,7 @@ mod tests {
             SweepCell { ratio: 0.75, ..cell() },
             SweepCell { seed: 43, ..cell() },
             SweepCell { inject: Some("noisy:42".into()), ..cell() },
+            SweepCell { coalesce: Some("greedy:75".into()), ..cell() },
             SweepCell { tag: "alt-sim".into(), ..cell() },
         ];
         let mut ids: Vec<_> = variants.iter().map(SweepCell::id).collect();
@@ -279,6 +320,9 @@ mod tests {
         assert!(err.contains("inject") && err.contains("noisy"), "{err}");
         p = SweepPlan { ratios: vec![0.0], ..SweepPlan::default() };
         assert!(p.validate().is_err());
+        p = SweepPlan { coalesce: Some("eager".into()), ..SweepPlan::default() };
+        let err = p.validate().unwrap_err().to_string();
+        assert!(err.contains("eager"), "{err}");
     }
 
     #[test]
@@ -294,6 +338,7 @@ mod tests {
             ratios: vec![0.5, 0.75],
             seeds: vec![1, 2, 3],
             inject: None,
+            coalesce: None,
             tag: String::new(),
         };
         let cells = plan.cells().unwrap();

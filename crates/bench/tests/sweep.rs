@@ -33,6 +33,7 @@ fn preset_plan() -> SweepPlan {
         ratios: vec![0.5],
         seeds: vec![42],
         inject: None,
+        coalesce: None,
         tag: String::new(),
     }
 }
@@ -58,6 +59,7 @@ fn synthetic_cell(workload: &str) -> SweepCell {
         ratio: 0.5,
         seed: 42,
         inject: None,
+        coalesce: None,
         tag: "synthetic".into(),
     }
 }
@@ -340,6 +342,7 @@ fn injected_lost_completions_quarantine_with_a_typed_error() {
         ratios: vec![0.5],
         seeds: vec![42],
         inject: Some("lost:1:2".into()),
+        coalesce: None,
         tag: String::new(),
     };
     let cells = plan.cells().unwrap();

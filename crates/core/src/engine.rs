@@ -18,8 +18,8 @@ use batmem_types::probe::{Probe, ProbeEvent, ProbeHub, SharedProbes};
 use batmem_types::{AuditLevel, BlockId, Cycle, KernelId, PageId, SimConfig, SimError, SmId};
 use batmem_uvm::registry::{eviction_spec_of, prefetch_spec_of};
 use batmem_uvm::{
-    EvictionStrategy, InjectConfig, OversubscriptionHandler, PolicyRegistry, Prefetcher,
-    StrategyCtx, UvmEvent, UvmOutput, UvmRuntime,
+    CoalesceStrategy, EvictionStrategy, InjectConfig, OversubscriptionHandler, PolicyRegistry,
+    Prefetcher, StrategyCtx, UvmEvent, UvmOutput, UvmRuntime,
 };
 use batmem_vmem::{Mmu, TranslationOutcome};
 
@@ -47,6 +47,7 @@ pub struct SimulationBuilder {
     eviction_spec: Option<String>,
     prefetch_spec: Option<String>,
     oversub_spec: Option<String>,
+    coalesce_spec: Option<String>,
 }
 
 impl SimulationBuilder {
@@ -100,6 +101,15 @@ impl SimulationBuilder {
     /// [`etc`](Self::etc) framework configuration.
     pub fn oversubscription(mut self, spec: impl Into<String>) -> Self {
         self.oversub_spec = Some(spec.into());
+        self
+    }
+
+    /// Selects the large-page coalescing policy by registry spec (`off`,
+    /// `greedy`, `greedy:75`, `splinter:on-evict`). Defaults to `off`,
+    /// which keeps the single-granularity translation path bit-identical
+    /// to the classic model.
+    pub fn coalesce(mut self, spec: impl Into<String>) -> Self {
+        self.coalesce_spec = Some(spec.into());
         self
     }
 
@@ -200,6 +210,8 @@ impl SimulationBuilder {
                 self.registry.build_prefetcher(&prefetch_spec_of(self.config.policy.prefetch), &ctx)?
             }
         };
+        let coalesce: Box<dyn CoalesceStrategy> =
+            self.registry.build_coalesce(self.coalesce_spec.as_deref().unwrap_or("off"))?;
         if let Some(ratio) = self.memory_ratio {
             if !ratio.is_finite() || ratio <= 0.0 {
                 return Err(SimError::invalid_config(
@@ -236,6 +248,7 @@ impl SimulationBuilder {
             footprint_pages,
             eviction,
             prefetcher,
+            coalesce,
             oversub,
         )
         .run()
@@ -309,11 +322,18 @@ impl Engine {
         footprint_pages: u64,
         eviction: Box<dyn EvictionStrategy>,
         prefetcher: Box<dyn Prefetcher>,
+        coalesce: Box<dyn CoalesceStrategy>,
         oversub: Box<dyn OversubscriptionHandler>,
     ) -> Self {
         let probes = SharedProbes::new(probes);
-        let mut uvm =
-            UvmRuntime::with_strategies(&cfg.uvm, &cfg.policy, footprint_pages, eviction, prefetcher);
+        let mut uvm = UvmRuntime::with_strategies(
+            &cfg.uvm,
+            &cfg.policy,
+            footprint_pages,
+            eviction,
+            prefetcher,
+            coalesce,
+        );
         uvm.set_audit(cfg.audit);
         uvm.set_probes(probes.clone());
         if let Some(i) = inject {
@@ -492,8 +512,19 @@ impl Engine {
                 detail: "work completed but no finish time was recorded".to_string(),
             });
         };
-        self.probes.finish(finished_at);
         let mmu_stats = self.mmu.stats();
+        // Stray in-flight UVM events may have emitted after `finished_at`;
+        // the summary goes out at the final drained clock so the trace
+        // stays monotone.
+        self.probes.emit_with(self.clock.max(finished_at), || ProbeEvent::TranslationSummary {
+            l1_hits: mmu_stats.l1.hits,
+            l1_misses: mmu_stats.l1.misses,
+            large_hits: mmu_stats.large_hits(),
+            walks: mmu_stats.walks,
+            coalesces: mmu_stats.coalesces,
+            splinters: mmu_stats.splinters,
+        });
+        self.probes.finish(finished_at);
         Ok(RunMetrics {
             cycles: finished_at,
             workload: self.workload.name(),
@@ -671,7 +702,7 @@ impl Engine {
     fn exec_mem(&mut self, b: usize, w: usize, op: WarpOp) -> Result<(), SimError> {
         self.mem_ops += 1;
         let sm = self.block_sm[b];
-        let page_shift = self.cfg.uvm.page_shift;
+        let geom = self.cfg.uvm.geometry;
         let l1_hit = self.cfg.tlb.l1_hit_latency;
         // Translate each distinct page once (the coalescer and TLB port
         // would collapse the duplicates anyway). The two per-op lists are
@@ -685,7 +716,7 @@ impl Engine {
         // through stays correct for unsorted streams).
         let mut prev_page = None;
         for a in op.addrs() {
-            let page = a.page(page_shift);
+            let page = geom.page_of(*a);
             if prev_page == Some(page) {
                 continue;
             }
@@ -710,7 +741,7 @@ impl Engine {
             let mut total: Cycle = 0;
             let mut prev: Option<(_, Cycle)> = None;
             for a in op.addrs() {
-                let page = a.page(page_shift);
+                let page = geom.page_of(*a);
                 let tl = match prev {
                     Some((p, l)) if p == page => l,
                     _ => {
@@ -748,7 +779,7 @@ impl Engine {
             let retry_addrs: batmem_sim::ops::AddrList = op
                 .addrs()
                 .iter()
-                .filter(|a| faulted.iter().any(|&(p, _)| p == a.page(page_shift)))
+                .filter(|a| faulted.iter().any(|&(p, _)| p == geom.page_of(**a)))
                 .copied()
                 .collect();
             let retry_op = match &op {
@@ -824,6 +855,12 @@ impl Engine {
                 }
                 UvmOutput::Evict { page } => {
                     self.mmu.evict(page, self.clock)?;
+                }
+                UvmOutput::Coalesce { region } => {
+                    self.mmu.promote(region, self.clock)?;
+                }
+                UvmOutput::Splinter { region } => {
+                    self.mmu.splinter(region, self.clock)?;
                 }
             }
         }

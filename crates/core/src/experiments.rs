@@ -2,6 +2,7 @@
 
 use batmem_sim::ops::Workload;
 use batmem_sim::sm::occupancy;
+use batmem_types::addr::PageGeometry;
 use batmem_types::config::GpuConfig;
 use batmem_types::{BlockId, KernelId};
 use std::collections::HashSet;
@@ -21,7 +22,7 @@ use std::collections::HashSet;
 /// Panics if `active_sms` is zero.
 pub fn working_set_fraction(workload: &dyn Workload, active_sms: u16, gpu: &GpuConfig) -> f64 {
     assert!(active_sms > 0, "need at least one active SM");
-    let page_shift = 16u32;
+    let geom = PageGeometry::default();
     let mut wave_pages: HashSet<u64> = HashSet::new();
     let mut all_pages: HashSet<u64> = HashSet::new();
     for k in 0..workload.num_kernels() {
@@ -34,7 +35,7 @@ pub fn working_set_fraction(workload: &dyn Workload, active_sms: u16, gpu: &GpuC
                 let mut s = kernel.warp_stream(BlockId::new(blk), warp as u16);
                 while let Some(op) = s.next_op() {
                     for a in op.addrs() {
-                        let p = a.page(page_shift).index();
+                        let p = geom.page_of(*a).index();
                         all_pages.insert(p);
                         if u64::from(blk) < wave_blocks {
                             wave_pages.insert(p);
@@ -58,7 +59,7 @@ pub fn working_set_fraction(workload: &dyn Workload, active_sms: u16, gpu: &GpuC
 /// Panics if `max_sms` is zero.
 pub fn working_set_curve(workload: &dyn Workload, max_sms: u16, gpu: &GpuConfig) -> Vec<f64> {
     assert!(max_sms > 0, "need at least one SM");
-    let page_shift = 16u32;
+    let geom = PageGeometry::default();
     // For each page, the smallest SM count whose first wave touches it.
     let mut min_wave: std::collections::HashMap<u64, u16> = std::collections::HashMap::new();
     for k in 0..workload.num_kernels() {
@@ -73,7 +74,7 @@ pub fn working_set_curve(workload: &dyn Workload, max_sms: u16, gpu: &GpuConfig)
                 let mut s = kernel.warp_stream(BlockId::new(blk), warp as u16);
                 while let Some(op) = s.next_op() {
                     for a in op.addrs() {
-                        let p = a.page(page_shift).index();
+                        let p = geom.page_of(*a).index();
                         min_wave
                             .entry(p)
                             .and_modify(|m| *m = (*m).min(n_min))

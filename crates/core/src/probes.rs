@@ -141,6 +141,19 @@ pub fn event_to_json(at: Cycle, event: &ProbeEvent) -> String {
         ProbeEvent::KernelLaunched { kernel, blocks } => {
             let _ = write!(s, ",\"kernel\":{kernel},\"blocks\":{blocks}");
         }
+        ProbeEvent::RegionCoalesced { region, pages } => {
+            let _ = write!(s, ",\"region\":{},\"pages\":{pages}", region.index());
+        }
+        ProbeEvent::RegionSplintered { region } => {
+            let _ = write!(s, ",\"region\":{}", region.index());
+        }
+        ProbeEvent::TranslationSummary { l1_hits, l1_misses, large_hits, walks, coalesces, splinters } => {
+            let _ = write!(
+                s,
+                ",\"l1_hits\":{l1_hits},\"l1_misses\":{l1_misses},\"large_hits\":{large_hits},\
+                 \"walks\":{walks},\"coalesces\":{coalesces},\"splinters\":{splinters}"
+            );
+        }
         // `ProbeEvent` is non_exhaustive: future variants export their
         // kind with no payload until this encoder learns them.
         _ => {}
@@ -536,6 +549,18 @@ pub struct MetricsRow {
     pub ctx_switch_cycles: Cycle,
     /// Watchdog ticks (events observed without forward progress).
     pub watchdog_ticks: u64,
+    /// L1 TLB hits (base-page entries), from the end-of-run summary.
+    pub l1_tlb_hits: u64,
+    /// L1 TLB misses.
+    pub l1_tlb_misses: u64,
+    /// Translations served by a promoted large-page mapping.
+    pub large_tlb_hits: u64,
+    /// Page-table walks performed.
+    pub walks: u64,
+    /// Large-page promotions (coalesces) over the run.
+    pub coalesces: u64,
+    /// Large-page demotions (splinters) over the run.
+    pub splinters: u64,
 }
 
 impl MetricsRow {
@@ -543,13 +568,14 @@ impl MetricsRow {
     pub fn csv_header() -> &'static str {
         "label,cycles,kernels,batches,faults_raised,faults_absorbed,prefetches,migrations,\
          migrated_bytes,evictions,forced_pinned_evictions,premature_evictions,warp_stalls,\
-         warp_resumes,ctx_switches,ctx_switch_cycles,watchdog_ticks"
+         warp_resumes,ctx_switches,ctx_switch_cycles,watchdog_ticks,l1_tlb_hits,l1_tlb_misses,\
+         large_tlb_hits,walks,coalesces,splinters"
     }
 
     /// One CSV row (label first, counters in header order).
     pub fn to_csv_row(&self) -> String {
         format!(
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
             self.label,
             self.cycles,
             self.kernels,
@@ -567,6 +593,12 @@ impl MetricsRow {
             self.ctx_switches,
             self.ctx_switch_cycles,
             self.watchdog_ticks,
+            self.l1_tlb_hits,
+            self.l1_tlb_misses,
+            self.large_tlb_hits,
+            self.walks,
+            self.coalesces,
+            self.splinters,
         )
     }
 
@@ -578,20 +610,30 @@ impl MetricsRow {
     /// sweep artifact store round-trips rows through this, so resume can
     /// merge completed cells without re-running them.
     ///
-    /// Returns `None` when the text does not have 16 trailing integers —
-    /// i.e. a truncated or corrupt record.
+    /// Returns `None` when the text has neither 22 (current layout) nor 16
+    /// (pre-translation-columns layout) trailing integers — i.e. a
+    /// truncated or corrupt record. Rows written before the translation
+    /// columns existed parse with those six counters as zero, so archived
+    /// sweep stores stay readable.
     pub fn parse_csv_row(line: &str) -> Option<Self> {
         let fields: Vec<&str> = line.trim_end_matches(['\r', '\n']).split(',').collect();
-        const COUNTERS: usize = 16;
-        if fields.len() < COUNTERS + 1 {
+        // The legacy fallback only applies to rows too short to hold the
+        // current layout; a corrupt current-layout row must fail, not have
+        // its leading counters reinterpreted as label text.
+        Self::parse_fields(&fields, 22)
+            .or_else(|| if fields.len() < 23 { Self::parse_fields(&fields, 16) } else { None })
+    }
+
+    fn parse_fields(fields: &[&str], counters: usize) -> Option<Self> {
+        if fields.len() < counters + 1 {
             return None;
         }
-        let label = fields[..fields.len() - COUNTERS].join(",");
-        let mut nums = [0u64; COUNTERS];
-        for (slot, text) in nums.iter_mut().zip(&fields[fields.len() - COUNTERS..]) {
+        let label = fields[..fields.len() - counters].join(",");
+        let mut nums = [0u64; 22];
+        for (slot, text) in nums.iter_mut().zip(&fields[fields.len() - counters..]) {
             *slot = text.parse().ok()?;
         }
-        let [cycles, kernels, batches, faults_raised, faults_absorbed, prefetches, migrations, migrated_bytes, evictions, forced_pinned_evictions, premature_evictions, warp_stalls, warp_resumes, ctx_switches, ctx_switch_cycles, watchdog_ticks] =
+        let [cycles, kernels, batches, faults_raised, faults_absorbed, prefetches, migrations, migrated_bytes, evictions, forced_pinned_evictions, premature_evictions, warp_stalls, warp_resumes, ctx_switches, ctx_switch_cycles, watchdog_ticks, l1_tlb_hits, l1_tlb_misses, large_tlb_hits, walks, coalesces, splinters] =
             nums;
         Some(Self {
             label,
@@ -611,6 +653,12 @@ impl MetricsRow {
             ctx_switches,
             ctx_switch_cycles,
             watchdog_ticks,
+            l1_tlb_hits,
+            l1_tlb_misses,
+            large_tlb_hits,
+            walks,
+            coalesces,
+            splinters,
         })
     }
 
@@ -621,7 +669,9 @@ impl MetricsRow {
              \"faults_raised\":{},\"faults_absorbed\":{},\"prefetches\":{},\"migrations\":{},\
              \"migrated_bytes\":{},\"evictions\":{},\"forced_pinned_evictions\":{},\
              \"premature_evictions\":{},\"warp_stalls\":{},\"warp_resumes\":{},\
-             \"ctx_switches\":{},\"ctx_switch_cycles\":{},\"watchdog_ticks\":{}}}",
+             \"ctx_switches\":{},\"ctx_switch_cycles\":{},\"watchdog_ticks\":{},\
+             \"l1_tlb_hits\":{},\"l1_tlb_misses\":{},\"large_tlb_hits\":{},\"walks\":{},\
+             \"coalesces\":{},\"splinters\":{}}}",
             json_escape(&self.label),
             self.cycles,
             self.kernels,
@@ -639,6 +689,12 @@ impl MetricsRow {
             self.ctx_switches,
             self.ctx_switch_cycles,
             self.watchdog_ticks,
+            self.l1_tlb_hits,
+            self.l1_tlb_misses,
+            self.large_tlb_hits,
+            self.walks,
+            self.coalesces,
+            self.splinters,
         )
     }
 }
@@ -729,6 +785,22 @@ impl Probe for MetricsSink {
             }
             ProbeEvent::WatchdogTick { .. } => row.watchdog_ticks += 1,
             ProbeEvent::KernelLaunched { .. } => row.kernels += 1,
+            ProbeEvent::TranslationSummary {
+                l1_hits,
+                l1_misses,
+                large_hits,
+                walks,
+                coalesces,
+                splinters,
+            } => {
+                // Emitted once at end of run with absolute totals.
+                row.l1_tlb_hits = l1_hits;
+                row.l1_tlb_misses = l1_misses;
+                row.large_tlb_hits = large_hits;
+                row.walks = walks;
+                row.coalesces = coalesces;
+                row.splinters = splinters;
+            }
             _ => {}
         }
     }
@@ -747,7 +819,7 @@ impl Probe for MetricsSink {
 mod tests {
     use super::*;
     use batmem_types::probe::EvictionCause;
-    use batmem_types::{FrameId, PageId};
+    use batmem_types::{FrameId, PageId, RegionId};
 
     fn page(i: u64) -> PageId {
         PageId::new(i)
@@ -810,6 +882,16 @@ mod tests {
             ProbeEvent::ContextSwitch { sm: 0, cost: 100, restore: true },
             ProbeEvent::WatchdogTick { events_without_progress: 5, ring: 1, wheel: 2, overflow: 3 },
             ProbeEvent::KernelLaunched { kernel: 0, blocks: 64 },
+            ProbeEvent::RegionCoalesced { region: RegionId::new(3), pages: 32 },
+            ProbeEvent::RegionSplintered { region: RegionId::new(3) },
+            ProbeEvent::TranslationSummary {
+                l1_hits: 1,
+                l1_misses: 2,
+                large_hits: 3,
+                walks: 4,
+                coalesces: 5,
+                splinters: 6,
+            },
         ];
         for ev in events {
             let json = event_to_json(42, &ev);
@@ -927,6 +1009,12 @@ mod tests {
             ctx_switches: 16,
             ctx_switch_cycles: 17,
             watchdog_ticks: 18,
+            l1_tlb_hits: 19,
+            l1_tlb_misses: 20,
+            large_tlb_hits: 21,
+            walks: 22,
+            coalesces: 23,
+            splinters: 24,
         };
         let parsed = MetricsRow::parse_csv_row(&row.to_csv_row()).unwrap();
         assert_eq!(parsed, row);
@@ -936,5 +1024,19 @@ mod tests {
         // Truncated or corrupt rows are rejected, not misparsed.
         assert!(MetricsRow::parse_csv_row("x,1,2,3").is_none());
         assert!(MetricsRow::parse_csv_row(&row.to_csv_row().replace("123", "xyz")).is_none());
+    }
+
+    #[test]
+    fn legacy_16_counter_rows_still_parse() {
+        // Rows archived before the translation columns existed carry 16
+        // counters; they must keep parsing (new counters read as zero) so
+        // existing sweep stores resume cleanly.
+        let legacy = "BFS-TTC/TO+UE@s8,123,4,5,6,7,8,9,10,11,12,13,14,15,16,17,18";
+        let parsed = MetricsRow::parse_csv_row(legacy).unwrap();
+        assert_eq!(parsed.label, "BFS-TTC/TO+UE@s8");
+        assert_eq!(parsed.cycles, 123);
+        assert_eq!(parsed.watchdog_ticks, 18);
+        assert_eq!(parsed.l1_tlb_hits, 0);
+        assert_eq!(parsed.splinters, 0);
     }
 }

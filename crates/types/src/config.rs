@@ -13,6 +13,7 @@
 //! | Fault buffer | 1024 entries |
 //! | Fault handling | 64 KB pages, 20 µs runtime fault handling, 15.75 GB/s PCIe |
 
+use crate::addr::PageGeometry;
 use crate::error::{AuditLevel, SimError};
 use crate::policy::PolicyConfig;
 use crate::time::Cycle;
@@ -265,10 +266,12 @@ impl TlbConfig {
 /// UVM runtime (demand paging) configuration.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct UvmConfig {
-    /// Log2 of the migration page size (16 ⇒ 64 KB pages).
-    pub page_shift: u32,
-    /// Log2 of the prefetch region / root chunk size (21 ⇒ 2 MB).
-    pub region_shift: u32,
+    /// Page-size geometry: base page, large page, and prefetch-region /
+    /// root-chunk sizes. Validated at construction
+    /// ([`PageGeometry::new`]), so an inverted or degenerate shift
+    /// ordering is unrepresentable here. Defaults to 64 KB pages in 2 MB
+    /// regions (Table 1).
+    pub geometry: PageGeometry,
     /// Capacity of the GPU replayable fault buffer.
     pub fault_buffer_entries: u32,
     /// Latency between a fault interrupt being raised and the runtime's
@@ -295,8 +298,7 @@ pub struct UvmConfig {
 impl Default for UvmConfig {
     fn default() -> Self {
         Self {
-            page_shift: 16,
-            region_shift: 21,
+            geometry: PageGeometry::default(),
             fault_buffer_entries: 1024,
             isr_latency: 1_000,
             fault_handling_base: crate::time::us(20),
@@ -309,24 +311,10 @@ impl Default for UvmConfig {
 }
 
 impl UvmConfig {
-    /// Rejects page/region shifts and link parameters the migration model
-    /// cannot operate with.
+    /// Rejects buffer and link parameters the migration model cannot
+    /// operate with. (Page/region shifts need no re-check here: an
+    /// invalid [`PageGeometry`] cannot be constructed.)
     pub fn validate(&self) -> Result<(), SimError> {
-        if !(10..=30).contains(&self.page_shift) {
-            return Err(SimError::invalid_config(
-                "uvm.page_shift",
-                format!("must be in 10..=30 (1 KB to 1 GB pages), got {}", self.page_shift),
-            ));
-        }
-        if self.region_shift < self.page_shift || self.region_shift > 40 {
-            return Err(SimError::invalid_config(
-                "uvm.region_shift",
-                format!(
-                    "must be in page_shift({})..=40, got {}",
-                    self.page_shift, self.region_shift
-                ),
-            ));
-        }
         if self.fault_buffer_entries == 0 {
             return Err(SimError::invalid_config("uvm.fault_buffer_entries", "must be nonzero"));
         }
@@ -345,14 +333,14 @@ impl UvmConfig {
         Ok(())
     }
 
-    /// Page size in bytes.
+    /// Base-page size in bytes.
     pub fn page_bytes(&self) -> u64 {
-        1 << self.page_shift
+        self.geometry.page_bytes()
     }
 
-    /// Pages per prefetch region.
+    /// Base pages per prefetch region.
     pub fn pages_per_region(&self) -> u64 {
-        1 << (self.region_shift - self.page_shift)
+        self.geometry.pages_per_region()
     }
 }
 
@@ -577,17 +565,23 @@ mod tests {
     }
 
     #[test]
-    fn bad_page_shift_is_rejected() {
+    fn bad_geometries_cannot_reach_a_config() {
+        // Shift validation happens at PageGeometry construction, before a
+        // SimConfig can even hold the value; inverted/degenerate orderings
+        // are unrepresentable rather than caught late in validate().
+        assert!(matches!(
+            PageGeometry::base_region(16, 15),
+            Err(SimError::InvalidConfig { field: "uvm.geometry.large_shift", .. })
+        ));
+        assert!(matches!(
+            PageGeometry::base_region(5, 21),
+            Err(SimError::InvalidConfig { field: "uvm.geometry.base_shift", .. })
+        ));
+        // A non-default but valid geometry drops straight in.
         let mut c = SimConfig::default();
-        c.uvm.page_shift = 5;
-        assert_eq!(rejected_field(&c), "uvm.page_shift");
-    }
-
-    #[test]
-    fn region_smaller_than_page_is_rejected() {
-        let mut c = SimConfig::default();
-        c.uvm.region_shift = c.uvm.page_shift - 1;
-        assert_eq!(rejected_field(&c), "uvm.region_shift");
+        c.uvm.geometry = PageGeometry::base_region(12, 21).unwrap();
+        c.validate().unwrap();
+        assert_eq!(c.uvm.pages_per_region(), 512);
     }
 
     #[test]

@@ -14,13 +14,19 @@
 //! * [`EpochPageSet`] / [`EpochPageMap`] — epoch-stamped variants whose
 //!   `clear` is O(1) (bump the epoch) so per-batch scratch state can be
 //!   reused allocation-free across thousands of batches.
+//! * [`RegionSet`] / [`RegionMap`] — the same dense idea one tier up,
+//!   keyed by [`RegionId`].
+//! * [`TieredPageMap`] — a two-level `RegionMap<PageMap<V>>` that keeps a
+//!   per-region residency count alongside page-granular state, so the
+//!   multi-page-size machinery can answer "is this region fully resident?"
+//!   in O(1) while everything else keeps page-level access.
 //!
 //! All collections grow on insert and answer `false`/`None` for any index
 //! beyond what they have seen, so callers that cannot size them up front
 //! (e.g. the lifetime tracker, which is built before the workload is known)
 //! still work unchanged.
 
-use crate::addr::PageId;
+use crate::addr::{PageId, RegionId};
 
 /// A growable set of pages backed by a bitmap.
 ///
@@ -384,6 +390,344 @@ impl<V: Copy + Default> EpochPageMap<V> {
     }
 }
 
+/// A growable set of regions backed by a bitmap — [`PageSet`] one tier up.
+///
+/// # Examples
+///
+/// ```
+/// use batmem_types::dense::RegionSet;
+/// use batmem_types::RegionId;
+///
+/// let mut s = RegionSet::new();
+/// assert!(s.insert(RegionId::new(3)));
+/// assert!(s.contains(RegionId::new(3)));
+/// assert!(s.remove(RegionId::new(3)));
+/// assert!(s.is_empty());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct RegionSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl RegionSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    fn slot(region: RegionId) -> (usize, u64) {
+        let i = region.index() as usize;
+        (i / 64, 1u64 << (i % 64))
+    }
+
+    /// Inserts `region`; returns `true` if it was not already present.
+    #[inline]
+    pub fn insert(&mut self, region: RegionId) -> bool {
+        let (w, bit) = Self::slot(region);
+        if w >= self.words.len() {
+            self.words.resize(w + 1, 0);
+        }
+        let fresh = self.words[w] & bit == 0;
+        self.words[w] |= bit;
+        self.len += usize::from(fresh);
+        fresh
+    }
+
+    /// Removes `region`; returns `true` if it was present.
+    #[inline]
+    pub fn remove(&mut self, region: RegionId) -> bool {
+        let (w, bit) = Self::slot(region);
+        if w >= self.words.len() || self.words[w] & bit == 0 {
+            return false;
+        }
+        self.words[w] &= !bit;
+        self.len -= 1;
+        true
+    }
+
+    /// Whether `region` is in the set.
+    #[inline]
+    pub fn contains(&self, region: RegionId) -> bool {
+        let (w, bit) = Self::slot(region);
+        w < self.words.len() && self.words[w] & bit != 0
+    }
+
+    /// Number of regions in the set.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Removes every region, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+        self.len = 0;
+    }
+
+    /// Iterates the regions in ascending index order.
+    pub fn iter(&self) -> impl Iterator<Item = RegionId> + '_ {
+        self.words.iter().enumerate().flat_map(|(w, &word)| {
+            (0..64)
+                .filter(move |b| word & (1u64 << b) != 0)
+                .map(move |b| RegionId::new((w * 64 + b) as u64))
+        })
+    }
+}
+
+/// A growable map from regions to values — [`PageMap`] one tier up.
+///
+/// # Examples
+///
+/// ```
+/// use batmem_types::dense::RegionMap;
+/// use batmem_types::RegionId;
+///
+/// let mut m: RegionMap<u32> = RegionMap::new();
+/// assert_eq!(m.insert(RegionId::new(2), 9), None);
+/// assert_eq!(m.get(RegionId::new(2)), Some(&9));
+/// ```
+#[derive(Debug, Clone)]
+pub struct RegionMap<V> {
+    slots: Vec<Option<V>>,
+    len: usize,
+}
+
+impl<V> Default for RegionMap<V> {
+    fn default() -> Self {
+        Self { slots: Vec::new(), len: 0 }
+    }
+}
+
+impl<V> RegionMap<V> {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts `value` for `region`, returning the previous value if any.
+    #[inline]
+    pub fn insert(&mut self, region: RegionId, value: V) -> Option<V> {
+        let i = region.index() as usize;
+        if i >= self.slots.len() {
+            self.slots.resize_with(i + 1, || None);
+        }
+        let prev = self.slots[i].replace(value);
+        self.len += usize::from(prev.is_none());
+        prev
+    }
+
+    /// Returns a reference to `region`'s value, if present.
+    #[inline]
+    pub fn get(&self, region: RegionId) -> Option<&V> {
+        self.slots.get(region.index() as usize)?.as_ref()
+    }
+
+    /// Returns a mutable reference to `region`'s value, if present.
+    #[inline]
+    pub fn get_mut(&mut self, region: RegionId) -> Option<&mut V> {
+        self.slots.get_mut(region.index() as usize)?.as_mut()
+    }
+
+    /// Returns a mutable reference to `region`'s value, inserting the
+    /// default-constructed value first if absent.
+    #[inline]
+    pub fn entry_or_default(&mut self, region: RegionId) -> &mut V
+    where
+        V: Default,
+    {
+        let i = region.index() as usize;
+        if i >= self.slots.len() {
+            self.slots.resize_with(i + 1, || None);
+        }
+        if self.slots[i].is_none() {
+            self.slots[i] = Some(V::default());
+            self.len += 1;
+        }
+        self.slots[i].as_mut().expect("slot just filled")
+    }
+
+    /// Removes and returns `region`'s value, if present.
+    #[inline]
+    pub fn remove(&mut self, region: RegionId) -> Option<V> {
+        let taken = self.slots.get_mut(region.index() as usize)?.take();
+        self.len -= usize::from(taken.is_some());
+        taken
+    }
+
+    /// Whether `region` has a value.
+    #[inline]
+    pub fn contains(&self, region: RegionId) -> bool {
+        self.get(region).is_some()
+    }
+
+    /// Number of regions with a value.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Removes every entry, keeping the allocation.
+    pub fn clear(&mut self) {
+        for s in &mut self.slots {
+            *s = None;
+        }
+        self.len = 0;
+    }
+
+    /// Iterates `(region, &value)` in ascending region order.
+    pub fn iter(&self) -> impl Iterator<Item = (RegionId, &V)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|v| (RegionId::new(i as u64), v)))
+    }
+}
+
+/// A two-level page map: per-region [`PageMap`]s under a [`RegionMap`],
+/// with page-granular API and O(1) per-region residency counts.
+///
+/// The region tier here is whatever granularity the caller's
+/// [`PageGeometry`](crate::addr::PageGeometry) dictates — page tables use
+/// the large-page group size so "region fully resident" answers the
+/// coalescing question directly.
+///
+/// # Examples
+///
+/// ```
+/// use batmem_types::dense::TieredPageMap;
+/// use batmem_types::{PageId, RegionId};
+///
+/// let mut m: TieredPageMap<u32> = TieredPageMap::with_pages_per_region(4);
+/// for i in 0..4 {
+///     m.insert(PageId::new(i), 100 + i as u32);
+/// }
+/// assert_eq!(m.region_len(RegionId::new(0)), 4);
+/// assert!(m.region_is_full(RegionId::new(0)));
+/// assert_eq!(m.get(PageId::new(2)), Some(&102));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TieredPageMap<V> {
+    regions: RegionMap<PageMap<V>>,
+    pages_per_region: u64,
+    len: usize,
+}
+
+impl<V> Default for TieredPageMap<V> {
+    /// Default-geometry tier: 32 pages per region (64 KB pages, 2 MB
+    /// regions).
+    fn default() -> Self {
+        Self::with_pages_per_region(32)
+    }
+}
+
+impl<V> TieredPageMap<V> {
+    /// Creates an empty map whose region tier spans `pages_per_region`
+    /// base pages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pages_per_region` is zero.
+    pub fn with_pages_per_region(pages_per_region: u64) -> Self {
+        assert!(pages_per_region > 0, "pages_per_region must be nonzero");
+        Self { regions: RegionMap::new(), pages_per_region, len: 0 }
+    }
+
+    /// The region-tier granularity in base pages.
+    pub fn pages_per_region(&self) -> u64 {
+        self.pages_per_region
+    }
+
+    #[inline]
+    fn split(&self, page: PageId) -> (RegionId, PageId) {
+        (
+            RegionId::new(page.index() / self.pages_per_region),
+            PageId::new(page.index() % self.pages_per_region),
+        )
+    }
+
+    /// Inserts `value` for `page`, returning the previous value if any.
+    #[inline]
+    pub fn insert(&mut self, page: PageId, value: V) -> Option<V> {
+        let (r, off) = self.split(page);
+        let prev = self.regions.entry_or_default(r).insert(off, value);
+        self.len += usize::from(prev.is_none());
+        prev
+    }
+
+    /// Returns a reference to `page`'s value, if present.
+    #[inline]
+    pub fn get(&self, page: PageId) -> Option<&V> {
+        let (r, off) = self.split(page);
+        self.regions.get(r)?.get(off)
+    }
+
+    /// Returns a mutable reference to `page`'s value, if present.
+    #[inline]
+    pub fn get_mut(&mut self, page: PageId) -> Option<&mut V> {
+        let (r, off) = self.split(page);
+        self.regions.get_mut(r)?.get_mut(off)
+    }
+
+    /// Removes and returns `page`'s value, if present.
+    #[inline]
+    pub fn remove(&mut self, page: PageId) -> Option<V> {
+        let (r, off) = self.split(page);
+        let taken = self.regions.get_mut(r)?.remove(off);
+        self.len -= usize::from(taken.is_some());
+        taken
+    }
+
+    /// Whether `page` has a value.
+    #[inline]
+    pub fn contains(&self, page: PageId) -> bool {
+        self.get(page).is_some()
+    }
+
+    /// Number of pages with a value.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of pages with a value inside `region` — O(1).
+    pub fn region_len(&self, region: RegionId) -> usize {
+        self.regions.get(region).map_or(0, PageMap::len)
+    }
+
+    /// Whether every page of `region` has a value.
+    pub fn region_is_full(&self, region: RegionId) -> bool {
+        self.region_len(region) as u64 == self.pages_per_region
+    }
+
+    /// Removes every entry, keeping the region allocations.
+    pub fn clear(&mut self) {
+        self.regions.clear();
+        self.len = 0;
+    }
+
+    /// Iterates `(page, &value)` in ascending global page order.
+    pub fn iter(&self) -> impl Iterator<Item = (PageId, &V)> {
+        let ppr = self.pages_per_region;
+        self.regions.iter().flat_map(move |(r, pm)| {
+            pm.iter().map(move |(off, v)| (PageId::new(r.index() * ppr + off.index()), v))
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -493,5 +837,75 @@ mod tests {
         assert_eq!(m.get(p(12345)), None);
         assert!(!m.contains(p(12345)));
         assert!(m.is_empty());
+    }
+
+    fn r(i: u64) -> RegionId {
+        RegionId::new(i)
+    }
+
+    #[test]
+    fn region_set_mirrors_page_set_semantics() {
+        let mut s = RegionSet::new();
+        assert!(s.insert(r(0)));
+        assert!(s.insert(r(65)));
+        assert!(!s.insert(r(65)));
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(r(65)));
+        assert!(!s.contains(r(1_000_000)));
+        assert_eq!(s.iter().map(RegionId::index).collect::<Vec<_>>(), vec![0, 65]);
+        assert!(s.remove(r(0)));
+        assert!(!s.remove(r(0)));
+        s.clear();
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn region_map_mirrors_page_map_semantics() {
+        let mut m: RegionMap<u32> = RegionMap::new();
+        assert_eq!(m.insert(r(4), 40), None);
+        assert_eq!(m.insert(r(4), 44), Some(40));
+        *m.entry_or_default(r(2)) += 20;
+        assert_eq!(m.get(r(2)), Some(&20));
+        assert_eq!(m.len(), 2);
+        let got: Vec<_> = m.iter().map(|(k, v)| (k.index(), *v)).collect();
+        assert_eq!(got, vec![(2, 20), (4, 44)]);
+        assert_eq!(m.remove(r(4)), Some(44));
+        assert_eq!(m.get(r(4)), None);
+    }
+
+    #[test]
+    fn tiered_map_tracks_both_tiers() {
+        let mut m: TieredPageMap<u64> = TieredPageMap::with_pages_per_region(4);
+        // Fill region 1 (pages 4..8) and half of region 0.
+        for i in 4..8 {
+            assert_eq!(m.insert(p(i), i * 10), None);
+        }
+        m.insert(p(0), 0);
+        m.insert(p(2), 20);
+        assert_eq!(m.len(), 6);
+        assert_eq!(m.region_len(r(1)), 4);
+        assert!(m.region_is_full(r(1)));
+        assert!(!m.region_is_full(r(0)));
+        assert_eq!(m.region_len(r(9)), 0);
+        assert_eq!(m.get(p(6)), Some(&60));
+        assert_eq!(m.remove(p(6)), Some(60));
+        assert!(!m.region_is_full(r(1)));
+        assert_eq!(m.region_len(r(1)), 3);
+        // Global iteration order is ascending page index across regions.
+        let order: Vec<_> = m.iter().map(|(k, _)| k.index()).collect();
+        assert_eq!(order, vec![0, 2, 4, 5, 7]);
+        if let Some(v) = m.get_mut(p(2)) {
+            *v = 21;
+        }
+        assert_eq!(m.get(p(2)), Some(&21));
+        m.clear();
+        assert!(m.is_empty());
+        assert_eq!(m.region_len(r(1)), 0);
+    }
+
+    #[test]
+    fn tiered_map_default_matches_default_geometry() {
+        let m: TieredPageMap<u8> = TieredPageMap::default();
+        assert_eq!(m.pages_per_region(), 32);
     }
 }

@@ -35,7 +35,7 @@
 //!
 //! let config = SimConfig::default();
 //! assert_eq!(config.gpu.num_sms, 16);
-//! let page = VirtAddr::new(0x1_0000).page(config.uvm.page_shift);
+//! let page = config.uvm.geometry.page_of(VirtAddr::new(0x1_0000));
 //! assert_eq!(page.index(), 1);
 //! ```
 
@@ -53,7 +53,7 @@ pub mod rng;
 pub mod sweep;
 pub mod time;
 
-pub use addr::{FrameId, PageId, RegionId, VirtAddr};
+pub use addr::{FrameId, PageGeometry, PageId, RegionId, VirtAddr};
 pub use config::SimConfig;
 pub use error::{AuditLevel, SimError};
 pub use ids::{BlockId, KernelId, SmId, WarpId};

@@ -157,6 +157,8 @@ pub enum PolicyAxis {
     Prefetch,
     /// Thread-oversubscription degree control.
     Oversubscription,
+    /// Large-page coalescing and splintering (multi-page-size management).
+    Coalesce,
 }
 
 impl PolicyAxis {
@@ -166,6 +168,7 @@ impl PolicyAxis {
             PolicyAxis::Eviction => "eviction",
             PolicyAxis::Prefetch => "prefetch",
             PolicyAxis::Oversubscription => "oversubscription",
+            PolicyAxis::Coalesce => "coalesce",
         }
     }
 }
@@ -362,6 +365,7 @@ mod tests {
         assert_eq!(PolicyAxis::Eviction.label(), "eviction");
         assert_eq!(PolicyAxis::Prefetch.to_string(), "prefetch");
         assert_eq!(PolicyAxis::Oversubscription.label(), "oversubscription");
+        assert_eq!(PolicyAxis::Coalesce.label(), "coalesce");
         let d = PolicyDescriptor {
             axis: PolicyAxis::Prefetch,
             name: "tree",

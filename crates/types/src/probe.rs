@@ -26,7 +26,7 @@
 //! `Tracer`/`Timeline`/`MetricsSink` in `batmem::probes` all follow this
 //! pattern: `Clone` the handle, attach one, keep the other).
 
-use crate::addr::{FrameId, PageId};
+use crate::addr::{FrameId, PageId, RegionId};
 use crate::time::Cycle;
 use std::cell::RefCell;
 use std::fmt;
@@ -190,6 +190,36 @@ pub enum ProbeEvent {
         /// Thread blocks in the kernel's grid.
         blocks: u32,
     },
+    /// A fully-resident large-page group was promoted to one large-page
+    /// mapping (coalescing, Mosaic-style).
+    RegionCoalesced {
+        /// The promoted large-page group.
+        region: RegionId,
+        /// Base pages covered by the new large mapping.
+        pages: u32,
+    },
+    /// A promoted large-page group was demoted back to base-page mappings
+    /// (splintering), usually because the memmgr needed sub-region eviction.
+    RegionSplintered {
+        /// The demoted large-page group.
+        region: RegionId,
+    },
+    /// End-of-run address-translation summary (TLB reach accounting),
+    /// emitted once just before the run finishes.
+    TranslationSummary {
+        /// L1 TLB hits (base-page entries).
+        l1_hits: u64,
+        /// L1 TLB misses.
+        l1_misses: u64,
+        /// Large-page TLB hits (translations served by a promoted mapping).
+        large_hits: u64,
+        /// Page-table walks performed.
+        walks: u64,
+        /// Large-page promotions over the run.
+        coalesces: u64,
+        /// Splinters over the run.
+        splinters: u64,
+    },
 }
 
 impl ProbeEvent {
@@ -210,6 +240,9 @@ impl ProbeEvent {
             ProbeEvent::ContextSwitch { .. } => "context_switch",
             ProbeEvent::WatchdogTick { .. } => "watchdog_tick",
             ProbeEvent::KernelLaunched { .. } => "kernel_launched",
+            ProbeEvent::RegionCoalesced { .. } => "region_coalesced",
+            ProbeEvent::RegionSplintered { .. } => "region_splintered",
+            ProbeEvent::TranslationSummary { .. } => "translation_summary",
         }
     }
 }

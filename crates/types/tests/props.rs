@@ -1,36 +1,55 @@
 //! Property-based tests for address arithmetic and time conversion.
 
-use batmem_types::addr::{PageId, RegionId, VirtAddr};
+use batmem_types::addr::{PageGeometry, PageId, RegionId, VirtAddr};
 use batmem_types::time::transfer_cycles;
 use proptest::prelude::*;
 
 proptest! {
     #[test]
     fn page_region_consistency(raw in 0u64..(1 << 40), page_shift in 12u32..20) {
-        let region_shift = page_shift + 5;
+        let g = PageGeometry::base_region(page_shift, page_shift + 5).unwrap();
         let a = VirtAddr::new(raw);
         // addr -> region == addr -> page -> region.
-        prop_assert_eq!(
-            a.region(region_shift),
-            a.page(page_shift).region(page_shift, region_shift)
-        );
+        prop_assert_eq!(g.region_of(a), g.region_of_page(g.page_of(a)));
         // Page base address is within the page.
-        let p = a.page(page_shift);
-        let base = p.base_addr(page_shift);
+        let p = g.page_of(a);
+        let base = g.page_base(p);
         prop_assert!(base.raw() <= raw);
-        prop_assert!(raw - base.raw() < (1 << page_shift));
+        prop_assert!(raw - base.raw() < g.page_bytes());
     }
 
     #[test]
     fn region_first_page_round_trips(idx in 0u64..(1 << 30)) {
+        let g = PageGeometry::default();
         let r = RegionId::new(idx);
-        let first = r.first_page(16, 21);
-        prop_assert_eq!(first.region(16, 21), r);
+        let first = g.first_page(r);
+        prop_assert_eq!(g.region_of_page(first), r);
         // The page just before belongs to the previous region.
         if idx > 0 {
             let before = PageId::new(first.index() - 1);
-            prop_assert_eq!(before.region(16, 21).index(), idx - 1);
+            prop_assert_eq!(g.region_of_page(before).index(), idx - 1);
         }
+    }
+
+    #[test]
+    fn large_tier_nests_between_pages_and_regions(
+        raw in 0u64..(1 << 40),
+        base in 12u32..16,
+        large_gap in 0u32..4,
+        region_gap in 0u32..4,
+    ) {
+        let g = PageGeometry::new(base, base + large_gap, base + large_gap + region_gap).unwrap();
+        let a = VirtAddr::new(raw);
+        let p = g.page_of(a);
+        // A page's large group starts at or before the page and spans it.
+        let group = g.large_of_page(p);
+        let first = g.first_page_of_large(group);
+        prop_assert!(first <= p);
+        prop_assert!(p.index() - first.index() < g.pages_per_large());
+        // Tier sizes multiply out: pages/large x larges/region = pages/region.
+        prop_assert_eq!(g.pages_per_large() * g.larges_per_region(), g.pages_per_region());
+        // The large tier refines the region tier.
+        prop_assert_eq!(g.region_of_page(first), g.region_of_page(p));
     }
 
     #[test]

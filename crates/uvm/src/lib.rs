@@ -57,5 +57,6 @@ pub use prefetch::TreePrefetcher;
 pub use registry::{OversubSelection, PolicyRegistry, StrategyCtx};
 pub use stats::UvmStats;
 pub use strategies::{
-    EvictionStrategy, EvictionTiming, OversubscriptionHandler, Prefetcher,
+    CoalesceOff, CoalesceStrategy, EvictionStrategy, EvictionTiming, GreedyCoalesce,
+    OversubscriptionHandler, Prefetcher, SplinterOnEvict,
 };

@@ -6,8 +6,8 @@
 //! eviction** is an eviction of a page for which the GPU generates a fault
 //! again later (§4.1, §6.1).
 
-use batmem_types::dense::{PageMap, PageSet};
-use batmem_types::{Cycle, PageId};
+use batmem_types::dense::{PageSet, TieredPageMap};
+use batmem_types::{Cycle, PageId, RegionId};
 
 /// A periodic lifetime sample handed to the oversubscription controller.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -23,7 +23,9 @@ pub struct LifetimeSample {
 /// eviction counts.
 #[derive(Debug, Clone, Default)]
 pub struct LifetimeTracker {
-    alloc_at: PageMap<Cycle>,
+    /// Birth cycle per live page, tiered by large-page group so the
+    /// coalescing path can read per-group live counts in O(1).
+    alloc_at: TieredPageMap<Cycle>,
     evicted_awaiting_refault: PageSet,
     window_sum: u128,
     window_count: u64,
@@ -35,9 +37,24 @@ pub struct LifetimeTracker {
 }
 
 impl LifetimeTracker {
-    /// Creates an empty tracker.
+    /// Creates an empty tracker with the default large-page-group span.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty tracker whose group tier spans `pages_per_large`
+    /// base pages (matching the page table's large-page geometry).
+    pub fn with_pages_per_large(pages_per_large: u64) -> Self {
+        Self {
+            alloc_at: TieredPageMap::with_pages_per_region(pages_per_large),
+            ..Self::default()
+        }
+    }
+
+    /// Live (installed, not yet evicted) pages in large-page group
+    /// `group` — O(1), for coalescing diagnostics.
+    pub fn live_in_group(&self, group: RegionId) -> usize {
+        self.alloc_at.region_len(group)
     }
 
     /// Records that `page` became resident at `now`.
@@ -186,6 +203,19 @@ mod tests {
         t.on_fault(p(2)); // unrelated page
         assert_eq!(t.premature_evictions(), 0);
         assert_eq!(t.premature_rate(), 0.0);
+    }
+
+    #[test]
+    fn group_tier_counts_live_pages() {
+        let mut t = LifetimeTracker::with_pages_per_large(4);
+        let g = RegionId::new(0);
+        t.on_install(p(0), 0);
+        t.on_install(p(1), 0);
+        t.on_install(p(4), 0); // next group
+        assert_eq!(t.live_in_group(g), 2);
+        assert_eq!(t.live_in_group(RegionId::new(1)), 1);
+        t.on_evict(p(1), 10);
+        assert_eq!(t.live_in_group(g), 1);
     }
 
     #[test]

@@ -57,6 +57,7 @@ pub struct MemoryManager {
     evictions: u64,
     touches: u64,
     peak_resident: usize,
+    contiguous_takes: u64,
 }
 
 impl MemoryManager {
@@ -83,6 +84,7 @@ impl MemoryManager {
             evictions: 0,
             touches: 0,
             peak_resident: 0,
+            contiguous_takes: 0,
         }
     }
 
@@ -103,6 +105,44 @@ impl MemoryManager {
         } else {
             None
         }
+    }
+
+    /// Contiguity-aware variant of [`take_frame`](Self::take_frame): if
+    /// `preferred` sits in the free pool, take exactly it; if it is the
+    /// next unminted frame, mint it. Otherwise falls back to the normal
+    /// allocation order. Used by the coalescing path so a large-page
+    /// group's frames tend toward physical contiguity (the property real
+    /// coalescing designs engineer their allocators for); never called
+    /// when coalescing is off, keeping that path's allocation order
+    /// untouched.
+    pub fn take_frame_near(&mut self, preferred: FrameId) -> Option<FrameId> {
+        if let Some(pos) = self.free.iter().rposition(|&f| f == preferred) {
+            self.contiguous_takes += 1;
+            return Some(self.free.swap_remove(pos));
+        }
+        let under_cap = match self.capacity {
+            None => true,
+            Some(c) => u64::from(self.next_frame) < c,
+        };
+        if preferred.index() == self.next_frame && under_cap {
+            self.contiguous_takes += 1;
+            self.next_frame += 1;
+            return Some(preferred);
+        }
+        self.take_frame()
+    }
+
+    /// Allocations where [`take_frame_near`](Self::take_frame_near) could
+    /// honor the preferred frame.
+    pub fn contiguous_takes(&self) -> u64 {
+        self.contiguous_takes
+    }
+
+    /// The frame backing `page`, if it is (planned) resident.
+    pub fn frame_of(&self, page: PageId) -> Option<FrameId> {
+        self.pages
+            .get(page.index() as usize)
+            .and_then(|e| e.resident.then_some(e.frame))
     }
 
     /// Frames obtainable without evicting (free pool + unminted capacity).
@@ -637,5 +677,50 @@ mod tests {
         let mut m = mgr(2);
         m.touch(p(9));
         assert_eq!(m.touches(), 0);
+    }
+
+    #[test]
+    fn take_frame_near_prefers_the_named_frame() {
+        let mut m = mgr(4);
+        // Mint 0..3 resident, then free 1 and 2 (release order: 1, 2).
+        for i in 0..4 {
+            let f = m.take_frame().unwrap();
+            m.mark_resident(p(i), f, 0).unwrap();
+        }
+        for i in [1, 2] {
+            let f = m.remove(p(i), 0).unwrap();
+            m.release_frame(f);
+        }
+        // Plain take_frame would pop frame 2 (stack order); the near
+        // variant digs frame 1 out of the pool.
+        assert_eq!(m.take_frame_near(FrameId::new(1)), Some(FrameId::new(1)));
+        assert_eq!(m.contiguous_takes(), 1);
+        // A preferred frame that is neither free nor next-to-mint falls
+        // back to normal order.
+        assert_eq!(m.take_frame_near(FrameId::new(0)), Some(FrameId::new(2)));
+        assert_eq!(m.contiguous_takes(), 1);
+        // At capacity with an empty pool: nothing to take.
+        assert_eq!(m.take_frame_near(FrameId::new(3)), None);
+    }
+
+    #[test]
+    fn take_frame_near_mints_the_next_frame() {
+        let mut m = mgr(4);
+        assert_eq!(m.take_frame_near(FrameId::new(0)), Some(FrameId::new(0)));
+        assert_eq!(m.take_frame_near(FrameId::new(1)), Some(FrameId::new(1)));
+        assert_eq!(m.contiguous_takes(), 2);
+        assert_eq!(m.minted_frames(), 2);
+    }
+
+    #[test]
+    fn frame_of_reports_resident_frames_only() {
+        let mut m = mgr(2);
+        assert_eq!(m.frame_of(p(0)), None);
+        let f = m.take_frame().unwrap();
+        m.mark_resident(p(0), f, 0).unwrap();
+        assert_eq!(m.frame_of(p(0)), Some(f));
+        let f = m.remove(p(0), 0).unwrap();
+        m.release_frame(f);
+        assert_eq!(m.frame_of(p(0)), None);
     }
 }

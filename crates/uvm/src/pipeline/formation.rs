@@ -43,6 +43,48 @@ impl UvmRuntime {
         pages.sort_unstable();
         pages.dedup();
 
+        // Coalescing completion: when the batch plus already-resident pages
+        // cover enough of a large-page group (the policy's density
+        // threshold), pull in the group's missing pages so the group can
+        // promote to a large mapping once everything lands.
+        if !self.coalesce.is_off() {
+            let ppl = self.pages_per_large;
+            let mut extra: Vec<PageId> = Vec::new();
+            let mut i = 0;
+            while i < pages.len() {
+                let group = pages[i].index() / ppl;
+                let mut j = i;
+                while j < pages.len() && pages[j].index() / ppl == group {
+                    j += 1;
+                }
+                let first = group * ppl;
+                let end = (first + ppl).min(self.valid_pages);
+                let mut resident = 0u64;
+                for idx in first..end {
+                    if self.mem.is_resident(PageId::new(idx)) {
+                        resident += 1;
+                    }
+                }
+                // Batch pages are non-resident by construction, so the two
+                // counts are disjoint.
+                let covered = (j - i) as u64 + resident;
+                if self.coalesce.wants_completion(covered, ppl) {
+                    for idx in first..end {
+                        let p = PageId::new(idx);
+                        if !self.mem.is_resident(p) && !pages[i..j].contains(&p) {
+                            extra.push(p);
+                        }
+                    }
+                }
+                i = j;
+            }
+            if !extra.is_empty() {
+                pages.extend(extra);
+                pages.sort_unstable();
+                pages.dedup();
+            }
+        }
+
         let handling = self.cfg.fault_handling_base
             + self.cfg.fault_handling_per_fault * num_faults as Cycle;
         let id = self.batch_seq;

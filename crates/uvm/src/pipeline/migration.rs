@@ -5,7 +5,7 @@
 use super::{State, UvmEvent, UvmOutput, UvmRuntime};
 use crate::inject::FaultInjector;
 use batmem_types::probe::ProbeEvent;
-use batmem_types::{Cycle, PageId, SimError};
+use batmem_types::{Cycle, FrameId, PageId, SimError};
 
 impl UvmRuntime {
     /// Appends the batch's migration commands to `outputs` (the engine's
@@ -42,7 +42,22 @@ impl UvmRuntime {
         let page_bytes = self.cfg.page_bytes();
         for i in 0..plan.pages.len() {
             let page = plan.pages[i];
-            let (frame, ready) = self.acquire_frame(now, &mut plan, outputs)?;
+            // Contiguity-aware allocation for the coalescing path: prefer
+            // the frame right after the previous page of the same group, so
+            // promoted groups tend toward physically contiguous frames.
+            let preferred = if self.coalesce.is_off() {
+                None
+            } else {
+                page.index().checked_sub(1).and_then(|prev| {
+                    let prev = PageId::new(prev);
+                    if self.group_of(prev) == self.group_of(page) {
+                        self.mem.frame_of(prev).map(|f| FrameId::new(f.index() + 1))
+                    } else {
+                        None
+                    }
+                })
+            };
+            let (frame, ready) = self.acquire_frame(now, &mut plan, outputs, preferred)?;
             // Injected PCIe perturbation: jitter/stalls delay when this
             // transfer may claim the host-to-device pipe.
             let extra = self.injector.as_mut().map_or(0, FaultInjector::transfer_delay);
@@ -101,6 +116,7 @@ impl UvmRuntime {
         };
         self.probes.emit_with(now, || ProbeEvent::MigrationCompleted { page, frame });
         outputs.push(UvmOutput::Install { page, frame });
+        self.note_installed(page, now, outputs);
         let finished = {
             let Some(plan) = self.current.as_mut() else {
                 return Err(self.unexpected(

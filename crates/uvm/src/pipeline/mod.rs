@@ -63,14 +63,14 @@ use crate::pcie::PciePipes;
 use crate::prefetch::TreePrefetcher;
 use crate::stats::UvmStats;
 use crate::strategies::{
-    EvictionStrategy, IdealEviction, NoPrefetch, Prefetcher, SerializedLruEviction,
-    UnobtrusiveEviction,
+    CoalesceOff, CoalesceStrategy, EvictionStrategy, IdealEviction, NoPrefetch, Prefetcher,
+    SerializedLruEviction, UnobtrusiveEviction,
 };
 use batmem_types::config::UvmConfig;
-use batmem_types::dense::{EpochPageMap, EpochPageSet, PageMap};
+use batmem_types::dense::{EpochPageMap, EpochPageSet, PageMap, RegionSet, TieredPageMap};
 use batmem_types::policy::{EvictionPolicy, PolicyConfig, PrefetchPolicy};
-use batmem_types::probe::SharedProbes;
-use batmem_types::{AuditLevel, Cycle, FrameId, PageId, SimError};
+use batmem_types::probe::{ProbeEvent, SharedProbes};
+use batmem_types::{AuditLevel, Cycle, FrameId, PageId, RegionId, SimError};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -121,6 +121,19 @@ pub enum UvmOutput {
         /// The evicted page.
         page: PageId,
     },
+    /// Promote the fully-installed large-page group `region` to a single
+    /// large mapping (every page of the group was installed by preceding
+    /// `Install` commands).
+    Coalesce {
+        /// The promoted large-page group.
+        region: RegionId,
+    },
+    /// Demote large-page group `region` back to base mappings; always
+    /// emitted before any `Evict` of a page under a promoted mapping.
+    Splinter {
+        /// The demoted large-page group.
+        region: RegionId,
+    },
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -149,6 +162,19 @@ pub struct UvmRuntime {
     pub(crate) pipes: PciePipes,
     pub(crate) eviction: Box<dyn EvictionStrategy>,
     pub(crate) prefetcher: Box<dyn Prefetcher>,
+    pub(crate) coalesce: Box<dyn CoalesceStrategy>,
+    /// Base pages per large-page group (from the configured geometry).
+    pub(crate) pages_per_large: u64,
+    /// Pages currently installed in the GPU page table, mirrored from the
+    /// `Install`/`Evict` commands this runtime emits; its per-group counts
+    /// gate promotion.
+    pub(crate) installed: TieredPageMap<()>,
+    /// Groups currently promoted to a large mapping (mirrors the page
+    /// table's promoted set).
+    pub(crate) promoted: RegionSet,
+    /// Groups that were splintered at least once (the sticky input to
+    /// [`CoalesceStrategy::should_promote`]).
+    pub(crate) splintered: RegionSet,
     pub(crate) lifetime: LifetimeTracker,
     pub(crate) state: State,
     pub(crate) current: Option<BatchPlan>,
@@ -191,7 +217,7 @@ impl UvmRuntime {
                 Box::new(TreePrefetcher::new(cfg.pages_per_region(), threshold_percent))
             }
         };
-        Self::with_strategies(cfg, policy, valid_pages, eviction, prefetcher)
+        Self::with_strategies(cfg, policy, valid_pages, eviction, prefetcher, Box::new(CoalesceOff))
     }
 
     /// Creates the runtime around externally constructed strategies — the
@@ -203,7 +229,9 @@ impl UvmRuntime {
         valid_pages: u64,
         eviction: Box<dyn EvictionStrategy>,
         prefetcher: Box<dyn Prefetcher>,
+        coalesce: Box<dyn CoalesceStrategy>,
     ) -> Self {
+        let pages_per_large = cfg.geometry.pages_per_large();
         Self {
             cfg: cfg.clone(),
             policy: *policy,
@@ -220,7 +248,12 @@ impl UvmRuntime {
             ),
             eviction,
             prefetcher,
-            lifetime: LifetimeTracker::new(),
+            coalesce,
+            pages_per_large,
+            installed: TieredPageMap::with_pages_per_region(pages_per_large),
+            promoted: RegionSet::new(),
+            splintered: RegionSet::new(),
+            lifetime: LifetimeTracker::with_pages_per_large(pages_per_large),
             state: State::Idle,
             current: None,
             batch_pages: EpochPageSet::new(),
@@ -311,12 +344,54 @@ impl UvmRuntime {
             }
             UvmEvent::HandlingDone { batch } => self.plan_migrations(batch, now, out)?,
             UvmEvent::PageArrived { page } => self.page_arrived(page, now, out)?,
-            UvmEvent::EvictionStarted { page } => out.push(UvmOutput::Evict { page }),
+            UvmEvent::EvictionStarted { page } => {
+                // Splinter-before-evict: a page may not leave the page
+                // table while its group holds a large mapping.
+                let group = self.group_of(page);
+                if self.promoted.remove(group) {
+                    self.splintered.insert(group);
+                    self.probes.emit_with(now, || ProbeEvent::RegionSplintered { region: group });
+                    out.push(UvmOutput::Splinter { region: group });
+                }
+                self.installed.remove(page);
+                out.push(UvmOutput::Evict { page });
+            }
         }
         if self.audit.enabled() {
             self.check_invariants(now)?;
         }
         Ok(())
+    }
+
+    /// The large-page group containing `page`.
+    pub(crate) fn group_of(&self, page: PageId) -> RegionId {
+        RegionId::new(page.index() / self.pages_per_large)
+    }
+
+    /// Records that `page` was installed in the GPU page table (its
+    /// `Install` command was just emitted) and, when the coalescing policy
+    /// agrees and the group is now fully installed, emits the group's
+    /// promotion.
+    pub(crate) fn note_installed(&mut self, page: PageId, now: Cycle, out: &mut Vec<UvmOutput>) {
+        if self.coalesce.is_off() {
+            return;
+        }
+        self.installed.insert(page, ());
+        let group = self.group_of(page);
+        if self.installed.region_is_full(group)
+            && !self.promoted.contains(group)
+            && self.coalesce.should_promote(self.splintered.contains(group))
+        {
+            self.promoted.insert(group);
+            let pages = self.pages_per_large as u32;
+            self.probes.emit_with(now, || ProbeEvent::RegionCoalesced { region: group, pages });
+            out.push(UvmOutput::Coalesce { region: group });
+        }
+    }
+
+    /// Large-page groups currently promoted (runtime's view).
+    pub fn promoted_groups(&self) -> usize {
+        self.promoted.len()
     }
 
     /// Builds a [`SimError::StateMachine`] snapshotting the current state.
@@ -444,6 +519,18 @@ impl UvmRuntime {
             }
         }
         if self.audit >= AuditLevel::Full {
+            // Splinter-before-evict: a promoted group's pages are all still
+            // installed (promotion implies full residency at all times).
+            if let Some(g) = self.promoted.iter().find(|&g| !self.installed.region_is_full(g)) {
+                return violated(
+                    "promoted groups are fully installed",
+                    format!(
+                        "group {g} promoted with {}/{} pages installed",
+                        self.installed.region_len(g),
+                        self.pages_per_large
+                    ),
+                );
+            }
             self.mem.audit(now)?;
             // Frame conservation: every frame ever minted is exactly one of
             // free, resident, or awaiting an in-flight eviction's transfer.

@@ -109,8 +109,12 @@ impl UvmRuntime {
         Ok(())
     }
 
-    pub(crate) fn acquire_frame(&mut self, now: Cycle, plan: &mut BatchPlan, outputs: &mut Vec<UvmOutput>) -> Result<(FrameId, Cycle), SimError> {
-        if let Some(f) = self.mem.take_frame() {
+    pub(crate) fn acquire_frame(&mut self, now: Cycle, plan: &mut BatchPlan, outputs: &mut Vec<UvmOutput>, preferred: Option<FrameId>) -> Result<(FrameId, Cycle), SimError> {
+        let taken = match preferred {
+            Some(pf) => self.mem.take_frame_near(pf),
+            None => self.mem.take_frame(),
+        };
+        if let Some(f) = taken {
             return Ok((f, now));
         }
         if let Some(&Reverse((ready, frame))) = self.pending_free.peek() {

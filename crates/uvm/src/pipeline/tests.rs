@@ -33,6 +33,9 @@ fn drain(rt: &mut UvmRuntime, initial: Vec<UvmOutput>) -> (Timeline, Timeline) {
                 UvmOutput::Schedule { at, event } => queue.push((at, event)),
                 UvmOutput::Install { page, .. } => installs.push((page, at)),
                 UvmOutput::Evict { page } => evicts.push((page, at)),
+                // Coalescing is off in these tests; the variants never fire.
+                UvmOutput::Coalesce { region } => panic!("unexpected coalesce of {region}"),
+                UvmOutput::Splinter { region } => panic!("unexpected splinter of {region}"),
             }
         }
     };
@@ -352,6 +355,7 @@ fn registry_built_strategies_match_enum_built_runtime() {
         1000,
         reg.build_eviction("ue", &ctx).unwrap(),
         reg.build_prefetcher("none", &ctx).unwrap(),
+        reg.build_coalesce("off").unwrap(),
     );
     let drive = |rt: &mut UvmRuntime| {
         let mut all = (Vec::new(), Vec::new());
@@ -387,6 +391,7 @@ fn random_victim_plugs_in_without_touching_the_pipeline() {
         1000,
         reg.build_eviction("random:7", &ctx).unwrap(),
         reg.build_prefetcher("none", &ctx).unwrap(),
+        reg.build_coalesce("off").unwrap(),
     );
     rt.set_audit(AuditLevel::Full);
     let mut evict_count = 0;
@@ -401,4 +406,132 @@ fn random_victim_plugs_in_without_touching_the_pipeline() {
     }
     assert!(evict_count > 0);
     assert!(rt.stats().d2h_bytes > 0, "random victim schedules real transfers");
+}
+
+/// Drives faults through a coalescing runtime in three rounds — fill group
+/// 0, displace it with group 1, then refill group 0 — returning the
+/// coalesced regions, splintered regions, and final promoted-group count.
+fn drive_coalesce_rounds(spec: &str) -> (Vec<RegionId>, Vec<RegionId>, usize) {
+    use crate::registry::{PolicyRegistry, StrategyCtx};
+    use batmem_types::PageGeometry;
+    let mut c = cfg(Some(4));
+    // 4 base pages per large-page group.
+    c.geometry = PageGeometry::new(16, 18, 21).unwrap();
+    let policy = no_prefetch(PolicyConfig::baseline());
+    let reg = PolicyRegistry::builtin();
+    let ctx = StrategyCtx { pages_per_region: c.pages_per_region() };
+    let mut rt = UvmRuntime::with_strategies(
+        &c,
+        &policy,
+        1000,
+        reg.build_eviction("lru", &ctx).unwrap(),
+        reg.build_prefetcher("none", &ctx).unwrap(),
+        reg.build_coalesce(spec).unwrap(),
+    );
+    rt.set_audit(AuditLevel::Full);
+    let mut coalesced = Vec::new();
+    let mut splintered = Vec::new();
+    let rounds: [&[u64]; 3] = [&[0, 1, 2, 3], &[4, 5, 6, 7], &[0, 1, 2, 3]];
+    for (r, pages) in rounds.iter().enumerate() {
+        let t0 = r as Cycle * 100_000_000;
+        let mut queue: Vec<(Cycle, UvmEvent)> = Vec::new();
+        let apply = |outs: Vec<UvmOutput>,
+                     queue: &mut Vec<(Cycle, UvmEvent)>,
+                     coalesced: &mut Vec<RegionId>,
+                     splintered: &mut Vec<RegionId>| {
+            for o in outs {
+                match o {
+                    UvmOutput::Schedule { at, event } => queue.push((at, event)),
+                    UvmOutput::Coalesce { region } => coalesced.push(region),
+                    UvmOutput::Splinter { region } => splintered.push(region),
+                    UvmOutput::Install { .. } | UvmOutput::Evict { .. } => {}
+                }
+            }
+        };
+        for &i in *pages {
+            let outs = rt.record_fault(p(i), t0).unwrap();
+            apply(outs, &mut queue, &mut coalesced, &mut splintered);
+        }
+        while !queue.is_empty() {
+            queue.sort_by_key(|&(t, _)| t);
+            let (t, e) = queue.remove(0);
+            let outs = rt.on_event(e, t).unwrap();
+            apply(outs, &mut queue, &mut coalesced, &mut splintered);
+        }
+    }
+    let promoted = rt.promoted_groups();
+    (coalesced, splintered, promoted)
+}
+
+#[test]
+fn greedy_coalescing_promotes_splinters_and_repromotes() {
+    let (coalesced, splintered, promoted) = drive_coalesce_rounds("greedy");
+    // Round 1 promotes group 0; round 2's evictions splinter it and promote
+    // group 1; round 3 splinters group 1 and re-promotes group 0.
+    assert_eq!(coalesced, vec![RegionId::new(0), RegionId::new(1), RegionId::new(0)]);
+    assert_eq!(splintered, vec![RegionId::new(0), RegionId::new(1)]);
+    assert_eq!(promoted, 1);
+}
+
+#[test]
+fn splinter_on_evict_never_repromotes_a_splintered_group() {
+    let (coalesced, splintered, promoted) = drive_coalesce_rounds("splinter:on-evict");
+    // Same history, but group 0's round-3 refill stays at base granularity.
+    assert_eq!(coalesced, vec![RegionId::new(0), RegionId::new(1)]);
+    assert_eq!(splintered, vec![RegionId::new(0), RegionId::new(1)]);
+    assert_eq!(promoted, 0);
+}
+
+#[test]
+fn coalescing_completion_pulls_in_missing_group_pages() {
+    use crate::registry::{PolicyRegistry, StrategyCtx};
+    use batmem_types::PageGeometry;
+    let mut c = cfg(None);
+    c.geometry = PageGeometry::new(16, 18, 21).unwrap(); // 4 pages per group
+    let policy = no_prefetch(PolicyConfig::baseline());
+    let reg = PolicyRegistry::builtin();
+    let ctx = StrategyCtx { pages_per_region: c.pages_per_region() };
+    let mut rt = UvmRuntime::with_strategies(
+        &c,
+        &policy,
+        1000,
+        reg.build_eviction("lru", &ctx).unwrap(),
+        reg.build_prefetcher("none", &ctx).unwrap(),
+        reg.build_coalesce("greedy:75").unwrap(),
+    );
+    rt.set_audit(AuditLevel::Full);
+    // 3 of 4 group pages fault (75%): the batch completes the group, the
+    // non-faulted page migrates as a prefetch, and the group promotes.
+    let mut queue: Vec<(Cycle, UvmEvent)> = Vec::new();
+    let mut coalesces = 0;
+    let mut installs = Vec::new();
+    let apply = |outs: Vec<UvmOutput>,
+                 queue: &mut Vec<(Cycle, UvmEvent)>,
+                 coalesces: &mut u32,
+                 installs: &mut Vec<PageId>| {
+        for o in outs {
+            match o {
+                UvmOutput::Schedule { at, event } => queue.push((at, event)),
+                UvmOutput::Coalesce { .. } => *coalesces += 1,
+                UvmOutput::Install { page, .. } => installs.push(page),
+                UvmOutput::Evict { .. } | UvmOutput::Splinter { .. } => {}
+            }
+        }
+    };
+    for i in [0u64, 1, 3] {
+        let outs = rt.record_fault(p(i), 0).unwrap();
+        apply(outs, &mut queue, &mut coalesces, &mut installs);
+    }
+    while !queue.is_empty() {
+        queue.sort_by_key(|&(t, _)| t);
+        let (t, e) = queue.remove(0);
+        let outs = rt.on_event(e, t).unwrap();
+        apply(outs, &mut queue, &mut coalesces, &mut installs);
+    }
+    installs.sort_unstable();
+    assert_eq!(installs, vec![p(0), p(1), p(2), p(3)], "page 2 was pulled in");
+    assert_eq!(coalesces, 1);
+    assert_eq!(rt.promoted_groups(), 1);
+    let b = &rt.stats().batches[0];
+    assert_eq!((b.faults, b.prefetches), (3, 1));
 }

@@ -11,8 +11,9 @@
 //! parameters resolve to [`SimError::InvalidConfig`].
 
 use crate::strategies::{
-    EvictionStrategy, IdealEviction, NoPrefetch, OversubscriptionHandler, Prefetcher,
-    RandomVictim, SerializedLruEviction, UnobtrusiveEviction,
+    CoalesceOff, CoalesceStrategy, EvictionStrategy, GreedyCoalesce, IdealEviction, NoPrefetch,
+    OversubscriptionHandler, Prefetcher, RandomVictim, SerializedLruEviction, SplinterOnEvict,
+    UnobtrusiveEviction,
 };
 use crate::OversubController;
 use crate::TreePrefetcher;
@@ -64,12 +65,15 @@ type EvictionBuild =
 type PrefetchBuild =
     Box<dyn Fn(&[&str], &StrategyCtx) -> Result<Box<dyn Prefetcher>, SimError> + Send + Sync>;
 type OversubBuild = Box<dyn Fn(&[&str]) -> Result<OversubSelection, SimError> + Send + Sync>;
+type CoalesceBuild =
+    Box<dyn Fn(&[&str]) -> Result<Box<dyn CoalesceStrategy>, SimError> + Send + Sync>;
 
-/// The registry: three axes of named strategy constructors.
+/// The registry: four axes of named strategy constructors.
 pub struct PolicyRegistry {
     eviction: BTreeMap<&'static str, (PolicyDescriptor, EvictionBuild)>,
     prefetch: BTreeMap<&'static str, (PolicyDescriptor, PrefetchBuild)>,
     oversubscription: BTreeMap<&'static str, (PolicyDescriptor, OversubBuild)>,
+    coalesce: BTreeMap<&'static str, (PolicyDescriptor, CoalesceBuild)>,
 }
 
 impl fmt::Debug for PolicyRegistry {
@@ -78,6 +82,7 @@ impl fmt::Debug for PolicyRegistry {
             .field("eviction", &self.eviction.keys().collect::<Vec<_>>())
             .field("prefetch", &self.prefetch.keys().collect::<Vec<_>>())
             .field("oversubscription", &self.oversubscription.keys().collect::<Vec<_>>())
+            .field("coalesce", &self.coalesce.keys().collect::<Vec<_>>())
             .finish()
     }
 }
@@ -95,6 +100,7 @@ impl PolicyRegistry {
             eviction: BTreeMap::new(),
             prefetch: BTreeMap::new(),
             oversubscription: BTreeMap::new(),
+            coalesce: BTreeMap::new(),
         }
     }
 
@@ -253,6 +259,58 @@ impl PolicyRegistry {
                 })
             },
         );
+        r.register_coalesce(
+            PolicyDescriptor {
+                axis: PolicyAxis::Coalesce,
+                name: "off",
+                params: "",
+                summary: "no coalescing: base-page mappings only (the seed baseline)",
+            },
+            |params| {
+                expect_no_params("coalesce", "off", params)?;
+                Ok(Box::new(CoalesceOff))
+            },
+        );
+        r.register_coalesce(
+            PolicyDescriptor {
+                axis: PolicyAxis::Coalesce,
+                name: "greedy",
+                params: ":<threshold_percent>",
+                summary: "promote fully-resident groups; complete groups past the density threshold (default 100)",
+            },
+            |params| {
+                let threshold = match params {
+                    [] => 100,
+                    [s] => parse_u64("coalesce.greedy.threshold_percent", s)?,
+                    _ => return Err(too_many_params("coalesce", "greedy", params)),
+                };
+                if threshold == 0 || threshold > 100 {
+                    return Err(SimError::invalid_config(
+                        "coalesce.greedy.threshold_percent",
+                        format!("must be in 1..=100, got {threshold}"),
+                    ));
+                }
+                Ok(Box::new(GreedyCoalesce::new(threshold as u8)))
+            },
+        );
+        r.register_coalesce(
+            PolicyDescriptor {
+                axis: PolicyAxis::Coalesce,
+                name: "splinter",
+                params: ":on-evict",
+                summary: "opportunistic promotion, sticky splintering: a splintered group never re-promotes",
+            },
+            |params| {
+                match params {
+                    [] | ["on-evict"] => Ok(Box::new(SplinterOnEvict)),
+                    [other] => Err(SimError::invalid_config(
+                        "coalesce.splinter.mode",
+                        format!("expected `on-evict`, got `{other}`"),
+                    )),
+                    _ => Err(too_many_params("coalesce", "splinter", params)),
+                }
+            },
+        );
         r
     }
 
@@ -309,6 +367,20 @@ impl PolicyRegistry {
             desc.name
         );
         self.oversubscription.insert(desc.name, (desc, Box::new(build)));
+    }
+
+    /// Registers (or replaces) a coalescing policy under `desc.name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `desc.axis` is not [`PolicyAxis::Coalesce`].
+    pub fn register_coalesce(
+        &mut self,
+        desc: PolicyDescriptor,
+        build: impl Fn(&[&str]) -> Result<Box<dyn CoalesceStrategy>, SimError> + Send + Sync + 'static,
+    ) {
+        assert_eq!(desc.axis, PolicyAxis::Coalesce, "descriptor axis mismatch for {}", desc.name);
+        self.coalesce.insert(desc.name, (desc, Box::new(build)));
     }
 
     /// Builds an eviction strategy from a spec string (`lru`, `random:7`).
@@ -369,6 +441,23 @@ impl PolicyRegistry {
         build(&params)
     }
 
+    /// Builds a coalescing policy from a spec string (`off`, `greedy:75`,
+    /// `splinter:on-evict`).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::UnknownPolicy`] for an unregistered name,
+    /// [`SimError::InvalidConfig`] for malformed parameters.
+    pub fn build_coalesce(&self, spec: &str) -> Result<Box<dyn CoalesceStrategy>, SimError> {
+        let (name, params) = split_spec(spec);
+        let (_, build) = self.coalesce.get(name).ok_or_else(|| SimError::UnknownPolicy {
+            axis: PolicyAxis::Coalesce.label(),
+            name: name.to_string(),
+            known: known_names(&self.coalesce),
+        })?;
+        build(&params)
+    }
+
     /// All registered descriptors, ordered by axis then name — the data
     /// behind `--list-policies`.
     pub fn descriptors(&self) -> Vec<PolicyDescriptor> {
@@ -376,6 +465,7 @@ impl PolicyRegistry {
             self.eviction.values().map(|(d, _)| *d).collect();
         out.extend(self.prefetch.values().map(|(d, _)| *d));
         out.extend(self.oversubscription.values().map(|(d, _)| *d));
+        out.extend(self.coalesce.values().map(|(d, _)| *d));
         out
     }
 }
@@ -455,6 +545,12 @@ mod tests {
         for spec in ["none", "to", "to:fault", "to:any", "etc", "etc:25"] {
             r.build_oversubscription(spec).unwrap();
         }
+        for spec in ["off", "greedy", "greedy:75", "splinter", "splinter:on-evict"] {
+            let s = r.build_coalesce(spec).unwrap();
+            assert_eq!(s.name(), split_spec(spec).0);
+        }
+        assert!(r.build_coalesce("off").unwrap().is_off());
+        assert!(!r.build_coalesce("greedy").unwrap().is_off());
     }
 
     #[test]
@@ -476,6 +572,10 @@ mod tests {
         assert!(matches!(
             r.build_oversubscription("learned"),
             Err(SimError::UnknownPolicy { axis: "oversubscription", .. })
+        ));
+        assert!(matches!(
+            r.build_coalesce("eager"),
+            Err(SimError::UnknownPolicy { axis: "coalesce", .. })
         ));
     }
 
@@ -504,6 +604,22 @@ mod tests {
         ));
         assert!(matches!(
             r.build_oversubscription("etc:101"),
+            Err(SimError::InvalidConfig { .. })
+        ));
+        assert!(matches!(
+            r.build_coalesce("greedy:0"),
+            Err(SimError::InvalidConfig { .. })
+        ));
+        assert!(matches!(
+            r.build_coalesce("greedy:101"),
+            Err(SimError::InvalidConfig { .. })
+        ));
+        assert!(matches!(
+            r.build_coalesce("splinter:sometimes"),
+            Err(SimError::InvalidConfig { .. })
+        ));
+        assert!(matches!(
+            r.build_coalesce("off:1"),
             Err(SimError::InvalidConfig { .. })
         ));
     }
@@ -569,7 +685,14 @@ mod tests {
     fn descriptors_are_ordered_by_axis_then_name() {
         let d = PolicyRegistry::builtin().descriptors();
         let names: Vec<&str> = d.iter().map(|d| d.name).collect();
-        assert_eq!(names, ["ideal", "lru", "random", "ue", "none", "tree", "etc", "none", "to"]);
+        assert_eq!(
+            names,
+            [
+                "ideal", "lru", "random", "ue", "none", "tree", "etc", "none", "to", "greedy",
+                "off", "splinter"
+            ]
+        );
         assert!(d.iter().take(4).all(|d| d.axis == PolicyAxis::Eviction));
+        assert!(d.iter().rev().take(3).all(|d| d.axis == PolicyAxis::Coalesce));
     }
 }

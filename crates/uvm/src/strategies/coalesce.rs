@@ -1,0 +1,174 @@
+//! Coalescing policy: when base pages of a large-page group are merged
+//! into one large mapping, and when a splintered group may re-coalesce.
+//!
+//! Mosaic-style (ASPLOS'18) transparent multi-page-size management: a
+//! fully-resident large-page group can be *promoted* to a single large
+//! mapping — collapsing its TLB reach to one entry and shortening walks —
+//! and must be *splintered* back to base pages before any of its pages is
+//! evicted. The strategy decides two things:
+//!
+//! * **completion** — whether a batch that lands pages in a mostly-covered
+//!   group should pull in the group's missing pages so it can promote
+//!   (the greedy policy's density threshold, mirroring the tree
+//!   prefetcher's);
+//! * **promotion** — whether a group that became fully resident should be
+//!   promoted at all, and in particular whether a group that was already
+//!   splintered once may re-promote (the `splinter:on-evict` policy is
+//!   sticky: a thrashing group stays at base granularity).
+//!
+//! The pipeline enforces the hard invariant itself: promotion is only ever
+//! emitted for a fully-installed group, and a splinter is emitted before
+//! any eviction under a promoted mapping.
+
+/// Coalescing decisions for the migration and eviction stages.
+pub trait CoalesceStrategy: std::fmt::Debug + Send {
+    /// Registry name this strategy was built under (diagnostics).
+    fn name(&self) -> &'static str;
+
+    /// `true` for the no-op policy: the pipeline skips every piece of
+    /// coalescing bookkeeping, keeping the off path byte-identical to a
+    /// build that predates coalescing.
+    fn is_off(&self) -> bool {
+        false
+    }
+
+    /// Whether a batch covering `covered` of a group's `total` base pages
+    /// (batch pages plus pages already installed) should expand to migrate
+    /// the group's missing pages.
+    fn wants_completion(&self, covered: u64, total: u64) -> bool;
+
+    /// Whether a group that just became fully installed should be promoted.
+    /// `ever_splintered` reports whether the group was promoted and then
+    /// splintered earlier in the run.
+    fn should_promote(&self, ever_splintered: bool) -> bool;
+}
+
+/// No coalescing: every mapping stays at base-page granularity.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CoalesceOff;
+
+impl CoalesceStrategy for CoalesceOff {
+    fn name(&self) -> &'static str {
+        "off"
+    }
+
+    fn is_off(&self) -> bool {
+        true
+    }
+
+    fn wants_completion(&self, _covered: u64, _total: u64) -> bool {
+        false
+    }
+
+    fn should_promote(&self, _ever_splintered: bool) -> bool {
+        false
+    }
+}
+
+/// Greedy coalescing: complete any group at least `threshold_pct` covered,
+/// promote every group the moment it is fully installed, and re-promote
+/// freely after splinters.
+#[derive(Debug, Clone, Copy)]
+pub struct GreedyCoalesce {
+    threshold_pct: u8,
+}
+
+impl GreedyCoalesce {
+    /// Creates the policy with a completion density threshold in 1..=100.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold_pct` is outside 1..=100 (the registry rejects
+    /// such specs before construction).
+    pub fn new(threshold_pct: u8) -> Self {
+        assert!(
+            (1..=100).contains(&threshold_pct),
+            "coalesce threshold must be in 1..=100, got {threshold_pct}"
+        );
+        Self { threshold_pct }
+    }
+
+    /// The configured completion threshold.
+    pub fn threshold_pct(&self) -> u8 {
+        self.threshold_pct
+    }
+}
+
+impl CoalesceStrategy for GreedyCoalesce {
+    fn name(&self) -> &'static str {
+        "greedy"
+    }
+
+    fn wants_completion(&self, covered: u64, total: u64) -> bool {
+        covered < total && covered * 100 >= total * u64::from(self.threshold_pct)
+    }
+
+    fn should_promote(&self, _ever_splintered: bool) -> bool {
+        true
+    }
+}
+
+/// Opportunistic coalescing with sticky splintering: promote only groups
+/// that become fully resident on their own (no completion traffic), and
+/// never re-promote a group that eviction pressure has already splintered —
+/// the anti-thrashing variant.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SplinterOnEvict;
+
+impl CoalesceStrategy for SplinterOnEvict {
+    fn name(&self) -> &'static str {
+        "splinter"
+    }
+
+    fn wants_completion(&self, _covered: u64, _total: u64) -> bool {
+        false
+    }
+
+    fn should_promote(&self, ever_splintered: bool) -> bool {
+        !ever_splintered
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_declines_everything() {
+        let s = CoalesceOff;
+        assert!(s.is_off());
+        assert!(!s.wants_completion(31, 32));
+        assert!(!s.should_promote(false));
+    }
+
+    #[test]
+    fn greedy_threshold_gates_completion() {
+        let s = GreedyCoalesce::new(75);
+        assert!(!s.wants_completion(23, 32)); // 71% < 75%
+        assert!(s.wants_completion(24, 32)); // 75%
+        assert!(!s.wants_completion(32, 32), "a full group needs no completion");
+        assert!(s.should_promote(true), "greedy re-promotes after splinters");
+        assert!(!s.is_off());
+    }
+
+    #[test]
+    fn greedy_100_is_promotion_only() {
+        let s = GreedyCoalesce::new(100);
+        assert!(!s.wants_completion(31, 32));
+        assert!(s.should_promote(false));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in 1..=100")]
+    fn greedy_rejects_zero_threshold() {
+        let _ = GreedyCoalesce::new(0);
+    }
+
+    #[test]
+    fn splinter_on_evict_is_sticky() {
+        let s = SplinterOnEvict;
+        assert!(!s.wants_completion(31, 32));
+        assert!(s.should_promote(false));
+        assert!(!s.should_promote(true), "a splintered group never re-promotes");
+    }
+}

@@ -8,6 +8,8 @@
 //!   scheduling ([`serialized_lru`], [`unobtrusive`], [`ideal`], and the
 //!   registry-only [`random_victim`] plugin);
 //! * [`Prefetcher`] — batch-time page expansion ([`tree`], [`no_prefetch`]);
+//! * [`CoalesceStrategy`] — multi-page-size promotion/splinter decisions
+//!   ([`coalesce`]);
 //! * [`OversubscriptionHandler`] — thread-oversubscription degree control
 //!   (implemented by [`crate::oversub::OversubController`]).
 //!
@@ -16,6 +18,7 @@
 //! never matches on policy enums, so a new strategy is a new module plus a
 //! registry entry — zero diff inside the pipeline.
 
+pub mod coalesce;
 pub mod ideal;
 pub mod no_prefetch;
 pub mod random_victim;
@@ -23,6 +26,7 @@ pub mod serialized_lru;
 pub mod tree;
 pub mod unobtrusive;
 
+pub use coalesce::{CoalesceOff, CoalesceStrategy, GreedyCoalesce, SplinterOnEvict};
 pub use ideal::IdealEviction;
 pub use no_prefetch::NoPrefetch;
 pub use random_victim::RandomVictim;

@@ -343,6 +343,9 @@ fn simulate(
                     assert!(resident.remove(&page), "evicting non-resident {page}");
                     evicts.push((page, at));
                 }
+                // These runtimes run with coalescing off.
+                UvmOutput::Coalesce { region } => panic!("unexpected coalesce of {region}"),
+                UvmOutput::Splinter { region } => panic!("unexpected splinter of {region}"),
             }
         }
     };

@@ -1,6 +1,25 @@
 //! Set-associative, LRU translation lookaside buffers.
 
-use batmem_types::PageId;
+use batmem_types::{PageId, RegionId};
+
+/// A tag a [`Tlb`] can cache: base pages for the classic TLBs, large-page
+/// groups ([`RegionId`]) for the coalesced-mapping TLBs.
+pub trait TlbKey: Copy + PartialEq + std::fmt::Debug {
+    /// Dense index used for set selection.
+    fn cache_index(self) -> u64;
+}
+
+impl TlbKey for PageId {
+    fn cache_index(self) -> u64 {
+        self.index()
+    }
+}
+
+impl TlbKey for RegionId {
+    fn cache_index(self) -> u64 {
+        self.index()
+    }
+}
 
 /// Hit/miss statistics for one TLB.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -28,7 +47,8 @@ impl TlbStats {
 /// A set-associative TLB with true-LRU replacement within each set.
 ///
 /// A fully associative TLB (the paper's per-SM L1 TLB) is one set whose way
-/// count equals the entry count.
+/// count equals the entry count. The tag type defaults to [`PageId`]; the
+/// large-page TLBs instantiate it with [`RegionId`] tags.
 ///
 /// # Examples
 ///
@@ -44,14 +64,14 @@ impl TlbStats {
 /// assert!(tlb.lookup(PageId::new(2)));
 /// ```
 #[derive(Debug, Clone)]
-pub struct Tlb {
+pub struct Tlb<K: TlbKey = PageId> {
     /// `sets[s]` is an LRU stack: most recently used at the back.
-    sets: Vec<Vec<PageId>>,
+    sets: Vec<Vec<K>>,
     ways: usize,
     stats: TlbStats,
 }
 
-impl Tlb {
+impl<K: TlbKey> Tlb<K> {
     /// Creates a TLB with `entries` total entries and `ways` associativity.
     ///
     /// # Panics
@@ -73,12 +93,12 @@ impl Tlb {
         Self::new(entries, entries)
     }
 
-    fn set_of(&self, page: PageId) -> usize {
-        (page.index() % self.sets.len() as u64) as usize
+    fn set_of(&self, page: K) -> usize {
+        (page.cache_index() % self.sets.len() as u64) as usize
     }
 
     /// Looks up `page`, updating LRU state. Returns `true` on a hit.
-    pub fn lookup(&mut self, page: PageId) -> bool {
+    pub fn lookup(&mut self, page: K) -> bool {
         let s = self.set_of(page);
         let set = &mut self.sets[s];
         if let Some(pos) = set.iter().position(|&p| p == page) {
@@ -93,13 +113,13 @@ impl Tlb {
     }
 
     /// Checks for `page` without perturbing LRU state or statistics.
-    pub fn contains(&self, page: PageId) -> bool {
+    pub fn contains(&self, page: K) -> bool {
         self.sets[self.set_of(page)].contains(&page)
     }
 
     /// Inserts `page` as most recently used, evicting the set's LRU entry
     /// if the set is full. Returns the evicted page, if any.
-    pub fn insert(&mut self, page: PageId) -> Option<PageId> {
+    pub fn insert(&mut self, page: K) -> Option<K> {
         let ways = self.ways;
         let s = self.set_of(page);
         let set = &mut self.sets[s];
@@ -115,7 +135,7 @@ impl Tlb {
 
     /// Invalidates `page` (TLB shootdown on eviction). Returns whether the
     /// page was present.
-    pub fn invalidate(&mut self, page: PageId) -> bool {
+    pub fn invalidate(&mut self, page: K) -> bool {
         let s = self.set_of(page);
         let set = &mut self.sets[s];
         if let Some(pos) = set.iter().position(|&p| p == page) {
@@ -213,6 +233,17 @@ mod tests {
     #[test]
     #[should_panic(expected = "entries must divide")]
     fn bad_geometry_panics() {
-        let _ = Tlb::new(10, 4);
+        let _: Tlb = Tlb::new(10, 4);
+    }
+
+    #[test]
+    fn region_keyed_tlb_works_identically() {
+        let mut t: Tlb<RegionId> = Tlb::fully_associative(2);
+        t.insert(RegionId::new(1));
+        t.insert(RegionId::new(2));
+        assert_eq!(t.insert(RegionId::new(3)), Some(RegionId::new(1)));
+        assert!(t.lookup(RegionId::new(2)));
+        assert!(t.invalidate(RegionId::new(2)));
+        assert_eq!(t.stats().shootdowns, 1);
     }
 }

@@ -29,6 +29,7 @@ pub struct PageTableWalker {
     walks: u64,
     queued_walks: u64,
     pwc_hits: u64,
+    large_walks: u64,
 }
 
 impl PageTableWalker {
@@ -51,23 +52,13 @@ impl PageTableWalker {
             walks: 0,
             queued_walks: 0,
             pwc_hits: 0,
+            large_walks: 0,
         }
     }
 
-    /// Begins a walk for `page` at time `now`; returns the walk's
-    /// completion time (≥ `now + walk_latency`, later under contention or
-    /// on a page-walk-cache miss).
-    pub fn begin_walk(&mut self, now: Cycle, page: PageId) -> Cycle {
-        self.walks += 1;
-        let group = PageId::new(page.index() / self.pwc_group_pages);
-        let latency = if self.pwc.lookup(group) {
-            self.pwc_hits += 1;
-            self.walk_latency
-        } else {
-            self.pwc.insert(group);
-            self.walk_latency + self.pwc_miss_penalty
-        };
-        // Earliest-available slot; a busy walker queues the request.
+    /// Claims the earliest-available walk slot at `now` for a walk of
+    /// `latency` cycles; returns its completion time.
+    fn claim_slot(&mut self, now: Cycle, latency: Cycle) -> Cycle {
         let slot = self
             .slots
             .iter()
@@ -84,6 +75,31 @@ impl PageTableWalker {
         done
     }
 
+    /// Begins a walk for `page` at time `now`; returns the walk's
+    /// completion time (≥ `now + walk_latency`, later under contention or
+    /// on a page-walk-cache miss).
+    pub fn begin_walk(&mut self, now: Cycle, page: PageId) -> Cycle {
+        self.walks += 1;
+        let group = PageId::new(page.index() / self.pwc_group_pages);
+        let latency = if self.pwc.lookup(group) {
+            self.pwc_hits += 1;
+            self.walk_latency
+        } else {
+            self.pwc.insert(group);
+            self.walk_latency + self.pwc_miss_penalty
+        };
+        self.claim_slot(now, latency)
+    }
+
+    /// Begins a walk that resolves at a **large-page** PTE: one level
+    /// shorter than a base walk and never reliant on the leaf-level page
+    /// walk cache, so it costs half the base walk latency. Competes for
+    /// the same walk slots. Returns the walk's completion time.
+    pub fn begin_large_walk(&mut self, now: Cycle) -> Cycle {
+        self.large_walks += 1;
+        self.claim_slot(now, (self.walk_latency / 2).max(1))
+    }
+
     /// Total walks issued.
     pub fn walks(&self) -> u64 {
         self.walks
@@ -97,6 +113,11 @@ impl PageTableWalker {
     /// Walks whose upper levels hit the page-walk cache.
     pub fn pwc_hits(&self) -> u64 {
         self.pwc_hits
+    }
+
+    /// Walks that resolved at a large-page PTE.
+    pub fn large_walks(&self) -> u64 {
+        self.large_walks
     }
 }
 
@@ -163,5 +184,18 @@ mod tests {
         w.begin_walk(0, PageId::new(0));
         w.begin_walk(0, PageId::new(1));
         assert_eq!(w.walks(), 2);
+    }
+
+    #[test]
+    fn large_walks_are_shorter_and_share_slots() {
+        let mut w = walker(1);
+        // Large walk: half the base latency, no PWC penalty.
+        assert_eq!(w.begin_large_walk(0), 100);
+        assert_eq!(w.large_walks(), 1);
+        assert_eq!(w.walks(), 0, "large walks are counted separately");
+        // A base walk queues behind the large walk's slot.
+        let done = w.begin_walk(0, PageId::new(0));
+        assert_eq!(done, 100 + 300);
+        assert_eq!(w.queued_walks(), 1);
     }
 }

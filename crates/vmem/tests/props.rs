@@ -1,15 +1,49 @@
 //! Property-based tests for the virtual-memory substrate.
 
-use batmem_types::{FrameId, PageId};
+use batmem_types::{FrameId, PageId, RegionId};
 use batmem_vmem::{GpuPageTable, Tlb};
 use proptest::prelude::*;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 #[derive(Debug, Clone)]
 enum PtOp {
     Install(u64, u32),
     Remove(u64),
     Translate(u64),
+}
+
+/// Two-level op mix: base installs/removes plus group promote/splinter.
+/// Removes mirror the UVM pipeline's splinter-before-evict discipline.
+#[derive(Debug, Clone)]
+enum TierOp {
+    Install(u64, u32),
+    Remove(u64),
+    Promote(u64),
+    Splinter(u64),
+    Translate(u64),
+}
+
+/// 8 groups of 4 pages: small enough that promote/splinter cycles are
+/// frequent, large enough that partially-resident groups occur.
+const PAGES_PER_LARGE: u64 = 4;
+const TIER_PAGES: u64 = 32;
+
+fn tier_ops() -> impl Strategy<Value = Vec<TierOp>> {
+    let groups = TIER_PAGES / PAGES_PER_LARGE;
+    prop::collection::vec(
+        // The in-tree proptest subset has no weighted prop_oneof; the
+        // double Install arm skews the mix toward filling groups so
+        // promotions actually fire.
+        prop_oneof![
+            (0u64..TIER_PAGES, 0u32..64).prop_map(|(p, f)| TierOp::Install(p, f)),
+            (0u64..TIER_PAGES, 0u32..64).prop_map(|(p, f)| TierOp::Install(p, f)),
+            (0u64..TIER_PAGES).prop_map(TierOp::Remove),
+            (0u64..groups).prop_map(TierOp::Promote),
+            (0u64..groups).prop_map(TierOp::Splinter),
+            (0u64..TIER_PAGES).prop_map(TierOp::Translate),
+        ],
+        0..300,
+    )
 }
 
 fn pt_ops() -> impl Strategy<Value = Vec<PtOp>> {
@@ -47,6 +81,63 @@ proptest! {
                 }
             }
             prop_assert_eq!(pt.resident_pages(), model.len());
+        }
+    }
+
+    /// Promotion is an overlay: through arbitrary coalesce -> splinter ->
+    /// coalesce cycles, translation and residency must stay byte-identical
+    /// to a flat single-granularity page table (the `BTreeMap` oracle),
+    /// and a promoted group must always be fully resident.
+    #[test]
+    fn two_level_table_matches_flat_oracle_through_promote_cycles(ops in tier_ops()) {
+        let mut pt = GpuPageTable::with_pages_per_large(PAGES_PER_LARGE);
+        let mut flat: BTreeMap<u64, u32> = BTreeMap::new();
+        let mut promoted: BTreeSet<u64> = BTreeSet::new();
+        let group_full =
+            |flat: &BTreeMap<u64, u32>, g: u64| (0..PAGES_PER_LARGE).all(|i| {
+                flat.contains_key(&(g * PAGES_PER_LARGE + i))
+            });
+        for op in ops {
+            match op {
+                TierOp::Install(p, f) => {
+                    let got = pt.install(PageId::new(p), FrameId::new(f));
+                    let want = flat.insert(p, f);
+                    prop_assert_eq!(got.map(|x| x.index()), want);
+                }
+                TierOp::Remove(p) => {
+                    // Splinter-before-evict, exactly as the UVM pipeline
+                    // orders its outputs.
+                    let g = p / PAGES_PER_LARGE;
+                    if promoted.remove(&g) {
+                        prop_assert!(pt.splinter(RegionId::new(g)));
+                    }
+                    let got = pt.remove(PageId::new(p));
+                    let want = flat.remove(&p);
+                    prop_assert_eq!(got.map(|x| x.index()), want);
+                }
+                TierOp::Promote(g) => {
+                    let want = group_full(&flat, g) && promoted.insert(g);
+                    prop_assert_eq!(pt.promote(RegionId::new(g)), want);
+                }
+                TierOp::Splinter(g) => {
+                    let want = promoted.remove(&g);
+                    prop_assert_eq!(pt.splinter(RegionId::new(g)), want);
+                }
+                TierOp::Translate(p) => {
+                    let got = pt.translate(PageId::new(p));
+                    let want = flat.get(&p).copied();
+                    prop_assert_eq!(got.map(|x| x.index()), want);
+                }
+            }
+            // The overlay never perturbs the flat truth...
+            prop_assert_eq!(pt.resident_pages(), flat.len());
+            prop_assert_eq!(pt.has_promotions(), !promoted.is_empty());
+            prop_assert_eq!(pt.promoted_groups(), promoted.len());
+            // ...and every promoted group is fully resident (the
+            // invariant `Mmu::translate` leans on for its stale check).
+            for &g in &promoted {
+                prop_assert!(pt.group_is_full(RegionId::new(g)));
+            }
         }
     }
 

@@ -180,13 +180,14 @@ mod tests {
     fn blocks_touch_disjoint_pages_modulo_halo() {
         let w = TiledRegular::with_tile("T", 1 << 16, 1, 1, 0, 4, 1);
         let k = w.kernel(KernelId::new(0));
+        let geom = batmem_types::addr::PageGeometry::default();
         let pages_of_block = |blk: u32| -> HashSet<u64> {
             let mut pages = HashSet::new();
             for warp in 0..8 {
                 let mut s = k.warp_stream(BlockId::new(blk), warp);
                 while let Some(op) = s.next_op() {
                     for a in op.addrs() {
-                        pages.insert(a.page(16).index());
+                        pages.insert(geom.page_of(*a).index());
                     }
                 }
             }

@@ -239,10 +239,11 @@ mod tests {
         let w = Strided::new(1, 32, 32, 2, 5, 2);
         let k = w.kernel(KernelId::new(0));
         let mut s = k.warp_stream(BlockId::new(0), 0);
+        let geom = batmem_types::addr::PageGeometry::default();
         let mut pages = Vec::new();
         while let Some(op) = s.next_op() {
             for a in op.addrs() {
-                pages.push(a.page(16).index());
+                pages.push(geom.page_of(*a).index());
             }
         }
         assert_eq!(pages, vec![0, 1, 0, 1]); // 2 pages x 2 repeats

@@ -69,9 +69,9 @@ fn invalid_config_is_rejected_before_simulation() {
             c.gpu.num_sms = 0;
             c
         }),
-        ("uvm.page_shift", {
+        ("uvm.gpu_mem_pages", {
             let mut c = SimConfig::default();
-            c.uvm.page_shift = 70;
+            c.uvm.gpu_mem_pages = Some(0);
             c
         }),
         ("tlb.l2_entries", {
@@ -88,6 +88,25 @@ fn invalid_config_is_rejected_before_simulation() {
         match err {
             SimError::InvalidConfig { field, .. } => assert_eq!(field, want_field),
             other => panic!("expected InvalidConfig({want_field}), got {other}"),
+        }
+    }
+}
+
+#[test]
+fn invalid_page_geometry_is_rejected_at_construction() {
+    // Inverted or out-of-range shift orderings never reach a SimConfig:
+    // PageGeometry::new is the single validation point, and its rejection
+    // is a typed InvalidConfig naming the offending shift.
+    use batmem_types::addr::PageGeometry;
+    for (base, large, region, want_field) in [
+        (5u32, 21u32, 21u32, "uvm.geometry.base_shift"),
+        (21, 16, 21, "uvm.geometry.large_shift"),
+        (16, 21, 20, "uvm.geometry.region_shift"),
+        (16, 41, 41, "uvm.geometry.large_shift"),
+    ] {
+        match PageGeometry::new(base, large, region) {
+            Err(SimError::InvalidConfig { field, .. }) => assert_eq!(field, want_field),
+            other => panic!("geometry ({base},{large},{region}): expected InvalidConfig, got {other:?}"),
         }
     }
 }

@@ -18,16 +18,19 @@ use std::time::Duration;
 const USAGE: &str = "usage: figures -- <table1|fig1|fig3|fig5|fig8|fig11|fig12|fig13|fig14|fig15|fig16|fig17|fig18|ctxswitch|pe|all> ...
        figures -- --list-policies
        figures -- [--eviction <spec>] [--prefetch <spec>] [--oversubscription <spec>] [--coalesce <spec>]
-                  [--page-size <kb>] [--compression] [--inject <spec>] [--workload <name>]...
+                  [--fault-servicing <spec>] [--page-size <kb>] [--compression] [--inject <spec>]
+                  [--workload <name>]...
        figures -- sweep [outdir] [--workers N] [--max-retries K] [--cell-timeout SECS] [--resume]
-                  [--inject <spec>] [--coalesce <spec>] [--workloads A,B] [--configs BASELINE,TO+UE]
-                  [--scales 8,10] [--ratios 0.5] [--seeds 42]
+                  [--inject <spec>] [--coalesce <spec>] [--fault-servicing <spec>] [--workloads A,B]
+                  [--configs BASELINE,TO+UE] [--scales 8,10] [--ratios 0.5] [--seeds 42]
 custom runs: any policy flag switches to a single-run mode over the named
 workloads (default BFS-TTC); specs are registry names, e.g. `--eviction
 random:7 --prefetch tree:25` (see --list-policies); `--coalesce` takes
 off|greedy[:pct]|splinter:on-evict and prints a TLB summary when enabled;
-`--page-size` takes a power-of-two KB base page (default 64); `--inject`
-takes off|noisy[:seed]|lost[:seed[:every]]
+`--fault-servicing` takes cpu|gpu-driven[:occupancy] and prints a handler
+summary when non-default; `--oversubscription adaptive[:window]` runs the
+probe-driven closed-loop handler; `--page-size` takes a power-of-two KB
+base page (default 64); `--inject` takes off|noisy[:seed]|lost[:seed[:every]]
 sweep mode: fault-tolerant parallel sweep into a resumable artifact store
 (default outdir `artifacts`); ctrl-C drains gracefully, `--resume` skips
 completed cells
@@ -181,6 +184,9 @@ fn sweep_main(mut args: Vec<String>, suite: &SuiteConfig) -> ! {
     if let Some(v) = take_flag(&mut args, "--coalesce") {
         plan.coalesce = Some(v);
     }
+    if let Some(v) = take_flag(&mut args, "--fault-servicing") {
+        plan.fault_servicing = Some(v);
+    }
     if args.len() > 1 {
         eprintln!("sweep: unexpected arguments {args:?}\n{USAGE}");
         std::process::exit(2);
@@ -312,6 +318,18 @@ fn run_custom_combo(
                         m.mmu.splinters,
                     );
                 }
+                // Same gating for the fault-servicing summary: only a
+                // non-default model prints (and only it charges the
+                // handler-occupancy counters).
+                if custom.fault_servicing != "cpu" {
+                    println!(
+                        "custom: {w}/{} servicing: {} faults handled on-GPU, \
+                         {} handler-occupancy cycles",
+                        custom.label(),
+                        m.uvm.gpu_serviced_faults,
+                        m.uvm.handler_occupancy_cycles,
+                    );
+                }
             }
             Err(e) => {
                 eprintln!("custom: {w}/{} failed: {e}", custom.label());
@@ -355,6 +373,10 @@ fn main() {
     }
     if let Some(v) = take_flag(&mut args, "--coalesce") {
         custom.coalesce = v;
+        custom_mode = true;
+    }
+    if let Some(v) = take_flag(&mut args, "--fault-servicing") {
+        custom.fault_servicing = v;
         custom_mode = true;
     }
     if let Some(v) = take_flag(&mut args, "--page-size") {

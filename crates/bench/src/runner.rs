@@ -181,6 +181,9 @@ pub struct CustomPolicy {
     /// default). Large pages/regions stay at 2 MB or the base size,
     /// whichever is larger.
     pub page_size_kb: Option<u64>,
+    /// Fault-servicing spec (`cpu`, `gpu-driven`, `gpu-driven:500`). `cpu`
+    /// keeps the classic host-driver far-fault timing.
+    pub fault_servicing: String,
 }
 
 impl Default for CustomPolicy {
@@ -194,14 +197,16 @@ impl Default for CustomPolicy {
             compression: base.compression,
             coalesce: "off".to_string(),
             page_size_kb: None,
+            fault_servicing: "cpu".to_string(),
         }
     }
 }
 
 impl CustomPolicy {
-    /// Display label, e.g. `lru/tree:50/none`. Non-default coalescing and
-    /// page-size settings are appended (`+co:greedy`, `+pg:4k`) so default
-    /// labels are unchanged from the three-axis era.
+    /// Display label, e.g. `lru/tree:50/none`. Non-default coalescing,
+    /// fault-servicing, and page-size settings are appended (`+co:greedy`,
+    /// `+fs:gpu-driven`, `+pg:4k`) so default labels are unchanged from
+    /// the three-axis era.
     pub fn label(&self) -> String {
         let mut s = format!("{}/{}/{}", self.eviction, self.prefetch, self.oversubscription);
         if self.compression {
@@ -210,6 +215,10 @@ impl CustomPolicy {
         if self.coalesce != "off" {
             s.push_str("/+co:");
             s.push_str(&self.coalesce);
+        }
+        if self.fault_servicing != "cpu" {
+            s.push_str("/+fs:");
+            s.push_str(&self.fault_servicing);
         }
         if let Some(kb) = self.page_size_kb {
             s.push_str(&format!("/+pg:{kb}k"));
@@ -291,6 +300,7 @@ pub fn run_custom_injected(
         .prefetch(custom.prefetch.clone())
         .oversubscription(custom.oversubscription.clone())
         .coalesce(custom.coalesce.clone())
+        .fault_servicing(custom.fault_servicing.clone())
         .memory_ratio(suite.ratio);
     if let Some(inject) = inject {
         b = b.inject(inject);

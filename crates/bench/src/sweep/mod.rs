@@ -141,13 +141,18 @@ pub fn run_cell(
                 .prefetch(custom.prefetch.clone())
                 .oversubscription(custom.oversubscription.clone())
                 .coalesce(custom.coalesce.clone())
+                .fault_servicing(custom.fault_servicing.clone())
                 .memory_ratio(cell.ratio);
         }
     }
-    // The plan-level coalesce axis applies to presets and customs alike
-    // (and, set last, wins over a custom combo's own spec).
+    // The plan-level coalesce and fault-servicing axes apply to presets
+    // and customs alike (and, set last, win over a custom combo's own
+    // spec).
     if let Some(spec) = cell.coalesce_spec() {
         b = b.coalesce(spec);
+    }
+    if let Some(spec) = cell.fault_servicing_spec() {
+        b = b.fault_servicing(spec);
     }
     if let Some(spec) = &cell.inject {
         if let Some(inject) = InjectConfig::parse_spec(spec)
@@ -203,6 +208,7 @@ mod tests {
             seed: 1,
             inject: Some("chaos".into()),
             coalesce: None,
+            fault_servicing: None,
             tag: String::new(),
         };
         let err = run_cell(&cell, &SimConfig::default(), &graphs).unwrap_err();

@@ -55,6 +55,10 @@ pub struct SweepCell {
     /// `None` = off. Only a non-off spec perturbs the cell id, so stores
     /// written before the axis existed stay valid for `--resume`.
     pub coalesce: Option<String>,
+    /// Fault-servicing spec (`gpu-driven`, `gpu-driven:500`), `None` =
+    /// the default `cpu` model. Like `coalesce`, only a non-default spec
+    /// perturbs the cell id, keeping pre-axis stores resumable.
+    pub fault_servicing: Option<String>,
     /// Free-form discriminator hashed into the id for anything the other
     /// fields do not capture (e.g. a non-default base `SimConfig`).
     /// Empty by default.
@@ -77,6 +81,9 @@ impl SweepCell {
         if let Some(spec) = self.coalesce_spec() {
             h.field("coalesce").field(spec);
         }
+        if let Some(spec) = self.fault_servicing_spec() {
+            h.field("fault-servicing").field(spec);
+        }
         CellId::from_hash(h.finish())
     }
 
@@ -84,6 +91,12 @@ impl SweepCell {
     /// (unset or literally `off`).
     pub fn coalesce_spec(&self) -> Option<&str> {
         self.coalesce.as_deref().filter(|s| *s != "off")
+    }
+
+    /// The fault-servicing spec, normalized: `None` when the axis is at
+    /// its default (unset or literally `cpu`).
+    pub fn fault_servicing_spec(&self) -> Option<&str> {
+        self.fault_servicing.as_deref().filter(|s| *s != "cpu")
     }
 
     /// Human-readable slug: `workload/policy@s<scale>e<ef>r<ratio>x<seed>`
@@ -106,6 +119,10 @@ impl SweepCell {
         if let Some(co) = self.coalesce_spec() {
             s.push_str("+co:");
             s.push_str(co);
+        }
+        if let Some(fs) = self.fault_servicing_spec() {
+            s.push_str("+fs:");
+            s.push_str(fs);
         }
         debug_assert!(!s.contains(','), "cell labels must stay comma-free: {s}");
         s
@@ -132,6 +149,8 @@ pub struct SweepPlan {
     pub inject: Option<String>,
     /// Coalescing spec applied to every cell (`None` = off).
     pub coalesce: Option<String>,
+    /// Fault-servicing spec applied to every cell (`None` = `cpu`).
+    pub fault_servicing: Option<String>,
     /// Discriminator copied into every cell's [`SweepCell::tag`].
     pub tag: String,
 }
@@ -152,6 +171,7 @@ impl Default for SweepPlan {
             seeds: vec![42],
             inject: None,
             coalesce: None,
+            fault_servicing: None,
             tag: String::new(),
         }
     }
@@ -194,6 +214,11 @@ impl SweepPlan {
                 .build_coalesce(spec)
                 .map_err(|e| BenchError::context("sweep plan", &e))?;
         }
+        if let Some(spec) = &self.fault_servicing {
+            batmem::PolicyRegistry::builtin()
+                .build_servicing(spec)
+                .map_err(|e| BenchError::context("sweep plan", &e))?;
+        }
         for &r in &self.ratios {
             if !r.is_finite() || r <= 0.0 {
                 return Err(BenchError::msg(format!("ratio {r} must be positive")));
@@ -226,6 +251,7 @@ impl SweepPlan {
                                     seed,
                                     inject: self.inject.clone(),
                                     coalesce: self.coalesce.clone(),
+                                    fault_servicing: self.fault_servicing.clone(),
                                     tag: self.tag.clone(),
                                 });
                             }
@@ -252,8 +278,24 @@ mod tests {
             seed: 42,
             inject: None,
             coalesce: None,
+            fault_servicing: None,
             tag: String::new(),
         }
+    }
+
+    #[test]
+    fn default_fault_servicing_leaves_pre_axis_cell_ids_unchanged() {
+        // Same compatibility rule as the coalesce axis: stores written
+        // before fault-servicing existed must stay resumable.
+        let base = cell();
+        assert_eq!(SweepCell { fault_servicing: Some("cpu".into()), ..cell() }.id(), base.id());
+        assert_eq!(
+            SweepCell { fault_servicing: Some("cpu".into()), ..cell() }.label(),
+            base.label()
+        );
+        let gpu = SweepCell { fault_servicing: Some("gpu-driven".into()), ..cell() };
+        assert_ne!(gpu.id(), base.id(), "a live spec must perturb the hash");
+        assert_eq!(gpu.label(), "BFS-TTC/BASELINE@s8e4r0.5x42+fs:gpu-driven");
     }
 
     #[test]
@@ -282,6 +324,7 @@ mod tests {
             SweepCell { seed: 43, ..cell() },
             SweepCell { inject: Some("noisy:42".into()), ..cell() },
             SweepCell { coalesce: Some("greedy:75".into()), ..cell() },
+            SweepCell { fault_servicing: Some("gpu-driven:500".into()), ..cell() },
             SweepCell { tag: "alt-sim".into(), ..cell() },
         ];
         let mut ids: Vec<_> = variants.iter().map(SweepCell::id).collect();
@@ -323,6 +366,9 @@ mod tests {
         p = SweepPlan { coalesce: Some("eager".into()), ..SweepPlan::default() };
         let err = p.validate().unwrap_err().to_string();
         assert!(err.contains("eager"), "{err}");
+        p = SweepPlan { fault_servicing: Some("dma".into()), ..SweepPlan::default() };
+        let err = p.validate().unwrap_err().to_string();
+        assert!(err.contains("dma") && err.contains("gpu-driven"), "{err}");
     }
 
     #[test]
@@ -339,6 +385,7 @@ mod tests {
             seeds: vec![1, 2, 3],
             inject: None,
             coalesce: None,
+            fault_servicing: None,
             tag: String::new(),
         };
         let cells = plan.cells().unwrap();

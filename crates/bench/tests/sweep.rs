@@ -34,6 +34,7 @@ fn preset_plan() -> SweepPlan {
         seeds: vec![42],
         inject: None,
         coalesce: None,
+        fault_servicing: None,
         tag: String::new(),
     }
 }
@@ -60,6 +61,7 @@ fn synthetic_cell(workload: &str) -> SweepCell {
         seed: 42,
         inject: None,
         coalesce: None,
+        fault_servicing: None,
         tag: "synthetic".into(),
     }
 }
@@ -343,6 +345,7 @@ fn injected_lost_completions_quarantine_with_a_typed_error() {
         seeds: vec![42],
         inject: Some("lost:1:2".into()),
         coalesce: None,
+        fault_servicing: None,
         tag: String::new(),
     };
     let cells = plan.cells().unwrap();

@@ -18,8 +18,9 @@ use batmem_types::probe::{Probe, ProbeEvent, ProbeHub, SharedProbes};
 use batmem_types::{AuditLevel, BlockId, Cycle, KernelId, PageId, SimConfig, SimError, SmId};
 use batmem_uvm::registry::{eviction_spec_of, prefetch_spec_of};
 use batmem_uvm::{
-    CoalesceStrategy, EvictionStrategy, InjectConfig, OversubscriptionHandler, PolicyRegistry,
-    Prefetcher, StrategyCtx, UvmEvent, UvmOutput, UvmRuntime,
+    AdaptiveSignals, CoalesceStrategy, EvictionStrategy, FaultServicingModel, InjectConfig,
+    OversubscriptionHandler, PolicyRegistry, Prefetcher, StrategyCtx, UvmEvent, UvmOutput,
+    UvmRuntime,
 };
 use batmem_vmem::{Mmu, TranslationOutcome};
 
@@ -48,6 +49,7 @@ pub struct SimulationBuilder {
     prefetch_spec: Option<String>,
     oversub_spec: Option<String>,
     coalesce_spec: Option<String>,
+    fault_servicing_spec: Option<String>,
 }
 
 impl SimulationBuilder {
@@ -96,11 +98,23 @@ impl SimulationBuilder {
     }
 
     /// Selects the oversubscription handling by registry spec (`none`,
-    /// `to`, `to:any`, `etc`, `etc:25`). Overrides both the
-    /// [`policy`](Self::policy) preset's TO knob and any
-    /// [`etc`](Self::etc) framework configuration.
+    /// `to`, `to:any`, `etc`, `etc:25`, `adaptive`, `adaptive:100000`).
+    /// Overrides both the [`policy`](Self::policy) preset's TO knob and
+    /// any [`etc`](Self::etc) framework configuration. The `adaptive`
+    /// spec additionally attaches an internal probe that closes the
+    /// sensing loop; it reads only in-simulation events, so runs stay
+    /// deterministic.
     pub fn oversubscription(mut self, spec: impl Into<String>) -> Self {
         self.oversub_spec = Some(spec.into());
+        self
+    }
+
+    /// Selects the fault-servicing cost model by registry spec (`cpu`,
+    /// `gpu-driven`, `gpu-driven:500`). Defaults to `cpu`, the classic
+    /// host-driver far-fault path, which keeps the timing arithmetic
+    /// bit-identical to the classic model.
+    pub fn fault_servicing(mut self, spec: impl Into<String>) -> Self {
+        self.fault_servicing_spec = Some(spec.into());
         self
     }
 
@@ -188,17 +202,26 @@ impl SimulationBuilder {
         // Resolve the oversubscription spec first: it rewrites the TO knobs
         // and the ETC framework configuration that the sizing logic below
         // consumes.
-        let oversub = match &self.oversub_spec {
+        let (oversub, signals) = match &self.oversub_spec {
             Some(spec) => {
                 let sel = self.registry.build_oversubscription(spec)?;
                 self.config.policy.oversubscription = sel.to;
                 self.etc = sel.etc.unwrap_or_default();
-                sel.handler
+                // A closed-loop handler ships its own sensor: attach it to
+                // the hub like any user probe so it sees the event stream.
+                if let Some(probe) = sel.probe {
+                    self.probes.attach(probe);
+                }
+                (sel.handler, sel.signals)
             }
-            None => Box::new(batmem_uvm::OversubController::new(
-                self.config.policy.oversubscription,
-            )),
+            None => (
+                Box::new(batmem_uvm::OversubController::new(self.config.policy.oversubscription))
+                    as Box<dyn OversubscriptionHandler>,
+                None,
+            ),
         };
+        let servicing: Box<dyn FaultServicingModel> =
+            self.registry.build_servicing(self.fault_servicing_spec.as_deref().unwrap_or("cpu"))?;
         let ctx = StrategyCtx { pages_per_region: self.config.uvm.pages_per_region() };
         let eviction: Box<dyn EvictionStrategy> = match &self.eviction_spec {
             Some(spec) => self.registry.build_eviction(spec, &ctx)?,
@@ -250,6 +273,8 @@ impl SimulationBuilder {
             prefetcher,
             coalesce,
             oversub,
+            servicing,
+            signals,
         )
         .run()
     }
@@ -324,6 +349,8 @@ impl Engine {
         prefetcher: Box<dyn Prefetcher>,
         coalesce: Box<dyn CoalesceStrategy>,
         oversub: Box<dyn OversubscriptionHandler>,
+        servicing: Box<dyn FaultServicingModel>,
+        signals: Option<AdaptiveSignals>,
     ) -> Self {
         let probes = SharedProbes::new(probes);
         let mut uvm = UvmRuntime::with_strategies(
@@ -338,6 +365,10 @@ impl Engine {
         uvm.set_probes(probes.clone());
         if let Some(i) = inject {
             uvm.set_injector(i);
+        }
+        uvm.set_servicing(servicing);
+        if let Some(s) = signals {
+            uvm.set_adaptive_signals(s);
         }
         let mmu = Mmu::new(&cfg);
         let mem = MemPath::new(&cfg.mem, cfg.gpu.num_sms);
@@ -524,6 +555,18 @@ impl Engine {
             coalesces: mmu_stats.coalesces,
             splinters: mmu_stats.splinters,
         });
+        // Only a non-default servicing model reports: under `cpu` the
+        // counters are None and the event stream stays byte-identical to
+        // the classic path.
+        if let Some(c) = self.uvm.fault_servicing_counters() {
+            self.probes.emit_with(self.clock.max(finished_at), || {
+                ProbeEvent::FaultServicingSummary {
+                    batches: c.batches,
+                    faults: c.faults,
+                    occupancy_cycles: c.occupancy_cycles,
+                }
+            });
+        }
         self.probes.finish(finished_at);
         Ok(RunMetrics {
             cycles: finished_at,

@@ -154,6 +154,12 @@ pub fn event_to_json(at: Cycle, event: &ProbeEvent) -> String {
                  \"walks\":{walks},\"coalesces\":{coalesces},\"splinters\":{splinters}"
             );
         }
+        ProbeEvent::FaultServicingSummary { batches, faults, occupancy_cycles } => {
+            let _ = write!(
+                s,
+                ",\"batches\":{batches},\"faults\":{faults},\"occupancy_cycles\":{occupancy_cycles}"
+            );
+        }
         // `ProbeEvent` is non_exhaustive: future variants export their
         // kind with no payload until this encoder learns them.
         _ => {}
@@ -892,6 +898,7 @@ mod tests {
                 coalesces: 5,
                 splinters: 6,
             },
+            ProbeEvent::FaultServicingSummary { batches: 1, faults: 2, occupancy_cycles: 3 },
         ];
         for ev in events {
             let json = event_to_json(42, &ev);

@@ -159,6 +159,9 @@ pub enum PolicyAxis {
     Oversubscription,
     /// Large-page coalescing and splintering (multi-page-size management).
     Coalesce,
+    /// Fault-servicing cost model: who runs the fault handler (the CPU
+    /// round-trip of the classic driver, or a GPU-driven handler).
+    FaultServicing,
 }
 
 impl PolicyAxis {
@@ -169,6 +172,7 @@ impl PolicyAxis {
             PolicyAxis::Prefetch => "prefetch",
             PolicyAxis::Oversubscription => "oversubscription",
             PolicyAxis::Coalesce => "coalesce",
+            PolicyAxis::FaultServicing => "fault-servicing",
         }
     }
 }
@@ -366,6 +370,7 @@ mod tests {
         assert_eq!(PolicyAxis::Prefetch.to_string(), "prefetch");
         assert_eq!(PolicyAxis::Oversubscription.label(), "oversubscription");
         assert_eq!(PolicyAxis::Coalesce.label(), "coalesce");
+        assert_eq!(PolicyAxis::FaultServicing.label(), "fault-servicing");
         let d = PolicyDescriptor {
             axis: PolicyAxis::Prefetch,
             name: "tree",

@@ -220,6 +220,18 @@ pub enum ProbeEvent {
         /// Splinters over the run.
         splinters: u64,
     },
+    /// End-of-run fault-servicing summary, emitted once just before the run
+    /// finishes — and only when a non-default (non-CPU) servicing model is
+    /// active, so the default path stays event-for-event identical to the
+    /// seed.
+    FaultServicingSummary {
+        /// Fault batches the servicing model handled.
+        batches: u64,
+        /// Faults serviced across those batches.
+        faults: u64,
+        /// Cumulative handler-occupancy cycles charged by the model.
+        occupancy_cycles: u64,
+    },
 }
 
 impl ProbeEvent {
@@ -243,6 +255,7 @@ impl ProbeEvent {
             ProbeEvent::RegionCoalesced { .. } => "region_coalesced",
             ProbeEvent::RegionSplintered { .. } => "region_splintered",
             ProbeEvent::TranslationSummary { .. } => "translation_summary",
+            ProbeEvent::FaultServicingSummary { .. } => "fault_servicing_summary",
         }
     }
 }

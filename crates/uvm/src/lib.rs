@@ -32,6 +32,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adaptive;
 pub mod batch;
 pub mod fault;
 pub mod inject;
@@ -45,6 +46,7 @@ pub mod registry;
 pub mod stats;
 pub mod strategies;
 
+pub use adaptive::{AdaptiveController, AdaptiveProbe, AdaptiveSignals};
 pub use batch::BatchRecord;
 pub use fault::FaultBuffer;
 pub use inject::{FaultInjector, InjectConfig, InjectStats};
@@ -57,6 +59,7 @@ pub use prefetch::TreePrefetcher;
 pub use registry::{OversubSelection, PolicyRegistry, StrategyCtx};
 pub use stats::UvmStats;
 pub use strategies::{
-    CoalesceOff, CoalesceStrategy, EvictionStrategy, EvictionTiming, GreedyCoalesce,
-    OversubscriptionHandler, Prefetcher, SplinterOnEvict,
+    CoalesceOff, CoalesceStrategy, CpuServicing, EvictionStrategy, EvictionTiming,
+    FaultServicingModel, GpuDrivenServicing, GreedyCoalesce, OversubscriptionHandler, Prefetcher,
+    ServicingCounters, SplinterOnEvict,
 };

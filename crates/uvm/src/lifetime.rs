@@ -7,7 +7,7 @@
 //! again later (§4.1, §6.1).
 
 use batmem_types::dense::{PageSet, TieredPageMap};
-use batmem_types::{Cycle, PageId, RegionId};
+use batmem_types::{AuditLevel, Cycle, PageId, RegionId, SimError};
 
 /// A periodic lifetime sample handed to the oversubscription controller.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -64,13 +64,29 @@ impl LifetimeTracker {
 
     /// Records that `page` was evicted at `now`.
     ///
+    /// A page evicted before its recorded install time means the pipeline's
+    /// clock ran backwards — an invariant violation, not a zero-length
+    /// lifetime. Under an enabled [`AuditLevel`] it is a typed error;
+    /// otherwise it trips a debug assertion and the lifetime clamps to zero
+    /// in release builds (the pre-audit behavior).
+    ///
     /// # Panics
     ///
     /// Panics in debug builds if the page was never installed.
-    pub fn on_evict(&mut self, page: PageId, now: Cycle) {
+    pub fn on_evict(&mut self, page: PageId, now: Cycle, audit: AuditLevel) -> Result<(), SimError> {
         let born = self.alloc_at.remove(page);
         debug_assert!(born.is_some(), "evicting untracked page {page}");
         if let Some(born) = born {
+            if born > now {
+                if audit.enabled() {
+                    return Err(SimError::InvariantViolated {
+                        cycle: now,
+                        invariant: "page lifetime is non-negative (clock must not run backwards)",
+                        snapshot: format!("page {page} installed at {born}, evicted at {now}"),
+                    });
+                }
+                debug_assert!(false, "page {page} evicted at {now} before its install at {born}");
+            }
             let life = u128::from(now.saturating_sub(born));
             self.window_sum += life;
             self.lifetime_sum += life;
@@ -78,6 +94,7 @@ impl LifetimeTracker {
         }
         self.total_evictions += 1;
         self.evicted_awaiting_refault.insert(page);
+        Ok(())
     }
 
     /// Records a fault for `page`. Returns `true` when the fault re-touches
@@ -148,7 +165,7 @@ mod tests {
     fn lifetime_is_evict_minus_install() {
         let mut t = LifetimeTracker::new();
         t.on_install(p(1), 100);
-        t.on_evict(p(1), 600);
+        t.on_evict(p(1), 600, AuditLevel::Off).unwrap();
         let s = t.sample();
         assert_eq!(s.avg, Some(500.0));
         assert_eq!(s.prev, None);
@@ -158,10 +175,10 @@ mod tests {
     fn windows_roll() {
         let mut t = LifetimeTracker::new();
         t.on_install(p(1), 0);
-        t.on_evict(p(1), 1000);
+        t.on_evict(p(1), 1000, AuditLevel::Off).unwrap();
         let s1 = t.sample();
         t.on_install(p(2), 1000);
-        t.on_evict(p(2), 1200);
+        t.on_evict(p(2), 1200, AuditLevel::Off).unwrap();
         let s2 = t.sample();
         assert_eq!(s1.avg, Some(1000.0));
         assert_eq!(s2.avg, Some(200.0));
@@ -172,7 +189,7 @@ mod tests {
     fn quiet_window_carries_last_average() {
         let mut t = LifetimeTracker::new();
         t.on_install(p(1), 0);
-        t.on_evict(p(1), 100);
+        t.on_evict(p(1), 100, AuditLevel::Off).unwrap();
         let _ = t.sample();
         let s = t.sample(); // no evictions this window
         assert_eq!(s.avg, Some(100.0));
@@ -183,12 +200,12 @@ mod tests {
     fn refault_counts_one_premature_per_eviction() {
         let mut t = LifetimeTracker::new();
         t.on_install(p(1), 0);
-        t.on_evict(p(1), 10);
+        t.on_evict(p(1), 10, AuditLevel::Off).unwrap();
         t.on_fault(p(1)); // premature
         t.on_fault(p(1)); // same page again: not double counted
         assert_eq!(t.premature_evictions(), 1);
         t.on_install(p(1), 20);
-        t.on_evict(p(1), 30);
+        t.on_evict(p(1), 30, AuditLevel::Off).unwrap();
         t.on_fault(p(1)); // second eviction also premature
         assert_eq!(t.premature_evictions(), 2);
         assert_eq!(t.total_evictions(), 2);
@@ -199,10 +216,21 @@ mod tests {
     fn non_refaulted_eviction_is_not_premature() {
         let mut t = LifetimeTracker::new();
         t.on_install(p(1), 0);
-        t.on_evict(p(1), 10);
+        t.on_evict(p(1), 10, AuditLevel::Off).unwrap();
         t.on_fault(p(2)); // unrelated page
         assert_eq!(t.premature_evictions(), 0);
         assert_eq!(t.premature_rate(), 0.0);
+    }
+
+    #[test]
+    fn clock_backwards_is_a_typed_error_under_audit() {
+        let mut t = LifetimeTracker::new();
+        t.on_install(p(1), 100);
+        let err = t.on_evict(p(1), 50, AuditLevel::Basic).unwrap_err();
+        assert!(
+            matches!(err, SimError::InvariantViolated { cycle: 50, .. }),
+            "wrong error shape: {err:?}"
+        );
     }
 
     #[test]
@@ -214,7 +242,7 @@ mod tests {
         t.on_install(p(4), 0); // next group
         assert_eq!(t.live_in_group(g), 2);
         assert_eq!(t.live_in_group(RegionId::new(1)), 1);
-        t.on_evict(p(1), 10);
+        t.on_evict(p(1), 10, AuditLevel::Off).unwrap();
         assert_eq!(t.live_in_group(g), 1);
     }
 
@@ -223,9 +251,9 @@ mod tests {
         let mut t = LifetimeTracker::new();
         assert_eq!(t.mean_lifetime(), None);
         t.on_install(p(1), 0);
-        t.on_evict(p(1), 100);
+        t.on_evict(p(1), 100, AuditLevel::Off).unwrap();
         t.on_install(p(2), 0);
-        t.on_evict(p(2), 300);
+        t.on_evict(p(2), 300, AuditLevel::Off).unwrap();
         assert_eq!(t.mean_lifetime(), Some(200.0));
     }
 }

@@ -70,7 +70,7 @@ impl UvmRuntime {
         if self.state == State::Idle {
             self.state = State::Draining;
             out.push(UvmOutput::Schedule {
-                at: now + self.cfg.isr_latency,
+                at: now + self.servicing.isr_latency(self.cfg.isr_latency),
                 event: UvmEvent::DrainBuffer,
             });
         }

@@ -5,6 +5,7 @@
 //! [`Prefetcher`]: crate::strategies::Prefetcher
 
 use super::{BatchPlan, State, UvmEvent, UvmOutput, UvmRuntime};
+use crate::adaptive::AdaptiveSignals;
 use crate::batch::BatchRecord;
 use batmem_types::probe::{EvictionCause, ProbeEvent};
 use batmem_types::{Cycle, PageId, SimError};
@@ -31,6 +32,17 @@ impl UvmRuntime {
             let mem = &self.mem;
             self.prefetcher.expand(&faulted, &|p| mem.is_resident(p), self.valid_pages)
         };
+        // Adaptive throttle: when the probe saw too many premature
+        // refaults last epoch, prefetch density drops to zero for this
+        // epoch (the candidates were being evicted before use anyway).
+        // Like the injector filter below, this runs after `expand` so the
+        // prefetcher's issue counter reflects what the policy *asked* for.
+        let prefetched: Vec<PageId> =
+            if self.signals.as_ref().is_some_and(AdaptiveSignals::throttle_prefetch) {
+                Vec::new()
+            } else {
+                prefetched
+            };
         // Injected prefetch drops: the candidate silently never migrates,
         // so its eventual demand access must fault and recover.
         let prefetched: Vec<PageId> = match &mut self.injector {
@@ -85,8 +97,11 @@ impl UvmRuntime {
             }
         }
 
-        let handling = self.cfg.fault_handling_base
-            + self.cfg.fault_handling_per_fault * num_faults as Cycle;
+        let handling = self.servicing.handling_window(
+            self.cfg.fault_handling_base,
+            self.cfg.fault_handling_per_fault,
+            num_faults as u64,
+        );
         let id = self.batch_seq;
         self.batch_seq += 1;
         let record = BatchRecord {
@@ -126,20 +141,61 @@ impl UvmRuntime {
         // ETC-style Proactive Eviction: predict the batch's frame demand
         // and evict ahead of the allocations, overlapped with the handling
         // window. Mispredicted victims show up as premature evictions,
-        // which is why ETC disables PE for irregular applications.
-        if self.policy.proactive_eviction {
-            let available =
-                self.mem.available_without_eviction() + self.pending_free.len() as u64;
-            let mut need = (plan.pages.len() as u64).saturating_sub(available);
+        // which is why ETC disables PE for irregular applications. The
+        // adaptive policy turns the same pass on for an epoch when its
+        // probe saw healthy (non-premature) eviction behavior.
+        let eager = !self.policy.proactive_eviction
+            && self.signals.as_ref().is_some_and(AdaptiveSignals::eager_eviction);
+        if self.policy.proactive_eviction || eager {
+            let goal = plan.pages.len() as u64;
+            let mut need = goal
+                .saturating_sub(self.mem.available_without_eviction() + self.pending_free.len() as u64);
             while need > 0 && self.mem.resident_count() > 0 {
-                let before = self.pending_free.len();
+                let before = self.pending_free.len() as u64;
                 self.schedule_evictions(now, &mut plan, outputs, EvictionCause::Proactive)?;
-                let freed = (self.pending_free.len() - before) as u64;
+                let after = self.pending_free.len() as u64;
+                // An eviction pass may only add pending frames; a shrink
+                // here means the frame books are broken regardless of
+                // audit level.
+                let Some(freed) = after.checked_sub(before) else {
+                    return Err(SimError::Accounting {
+                        cycle: now,
+                        detail: format!(
+                            "proactive eviction consumed {} pending frames instead of freeing any",
+                            before - after
+                        ),
+                    });
+                };
                 if freed == 0 {
                     break;
                 }
                 self.proactive_evictions += freed;
-                need = need.saturating_sub(freed);
+                let decremented = need.saturating_sub(freed);
+                // Round-trip the frame ledger: the decremented shortfall
+                // must equal one re-derived from the books. A pass that
+                // frees more than requested clamps both sides to zero;
+                // anything else (e.g. frames double-counted between the
+                // free list and pending_free) is drift that the chained
+                // saturating_sub used to hide.
+                let rederived = goal.saturating_sub(
+                    self.mem.available_without_eviction() + self.pending_free.len() as u64,
+                );
+                if decremented != rederived {
+                    let snapshot = format!(
+                        "goal={goal} need={need} freed={freed} decremented={decremented} \
+                         rederived={rederived} ({})",
+                        self.describe_state()
+                    );
+                    if self.audit.enabled() {
+                        return Err(SimError::InvariantViolated {
+                            cycle: now,
+                            invariant: "proactive-eviction frame ledger round-trips",
+                            snapshot,
+                        });
+                    }
+                    debug_assert!(false, "proactive frame ledger drifted: {snapshot}");
+                }
+                need = decremented;
             }
         }
 

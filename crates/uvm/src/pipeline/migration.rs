@@ -74,7 +74,7 @@ impl UvmRuntime {
             for (victim, avail) in self.ideal_evicts.drain(..) {
                 let at = tr.start.max(avail);
                 outputs.push(UvmOutput::Schedule { at, event: UvmEvent::EvictionStarted { page: victim } });
-                self.lifetime.on_evict(victim, at);
+                self.lifetime.on_evict(victim, at, self.audit)?;
             }
             plan.record.migrated_bytes += page_bytes;
             self.mem.mark_resident(page, frame, now)?;

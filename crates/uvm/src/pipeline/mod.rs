@@ -54,6 +54,7 @@ pub mod residency;
 #[cfg(test)]
 mod tests;
 
+use crate::adaptive::AdaptiveSignals;
 use crate::batch::BatchRecord;
 use crate::fault::FaultBuffer;
 use crate::inject::{FaultInjector, InjectConfig, InjectStats};
@@ -63,8 +64,9 @@ use crate::pcie::PciePipes;
 use crate::prefetch::TreePrefetcher;
 use crate::stats::UvmStats;
 use crate::strategies::{
-    CoalesceOff, CoalesceStrategy, EvictionStrategy, IdealEviction, NoPrefetch, Prefetcher,
-    SerializedLruEviction, UnobtrusiveEviction,
+    CoalesceOff, CoalesceStrategy, CpuServicing, EvictionStrategy, FaultServicingModel,
+    IdealEviction, NoPrefetch, Prefetcher, SerializedLruEviction, ServicingCounters,
+    UnobtrusiveEviction,
 };
 use batmem_types::config::UvmConfig;
 use batmem_types::dense::{EpochPageMap, EpochPageSet, PageMap, RegionSet, TieredPageMap};
@@ -163,6 +165,12 @@ pub struct UvmRuntime {
     pub(crate) eviction: Box<dyn EvictionStrategy>,
     pub(crate) prefetcher: Box<dyn Prefetcher>,
     pub(crate) coalesce: Box<dyn CoalesceStrategy>,
+    /// Fault-servicing cost model consulted by the capture (ISR latency)
+    /// and formation (handling window) stages.
+    pub(crate) servicing: Box<dyn FaultServicingModel>,
+    /// Actuation signals of the adaptive oversubscription policy (`None`
+    /// for every static policy — all fast paths stay untouched).
+    pub(crate) signals: Option<AdaptiveSignals>,
     /// Base pages per large-page group (from the configured geometry).
     pub(crate) pages_per_large: u64,
     /// Pages currently installed in the GPU page table, mirrored from the
@@ -249,6 +257,8 @@ impl UvmRuntime {
             eviction,
             prefetcher,
             coalesce,
+            servicing: Box::new(CpuServicing),
+            signals: None,
             pages_per_large,
             installed: TieredPageMap::with_pages_per_region(pages_per_large),
             promoted: RegionSet::new(),
@@ -283,6 +293,18 @@ impl UvmRuntime {
     /// Arms deterministic fault injection (see [`InjectConfig`]).
     pub fn set_injector(&mut self, cfg: InjectConfig) {
         self.injector = Some(FaultInjector::new(cfg));
+    }
+
+    /// Installs the fault-servicing cost model (default: [`CpuServicing`],
+    /// whose arithmetic is the seed's, verbatim).
+    pub fn set_servicing(&mut self, servicing: Box<dyn FaultServicingModel>) {
+        self.servicing = servicing;
+    }
+
+    /// Installs the adaptive policy's actuation signals; the formation
+    /// stage consults them for prefetch throttling and eager eviction.
+    pub fn set_adaptive_signals(&mut self, signals: AdaptiveSignals) {
+        self.signals = Some(signals);
     }
 
     /// Installs the probe emission handle (shared with the engine). The
@@ -548,8 +570,20 @@ impl UvmRuntime {
         Ok(())
     }
 
+    /// The servicing model's end-of-run counters, `None` under the default
+    /// CPU model — the gate for the `FaultServicingSummary` probe event
+    /// (the default path must not emit events the seed did not).
+    pub fn fault_servicing_counters(&self) -> Option<ServicingCounters> {
+        if self.servicing.is_cpu() {
+            None
+        } else {
+            Some(self.servicing.counters())
+        }
+    }
+
     /// Assembles end-of-run statistics.
     pub fn stats(&self) -> UvmStats {
+        let servicing = self.servicing.counters();
         UvmStats {
             batches: self.finished_batches.clone(),
             faults_raised: self.buffer.raised(),
@@ -565,6 +599,8 @@ impl UvmRuntime {
             peak_resident_pages: self.mem.peak_resident() as u64,
             preemptive_evictions: self.preemptive_evictions,
             proactive_evictions: self.proactive_evictions,
+            gpu_serviced_faults: servicing.faults,
+            handler_occupancy_cycles: servicing.occupancy_cycles,
         }
     }
 }

@@ -92,7 +92,7 @@ impl UvmRuntime {
                 EvictionTiming::Transfer { start, ready } => (start, ready),
             };
             outputs.push(UvmOutput::Schedule { at: start, event: UvmEvent::EvictionStarted { page: victim } });
-            self.lifetime.on_evict(victim, start);
+            self.lifetime.on_evict(victim, start, self.audit)?;
             self.probes.emit_with(earliest, || ProbeEvent::EvictionBegun {
                 page: victim,
                 cause,

@@ -10,10 +10,12 @@
 //! [`SimError::UnknownPolicy`] (listing what *is* registered); malformed
 //! parameters resolve to [`SimError::InvalidConfig`].
 
+use crate::adaptive::{AdaptiveController, AdaptiveProbe, AdaptiveSignals, ADAPTIVE_DEFAULT_WINDOW};
+use crate::strategies::servicing::GPU_DRIVEN_DEFAULT_OCCUPANCY;
 use crate::strategies::{
-    CoalesceOff, CoalesceStrategy, EvictionStrategy, GreedyCoalesce, IdealEviction, NoPrefetch,
-    OversubscriptionHandler, Prefetcher, RandomVictim, SerializedLruEviction, SplinterOnEvict,
-    UnobtrusiveEviction,
+    CoalesceOff, CoalesceStrategy, CpuServicing, EvictionStrategy, FaultServicingModel,
+    GpuDrivenServicing, GreedyCoalesce, IdealEviction, NoPrefetch, OversubscriptionHandler,
+    Prefetcher, RandomVictim, SerializedLruEviction, SplinterOnEvict, UnobtrusiveEviction,
 };
 use crate::OversubController;
 use crate::TreePrefetcher;
@@ -21,6 +23,7 @@ use batmem_etc::EtcConfig;
 use batmem_types::policy::{
     EvictionPolicy, PolicyAxis, PolicyDescriptor, PrefetchPolicy, SwitchTrigger, ToConfig,
 };
+use batmem_types::probe::Probe;
 use batmem_types::SimError;
 use std::collections::BTreeMap;
 use std::fmt;
@@ -48,6 +51,13 @@ pub struct OversubSelection {
     pub etc: Option<EtcConfig>,
     /// The degree controller consulted by the block scheduler.
     pub handler: Box<dyn OversubscriptionHandler>,
+    /// An internal probe the engine must attach to the run's probe hub —
+    /// the sensor half of a closed-loop policy (`None` for every static
+    /// policy).
+    pub probe: Option<Box<dyn Probe>>,
+    /// Actuation signals shared between `probe` and the pipeline (`None`
+    /// for every static policy).
+    pub signals: Option<AdaptiveSignals>,
 }
 
 impl fmt::Debug for OversubSelection {
@@ -56,6 +66,8 @@ impl fmt::Debug for OversubSelection {
             .field("to", &self.to)
             .field("etc", &self.etc)
             .field("handler", &self.handler.name())
+            .field("probe", &self.probe.is_some())
+            .field("signals", &self.signals.is_some())
             .finish()
     }
 }
@@ -67,13 +79,16 @@ type PrefetchBuild =
 type OversubBuild = Box<dyn Fn(&[&str]) -> Result<OversubSelection, SimError> + Send + Sync>;
 type CoalesceBuild =
     Box<dyn Fn(&[&str]) -> Result<Box<dyn CoalesceStrategy>, SimError> + Send + Sync>;
+type ServicingBuild =
+    Box<dyn Fn(&[&str]) -> Result<Box<dyn FaultServicingModel>, SimError> + Send + Sync>;
 
-/// The registry: four axes of named strategy constructors.
+/// The registry: five axes of named strategy constructors.
 pub struct PolicyRegistry {
     eviction: BTreeMap<&'static str, (PolicyDescriptor, EvictionBuild)>,
     prefetch: BTreeMap<&'static str, (PolicyDescriptor, PrefetchBuild)>,
     oversubscription: BTreeMap<&'static str, (PolicyDescriptor, OversubBuild)>,
     coalesce: BTreeMap<&'static str, (PolicyDescriptor, CoalesceBuild)>,
+    servicing: BTreeMap<&'static str, (PolicyDescriptor, ServicingBuild)>,
 }
 
 impl fmt::Debug for PolicyRegistry {
@@ -83,6 +98,7 @@ impl fmt::Debug for PolicyRegistry {
             .field("prefetch", &self.prefetch.keys().collect::<Vec<_>>())
             .field("oversubscription", &self.oversubscription.keys().collect::<Vec<_>>())
             .field("coalesce", &self.coalesce.keys().collect::<Vec<_>>())
+            .field("servicing", &self.servicing.keys().collect::<Vec<_>>())
             .finish()
     }
 }
@@ -101,6 +117,7 @@ impl PolicyRegistry {
             prefetch: BTreeMap::new(),
             oversubscription: BTreeMap::new(),
             coalesce: BTreeMap::new(),
+            servicing: BTreeMap::new(),
         }
     }
 
@@ -203,7 +220,13 @@ impl PolicyRegistry {
             |params| {
                 expect_no_params("oversubscription", "none", params)?;
                 let to = ToConfig::default();
-                Ok(OversubSelection { to, etc: None, handler: Box::new(OversubController::new(to)) })
+                Ok(OversubSelection {
+                    to,
+                    etc: None,
+                    handler: Box::new(OversubController::new(to)),
+                    probe: None,
+                    signals: None,
+                })
             },
         );
         r.register_oversubscription(
@@ -226,7 +249,13 @@ impl PolicyRegistry {
                     _ => return Err(too_many_params("oversubscription", "to", params)),
                 };
                 let to = ToConfig { trigger, ..ToConfig::enabled() };
-                Ok(OversubSelection { to, etc: None, handler: Box::new(OversubController::new(to)) })
+                Ok(OversubSelection {
+                    to,
+                    etc: None,
+                    handler: Box::new(OversubController::new(to)),
+                    probe: None,
+                    signals: None,
+                })
             },
         );
         r.register_oversubscription(
@@ -241,13 +270,13 @@ impl PolicyRegistry {
                     [] => EtcConfig::irregular(),
                     [s] => {
                         let pct = parse_u64("etc.throttle_percent", s)?;
-                        let pct = u8::try_from(pct).map_err(|_| {
-                            SimError::invalid_config(
+                        if pct == 0 || pct > 100 {
+                            return Err(SimError::invalid_config(
                                 "etc.throttle_percent",
-                                format!("must be <= 100, got {pct}"),
-                            )
-                        })?;
-                        EtcConfig::irregular_with_throttle(pct)?
+                                format!("must be in 1..=100, got {pct}"),
+                            ));
+                        }
+                        EtcConfig::irregular_with_throttle(pct as u8)?
                     }
                     _ => return Err(too_many_params("oversubscription", "etc", params)),
                 };
@@ -256,6 +285,38 @@ impl PolicyRegistry {
                     to,
                     etc: Some(etc),
                     handler: Box::new(OversubController::new(to)),
+                    probe: None,
+                    signals: None,
+                })
+            },
+        );
+        r.register_oversubscription(
+            PolicyDescriptor {
+                axis: PolicyAxis::Oversubscription,
+                name: "adaptive",
+                params: ":<window_cycles>",
+                summary: "closed-loop TO: a probe watches fault/refault rates per epoch and throttles prefetch / eagers eviction / backs off the degree (default window 200000)",
+            },
+            |params| {
+                let window = match params {
+                    [] => ADAPTIVE_DEFAULT_WINDOW,
+                    [s] => parse_u64("oversubscription.adaptive.window_cycles", s)?,
+                    _ => return Err(too_many_params("oversubscription", "adaptive", params)),
+                };
+                if window == 0 {
+                    return Err(SimError::invalid_config(
+                        "oversubscription.adaptive.window_cycles",
+                        "must be >= 1, got 0".to_string(),
+                    ));
+                }
+                let to = ToConfig::enabled();
+                let signals = AdaptiveSignals::new();
+                Ok(OversubSelection {
+                    to,
+                    etc: None,
+                    handler: Box::new(AdaptiveController::new(to, signals.clone())),
+                    probe: Some(Box::new(AdaptiveProbe::new(window, signals.clone()))),
+                    signals: Some(signals),
                 })
             },
         );
@@ -309,6 +370,40 @@ impl PolicyRegistry {
                     )),
                     _ => Err(too_many_params("coalesce", "splinter", params)),
                 }
+            },
+        );
+        r.register_servicing(
+            PolicyDescriptor {
+                axis: PolicyAxis::FaultServicing,
+                name: "cpu",
+                params: "",
+                summary: "classic host-serviced faults: CPU ISR round-trip + batched driver handling window (the seed model)",
+            },
+            |params| {
+                expect_no_params("fault-servicing", "cpu", params)?;
+                Ok(Box::new(CpuServicing))
+            },
+        );
+        r.register_servicing(
+            PolicyDescriptor {
+                axis: PolicyAxis::FaultServicing,
+                name: "gpu-driven",
+                params: ":<occupancy_per_fault>",
+                summary: "GPU-driven paging: no CPU round-trip; per-fault handler occupancy replaces the batched window (default 1000)",
+            },
+            |params| {
+                let occupancy = match params {
+                    [] => GPU_DRIVEN_DEFAULT_OCCUPANCY,
+                    [s] => parse_u64("fault_servicing.gpu_driven.occupancy_per_fault", s)?,
+                    _ => return Err(too_many_params("fault-servicing", "gpu-driven", params)),
+                };
+                if occupancy == 0 {
+                    return Err(SimError::invalid_config(
+                        "fault_servicing.gpu_driven.occupancy_per_fault",
+                        "must be >= 1, got 0".to_string(),
+                    ));
+                }
+                Ok(Box::new(GpuDrivenServicing::new(occupancy)))
             },
         );
         r
@@ -381,6 +476,28 @@ impl PolicyRegistry {
     ) {
         assert_eq!(desc.axis, PolicyAxis::Coalesce, "descriptor axis mismatch for {}", desc.name);
         self.coalesce.insert(desc.name, (desc, Box::new(build)));
+    }
+
+    /// Registers (or replaces) a fault-servicing model under `desc.name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `desc.axis` is not [`PolicyAxis::FaultServicing`].
+    pub fn register_servicing(
+        &mut self,
+        desc: PolicyDescriptor,
+        build: impl Fn(&[&str]) -> Result<Box<dyn FaultServicingModel>, SimError>
+            + Send
+            + Sync
+            + 'static,
+    ) {
+        assert_eq!(
+            desc.axis,
+            PolicyAxis::FaultServicing,
+            "descriptor axis mismatch for {}",
+            desc.name
+        );
+        self.servicing.insert(desc.name, (desc, Box::new(build)));
     }
 
     /// Builds an eviction strategy from a spec string (`lru`, `random:7`).
@@ -458,6 +575,23 @@ impl PolicyRegistry {
         build(&params)
     }
 
+    /// Builds a fault-servicing model from a spec string (`cpu`,
+    /// `gpu-driven:500`).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::UnknownPolicy`] for an unregistered name,
+    /// [`SimError::InvalidConfig`] for malformed parameters.
+    pub fn build_servicing(&self, spec: &str) -> Result<Box<dyn FaultServicingModel>, SimError> {
+        let (name, params) = split_spec(spec);
+        let (_, build) = self.servicing.get(name).ok_or_else(|| SimError::UnknownPolicy {
+            axis: PolicyAxis::FaultServicing.label(),
+            name: name.to_string(),
+            known: known_names(&self.servicing),
+        })?;
+        build(&params)
+    }
+
     /// All registered descriptors, ordered by axis then name — the data
     /// behind `--list-policies`.
     pub fn descriptors(&self) -> Vec<PolicyDescriptor> {
@@ -466,6 +600,7 @@ impl PolicyRegistry {
         out.extend(self.prefetch.values().map(|(d, _)| *d));
         out.extend(self.oversubscription.values().map(|(d, _)| *d));
         out.extend(self.coalesce.values().map(|(d, _)| *d));
+        out.extend(self.servicing.values().map(|(d, _)| *d));
         out
     }
 }
@@ -542,7 +677,9 @@ mod tests {
             let s = r.build_prefetcher(spec, &ctx()).unwrap();
             assert_eq!(s.name(), split_spec(spec).0);
         }
-        for spec in ["none", "to", "to:fault", "to:any", "etc", "etc:25"] {
+        for spec in
+            ["none", "to", "to:fault", "to:any", "etc", "etc:25", "adaptive", "adaptive:100000"]
+        {
             r.build_oversubscription(spec).unwrap();
         }
         for spec in ["off", "greedy", "greedy:75", "splinter", "splinter:on-evict"] {
@@ -551,6 +688,12 @@ mod tests {
         }
         assert!(r.build_coalesce("off").unwrap().is_off());
         assert!(!r.build_coalesce("greedy").unwrap().is_off());
+        for spec in ["cpu", "gpu-driven", "gpu-driven:500"] {
+            let s = r.build_servicing(spec).unwrap();
+            assert_eq!(s.name(), split_spec(spec).0);
+        }
+        assert!(r.build_servicing("cpu").unwrap().is_cpu());
+        assert!(!r.build_servicing("gpu-driven").unwrap().is_cpu());
     }
 
     #[test]
@@ -577,6 +720,14 @@ mod tests {
             r.build_coalesce("eager"),
             Err(SimError::UnknownPolicy { axis: "coalesce", .. })
         ));
+        match r.build_servicing("dma").unwrap_err() {
+            SimError::UnknownPolicy { axis, name, known } => {
+                assert_eq!(axis, "fault-servicing");
+                assert_eq!(name, "dma");
+                assert_eq!(known, "cpu, gpu-driven");
+            }
+            other => panic!("expected UnknownPolicy, got {other:?}"),
+        }
     }
 
     #[test]
@@ -602,10 +753,24 @@ mod tests {
             r.build_oversubscription("to:sometimes"),
             Err(SimError::InvalidConfig { .. })
         ));
-        assert!(matches!(
-            r.build_oversubscription("etc:101"),
-            Err(SimError::InvalidConfig { .. })
-        ));
+        // The etc bound is validated at the parse site: 0, the 101..=255
+        // band the old u8 conversion let through, and >255 all fail the
+        // same way.
+        for spec in ["etc:0", "etc:101", "etc:200", "etc:300"] {
+            assert!(matches!(
+                r.build_oversubscription(spec),
+                Err(SimError::InvalidConfig { .. })
+            ));
+        }
+        for spec in ["adaptive:0", "adaptive:x", "adaptive:1:2"] {
+            assert!(matches!(
+                r.build_oversubscription(spec),
+                Err(SimError::InvalidConfig { .. })
+            ));
+        }
+        for spec in ["cpu:1", "gpu-driven:0", "gpu-driven:x", "gpu-driven:1:2"] {
+            assert!(matches!(r.build_servicing(spec), Err(SimError::InvalidConfig { .. })));
+        }
         assert!(matches!(
             r.build_coalesce("greedy:0"),
             Err(SimError::InvalidConfig { .. })
@@ -639,6 +804,18 @@ mod tests {
         let etc = r.build_oversubscription("etc:30").unwrap();
         assert!(!etc.to.enabled);
         assert_eq!(etc.etc.unwrap().throttle_percent, 30);
+
+        // Static handlers carry no probe; the adaptive handler carries the
+        // probe half of its closed loop plus the shared signal block.
+        for spec in ["none", "to", "etc"] {
+            let s = r.build_oversubscription(spec).unwrap();
+            assert!(s.probe.is_none() && s.signals.is_none(), "{spec} should be open-loop");
+        }
+        let adaptive = r.build_oversubscription("adaptive").unwrap();
+        assert!(adaptive.to.enabled);
+        assert!(adaptive.probe.is_some());
+        assert!(adaptive.signals.is_some());
+        assert_eq!(adaptive.handler.degree(), 1);
     }
 
     #[test]
@@ -688,11 +865,11 @@ mod tests {
         assert_eq!(
             names,
             [
-                "ideal", "lru", "random", "ue", "none", "tree", "etc", "none", "to", "greedy",
-                "off", "splinter"
+                "ideal", "lru", "random", "ue", "none", "tree", "adaptive", "etc", "none", "to",
+                "greedy", "off", "splinter", "cpu", "gpu-driven"
             ]
         );
         assert!(d.iter().take(4).all(|d| d.axis == PolicyAxis::Eviction));
-        assert!(d.iter().rev().take(3).all(|d| d.axis == PolicyAxis::Coalesce));
+        assert!(d.iter().rev().take(2).all(|d| d.axis == PolicyAxis::FaultServicing));
     }
 }

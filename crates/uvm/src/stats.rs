@@ -35,6 +35,12 @@ pub struct UvmStats {
     pub preemptive_evictions: u64,
     /// Evictions issued ahead of demand by ETC's proactive eviction.
     pub proactive_evictions: u64,
+    /// Faults serviced by a non-CPU fault-servicing model (0 under the
+    /// default `cpu` model).
+    pub gpu_serviced_faults: u64,
+    /// Handler-occupancy cycles charged by the fault-servicing model (0
+    /// under the default `cpu` model).
+    pub handler_occupancy_cycles: u64,
 }
 
 impl UvmStats {

@@ -11,7 +11,9 @@
 //! * [`CoalesceStrategy`] — multi-page-size promotion/splinter decisions
 //!   ([`coalesce`]);
 //! * [`OversubscriptionHandler`] — thread-oversubscription degree control
-//!   (implemented by [`crate::oversub::OversubController`]).
+//!   (implemented by [`crate::oversub::OversubController`] and the
+//!   closed-loop [`crate::adaptive::AdaptiveController`]);
+//! * [`FaultServicingModel`] — fault-servicing cost model ([`servicing`]).
 //!
 //! Strategies are constructed by name through
 //! [`PolicyRegistry`](crate::registry::PolicyRegistry); the pipeline core
@@ -23,10 +25,12 @@ pub mod ideal;
 pub mod no_prefetch;
 pub mod random_victim;
 pub mod serialized_lru;
+pub mod servicing;
 pub mod tree;
 pub mod unobtrusive;
 
 pub use coalesce::{CoalesceOff, CoalesceStrategy, GreedyCoalesce, SplinterOnEvict};
+pub use servicing::{CpuServicing, FaultServicingModel, GpuDrivenServicing, ServicingCounters};
 pub use ideal::IdealEviction;
 pub use no_prefetch::NoPrefetch;
 pub use random_victim::RandomVictim;

@@ -1,0 +1,158 @@
+//! The fault-servicing cost model: who runs the far-fault handler.
+//!
+//! The seed simulator charges every fault batch the classic UVM driver
+//! cost: a fixed interrupt-service round-trip to the CPU before the fault
+//! buffer drains, then a batched handling window
+//! (`fault_handling_base + fault_handling_per_fault × faults`) of CPU
+//! driver preprocessing. GPUVM-style designs (PAPERS.md, arXiv 2411.05309)
+//! instead service faults from a handler running *on the GPU*: the CPU
+//! round-trip disappears, and cost shifts to per-fault handler occupancy —
+//! SM cycles the handler steals from the workload.
+//!
+//! [`FaultServicingModel`] is the decision point; the capture stage asks it
+//! for the ISR latency and the formation stage for the batch handling
+//! window. [`CpuServicing`] reproduces the seed arithmetic verbatim (the
+//! pinned default); [`GpuDrivenServicing`] removes the round-trip and
+//! charges occupancy per fault, which changes batch-formation economics:
+//! shorter windows close batches sooner, so batches are smaller and more
+//! frequent.
+
+use batmem_types::Cycle;
+
+/// ISR latency of the GPU-driven handler: a fault reaches an on-GPU
+/// handler through the fault buffer without leaving the device, orders of
+/// magnitude below the CPU round-trip (1000 cycles in the seed config).
+pub const GPU_DRIVEN_ISR_LATENCY: Cycle = 100;
+
+/// Default per-fault handler-occupancy charge of [`GpuDrivenServicing`].
+pub const GPU_DRIVEN_DEFAULT_OCCUPANCY: Cycle = 1_000;
+
+/// Counters a servicing model accumulates over a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServicingCounters {
+    /// Fault batches the model priced.
+    pub batches: u64,
+    /// Faults across those batches.
+    pub faults: u64,
+    /// Cumulative handler-occupancy cycles charged.
+    pub occupancy_cycles: u64,
+}
+
+/// Prices the fault-servicing path (the pipeline's capture + formation
+/// stages ask it for the ISR latency and the batch handling window).
+pub trait FaultServicingModel: std::fmt::Debug + Send {
+    /// Registry name this model was built under (diagnostics).
+    fn name(&self) -> &'static str;
+
+    /// Whether this is the classic CPU model whose arithmetic is pinned
+    /// byte-identical to the seed. Gates the end-of-run
+    /// `FaultServicingSummary` probe event: the default path must not emit
+    /// events the seed did not.
+    fn is_cpu(&self) -> bool {
+        false
+    }
+
+    /// Latency between the first fault of an idle buffer and the drain, in
+    /// cycles. `configured` is the run's `UvmConfig::isr_latency`.
+    fn isr_latency(&mut self, configured: Cycle) -> Cycle;
+
+    /// Length of the handling window a batch of `num_faults` distinct
+    /// faults pays before migrations schedule. `base` and `per_fault` are
+    /// the run's configured CPU-driver costs.
+    fn handling_window(&mut self, base: Cycle, per_fault: Cycle, num_faults: u64) -> Cycle;
+
+    /// Counters accumulated so far (all zero for models that charge the
+    /// configured costs verbatim).
+    fn counters(&self) -> ServicingCounters {
+        ServicingCounters::default()
+    }
+}
+
+/// The classic host-serviced model: faults interrupt the CPU, the driver
+/// preprocesses the batch. Returns the configured costs verbatim — this is
+/// the seed simulator, bit for bit.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CpuServicing;
+
+impl FaultServicingModel for CpuServicing {
+    fn name(&self) -> &'static str {
+        "cpu"
+    }
+
+    fn is_cpu(&self) -> bool {
+        true
+    }
+
+    fn isr_latency(&mut self, configured: Cycle) -> Cycle {
+        configured
+    }
+
+    fn handling_window(&mut self, base: Cycle, per_fault: Cycle, num_faults: u64) -> Cycle {
+        base + per_fault * num_faults
+    }
+}
+
+/// GPU-driven servicing: no CPU round-trip, no batched driver
+/// preprocessing base cost; instead every fault occupies the on-GPU
+/// handler for `occupancy_per_fault` cycles.
+#[derive(Debug, Clone, Copy)]
+pub struct GpuDrivenServicing {
+    occupancy_per_fault: Cycle,
+    counters: ServicingCounters,
+}
+
+impl GpuDrivenServicing {
+    /// A model charging `occupancy_per_fault` handler cycles per fault.
+    pub fn new(occupancy_per_fault: Cycle) -> Self {
+        Self { occupancy_per_fault, counters: ServicingCounters::default() }
+    }
+}
+
+impl FaultServicingModel for GpuDrivenServicing {
+    fn name(&self) -> &'static str {
+        "gpu-driven"
+    }
+
+    fn isr_latency(&mut self, _configured: Cycle) -> Cycle {
+        GPU_DRIVEN_ISR_LATENCY
+    }
+
+    fn handling_window(&mut self, _base: Cycle, _per_fault: Cycle, num_faults: u64) -> Cycle {
+        let window = self.occupancy_per_fault * num_faults;
+        self.counters.batches += 1;
+        self.counters.faults += num_faults;
+        self.counters.occupancy_cycles += window;
+        window
+    }
+
+    fn counters(&self) -> ServicingCounters {
+        self.counters
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpu_model_is_the_seed_arithmetic() {
+        let mut m = CpuServicing;
+        assert!(m.is_cpu());
+        assert_eq!(m.isr_latency(1_000), 1_000);
+        assert_eq!(m.handling_window(20_000, 30, 7), 20_000 + 30 * 7);
+        assert_eq!(m.counters(), ServicingCounters::default());
+    }
+
+    #[test]
+    fn gpu_driven_drops_the_round_trip_and_charges_occupancy() {
+        let mut m = GpuDrivenServicing::new(500);
+        assert!(!m.is_cpu());
+        assert_eq!(m.isr_latency(1_000), GPU_DRIVEN_ISR_LATENCY);
+        assert_eq!(m.handling_window(20_000, 30, 4), 2_000);
+        assert_eq!(m.handling_window(20_000, 30, 1), 500);
+        let c = m.counters();
+        assert_eq!(c.batches, 2);
+        assert_eq!(c.faults, 5);
+        assert_eq!(c.occupancy_cycles, 2_500);
+    }
+}

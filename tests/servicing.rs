@@ -1,0 +1,117 @@
+//! Differential tests for the fault-servicing axis.
+//!
+//! The default contract: `fault-servicing=cpu` is the seed simulator, bit
+//! for bit — same timing arithmetic, same event stream, zeroed handler
+//! counters. The `gpu-driven` contract: the far-fault round-trip
+//! disappears, handler occupancy is charged per fault, the batch-size
+//! economics measurably change, and the whole thing stays deterministic.
+
+use batmem::probes::Tracer;
+use batmem::{policies, RunMetrics, Simulation};
+use batmem_graph::gen;
+use batmem_workloads::registry;
+use std::sync::Arc;
+
+fn run_graph(name: &str, servicing: Option<&str>, tracer: Option<Tracer>) -> RunMetrics {
+    let graph = Arc::new(gen::rmat(11, 8, 3));
+    let w = registry::build(name, graph).unwrap();
+    let mut b = Simulation::builder().policy(policies::to_ue()).memory_ratio(0.5);
+    if let Some(spec) = servicing {
+        b = b.fault_servicing(spec);
+    }
+    if let Some(t) = tracer {
+        b = b.probe(t);
+    }
+    b.try_run(w).unwrap()
+}
+
+/// `fault-servicing=cpu` must be byte-identical to never mentioning the
+/// axis at all: same full-timeline metrics (batch records included via the
+/// derived `Debug`), and the handler counters pinned to zero.
+#[test]
+fn cpu_servicing_is_byte_identical_to_the_seed_path() {
+    for name in ["BFS-TTC", "SSSP-TWC"] {
+        let seed = run_graph(name, None, None);
+        let cpu = run_graph(name, Some("cpu"), None);
+        assert_eq!(
+            format!("{seed:?}"),
+            format!("{cpu:?}"),
+            "{name}: full metrics timeline diverged"
+        );
+        assert_eq!(cpu.uvm.gpu_serviced_faults, 0, "{name}: cpu model must not count");
+        assert_eq!(cpu.uvm.handler_occupancy_cycles, 0);
+    }
+}
+
+/// `gpu-driven` must do real work: nonzero handler-occupancy counters, a
+/// shorter run than the host round-trip path (no 20k-cycle batch setup,
+/// 100-cycle ISR), and a measurably different batch-size histogram.
+#[test]
+fn gpu_driven_charges_occupancy_and_changes_batch_economics() {
+    let cpu = run_graph("SSSP-TWC", Some("cpu"), None);
+    let gpu = run_graph("SSSP-TWC", Some("gpu-driven"), None);
+
+    assert!(gpu.uvm.gpu_serviced_faults > 0, "gpu-driven never counted a fault");
+    assert!(gpu.uvm.handler_occupancy_cycles > 0, "gpu-driven never charged occupancy");
+    assert_eq!(cpu.uvm.gpu_serviced_faults, 0, "cpu model must not count");
+    assert_ne!(gpu.cycles, cpu.cycles, "a different cost model must change the run");
+    // The handling window collapses from base + per-fault to pure
+    // occupancy, so faults accumulate differently while a batch is open:
+    // the Fig. 16-style batch-size distribution must shift (bucketed at
+    // page granularity — the batches are small at test scale).
+    let bucket = 65_536;
+    assert_ne!(
+        cpu.uvm.batch_size_histogram(bucket),
+        gpu.uvm.batch_size_histogram(bucket),
+        "batch-size distribution did not shift under gpu-driven servicing"
+    );
+    assert_ne!(
+        cpu.uvm.num_batches(),
+        gpu.uvm.num_batches(),
+        "shorter handling windows must re-batch the fault stream"
+    );
+}
+
+/// The servicing summary probe event is emitted exactly when a non-CPU
+/// model is active — the default event stream stays identical to the seed.
+#[test]
+fn servicing_summary_is_emitted_only_for_non_cpu_models() {
+    let cpu_tracer = Tracer::bounded(100_000);
+    run_graph("BFS-TTC", Some("cpu"), Some(cpu_tracer.clone()));
+    assert!(
+        !cpu_tracer.to_jsonl().contains("fault_servicing_summary"),
+        "cpu model must not emit a servicing summary"
+    );
+
+    let gpu_tracer = Tracer::bounded(100_000);
+    let gpu = run_graph("BFS-TTC", Some("gpu-driven"), Some(gpu_tracer.clone()));
+    let jsonl = gpu_tracer.to_jsonl();
+    let line = jsonl
+        .lines()
+        .find(|l| l.contains("fault_servicing_summary"))
+        .expect("gpu-driven must emit a servicing summary");
+    assert!(
+        line.contains(&format!("\"occupancy_cycles\":{}", gpu.uvm.handler_occupancy_cycles)),
+        "summary must carry the charged occupancy: {line}"
+    );
+    assert!(line.contains(&format!("\"faults\":{}", gpu.uvm.gpu_serviced_faults)), "{line}");
+}
+
+/// GPU-driven runs stay bit-for-bit deterministic, including the handler
+/// counters and the full batch timeline.
+#[test]
+fn gpu_driven_is_deterministic() {
+    let a = run_graph("BFS-TTC", Some("gpu-driven"), None);
+    let b = run_graph("BFS-TTC", Some("gpu-driven"), None);
+    assert_eq!(format!("{a:?}"), format!("{b:?}"));
+}
+
+/// The per-fault occupancy parameter is live: a pricier handler makes the
+/// run strictly slower and charges proportionally more occupancy.
+#[test]
+fn occupancy_parameter_scales_the_charge() {
+    let cheap = run_graph("BFS-TTC", Some("gpu-driven:100"), None);
+    let pricey = run_graph("BFS-TTC", Some("gpu-driven:10000"), None);
+    assert!(pricey.cycles > cheap.cycles, "10000-cycle handlers must cost more than 100");
+    assert!(pricey.uvm.handler_occupancy_cycles > cheap.uvm.handler_occupancy_cycles);
+}

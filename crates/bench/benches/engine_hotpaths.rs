@@ -206,6 +206,19 @@ fn bench_end_to_end() {
         let w = registry::build("BFS-TTC", Arc::clone(&graph)).unwrap();
         Simulation::builder().policy(policies::to_ue()).memory_ratio(0.5).try_run(w).unwrap()
     });
+    // The sharded engine on the same run. At this scale the prefab pool's
+    // spawn/merge overhead is a real cost, so the row keeps the
+    // serial-vs-sharded delta visible (the win arrives at suite scales —
+    // see EXPERIMENTS.md).
+    bench("end_to_end/bfs_ttc_scale10_threads8", 10, || {
+        let w = registry::build("BFS-TTC", Arc::clone(&graph)).unwrap();
+        Simulation::builder()
+            .policy(policies::to_ue())
+            .memory_ratio(0.5)
+            .threads(8)
+            .try_run(w)
+            .unwrap()
+    });
 }
 
 fn main() {

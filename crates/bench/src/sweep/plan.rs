@@ -59,6 +59,11 @@ pub struct SweepCell {
     /// the default `cpu` model. Like `coalesce`, only a non-default spec
     /// perturbs the cell id, keeping pre-axis stores resumable.
     pub fault_servicing: Option<String>,
+    /// Engine shard threads for the cell's run (1 = the serial reference
+    /// engine). Like `coalesce`, only a value above 1 perturbs the cell
+    /// id, so stores written before the knob existed stay valid for
+    /// `--resume`.
+    pub threads: usize,
     /// Free-form discriminator hashed into the id for anything the other
     /// fields do not capture (e.g. a non-default base `SimConfig`).
     /// Empty by default.
@@ -83,6 +88,9 @@ impl SweepCell {
         }
         if let Some(spec) = self.fault_servicing_spec() {
             h.field("fault-servicing").field(spec);
+        }
+        if self.threads > 1 {
+            h.field("threads").field(&self.threads.to_string());
         }
         CellId::from_hash(h.finish())
     }
@@ -124,6 +132,9 @@ impl SweepCell {
             s.push_str("+fs:");
             s.push_str(fs);
         }
+        if self.threads > 1 {
+            s.push_str(&format!("+t{}", self.threads));
+        }
         debug_assert!(!s.contains(','), "cell labels must stay comma-free: {s}");
         s
     }
@@ -151,6 +162,8 @@ pub struct SweepPlan {
     pub coalesce: Option<String>,
     /// Fault-servicing spec applied to every cell (`None` = `cpu`).
     pub fault_servicing: Option<String>,
+    /// Engine shard threads for every cell (1 = serial reference engine).
+    pub threads: usize,
     /// Discriminator copied into every cell's [`SweepCell::tag`].
     pub tag: String,
 }
@@ -172,6 +185,7 @@ impl Default for SweepPlan {
             inject: None,
             coalesce: None,
             fault_servicing: None,
+            threads: 1,
             tag: String::new(),
         }
     }
@@ -224,6 +238,9 @@ impl SweepPlan {
                 return Err(BenchError::msg(format!("ratio {r} must be positive")));
             }
         }
+        if self.threads == 0 {
+            return Err(BenchError::msg("sweep plan threads must be at least 1"));
+        }
         Ok(())
     }
 
@@ -252,6 +269,7 @@ impl SweepPlan {
                                     inject: self.inject.clone(),
                                     coalesce: self.coalesce.clone(),
                                     fault_servicing: self.fault_servicing.clone(),
+                                    threads: self.threads,
                                     tag: self.tag.clone(),
                                 });
                             }
@@ -279,8 +297,22 @@ mod tests {
             inject: None,
             coalesce: None,
             fault_servicing: None,
+            threads: 1,
             tag: String::new(),
         }
+    }
+
+    #[test]
+    fn serial_threads_leave_pre_knob_cell_ids_unchanged() {
+        // Same compatibility rule as the coalesce axis: sharded execution
+        // is bit-identical to serial, and stores written before the knob
+        // existed must stay resumable at the default.
+        let base = cell();
+        assert_eq!(SweepCell { threads: 1, ..cell() }.id(), base.id());
+        assert_eq!(SweepCell { threads: 1, ..cell() }.label(), base.label());
+        let sharded = SweepCell { threads: 8, ..cell() };
+        assert_ne!(sharded.id(), base.id(), "threads > 1 must perturb the hash");
+        assert_eq!(sharded.label(), "BFS-TTC/BASELINE@s8e4r0.5x42+t8");
     }
 
     #[test]
@@ -325,6 +357,7 @@ mod tests {
             SweepCell { inject: Some("noisy:42".into()), ..cell() },
             SweepCell { coalesce: Some("greedy:75".into()), ..cell() },
             SweepCell { fault_servicing: Some("gpu-driven:500".into()), ..cell() },
+            SweepCell { threads: 8, ..cell() },
             SweepCell { tag: "alt-sim".into(), ..cell() },
         ];
         let mut ids: Vec<_> = variants.iter().map(SweepCell::id).collect();
@@ -369,6 +402,8 @@ mod tests {
         p = SweepPlan { fault_servicing: Some("dma".into()), ..SweepPlan::default() };
         let err = p.validate().unwrap_err().to_string();
         assert!(err.contains("dma") && err.contains("gpu-driven"), "{err}");
+        p = SweepPlan { threads: 0, ..SweepPlan::default() };
+        assert!(p.validate().unwrap_err().to_string().contains("threads"));
     }
 
     #[test]
@@ -386,6 +421,7 @@ mod tests {
             inject: None,
             coalesce: None,
             fault_servicing: None,
+            threads: 1,
             tag: String::new(),
         };
         let cells = plan.cells().unwrap();

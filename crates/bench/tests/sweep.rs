@@ -35,6 +35,7 @@ fn preset_plan() -> SweepPlan {
         inject: None,
         coalesce: None,
         fault_servicing: None,
+        threads: 1,
         tag: String::new(),
     }
 }
@@ -62,6 +63,7 @@ fn synthetic_cell(workload: &str) -> SweepCell {
         inject: None,
         coalesce: None,
         fault_servicing: None,
+        threads: 1,
         tag: "synthetic".into(),
     }
 }
@@ -346,6 +348,7 @@ fn injected_lost_completions_quarantine_with_a_typed_error() {
         inject: Some("lost:1:2".into()),
         coalesce: None,
         fault_servicing: None,
+        threads: 1,
         tag: String::new(),
     };
     let cells = plan.cells().unwrap();

@@ -1,0 +1,428 @@
+//! SM-local execution: kernel lifecycle, warp scheduling, memory
+//! operations, TO context switching, and block retirement.
+//!
+//! Everything in this file advances the state of a single SM's blocks and
+//! warps. Any effect that escapes the SM — a wake landing in the global
+//! wheel, a fault reaching the shared buffer, a switch-in completion —
+//! crosses the [`ShardBoundary`](super::boundary::ShardBoundary) via
+//! [`Engine::cross`](super::Engine::cross). Block retirement is the one
+//! synchronous boundary crossing (see [`super::boundary`]).
+
+use batmem_sim::block::BlockResidency;
+use batmem_sim::ops::{Kernel, WarpOp};
+use batmem_sim::sm::occupancy;
+use batmem_sim::warp::{WarpContext, WarpPhase};
+use batmem_types::probe::ProbeEvent;
+use batmem_types::{BlockId, Cycle, KernelId, SimError, SmId};
+use batmem_vmem::TranslationOutcome;
+
+use std::sync::Arc;
+
+use super::boundary::{merge_log, ShardEffect};
+use super::Engine;
+
+impl Engine {
+    // ---- kernel lifecycle -------------------------------------------------
+
+    pub(super) fn launch_kernel(&mut self, k: u32) -> Result<(), SimError> {
+        debug_assert!(self.waiters.is_empty(), "stale page waiters across kernels");
+        let kernel: Arc<dyn Kernel> = Arc::from(self.workload.kernel(KernelId::new(k)));
+        self.spec = kernel.spec();
+        self.occ = occupancy(&self.cfg.gpu, &self.spec);
+        // Sharded execution: start fabricating this kernel's blocks before
+        // the first dispatch so the workers run ahead of the event loop.
+        if let Some(pool) = &mut self.pool {
+            pool.begin_kernel(&kernel, self.spec.num_blocks, self.occ.warps_per_block);
+        }
+        let blocks = self.spec.num_blocks;
+        self.probes
+            .emit_with(self.clock, || ProbeEvent::KernelLaunched { kernel: k, blocks });
+        self.kernel = Some(kernel);
+        self.kernel_idx = k;
+        self.blocks.clear();
+        self.block_sm.clear();
+        self.grid_cursor = 0;
+        self.blocks_remaining = self.spec.num_blocks;
+        for sm in &mut self.sms {
+            debug_assert_eq!(sm.resident_blocks(), 0, "blocks left over from prior kernel");
+            *sm = batmem_sim::sm::Sm::new();
+        }
+        let num_sms = self.sms.len();
+        // Fill each SM's active slots round-robin, one slot depth at a time,
+        // as the hardware block dispatcher does.
+        for _slot in 0..self.occ.active_limit {
+            for sm in 0..num_sms {
+                self.dispatch_block(sm, true)?;
+            }
+        }
+        // Thread oversubscription: provision extra inactive blocks (§4.1,
+        // Fig. 6 step 1).
+        if self.to_enabled() {
+            self.top_up_inactive()?;
+        }
+        Ok(())
+    }
+
+    fn next_kernel(&mut self) -> Result<(), SimError> {
+        let next = self.kernel_idx + 1;
+        if next < self.workload.num_kernels() {
+            self.launch_kernel(next)?;
+        } else {
+            // Execution time is when the last block retires; stray periodic
+            // events (controller ticks, in-flight UVM work) may still drain
+            // from the queue afterwards but do not count.
+            self.kernel_idx = next;
+            self.finished_at = Some(self.clock);
+        }
+        Ok(())
+    }
+
+    /// Dispatches the next grid block onto `sm`. Returns false if the grid
+    /// is exhausted.
+    fn dispatch_block(&mut self, sm: usize, active: bool) -> Result<bool, SimError> {
+        if self.grid_cursor >= self.spec.num_blocks {
+            return Ok(false);
+        }
+        let id = BlockId::new(self.grid_cursor);
+        self.grid_cursor += 1;
+        let idx = self.blocks.len();
+        self.blocks.push(batmem_sim::block::BlockContext::new(id));
+        self.block_sm.push(sm);
+        if active {
+            self.sms[sm].active.push(idx);
+            self.activate_block(idx)?;
+        } else {
+            self.sms[sm].inactive.push(idx);
+        }
+        Ok(true)
+    }
+
+    /// Marks `idx` active and (on first activation) installs its warps and
+    /// schedules them — built on the spot on the serial path, consumed
+    /// from the shard pool under sharded execution.
+    fn activate_block(&mut self, idx: usize) -> Result<(), SimError> {
+        self.blocks[idx].residency = BlockResidency::Active;
+        if !self.blocks[idx].started {
+            let id = self.blocks[idx].id;
+            if let Some(pool) = &mut self.pool {
+                // The merge barrier: take the block's fabrication (waiting
+                // for its shard if it is still ahead of us) and replay the
+                // recorded activation effects into the global wheel at the
+                // activation cycle, in log order — reproducing the serial
+                // `(time, seq)` order exactly.
+                let clock = self.clock;
+                let fab = pool.take(id.index() as u32, clock)?;
+                debug_assert_eq!(fab.streams.len(), self.occ.warps_per_block as usize);
+                self.blocks[idx].warps =
+                    fab.streams.into_iter().map(WarpContext::new).collect();
+                self.blocks[idx].started = true;
+                self.merged_window = Some((clock, self.window.horizon_at(clock)));
+                merge_log(&mut self.events, clock, fab.log, |_grid| idx);
+            } else {
+                let kernel = self.kernel.as_ref().expect("kernel in flight");
+                let warps: Vec<WarpContext> = (0..self.occ.warps_per_block)
+                    .map(|w| WarpContext::new(kernel.warp_stream(id, w as u16)))
+                    .collect();
+                self.blocks[idx].warps = warps;
+                self.blocks[idx].started = true;
+                for w in 0..self.occ.warps_per_block as usize {
+                    self.cross(ShardEffect::WakeWarp { at: self.clock, block: idx, warp: w });
+                }
+            }
+        } else {
+            for w in self.blocks[idx].ready_inactive_warps() {
+                self.blocks[idx].warps[w].phase = WarpPhase::Ready;
+                self.cross(ShardEffect::WakeWarp { at: self.clock, block: idx, warp: w });
+            }
+        }
+        Ok(())
+    }
+
+    pub(super) fn top_up_inactive(&mut self) -> Result<(), SimError> {
+        let degree = self.oversub.degree() as usize;
+        for sm in 0..self.sms.len() {
+            while self.sms[sm].inactive.len() < degree {
+                if !self.dispatch_block(sm, false)? {
+                    return Ok(());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // ---- warp execution ---------------------------------------------------
+
+    fn is_throttled(&self, sm: usize) -> bool {
+        sm >= self.sms.len() - self.throttled_count as usize
+    }
+
+    pub(super) fn on_warp_wake(&mut self, b: usize, w: usize) -> Result<(), SimError> {
+        match self.blocks[b].residency {
+            BlockResidency::Active => {}
+            BlockResidency::Retired => {
+                return Err(SimError::StateMachine {
+                    cycle: self.clock,
+                    event: format!("WarpWake(block:{b}, warp:{w})"),
+                    state: "Retired".to_string(),
+                    detail: "a retired block's warp was woken".to_string(),
+                });
+            }
+            _ => {
+                self.blocks[b].warps[w].phase = WarpPhase::ReadyInactive;
+                return Ok(());
+            }
+        }
+        let sm = self.block_sm[b];
+        if self.is_throttled(sm) {
+            // ETC memory-aware throttling: the SM is disabled; park the warp.
+            self.blocks[b].warps[w].phase = WarpPhase::Ready;
+            return Ok(());
+        }
+        match self.blocks[b].warps[w].take_next_op() {
+            None => {
+                self.blocks[b].warps[w].phase = WarpPhase::Finished;
+                self.warps_retired += 1;
+                if self.blocks[b].all_finished() {
+                    self.retire_block(b)?;
+                } else {
+                    self.maybe_switch(sm)?;
+                }
+            }
+            Some(WarpOp::Compute(c)) => {
+                self.ops_consumed += 1;
+                self.blocks[b].warps[w].phase = WarpPhase::Computing;
+                self.cross(ShardEffect::WakeWarp {
+                    at: self.clock + Cycle::from(c),
+                    block: b,
+                    warp: w,
+                });
+            }
+            Some(op) => {
+                self.ops_consumed += 1;
+                self.exec_mem(b, w, op)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn exec_mem(&mut self, b: usize, w: usize, op: WarpOp) -> Result<(), SimError> {
+        self.mem_ops += 1;
+        let sm = self.block_sm[b];
+        let geom = self.cfg.uvm.geometry;
+        let l1_hit = self.cfg.tlb.l1_hit_latency;
+        // Translate each distinct page once (the coalescer and TLB port
+        // would collapse the duplicates anyway). The two per-op lists are
+        // recycled engine scratch; error exits may drop them (the run is
+        // aborting) but every success path hands them back empty.
+        let mut page_lat = std::mem::take(&mut self.scratch_page_lat);
+        let mut faulted = std::mem::take(&mut self.scratch_faulted);
+        debug_assert!(page_lat.is_empty() && faulted.is_empty());
+        // Coalesced addrs are line-sorted, so same-page runs are contiguous:
+        // remembering the previous page skips most dedup scans (and the fall
+        // through stays correct for unsorted streams).
+        let mut prev_page = None;
+        for a in op.addrs() {
+            let page = geom.page_of(*a);
+            if prev_page == Some(page) {
+                continue;
+            }
+            prev_page = Some(page);
+            if page_lat.iter().any(|&(p, _)| p == page) || faulted.iter().any(|&(p, _)| p == page)
+            {
+                continue;
+            }
+            let t = self.mmu.translate(SmId::new(sm as u16), page, self.clock)?;
+            if t.latency > l1_hit {
+                // L1 TLB miss: refresh the page's LRU stamp (the manager's
+                // aged-LRU approximation).
+                self.uvm.touch(page);
+            }
+            match t.outcome {
+                TranslationOutcome::Resident(_) => page_lat.push((page, t.latency)),
+                TranslationOutcome::Fault => faulted.push((page, t.latency)),
+            }
+        }
+        if faulted.is_empty() {
+            let cc = self.cc.access_penalty();
+            let mut total: Cycle = 0;
+            let mut prev: Option<(_, Cycle)> = None;
+            for a in op.addrs() {
+                let page = geom.page_of(*a);
+                let tl = match prev {
+                    Some((p, l)) if p == page => l,
+                    _ => {
+                        let Some(l) =
+                            page_lat.iter().find(|&&(p, _)| p == page).map(|&(_, l)| l)
+                        else {
+                            return Err(SimError::Accounting {
+                                cycle: self.clock,
+                                detail: format!(
+                                    "mem op touched page {page} that was never translated"
+                                ),
+                            });
+                        };
+                        prev = Some((page, l));
+                        l
+                    }
+                };
+                let dl = self.mem.access(sm, *a) + cc;
+                total = total.max(tl + dl);
+            }
+            self.blocks[b].warps[w].phase = WarpPhase::MemWait;
+            self.cross(ShardEffect::WakeWarp { at: self.clock + total, block: b, warp: w });
+            page_lat.clear();
+            self.scratch_page_lat = page_lat;
+            self.scratch_faulted = faulted;
+        } else {
+            // The warp stalls on its faulting pages. Replay is per-lane, as
+            // on real hardware: lanes whose pages were resident complete
+            // now, and only the faulted addresses re-issue — this also
+            // guarantees forward progress when capacity is smaller than a
+            // single op's page set (each replay resolves at least the page
+            // that just arrived).
+            // Collects into an AddrList: at most the original op's (warp-
+            // bounded) transactions, so the retry stays allocation-free.
+            let retry_addrs: batmem_sim::ops::AddrList = op
+                .addrs()
+                .iter()
+                .filter(|a| faulted.iter().any(|&(p, _)| p == geom.page_of(**a)))
+                .copied()
+                .collect();
+            let retry_op = match &op {
+                WarpOp::Store(_) => WarpOp::Store(retry_addrs),
+                _ => WarpOp::Load(retry_addrs),
+            };
+            let n = faulted.len() as u32;
+            {
+                let warp = &mut self.blocks[b].warps[w];
+                warp.pending_retry = Some(retry_op);
+                warp.waiting_pages = n;
+                warp.phase = WarpPhase::FaultBlocked;
+            }
+            let block_id = self.blocks[b].id;
+            self.probes.emit_with(self.clock, || ProbeEvent::WarpStalled {
+                sm: sm as u16,
+                block: block_id.index() as u32,
+                warp: w as u16,
+                waiting_pages: n,
+            });
+            for (page, tl) in faulted.drain(..) {
+                match self.waiters.get_mut(page) {
+                    Some(list) => list.push((b, w)),
+                    None => {
+                        let mut list = self.waiter_pool.pop().unwrap_or_default();
+                        list.push((b, w));
+                        self.waiters.insert(page, list);
+                    }
+                }
+                // The fault reaches the fault buffer when the walk fails.
+                self.cross(ShardEffect::RaiseFault { at: self.clock + tl, page });
+            }
+            page_lat.clear();
+            self.scratch_page_lat = page_lat;
+            self.scratch_faulted = faulted;
+            self.maybe_switch(sm)?;
+        }
+        Ok(())
+    }
+
+    // ---- thread oversubscription (VT context switching) --------------------
+
+    pub(super) fn maybe_switch(&mut self, sm: usize) -> Result<(), SimError> {
+        if !self.to_enabled() || !self.oversub.switching_allowed() {
+            return Ok(());
+        }
+        let trigger = self.cfg.policy.oversubscription.trigger;
+        let out = self.sms[sm]
+            .active
+            .iter()
+            .copied()
+            .find(|&b| self.blocks[b].residency == BlockResidency::Active && self.blocks[b].is_fully_stalled(trigger));
+        let Some(out) = out else { return Ok(()) };
+        let inc = self.sms[sm]
+            .inactive
+            .iter()
+            .copied()
+            .find(|&b| self.blocks[b].residency == BlockResidency::Inactive && self.blocks[b].is_switch_in_ready());
+        let Some(inc) = inc else { return Ok(()) };
+        let cost = self
+            .cfg
+            .gpu
+            .ctx_switch_cycles(self.spec.threads_per_block, self.spec.regs_per_thread);
+        let done = self.sms[sm].begin_switch(self.clock, cost);
+        self.ctx_switches += 1;
+        self.ctx_switch_cycles += cost;
+        self.probes.emit_with(self.clock, || ProbeEvent::ContextSwitch {
+            sm: sm as u16,
+            cost,
+            restore: false,
+        });
+        self.blocks[out].residency = BlockResidency::Inactive;
+        self.sms[sm].deactivate(out, self.clock)?;
+        self.blocks[inc].residency = BlockResidency::SwitchingIn;
+        self.cross(ShardEffect::SwitchIn { at: done, sm, block: inc });
+        Ok(())
+    }
+
+    pub(super) fn on_switch_in_done(&mut self, sm: usize, block: usize) -> Result<(), SimError> {
+        self.sms[sm].activate(block, self.clock)?;
+        self.activate_block(block)?;
+        // Chain: another active block may be stalled with another inactive
+        // block ready.
+        self.maybe_switch(sm)
+    }
+
+    // ---- retirement and refill ---------------------------------------------
+
+    fn retire_block(&mut self, b: usize) -> Result<(), SimError> {
+        let sm = self.block_sm[b];
+        self.blocks[b].residency = BlockResidency::Retired;
+        self.sms[sm].remove(b, self.clock)?;
+        self.blocks_retired += 1;
+        self.blocks_remaining -= 1;
+        if self.blocks_remaining == 0 {
+            self.next_kernel()?;
+            return Ok(());
+        }
+        // Refill the freed active slot: prefer a resident inactive block
+        // (restore-only context cost), then a fresh grid block.
+        let inactive_pick = self.sms[sm]
+            .inactive
+            .iter()
+            .copied()
+            .find(|&x| self.blocks[x].residency == BlockResidency::Inactive && self.blocks[x].is_switch_in_ready())
+            .or_else(|| {
+                self.sms[sm]
+                    .inactive
+                    .iter()
+                    .copied()
+                    .find(|&x| self.blocks[x].residency == BlockResidency::Inactive)
+            });
+        if self.to_enabled() {
+            if let Some(inc) = inactive_pick {
+                let restore = self
+                    .cfg
+                    .gpu
+                    .ctx_switch_cycles(self.spec.threads_per_block, self.spec.regs_per_thread)
+                    / 2;
+                let done = self.sms[sm].begin_switch(self.clock, restore);
+                self.ctx_switches += 1;
+                self.ctx_switch_cycles += restore;
+                self.probes.emit_with(self.clock, || ProbeEvent::ContextSwitch {
+                    sm: sm as u16,
+                    cost: restore,
+                    restore: true,
+                });
+                self.blocks[inc].residency = BlockResidency::SwitchingIn;
+                self.cross(ShardEffect::SwitchIn { at: done, sm, block: inc });
+                self.top_up_inactive()?;
+                return Ok(());
+            }
+        }
+        self.dispatch_block(sm, true)?;
+        if self.to_enabled() {
+            self.top_up_inactive()?;
+        }
+        Ok(())
+    }
+}

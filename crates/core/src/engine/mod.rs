@@ -1,0 +1,424 @@
+//! The end-to-end simulation engine.
+//!
+//! Wires the GPU core model (`batmem-sim`) to the MMU (`batmem-vmem`), the
+//! UVM runtime (`batmem-uvm`), and the ETC baseline (`batmem-etc`), and
+//! drives them with a deterministic discrete-event loop.
+//!
+//! # Module layout
+//!
+//! The engine separates **SM-local** state and handlers from **shared**
+//! state (see DESIGN.md §13):
+//!
+//! * [`exec`] — SM-local execution: kernel lifecycle, warp wakes, memory
+//!   ops, TO context switching, block retirement. Everything here advances
+//!   a single SM's warps and blocks; any effect that escapes the SM crosses
+//!   the [`boundary::ShardBoundary`].
+//! * [`uvm_glue`] — shared-state side: the UVM pipeline's outputs, fault
+//!   recording, page-arrival wakeups, and the periodic controllers.
+//! * [`boundary`] — the explicit [`ShardBoundary`](boundary::ShardBoundary)
+//!   trait naming every cross-shard effect, with the immediate (serial
+//!   reference) and recording (parallel shard) implementations plus the
+//!   deterministic log merge.
+//! * [`window`] — conservative time-window derivation: the horizon before
+//!   the next pending UVM interaction (batch window, PCIe completion,
+//!   fault-servicing occupancy, controller tick).
+//! * [`parallel`] — the sharded executor: a pool of shard workers that
+//!   prefabricate warp streams ahead of the coordinator, bit-identical to
+//!   the serial path for every thread count.
+//! * [`builder`] — [`Simulation`] / [`SimulationBuilder`], including the
+//!   [`threads`](SimulationBuilder::threads) knob.
+
+mod boundary;
+mod builder;
+mod exec;
+mod parallel;
+mod uvm_glue;
+mod window;
+
+#[cfg(test)]
+mod tests;
+
+pub use builder::{Simulation, SimulationBuilder};
+
+use crate::metrics::RunMetrics;
+use batmem_etc::{CapacityCompression, EtcConfig, ThrottleController};
+use batmem_sim::block::BlockContext;
+use batmem_sim::cache::MemPath;
+use batmem_sim::events::EventQueue;
+use batmem_sim::ops::{Kernel, KernelSpec, Workload};
+use batmem_sim::sm::{Occupancy, Sm};
+use batmem_types::dense::{PageMap, PageSet};
+use batmem_types::probe::{ProbeEvent, ProbeHub, SharedProbes};
+use batmem_types::{AuditLevel, Cycle, PageId, SimConfig, SimError};
+use batmem_uvm::{
+    AdaptiveSignals, CoalesceStrategy, EvictionStrategy, FaultServicingModel, InjectConfig,
+    OversubscriptionHandler, Prefetcher, UvmEvent, UvmRuntime,
+};
+use batmem_vmem::Mmu;
+
+use boundary::{ImmediateBoundary, ShardBoundary, ShardEffect};
+use parallel::ShardPool;
+use window::WindowTracker;
+
+use std::sync::Arc;
+
+#[derive(Debug, Clone)]
+enum Event {
+    WarpWake { block: usize, warp: usize },
+    RaiseFault { page: PageId },
+    Uvm(UvmEvent),
+    SwitchInDone { sm: usize, block: usize },
+    Sample,
+    EtcTick,
+}
+
+struct Engine {
+    cfg: SimConfig,
+    clock: Cycle,
+    events: EventQueue<Event>,
+    mmu: Mmu,
+    mem: MemPath,
+    uvm: UvmRuntime,
+    oversub: Box<dyn OversubscriptionHandler>,
+    throttle: ThrottleController,
+    cc: CapacityCompression,
+    etc_enabled: bool,
+    workload: Box<dyn Workload>,
+    kernel_idx: u32,
+    kernel: Option<Arc<dyn Kernel>>,
+    spec: KernelSpec,
+    occ: Occupancy,
+    blocks: Vec<BlockContext>,
+    block_sm: Vec<usize>,
+    sms: Vec<Sm>,
+    grid_cursor: u32,
+    blocks_remaining: u32,
+    waiters: PageMap<Vec<(usize, usize)>>,
+    seen_fault_pages: PageSet,
+    throttled_count: u16,
+    probes: SharedProbes,
+    // The cross-shard boundary the SM-local handlers emit through (the
+    // coordinator always applies immediately; shard workers record).
+    boundary: ImmediateBoundary,
+    // Pending UVM-interaction times: the conservative window's horizon.
+    window: WindowTracker,
+    // The shard pool (threads > 1): prefabricates warp streams ahead of
+    // the coordinator. `None` is the serial reference path.
+    pool: Option<ShardPool>,
+    // Clock of the last shard-log merge and the window horizon it landed
+    // in, for wedged-run diagnostics.
+    merged_window: Option<(Cycle, Option<Cycle>)>,
+    // Recycled hot-loop scratch: taken, filled, cleared, and put back so
+    // the steady-state event loop performs no heap allocations.
+    uvm_out: Vec<batmem_uvm::UvmOutput>,
+    waiter_pool: Vec<Vec<(usize, usize)>>,
+    scratch_page_lat: Vec<(PageId, Cycle)>,
+    scratch_faulted: Vec<(PageId, Cycle)>,
+    // metrics
+    finished_at: Option<Cycle>,
+    memory_pages: Option<u64>,
+    blocks_retired: u64,
+    warps_retired: u64,
+    mem_ops: u64,
+    ctx_switches: u64,
+    ctx_switch_cycles: Cycle,
+    // watchdog progress counters
+    ops_consumed: u64,
+    pages_installed: u64,
+    faults_recorded: u64,
+}
+
+impl Engine {
+    #[allow(clippy::too_many_arguments)] // private constructor, one call site
+    fn new(
+        cfg: SimConfig,
+        etc: EtcConfig,
+        inject: Option<InjectConfig>,
+        probes: ProbeHub,
+        workload: Box<dyn Workload>,
+        footprint_pages: u64,
+        eviction: Box<dyn EvictionStrategy>,
+        prefetcher: Box<dyn Prefetcher>,
+        coalesce: Box<dyn CoalesceStrategy>,
+        oversub: Box<dyn OversubscriptionHandler>,
+        servicing: Box<dyn FaultServicingModel>,
+        signals: Option<AdaptiveSignals>,
+        threads: usize,
+    ) -> Self {
+        let probes = SharedProbes::new(probes);
+        let mut uvm = UvmRuntime::with_strategies(
+            &cfg.uvm,
+            &cfg.policy,
+            footprint_pages,
+            eviction,
+            prefetcher,
+            coalesce,
+        );
+        uvm.set_audit(cfg.audit);
+        uvm.set_probes(probes.clone());
+        if let Some(i) = inject {
+            uvm.set_injector(i);
+        }
+        uvm.set_servicing(servicing);
+        if let Some(s) = signals {
+            uvm.set_adaptive_signals(s);
+        }
+        let mmu = Mmu::new(&cfg);
+        let mem = MemPath::new(&cfg.mem, cfg.gpu.num_sms);
+        let throttle = ThrottleController::new(etc, cfg.gpu.num_sms);
+        let cc = CapacityCompression::new(&etc);
+        let num_sms = cfg.gpu.num_sms as usize;
+        let memory_pages = cfg.uvm.gpu_mem_pages;
+        // Kernel launch wakes every schedulable warp at the same cycle:
+        // size the same-cycle ring for that burst up front.
+        let max_warps = num_sms * (cfg.gpu.threads_per_sm / cfg.gpu.warp_size).max(1) as usize;
+        let pool = (threads > 1).then(|| ShardPool::spawn(threads - 1));
+        Self {
+            cfg,
+            clock: 0,
+            events: EventQueue::with_capacity(max_warps),
+            mmu,
+            mem,
+            uvm,
+            oversub,
+            throttle,
+            cc,
+            etc_enabled: etc.enabled,
+            workload,
+            kernel_idx: 0,
+            kernel: None,
+            spec: KernelSpec { num_blocks: 0, threads_per_block: 32, regs_per_thread: 0 },
+            occ: Occupancy { active_limit: 1, warps_per_block: 1 },
+            blocks: Vec::new(),
+            block_sm: Vec::new(),
+            sms: (0..num_sms).map(|_| Sm::new()).collect(),
+            grid_cursor: 0,
+            blocks_remaining: 0,
+            waiters: PageMap::with_capacity(footprint_pages as usize),
+            seen_fault_pages: PageSet::with_capacity(footprint_pages as usize),
+            throttled_count: 0,
+            probes,
+            boundary: ImmediateBoundary,
+            window: WindowTracker::new(),
+            pool,
+            merged_window: None,
+            finished_at: None,
+            memory_pages,
+            blocks_retired: 0,
+            warps_retired: 0,
+            mem_ops: 0,
+            ctx_switches: 0,
+            ctx_switch_cycles: 0,
+            ops_consumed: 0,
+            pages_installed: 0,
+            faults_recorded: 0,
+            uvm_out: Vec::new(),
+            waiter_pool: Vec::new(),
+            scratch_page_lat: Vec::new(),
+            scratch_faulted: Vec::new(),
+        }
+    }
+
+    fn to_enabled(&self) -> bool {
+        self.cfg.policy.oversubscription.enabled
+    }
+
+    /// Emits one cross-shard effect through the boundary. On the
+    /// coordinator the boundary is immediate (the effect lands in the
+    /// global wheel at once, exactly like the pre-split direct pushes);
+    /// shard workers record effects instead and the logs are merged at the
+    /// barrier (see [`boundary`]). UVM-interaction effects also feed the
+    /// conservative window horizon.
+    #[inline]
+    fn cross(&mut self, effect: ShardEffect) {
+        self.window.note(self.clock, &effect);
+        self.boundary.cross(&mut self.events, effect);
+    }
+
+    /// Everything that counts as forward progress for the watchdog: warp
+    /// ops consumed, faults accepted by the runtime, pages installed,
+    /// context switches, retirements — and, under sharded execution, warp
+    /// streams prefabricated by shard workers (a pool that is still
+    /// fabricating is progressing even while the coordinator waits).
+    /// Purely periodic events (Sample, EtcTick) and parked wakes leave
+    /// this unchanged.
+    fn progress_signature(&self) -> u64 {
+        self.ops_consumed
+            + self.faults_recorded
+            + self.pages_installed
+            + self.ctx_switches
+            + self.warps_retired
+            + self.blocks_retired
+            + self.pool.as_ref().map_or(0, |p| p.blocks_fabricated())
+    }
+
+    /// One-line dump of what is outstanding, for livelock/deadlock errors.
+    /// Under sharded execution this names per-shard fabrication occupancy
+    /// and the merged-window position, so a wedged shard is identified
+    /// instead of appearing as a global livelock.
+    fn describe_stuck(&self) -> String {
+        let occ = self.events.occupancy();
+        let mut s = format!(
+            "kernel {}/{}, {} blocks outstanding, {} pages awaited, {} events queued (ring {} / wheel {} / overflow {}); {}; window [{}, {})",
+            self.kernel_idx,
+            self.workload.num_kernels(),
+            self.blocks_remaining,
+            self.waiters.len(),
+            self.events.len(),
+            occ.ring,
+            occ.wheel,
+            occ.overflow,
+            self.uvm.describe_state(),
+            self.clock,
+            self.window
+                .horizon_at(self.clock)
+                .map_or("∞".to_string(), |h| h.to_string()),
+        );
+        if let Some(pool) = &self.pool {
+            s.push_str("; ");
+            s.push_str(&pool.describe_occupancy());
+            if let Some((at, horizon)) = self.merged_window {
+                s.push_str(&format!(
+                    ", last merge at cycle {} (window horizon {})",
+                    at,
+                    horizon.map_or("∞".to_string(), |h| h.to_string()),
+                ));
+            }
+        }
+        s
+    }
+
+    /// Cross-checks engine-level state against the MMU under `Full` audit:
+    /// a page with registered fault waiters must not be installed (its
+    /// waiters would sleep forever — exactly the livelock class the
+    /// fault-injection tests provoke).
+    fn audit_cross_state(&self) -> Result<(), SimError> {
+        for (page, list) in self.waiters.iter() {
+            if self.mmu.is_resident(page) {
+                return Err(SimError::InvariantViolated {
+                    cycle: self.clock,
+                    invariant: "pages with fault waiters are not MMU-resident",
+                    snapshot: format!("page {page} is installed but {} warps wait on it", list.len()),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn run(mut self) -> Result<RunMetrics, SimError> {
+        self.launch_kernel(0)?;
+        if self.to_enabled() {
+            let period = self.cfg.policy.oversubscription.lifetime_sample_period;
+            self.cross(ShardEffect::Sample { at: period });
+        }
+        if self.etc_enabled {
+            self.cross(ShardEffect::EtcTick { at: self.throttle.next_tick() });
+        }
+        let budget = self.cfg.watchdog_event_budget;
+        let mut last_sig = self.progress_signature();
+        let mut stagnant: u64 = 0;
+        while let Some((t, ev)) = self.events.pop() {
+            debug_assert!(t >= self.clock, "time went backwards");
+            self.clock = t;
+            match ev {
+                Event::WarpWake { block, warp } => self.on_warp_wake(block, warp)?,
+                Event::RaiseFault { page } => self.on_raise_fault(page)?,
+                Event::Uvm(e) => {
+                    // Take/restore the recycled scratch so the runtime and
+                    // apply step borrow independently; steady state never
+                    // allocates.
+                    let mut outs = std::mem::take(&mut self.uvm_out);
+                    let res = self
+                        .uvm
+                        .on_event_into(e, self.clock, &mut outs)
+                        .and_then(|()| self.apply_outputs(&mut outs));
+                    outs.clear();
+                    self.uvm_out = outs;
+                    res?;
+                    if self.cfg.audit >= AuditLevel::Full {
+                        self.audit_cross_state()?;
+                    }
+                }
+                Event::SwitchInDone { sm, block } => self.on_switch_in_done(sm, block)?,
+                Event::Sample => self.on_sample()?,
+                Event::EtcTick => self.on_etc_tick(),
+            }
+            if budget > 0 {
+                let sig = self.progress_signature();
+                if sig == last_sig {
+                    stagnant += 1;
+                    let occ = self.events.occupancy();
+                    self.probes.emit_with(self.clock, || ProbeEvent::WatchdogTick {
+                        events_without_progress: stagnant,
+                        ring: occ.ring as u64,
+                        wheel: occ.wheel as u64,
+                        overflow: occ.overflow as u64,
+                    });
+                    if stagnant >= budget {
+                        return Err(SimError::Livelock {
+                            cycle: self.clock,
+                            events_without_progress: stagnant,
+                            snapshot: self.describe_stuck(),
+                        });
+                    }
+                } else {
+                    last_sig = sig;
+                    stagnant = 0;
+                }
+            }
+        }
+        if self.blocks_remaining > 0 || self.kernel_idx < self.workload.num_kernels() {
+            return Err(SimError::Deadlock { cycle: self.clock, detail: self.describe_stuck() });
+        }
+        let Some(finished_at) = self.finished_at else {
+            return Err(SimError::Deadlock {
+                cycle: self.clock,
+                detail: "work completed but no finish time was recorded".to_string(),
+            });
+        };
+        let mmu_stats = self.mmu.stats();
+        // Stray in-flight UVM events may have emitted after `finished_at`;
+        // the summary goes out at the final drained clock so the trace
+        // stays monotone.
+        self.probes.emit_with(self.clock.max(finished_at), || ProbeEvent::TranslationSummary {
+            l1_hits: mmu_stats.l1.hits,
+            l1_misses: mmu_stats.l1.misses,
+            large_hits: mmu_stats.large_hits(),
+            walks: mmu_stats.walks,
+            coalesces: mmu_stats.coalesces,
+            splinters: mmu_stats.splinters,
+        });
+        // Only a non-default servicing model reports: under `cpu` the
+        // counters are None and the event stream stays byte-identical to
+        // the classic path.
+        if let Some(c) = self.uvm.fault_servicing_counters() {
+            self.probes.emit_with(self.clock.max(finished_at), || {
+                ProbeEvent::FaultServicingSummary {
+                    batches: c.batches,
+                    faults: c.faults,
+                    occupancy_cycles: c.occupancy_cycles,
+                }
+            });
+        }
+        self.probes.finish(finished_at);
+        Ok(RunMetrics {
+            cycles: finished_at,
+            workload: self.workload.name(),
+            footprint_bytes: self.workload.footprint_bytes(),
+            memory_pages: self.memory_pages,
+            kernels: self.workload.num_kernels(),
+            blocks_retired: self.blocks_retired,
+            warps_retired: self.warps_retired,
+            mem_ops: self.mem_ops,
+            uvm: self.uvm.stats(),
+            mmu: mmu_stats,
+            l1d: self.mem.l1_stats(),
+            l2d: self.mem.l2_stats(),
+            ctx_switches: self.ctx_switches,
+            ctx_switch_cycles: self.ctx_switch_cycles,
+            final_oversub_degree: self.oversub.degree(),
+            oversub_decrements: self.oversub.decrements(),
+            throttle_engagements: self.throttle.engagements(),
+        })
+    }
+}

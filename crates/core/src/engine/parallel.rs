@@ -1,0 +1,238 @@
+//! The sharded executor: parallel warp-stream prefabrication.
+//!
+//! # Why prefabrication is the parallel decomposition
+//!
+//! The simulated machine is memory-bound by construction — the paper's
+//! whole subject is page-fault handling — so in steady state *every* warp
+//! is within one memory operation of a UVM interaction (a translation, a
+//! fault, a batch). The conservative window `[clock, horizon)` between
+//! UVM interactions is therefore usually a single event wide, and
+//! executing events inside it on competing threads buys nothing while
+//! threatening the bit-identity oracle (the shared L2 TLB and data cache
+//! are true-LRU: their state depends on global access order).
+//!
+//! What *is* embarrassingly parallel is the engine's single largest cost
+//! centre: building warp access streams (≈40% of BFS simulation time).
+//! Stream construction is a pure function of `(block, warp)` over the
+//! kernel's shared immutable data ([`Kernel`] is `Send + Sync` and
+//! `warp_stream` is required to be call-order independent), and every
+//! grid block is activated exactly once before its kernel can end — a
+//! block retires only after activating, and the kernel advances only when
+//! every block has retired. Fabricating blocks eagerly on shard workers is
+//! therefore **zero-speculation**: every fabricated stream is consumed,
+//! and its contents are identical no matter which thread built it or
+//! when.
+//!
+//! # Sharding and the merge
+//!
+//! Grid block `g` is owned by shard `g % shards`. Each worker walks its
+//! blocks in grid order, builds the block's warp streams behind a
+//! [`RecordingBoundary`] (the activation wakes, at relative cycle 0), and
+//! ships `(streams, log)` over a bounded channel — the bound is the
+//! conservative-window backpressure: workers at most `4 × shards` blocks
+//! ahead of the coordinator block on `send`, so lookahead memory is flat.
+//! The coordinator consumes fabrications at activation time and replays
+//! each block's log into the global wheel at the activation cycle in
+//! activation (key) order, reproducing the serial engine's `(time, seq)`
+//! push order exactly — which is what makes `threads = N` bit-identical
+//! to `threads = 1` for every `N`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, SyncSender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use batmem_sim::ops::{BoxedStream, Kernel};
+use batmem_types::{BlockId, Cycle, SimError};
+
+use super::boundary::{RecordingBoundary, ShardEffect};
+
+/// How long the coordinator waits on a missing fabrication before calling
+/// the run wedged. Fabricating one block is microseconds of work; this
+/// only trips if a worker died or a kernel's `warp_stream` hangs.
+const FABRICATION_TIMEOUT: Duration = Duration::from_secs(120);
+
+/// One fabricated block: its warp streams plus the boundary effects its
+/// activation emits (recorded at relative cycle 0, under grid numbering).
+pub(super) struct Fabricated {
+    pub(super) grid_block: u32,
+    pub(super) streams: Vec<BoxedStream>,
+    pub(super) log: Vec<ShardEffect>,
+}
+
+/// A kernel handed to the shard workers.
+struct KernelJob {
+    kernel: Arc<dyn Kernel>,
+    num_blocks: u32,
+    warps_per_block: u32,
+}
+
+/// The pool of shard workers plus the coordinator-side fabrication store.
+pub(super) struct ShardPool {
+    shards: usize,
+    job_txs: Vec<Sender<KernelJob>>,
+    done_rx: Option<Receiver<Fabricated>>,
+    // Fabrications received but not yet activated, keyed by grid block.
+    // Bounded by the channel backpressure plus activation skew.
+    store: Vec<Option<Fabricated>>,
+    store_len: usize,
+    // Per-shard fabricated-block counters (shared with the workers) for
+    // progress signatures and wedged-run reports.
+    fabricated: Vec<Arc<AtomicU64>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl ShardPool {
+    /// Spawns `shards` workers (callers pass `threads - 1`; the calling
+    /// thread is the coordinator).
+    pub(super) fn spawn(shards: usize) -> Self {
+        let shards = shards.max(1);
+        // The bounded channel IS the lookahead limit: workers collectively
+        // stay at most this many fabrications ahead of activation.
+        let (done_tx, done_rx) = std::sync::mpsc::sync_channel(shards * 4);
+        let mut job_txs = Vec::with_capacity(shards);
+        let mut fabricated = Vec::with_capacity(shards);
+        let mut handles = Vec::with_capacity(shards);
+        for shard in 0..shards {
+            let (job_tx, job_rx) = std::sync::mpsc::channel::<KernelJob>();
+            let done_tx: SyncSender<Fabricated> = done_tx.clone();
+            let counter = Arc::new(AtomicU64::new(0));
+            let worker_counter = counter.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("batmem-shard-{shard}"))
+                .spawn(move || worker(shard, shards, &job_rx, &done_tx, &worker_counter))
+                .expect("spawning a shard worker");
+            job_txs.push(job_tx);
+            fabricated.push(counter);
+            handles.push(handle);
+        }
+        Self {
+            shards,
+            job_txs,
+            done_rx: Some(done_rx),
+            store: Vec::new(),
+            store_len: 0,
+            fabricated,
+            handles,
+        }
+    }
+
+    /// Starts fabrication for a kernel. All of the previous kernel's
+    /// fabrications have been consumed by now (every block activates
+    /// exactly once before its kernel ends), so workers are idle and the
+    /// channel is empty.
+    pub(super) fn begin_kernel(
+        &mut self,
+        kernel: &Arc<dyn Kernel>,
+        num_blocks: u32,
+        warps_per_block: u32,
+    ) {
+        debug_assert_eq!(self.store_len, 0, "unconsumed fabrications across kernels");
+        self.store.clear();
+        self.store.resize_with(num_blocks as usize, || None);
+        for tx in &self.job_txs {
+            // A worker can only be gone if it panicked; the coordinator
+            // then reports the wedge on the next `take`.
+            let _ = tx.send(KernelJob {
+                kernel: kernel.clone(),
+                num_blocks,
+                warps_per_block,
+            });
+        }
+    }
+
+    /// Hands over grid block `grid_block`'s fabrication, receiving from
+    /// the workers until it arrives.
+    pub(super) fn take(&mut self, grid_block: u32, clock: Cycle) -> Result<Fabricated, SimError> {
+        loop {
+            if let Some(fab) = self.store[grid_block as usize].take() {
+                self.store_len -= 1;
+                return Ok(fab);
+            }
+            let rx = self.done_rx.as_ref().expect("pool receiver live while running");
+            match rx.recv_timeout(FABRICATION_TIMEOUT) {
+                Ok(fab) => {
+                    let slot = fab.grid_block as usize;
+                    debug_assert!(self.store[slot].is_none(), "block fabricated twice");
+                    self.store[slot] = Some(fab);
+                    self.store_len += 1;
+                }
+                Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => {
+                    return Err(SimError::Deadlock {
+                        cycle: clock,
+                        detail: format!(
+                            "shard {} never delivered prefabricated block {}; {}",
+                            grid_block as usize % self.shards,
+                            grid_block,
+                            self.describe_occupancy(),
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    /// Total blocks fabricated across all shards (monotone; feeds the
+    /// watchdog's progress signature so a pool that is still fabricating
+    /// is never mistaken for a stalled run).
+    pub(super) fn blocks_fabricated(&self) -> u64 {
+        self.fabricated.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Per-shard queue occupancy for wedged-run reports: how many blocks
+    /// each shard has fabricated and how many sit merged-but-unactivated
+    /// in the coordinator's store.
+    pub(super) fn describe_occupancy(&self) -> String {
+        let per_shard: Vec<String> = self
+            .fabricated
+            .iter()
+            .enumerate()
+            .map(|(s, c)| format!("shard {s}: {} fabricated", c.load(Ordering::Relaxed)))
+            .collect();
+        format!("{} awaiting activation [{}]", self.store_len, per_shard.join(", "))
+    }
+}
+
+impl Drop for ShardPool {
+    fn drop(&mut self) {
+        // Closing the job channels ends the workers' outer loops; dropping
+        // the receiver unblocks any worker parked on a full `send`.
+        self.job_txs.clear();
+        self.done_rx = None;
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Shard worker: fabricate owned blocks of each kernel, in grid order.
+fn worker(
+    shard: usize,
+    shards: usize,
+    jobs: &Receiver<KernelJob>,
+    done: &SyncSender<Fabricated>,
+    fabricated: &AtomicU64,
+) {
+    while let Ok(job) = jobs.recv() {
+        let mut g = shard as u32;
+        while g < job.num_blocks {
+            let streams: Vec<BoxedStream> = (0..job.warps_per_block)
+                .map(|w| job.kernel.warp_stream(BlockId::new(g), w as u16))
+                .collect();
+            // The activation effects, exactly as the serial engine emits
+            // them: one wake per warp, in warp order, at the activation
+            // cycle (relative 0).
+            let mut boundary = RecordingBoundary::new();
+            for w in 0..job.warps_per_block as usize {
+                boundary.record(ShardEffect::WakeWarp { at: 0, block: g as usize, warp: w });
+            }
+            fabricated.fetch_add(1, Ordering::Relaxed);
+            let fab = Fabricated { grid_block: g, streams, log: boundary.into_log() };
+            if done.send(fab).is_err() {
+                return; // coordinator is gone (run ended or aborted)
+            }
+            g += shards as u32;
+        }
+    }
+}

@@ -1,0 +1,167 @@
+use super::*;
+use batmem_types::policy::{EvictionPolicy, PolicyConfig, PrefetchPolicy, SwitchTrigger, ToConfig};
+use batmem_workloads::synthetic::{SharedPages, Strided};
+
+fn no_prefetch(mut p: PolicyConfig) -> PolicyConfig {
+    p.prefetch = PrefetchPolicy::None;
+    p
+}
+
+#[test]
+fn single_warp_single_page_timing() {
+    // One block, one warp, one page, one load: time = walk + ISR +
+    // handling + transfer + retry pipeline.
+    let w = Strided::new(1, 32, 32, 1, 0, 1);
+    let m = Simulation::builder()
+        .policy(no_prefetch(PolicyConfig::baseline()))
+        .try_run(Box::new(w)).unwrap();
+    assert_eq!(m.uvm.num_batches(), 1);
+    assert_eq!(m.uvm.batches[0].faults, 1);
+    // Lower bound: ISR (1k) + handling (20k) + page transfer (~4.2k).
+    assert!(m.cycles > 25_000, "{}", m.cycles);
+    assert!(m.cycles < 40_000, "{}", m.cycles);
+}
+
+#[test]
+fn shared_page_fault_wakes_all_waiters() {
+    // 64 blocks all reading the same 3 pages: one batch serves everyone.
+    let w = SharedPages::new(64, 256, 32, 3, 10);
+    let m = Simulation::builder()
+        .policy(no_prefetch(PolicyConfig::baseline()))
+        .try_run(Box::new(w)).unwrap();
+    let faults: u64 = m.uvm.batches.iter().map(|b| u64::from(b.faults)).sum();
+    assert_eq!(faults, 3, "shared pages must fault once each");
+    assert_eq!(m.blocks_retired, 64);
+}
+
+#[test]
+fn to_context_switches_on_fault_stalls() {
+    // Tiny capacity + per-warp disjoint pages: active blocks stall fully
+    // and the provisioned inactive blocks must switch in.
+    let w = Strided::new(200, 256, 56, 2, 50, 3);
+    let mut policy = no_prefetch(PolicyConfig::to_only());
+    policy.oversubscription = ToConfig { max_extra_blocks: 3, ..ToConfig::enabled() };
+    let m = Simulation::builder().policy(policy).memory_ratio(0.25).try_run(Box::new(w)).unwrap();
+    assert!(m.ctx_switches > 0, "no switches despite fault stalls");
+    assert!(m.ctx_switch_cycles > 0);
+    assert_eq!(m.blocks_retired, 200);
+}
+
+#[test]
+fn any_stall_trigger_switches_without_faults() {
+    let w = Strided::new(200, 256, 56, 2, 0, 4);
+    let mut policy = no_prefetch(PolicyConfig::to_only());
+    policy.oversubscription =
+        ToConfig { trigger: SwitchTrigger::AnyStall, ..ToConfig::enabled() };
+    let m = Simulation::builder().policy(policy).try_run(Box::new(w)).unwrap();
+    assert_eq!(m.uvm.evictions, 0);
+    assert!(m.ctx_switches > 0, "AnyStall must switch on memory stalls");
+}
+
+#[test]
+fn fault_stall_trigger_switches_no_more_than_any_stall() {
+    // First-touch demand faults exist even with unlimited memory, so
+    // FaultStall may switch — but AnyStall adds every memory stall as a
+    // trigger, so it can never switch less.
+    let run = |trigger: SwitchTrigger| {
+        let w = Strided::new(200, 256, 56, 2, 0, 4);
+        let mut policy = no_prefetch(PolicyConfig::to_only());
+        policy.oversubscription = ToConfig { trigger, ..ToConfig::enabled() };
+        Simulation::builder().policy(policy).try_run(Box::new(w)).unwrap()
+    };
+    let fault_stall = run(SwitchTrigger::FaultStall);
+    let any_stall = run(SwitchTrigger::AnyStall);
+    assert!(fault_stall.ctx_switches <= any_stall.ctx_switches);
+    assert!(any_stall.ctx_switches > 0);
+}
+
+#[test]
+fn severe_oversubscription_still_terminates() {
+    // Capacity 2 pages, ops spanning more pages than capacity: the
+    // per-lane replay rule must guarantee forward progress.
+    let w = SharedPages::new(8, 256, 32, 12, 5);
+    let m = Simulation::builder()
+        .policy(no_prefetch(PolicyConfig::baseline()))
+        .memory_pages(2)
+        .try_run(Box::new(w)).unwrap();
+    assert_eq!(m.blocks_retired, 8);
+    assert!(m.uvm.evictions > 0);
+    assert!(m.uvm.peak_resident_pages <= 2);
+}
+
+#[test]
+fn severe_oversubscription_terminates_under_ue() {
+    let w = SharedPages::new(8, 256, 32, 12, 5);
+    let mut policy = no_prefetch(PolicyConfig::ue_only());
+    policy.eviction = EvictionPolicy::Unobtrusive;
+    let m = Simulation::builder().policy(policy).memory_pages(2).try_run(Box::new(w)).unwrap();
+    assert_eq!(m.blocks_retired, 8);
+}
+
+#[test]
+fn compute_only_workload_never_faults() {
+    // repeats * compute with one page per warp: after the first touch,
+    // everything is compute; the page count equals warps.
+    let w = Strided::new(4, 64, 16, 1, 1_000, 16);
+    let m = Simulation::builder().policy(no_prefetch(PolicyConfig::baseline())).try_run(Box::new(w)).unwrap();
+    let faults: u64 = m.uvm.batches.iter().map(|b| u64::from(b.faults)).sum();
+    assert_eq!(faults, 4 * 2); // 4 blocks x 2 warps x 1 page
+    assert!(m.mem_ops > faults);
+}
+
+#[test]
+fn mem_ops_count_replays() {
+    let w = Strided::new(1, 32, 32, 4, 0, 1);
+    let m = Simulation::builder().policy(no_prefetch(PolicyConfig::baseline())).try_run(Box::new(w)).unwrap();
+    // 4 loads + 4 replays after their faults.
+    assert_eq!(m.mem_ops, 8);
+}
+
+#[test]
+fn builder_ratio_sets_capacity_from_footprint() {
+    let w = Strided::new(4, 256, 32, 4, 10, 1); // 4*8*4 = 128 pages
+    let m = Simulation::builder()
+        .policy(no_prefetch(PolicyConfig::baseline()))
+        .memory_ratio(0.25)
+        .try_run(Box::new(w)).unwrap();
+    assert_eq!(m.memory_pages, Some(32));
+}
+
+#[test]
+#[should_panic(expected = "memory ratio must be positive")]
+fn zero_ratio_panics() {
+    let _ = Simulation::builder().memory_ratio(0.0);
+}
+
+#[test]
+fn sharded_run_matches_serial_on_unit_tests_shape() {
+    // The cheap in-crate determinism check (the full differential matrix
+    // lives in tests/threads.rs): a TO+UE run under pressure, serial vs
+    // sharded, compared field-for-field via Debug formatting.
+    let run = |threads: usize| {
+        let w = Strided::new(64, 256, 56, 2, 50, 3);
+        let mut policy = no_prefetch(PolicyConfig::to_only());
+        policy.oversubscription = ToConfig { max_extra_blocks: 3, ..ToConfig::enabled() };
+        Simulation::builder()
+            .policy(policy)
+            .memory_ratio(0.25)
+            .threads(threads)
+            .try_run(Box::new(w))
+            .unwrap()
+    };
+    let serial = run(1);
+    for threads in [2, 3, 8] {
+        let sharded = run(threads);
+        assert_eq!(
+            format!("{serial:?}"),
+            format!("{sharded:?}"),
+            "metrics diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
+#[should_panic(expected = "threads must be at least 1")]
+fn zero_threads_panics() {
+    let _ = Simulation::builder().threads(0);
+}

@@ -1,0 +1,99 @@
+//! Conservative time-window derivation.
+//!
+//! A shard may run ahead of the global clock only up to the earliest
+//! pending **UVM interaction** — the next cycle at which shared state
+//! (fault buffer, batch pipeline, TO sampler, ETC controller) can change
+//! in a way the shard would observe. [`WindowTracker`] keeps that horizon:
+//! every UVM-interaction effect crossing the boundary notes its due cycle
+//! here, and `[clock, horizon)` is the window within which SM-local work
+//! is safe to advance.
+//!
+//! The engine's prefabrication pool exploits a stronger property for the
+//! work it parallelises (warp-stream construction is *time-free*, see
+//! [`super::parallel`]), so the tracker's horizon is not used to gate
+//! execution; it is reported in [`super::Engine::describe_stuck`] and at
+//! merge points, where "how far could a shard legally have advanced"
+//! is exactly the datum a wedged-run report needs.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use batmem_types::Cycle;
+
+use super::boundary::ShardEffect;
+
+/// Min-heap of pending UVM-interaction cycles.
+#[derive(Debug, Default)]
+pub(super) struct WindowTracker {
+    pending: BinaryHeap<Reverse<Cycle>>,
+}
+
+impl WindowTracker {
+    pub(super) fn new() -> Self {
+        Self::default()
+    }
+
+    /// Notes `effect` crossing the boundary at current cycle `now`.
+    /// Warp wakes are SM-local and do not bound the window; everything
+    /// else does. Entries already in the past are pruned opportunistically
+    /// so the heap tracks the event population instead of growing with run
+    /// length.
+    #[inline]
+    pub(super) fn note(&mut self, now: Cycle, effect: &ShardEffect) {
+        if !effect.is_uvm_interaction() {
+            return;
+        }
+        while let Some(&Reverse(t)) = self.pending.peek() {
+            if t >= now {
+                break;
+            }
+            self.pending.pop();
+        }
+        self.pending.push(Reverse(effect.at()));
+    }
+
+    /// The window's exclusive upper bound as of `now`: the earliest
+    /// pending UVM interaction at or after `now`, or `None` when nothing
+    /// is pending (the window is unbounded — shards could run to kernel
+    /// end). A scan rather than a pop so diagnostic call sites can hold
+    /// `&self`; `note`'s opportunistic pruning keeps the population small.
+    pub(super) fn horizon_at(&self, now: Cycle) -> Option<Cycle> {
+        self.pending.iter().map(|&Reverse(t)| t).filter(|&t| t >= now).min()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use batmem_types::PageId;
+
+    fn fault_at(at: Cycle) -> ShardEffect {
+        ShardEffect::RaiseFault { at, page: PageId::new(0) }
+    }
+
+    #[test]
+    fn horizon_is_earliest_pending_interaction() {
+        let mut w = WindowTracker::new();
+        assert_eq!(w.horizon_at(0), None);
+        w.note(0, &fault_at(30));
+        w.note(0, &fault_at(10));
+        w.note(0, &ShardEffect::Sample { at: 20 });
+        assert_eq!(w.horizon_at(0), Some(10));
+        // Wakes are SM-local: they never tighten the window.
+        w.note(0, &ShardEffect::WakeWarp { at: 5, block: 0, warp: 0 });
+        assert_eq!(w.horizon_at(0), Some(10));
+        // Advancing past an entry retires it.
+        assert_eq!(w.horizon_at(11), Some(20));
+        assert_eq!(w.horizon_at(31), None);
+    }
+
+    #[test]
+    fn stale_entries_prune_on_note() {
+        let mut w = WindowTracker::new();
+        for t in 0..100 {
+            w.note(t, &fault_at(t + 1));
+        }
+        // Only the final entry can still be pending.
+        assert!(w.pending.len() <= 2, "heap retained stale entries: {}", w.pending.len());
+    }
+}

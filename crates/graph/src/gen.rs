@@ -31,33 +31,108 @@ pub fn rmat(scale: u32, edge_factor: u32, seed: u64) -> Csr {
 ///
 /// Panics if the probabilities are not a valid sub-distribution.
 pub fn rmat_with(scale: u32, edge_factor: u32, a: f64, b: f64, c: f64, seed: u64) -> Csr {
+    rmat_with_par(scale, edge_factor, a, b, c, seed, 1)
+}
+
+/// One R-MAT edge. The recursive bisection halves both coordinate ranges
+/// once per level, so it consumes **exactly `scale` draws** — the invariant
+/// [`rmat_par`] relies on to jump workers to their chunk offsets.
+fn rmat_edge(rng: &mut DetRng, n: u32, a: f64, b: f64, c: f64) -> (u32, u32) {
+    let (mut lo_s, mut hi_s) = (0u32, n);
+    let (mut lo_d, mut hi_d) = (0u32, n);
+    while hi_s - lo_s > 1 {
+        let mid_s = lo_s + (hi_s - lo_s) / 2;
+        let mid_d = lo_d + (hi_d - lo_d) / 2;
+        let r: f64 = rng.next_f64();
+        if r < a {
+            hi_s = mid_s;
+            hi_d = mid_d;
+        } else if r < a + b {
+            hi_s = mid_s;
+            lo_d = mid_d;
+        } else if r < a + b + c {
+            lo_s = mid_s;
+            hi_d = mid_d;
+        } else {
+            lo_s = mid_s;
+            lo_d = mid_d;
+        }
+    }
+    (lo_s, lo_d)
+}
+
+/// [`rmat`] computed on `threads` worker threads, **bit-identical** to the
+/// serial generator for every thread count.
+///
+/// Edge `e` of the serial stream consumes draws `[e * scale, (e + 1) *
+/// scale)` of the seeded generator; [`DetRng::skip`] jumps a worker's
+/// generator to its chunk boundary in O(1), so each worker reproduces
+/// exactly the edges the serial loop would have produced at those indices.
+/// Chunks are then concatenated in index order, giving the identical edge
+/// sequence (and, since [`CsrBuilder::build`] is a stable sort, the
+/// identical CSR).
+///
+/// # Examples
+///
+/// ```
+/// let serial = batmem_graph::gen::rmat(8, 8, 42);
+/// let parallel = batmem_graph::gen::rmat_par(8, 8, 42, 4);
+/// assert_eq!(serial, parallel);
+/// ```
+pub fn rmat_par(scale: u32, edge_factor: u32, seed: u64, threads: usize) -> Csr {
+    rmat_with_par(scale, edge_factor, 0.57, 0.19, 0.19, seed, threads)
+}
+
+/// [`rmat_with`] on `threads` worker threads; see [`rmat_par`].
+pub fn rmat_with_par(
+    scale: u32,
+    edge_factor: u32,
+    a: f64,
+    b: f64,
+    c: f64,
+    seed: u64,
+    threads: usize,
+) -> Csr {
     assert!(a >= 0.0 && b >= 0.0 && c >= 0.0 && a + b + c <= 1.0, "invalid R-MAT probabilities");
     let n: u32 = 1 << scale;
     let m = u64::from(edge_factor) * u64::from(n);
-    let mut rng = DetRng::new(seed);
     let mut builder = CsrBuilder::new(n);
-    for _ in 0..m {
-        let (mut lo_s, mut hi_s) = (0u32, n);
-        let (mut lo_d, mut hi_d) = (0u32, n);
-        while hi_s - lo_s > 1 {
-            let mid_s = lo_s + (hi_s - lo_s) / 2;
-            let mid_d = lo_d + (hi_d - lo_d) / 2;
-            let r: f64 = rng.next_f64();
-            if r < a {
-                hi_s = mid_s;
-                hi_d = mid_d;
-            } else if r < a + b {
-                hi_s = mid_s;
-                lo_d = mid_d;
-            } else if r < a + b + c {
-                lo_s = mid_s;
-                hi_d = mid_d;
-            } else {
-                lo_s = mid_s;
-                lo_d = mid_d;
-            }
+    if threads <= 1 || m < 2 {
+        let mut rng = DetRng::new(seed);
+        for _ in 0..m {
+            let (s, d) = rmat_edge(&mut rng, n, a, b, c);
+            builder = builder.edge(s, d);
         }
-        builder = builder.edge(lo_s, lo_d);
+        return builder.build();
+    }
+    let workers = threads.min(m as usize);
+    // Chunk bounds [e0, e1) per worker; worker i's generator starts at the
+    // serial stream's draw offset e0 * scale.
+    let bounds: Vec<(u64, u64)> = (0..workers as u64)
+        .map(|i| {
+            let per = m / workers as u64;
+            let extra = m % workers as u64;
+            let start = i * per + i.min(extra);
+            (start, start + per + u64::from(i < extra))
+        })
+        .collect();
+    let chunks: Vec<Vec<(u32, u32)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = bounds
+            .iter()
+            .map(|&(e0, e1)| {
+                scope.spawn(move || {
+                    let mut rng = DetRng::new(seed);
+                    rng.skip(e0 * u64::from(scale));
+                    (e0..e1).map(|_| rmat_edge(&mut rng, n, a, b, c)).collect()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("rmat worker panicked")).collect()
+    });
+    for chunk in chunks {
+        for (s, d) in chunk {
+            builder = builder.edge(s, d);
+        }
     }
     builder.build()
 }
@@ -85,13 +160,68 @@ pub fn uniform(n: u32, m: u64, seed: u64) -> Csr {
 /// Generates a weighted variant of [`rmat`]; weights are uniform in
 /// `1..=max_weight` (for SSSP).
 pub fn rmat_weighted(scale: u32, edge_factor: u32, max_weight: u32, seed: u64) -> Csr {
-    let unweighted = rmat(scale, edge_factor, seed);
-    let mut rng = DetRng::new(seed ^ 0x5eed);
+    rmat_weighted_par(scale, edge_factor, max_weight, seed, 1)
+}
+
+/// [`rmat_weighted`] on `threads` worker threads, bit-identical to the
+/// serial generator (see [`rmat_par`]).
+///
+/// The weight pass consumes exactly two raw draws per edge
+/// ([`DetRng::range_inclusive`]) in CSR order, so workers jump to
+/// `2 × edges-before-their-vertex-range` and weight disjoint vertex ranges
+/// independently.
+pub fn rmat_weighted_par(
+    scale: u32,
+    edge_factor: u32,
+    max_weight: u32,
+    seed: u64,
+    threads: usize,
+) -> Csr {
+    let unweighted = rmat_par(scale, edge_factor, seed, threads);
     let n = unweighted.num_vertices();
+    let m = unweighted.num_edges();
+    let weights: Vec<u32> = if threads <= 1 || m < 2 {
+        let mut rng = DetRng::new(seed ^ 0x5eed);
+        (0..m).map(|_| rng.range_inclusive(1, u64::from(max_weight)) as u32).collect()
+    } else {
+        // Split the vertex space so each worker owns a contiguous CSR edge
+        // range; `skip` aligns its generator with the serial draw stream.
+        let workers = threads.min(n.max(1) as usize);
+        let cuts: Vec<u32> = (0..=workers as u64).map(|i| (i * u64::from(n) / workers as u64) as u32).collect();
+        std::thread::scope(|scope| {
+            let unweighted = &unweighted;
+            let handles: Vec<_> = cuts
+                .windows(2)
+                .map(|w| {
+                    let (v0, v1) = (w[0], w[1]);
+                    scope.spawn(move || {
+                        let edges_before: u64 =
+                            (0..v0).map(|v| u64::from(unweighted.degree(v))).sum();
+                        let mut rng = DetRng::new(seed ^ 0x5eed);
+                        rng.skip(2 * edges_before);
+                        let mut out = Vec::new();
+                        for v in v0..v1 {
+                            for _ in 0..unweighted.degree(v) {
+                                out.push(rng.range_inclusive(1, u64::from(max_weight)) as u32);
+                            }
+                        }
+                        out
+                    })
+                })
+                .collect();
+            let mut all = Vec::with_capacity(m as usize);
+            for h in handles {
+                all.extend(h.join().expect("weight worker panicked"));
+            }
+            all
+        })
+    };
     let mut builder = CsrBuilder::new(n);
+    let mut i = 0usize;
     for v in 0..n {
         for &t in unweighted.neighbors(v) {
-            builder = builder.weighted_edge(v, t, rng.range_inclusive(1, u64::from(max_weight)) as u32);
+            builder = builder.weighted_edge(v, t, weights[i]);
+            i += 1;
         }
     }
     builder.build()
@@ -186,5 +316,23 @@ mod tests {
     #[should_panic(expected = "invalid R-MAT probabilities")]
     fn bad_probabilities_panic() {
         let _ = rmat_with(4, 2, 0.9, 0.2, 0.2, 0);
+    }
+
+    #[test]
+    fn parallel_rmat_is_bit_identical_to_serial() {
+        let serial = rmat(9, 6, 13);
+        for threads in [1, 2, 3, 5, 8, 16] {
+            assert_eq!(serial, rmat_par(9, 6, 13, threads), "threads = {threads}");
+        }
+        // Thread counts exceeding the edge count degrade gracefully.
+        assert_eq!(rmat(2, 1, 3), rmat_par(2, 1, 3, 64));
+    }
+
+    #[test]
+    fn parallel_weighted_rmat_is_bit_identical_to_serial() {
+        let serial = rmat_weighted(8, 5, 16, 21);
+        for threads in [2, 4, 7] {
+            assert_eq!(serial, rmat_weighted_par(8, 5, 16, 21, threads), "threads = {threads}");
+        }
     }
 }

@@ -266,11 +266,6 @@ impl PageId {
         self.0
     }
 
-    /// Returns the page `n` positions after this one.
-    #[must_use]
-    pub const fn step(self, n: u64) -> Self {
-        Self(self.0 + n)
-    }
 }
 
 impl fmt::Display for PageId {

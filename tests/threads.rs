@@ -1,0 +1,92 @@
+//! Differential determinism of the sharded engine.
+//!
+//! The contract under test: `SimulationBuilder::threads(n)` is a pure
+//! performance knob. For every paper preset (and a custom combo that
+//! exercises the coalescing and fault-servicing axes), a sharded run must
+//! be **bit-identical** to the serial reference — not just the headline
+//! cycle count, but the complete `RunMetrics` structure and the full
+//! typed probe stream, event for event, cycle for cycle.
+
+use batmem::policies::{self, ConfigName};
+use batmem::probes::Tracer;
+use batmem::{RunMetrics, Simulation};
+use batmem_graph::{gen, Csr};
+use batmem_workloads::registry;
+use std::sync::Arc;
+
+const SCALE: u32 = 10;
+const EDGE_FACTOR: u32 = 8;
+const SEED: u64 = 42;
+
+/// One traced BFS run under `name` at `threads`; returns the sealed
+/// metrics plus the lossless probe stream serialized to JSONL.
+fn preset_run(name: ConfigName, threads: usize, graph: &Arc<Csr>) -> (RunMetrics, String) {
+    let workload = registry::build("BFS-TTC", Arc::clone(graph)).expect("known workload");
+    let tracer = Tracer::bounded(1 << 22); // effectively unbounded here
+    let (policy, etc) = policies::preset(name);
+    let mut b = Simulation::builder().policy(policy).threads(threads).probe(tracer.clone());
+    if let Some(e) = etc {
+        b = b.etc(e);
+    }
+    if name != ConfigName::Unlimited {
+        b = b.memory_ratio(0.5);
+    }
+    let metrics = b.try_run(workload).expect("simulation succeeds");
+    assert_eq!(tracer.dropped(), 0, "trace must be lossless for the diff");
+    (metrics, tracer.to_jsonl())
+}
+
+/// `RunMetrics` has no `PartialEq` by design (it grows freely); the Debug
+/// rendering covers every field, so comparing it compares the structure.
+fn assert_identical(
+    serial: &(RunMetrics, String),
+    sharded: &(RunMetrics, String),
+    what: &str,
+    threads: usize,
+) {
+    assert_eq!(
+        format!("{:?}", serial.0),
+        format!("{:?}", sharded.0),
+        "{what}: RunMetrics diverged at {threads} threads"
+    );
+    assert_eq!(serial.1, sharded.1, "{what}: probe stream diverged at {threads} threads");
+}
+
+#[test]
+fn every_preset_is_bit_identical_across_thread_counts() {
+    let graph = Arc::new(gen::rmat(SCALE, EDGE_FACTOR, SEED));
+    for &name in ConfigName::all() {
+        let serial = preset_run(name, 1, &graph);
+        for threads in [2, 8] {
+            let sharded = preset_run(name, threads, &graph);
+            assert_identical(&serial, &sharded, name.label(), threads);
+        }
+    }
+}
+
+#[test]
+fn coalescing_gpu_driven_combo_is_bit_identical_across_thread_counts() {
+    // The custom axes route through different engine paths (large-page
+    // promotion, on-GPU fault servicing) than the presets; pin them too.
+    let graph = Arc::new(gen::rmat(SCALE, EDGE_FACTOR, SEED));
+    let run = |threads: usize| {
+        let workload = registry::build("BFS-TTC", Arc::clone(&graph)).expect("known workload");
+        let tracer = Tracer::bounded(1 << 22);
+        let metrics = Simulation::builder()
+            .policy(policies::baseline())
+            .coalesce("greedy")
+            .fault_servicing("gpu-driven")
+            .memory_ratio(0.5)
+            .threads(threads)
+            .probe(tracer.clone())
+            .try_run(workload)
+            .expect("simulation succeeds");
+        assert_eq!(tracer.dropped(), 0, "trace must be lossless for the diff");
+        (metrics, tracer.to_jsonl())
+    };
+    let serial = run(1);
+    for threads in [2, 8] {
+        let sharded = run(threads);
+        assert_identical(&serial, &sharded, "greedy+gpu-driven", threads);
+    }
+}

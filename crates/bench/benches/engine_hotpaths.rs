@@ -117,6 +117,42 @@ fn bench_memory_manager() {
     });
 }
 
+fn bench_cache_index() {
+    // The data cache resolves set indices with a mask when the set count
+    // is a power of two and falls back to `% sets` otherwise. To price
+    // the division itself (not the LRU scan), both rows use a
+    // direct-mapped cache whose working set fits — every access after
+    // warmup is a single-compare hit, so index arithmetic is most of the
+    // per-access work. 1024 sets takes the mask path; 1000 sets (same
+    // ways, line size, and 100 % hit rate) takes the modulo path.
+    let addrs: Vec<batmem_types::VirtAddr> = (0..4096u64)
+        .map(|i| batmem_types::VirtAddr::new((i.wrapping_mul(0x9E37_79B9) % 500) << 7))
+        .collect();
+    let pow2 = batmem_types::config::CacheGeometry {
+        capacity_bytes: 1024 * 128,
+        ways: 1,
+        line_shift: 7,
+        hit_latency: 4,
+    };
+    let odd = batmem_types::config::CacheGeometry { capacity_bytes: 1000 * 128, ..pow2 };
+    let mut mask_cache = batmem_sim::DataCache::new(pow2);
+    bench("cache/set_index_mask_x4096", 500, || {
+        let mut hits = 0u32;
+        for &a in &addrs {
+            hits += u32::from(mask_cache.access(a));
+        }
+        hits
+    });
+    let mut mod_cache = batmem_sim::DataCache::new(odd);
+    bench("cache/set_index_modulo_x4096", 500, || {
+        let mut hits = 0u32;
+        for &a in &addrs {
+            hits += u32::from(mod_cache.access(a));
+        }
+        hits
+    });
+}
+
 fn bench_mmu_translate() {
     let mut mmu = Mmu::new(&SimConfig::default());
     for i in 0..64u64 {
@@ -219,6 +255,25 @@ fn bench_end_to_end() {
             .try_run(w)
             .unwrap()
     });
+    // Same sharded run with `bank_dispatch_min = 1`, so every deferred
+    // cycle batch fans out across the 8 L2 banks instead of replaying
+    // inline below the threshold. At this scale the batches are tiny and
+    // the row prices pure dispatch/merge overhead — the coordination
+    // floor EXPERIMENTS.md documents for single-core hosts.
+    let banked = SimConfig {
+        policy: policies::to_ue(),
+        mem: batmem_types::config::MemConfig { bank_dispatch_min: 1, ..Default::default() },
+        ..Default::default()
+    };
+    bench("end_to_end/bfs_ttc_scale10_banked8", 10, || {
+        let w = registry::build("BFS-TTC", Arc::clone(&graph)).unwrap();
+        Simulation::builder()
+            .config(banked.clone())
+            .memory_ratio(0.5)
+            .threads(8)
+            .try_run(w)
+            .unwrap()
+    });
 }
 
 fn main() {
@@ -227,6 +282,7 @@ fn main() {
     bench_fault_buffer();
     bench_prefetcher();
     bench_memory_manager();
+    bench_cache_index();
     bench_mmu_translate();
     bench_pcie();
     bench_uvm_batch();

@@ -15,7 +15,7 @@ use batmem::PolicyRegistry;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
 
-const USAGE: &str = "usage: figures -- [--threads N] <table1|fig1|fig3|fig5|fig8|fig11|fig12|fig13|fig14|fig15|fig16|fig17|fig18|ctxswitch|pe|all> ...
+const USAGE: &str = "usage: figures -- [--threads N] [--l2-banks B] [--bank-min M] <table1|fig1|fig3|fig5|fig8|fig11|fig12|fig13|fig14|fig15|fig16|fig17|fig18|ctxswitch|pe|all> ...
        figures -- --list-policies
        figures -- [--threads N] [--eviction <spec>] [--prefetch <spec>] [--oversubscription <spec>] [--coalesce <spec>]
                   [--fault-servicing <spec>] [--page-size <kb>] [--compression] [--inject <spec>]
@@ -36,7 +36,11 @@ sweep mode: fault-tolerant parallel sweep into a resumable artifact store
 completed cells
 threads: `--threads N` shards each engine across N threads (default 1, the
 serial reference); results are bit-identical to serial. In sweep mode the
-pool clamps workers x threads to the available cores.
+pool clamps workers x threads to the available cores. `--l2-banks B` sets
+the L2 bank count the data path shards by (default 8, power of two dividing
+the set counts) and `--bank-min M` the per-cycle access count below which a
+batch replays inline (default 256); both affect scheduling only, never
+results.
 environment: BATMEM_SCALE (default 15), BATMEM_EDGE_FACTOR (default 16)";
 
 /// Sweep-mode cancel flag, set by the SIGINT handler for a graceful drain.
@@ -367,6 +371,28 @@ fn main() {
             std::process::exit(2);
         }
         suite = suite.with_threads(n);
+    }
+    // `--l2-banks` / `--bank-min` tune the bank-parallel data path and are
+    // likewise shared by every mode. They change scheduling only, never
+    // results (the merge barrier keeps output bit-identical), so they are
+    // safe to combine with any figure or sweep.
+    if let Some(v) = take_flag(&mut args, "--l2-banks") {
+        let n: u32 = v.parse().unwrap_or_else(|_| {
+            eprintln!("--l2-banks: cannot parse `{v}`\n{USAGE}");
+            std::process::exit(2);
+        });
+        suite.sim.mem.l2_banks = n;
+    }
+    if let Some(v) = take_flag(&mut args, "--bank-min") {
+        let n: u32 = v.parse().unwrap_or_else(|_| {
+            eprintln!("--bank-min: cannot parse `{v}`\n{USAGE}");
+            std::process::exit(2);
+        });
+        suite.sim.mem.bank_dispatch_min = n;
+    }
+    if let Err(e) = suite.sim.validate() {
+        eprintln!("invalid configuration: {e}\n{USAGE}");
+        std::process::exit(2);
     }
     // The sweep service has its own flag grammar — branch before the
     // custom-combo extraction below can misread `--workers` etc.

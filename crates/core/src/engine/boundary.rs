@@ -48,6 +48,13 @@ pub(super) enum ShardEffect {
     /// (shard workers fabricate ahead of dispatch, so they cannot know
     /// slot indices).
     WakeWarp { at: Cycle, block: usize, warp: usize },
+    /// A deferred memory transaction's latency has been resolved by bank
+    /// replay: warp `warp` of block `block` wakes at `at`. Semantically a
+    /// [`ShardEffect::WakeWarp`], but kept distinct so merge diagnostics
+    /// can tell data-path wakes from fabrication wakes; `block` here is
+    /// always an engine slot index (bank replay happens after activation),
+    /// so merge does **not** remap it.
+    MemDone { at: Cycle, block: usize, warp: usize },
     /// A failed walk delivers a far fault for `page` to the shared fault
     /// buffer at `at`.
     RaiseFault { at: Cycle, page: PageId },
@@ -67,6 +74,7 @@ impl ShardEffect {
     pub(super) fn at(&self) -> Cycle {
         match *self {
             ShardEffect::WakeWarp { at, .. }
+            | ShardEffect::MemDone { at, .. }
             | ShardEffect::RaiseFault { at, .. }
             | ShardEffect::Uvm { at, .. }
             | ShardEffect::SwitchIn { at, .. }
@@ -80,7 +88,7 @@ impl ShardEffect {
     /// conservative time window is derived from: a shard may not advance
     /// past the earliest pending one.
     pub(super) fn is_uvm_interaction(&self) -> bool {
-        !matches!(self, ShardEffect::WakeWarp { .. })
+        !matches!(self, ShardEffect::WakeWarp { .. } | ShardEffect::MemDone { .. })
     }
 }
 
@@ -99,7 +107,8 @@ impl ShardBoundary for ImmediateBoundary {
     #[inline]
     fn cross(&mut self, events: &mut EventQueue<Event>, effect: ShardEffect) {
         match effect {
-            ShardEffect::WakeWarp { at, block, warp } => {
+            ShardEffect::WakeWarp { at, block, warp }
+            | ShardEffect::MemDone { at, block, warp } => {
                 events.push(at, Event::WarpWake { block, warp });
             }
             ShardEffect::RaiseFault { at, page } => events.push(at, Event::RaiseFault { page }),
@@ -159,6 +168,10 @@ pub(super) fn merge_log(
         let shifted = match effect {
             ShardEffect::WakeWarp { at, block, warp } => {
                 ShardEffect::WakeWarp { at: base + at, block: remap_block(block), warp }
+            }
+            // Slot-indexed already (recorded at flush time, post-activation).
+            ShardEffect::MemDone { at, block, warp } => {
+                ShardEffect::MemDone { at: base + at, block, warp }
             }
             ShardEffect::RaiseFault { at, page } => {
                 ShardEffect::RaiseFault { at: base + at, page }

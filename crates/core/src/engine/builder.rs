@@ -121,10 +121,12 @@ impl SimulationBuilder {
     /// Sets the number of execution threads (default 1, the serial
     /// reference engine). With `n > 1` the engine runs `n - 1` shard
     /// workers that prefabricate warp access streams behind the
-    /// conservative-window boundary while the coordinator thread drives
-    /// the event loop (see DESIGN.md §13). Results are **bit-identical**
-    /// for every thread count — the differential and merge-oracle tests
-    /// pin this — so the knob only trades wall-clock time for cores.
+    /// conservative-window boundary (see DESIGN.md §13) and replay the
+    /// data-path accesses of each cycle partitioned by L2 cache bank
+    /// (`mem.l2_banks`, see DESIGN.md §14) while the coordinator thread
+    /// drives the event loop. Results are **bit-identical** for every
+    /// thread count — the differential and merge-oracle tests pin this —
+    /// so the knob only trades wall-clock time for cores.
     ///
     /// # Panics
     ///

@@ -180,6 +180,10 @@ impl Engine {
         }
         match self.blocks[b].warps[w].take_next_op() {
             None => {
+                // Retirement may refill blocks, switch contexts, or launch
+                // the next kernel — all of which push and emit probes:
+                // flush deferred data-path work to preserve serial order.
+                self.flush_mem_batch()?;
                 self.blocks[b].warps[w].phase = WarpPhase::Finished;
                 self.warps_retired += 1;
                 if self.blocks[b].all_finished() {
@@ -189,6 +193,9 @@ impl Engine {
                 }
             }
             Some(WarpOp::Compute(c)) => {
+                // The compute wake pushes into the wheel: flush first so
+                // the deferred ops' wakes keep their earlier seq slots.
+                self.flush_mem_batch()?;
                 self.ops_consumed += 1;
                 self.blocks[b].warps[w].phase = WarpPhase::Computing;
                 self.cross(ShardEffect::WakeWarp {
@@ -244,36 +251,74 @@ impl Engine {
         }
         if faulted.is_empty() {
             let cc = self.cc.access_penalty();
-            let mut total: Cycle = 0;
-            let mut prev: Option<(_, Cycle)> = None;
-            for a in op.addrs() {
-                let page = geom.page_of(*a);
-                let tl = match prev {
-                    Some((p, l)) if p == page => l,
-                    _ => {
-                        let Some(l) =
-                            page_lat.iter().find(|&&(p, _)| p == page).map(|&(_, l)| l)
-                        else {
-                            return Err(SimError::Accounting {
-                                cycle: self.clock,
-                                detail: format!(
-                                    "mem op touched page {page} that was never translated"
-                                ),
-                            });
-                        };
-                        prev = Some((page, l));
-                        l
-                    }
-                };
-                let dl = self.mem.access(sm, *a) + cc;
-                total = total.max(tl + dl);
+            if self.pool.is_some() {
+                // Sharded execution: defer the data-path accesses to the
+                // cycle-barrier batch (replayed — bank-parallel when large
+                // enough — by `flush_mem_batch` before the clock advances
+                // or any non-wake handler runs). The translation latencies
+                // were resolved inline above, exactly as on the serial
+                // path; only the cache walk and the wake are deferred.
+                let start = self.batch_accesses.len();
+                let mut prev: Option<(_, Cycle)> = None;
+                for a in op.addrs() {
+                    let page = geom.page_of(*a);
+                    let tl = match prev {
+                        Some((p, l)) if p == page => l,
+                        _ => {
+                            let Some(l) =
+                                page_lat.iter().find(|&&(p, _)| p == page).map(|&(_, l)| l)
+                            else {
+                                return Err(SimError::Accounting {
+                                    cycle: self.clock,
+                                    detail: format!(
+                                        "mem op touched page {page} that was never translated"
+                                    ),
+                                });
+                            };
+                            prev = Some((page, l));
+                            l
+                        }
+                    };
+                    self.batch_accesses.push((sm as u16, *a, tl + cc));
+                }
+                self.batch_ops.push(super::DeferredOp { block: b, warp: w, start });
+                self.blocks[b].warps[w].phase = WarpPhase::MemWait;
+            } else {
+                let mut total: Cycle = 0;
+                let mut prev: Option<(_, Cycle)> = None;
+                for a in op.addrs() {
+                    let page = geom.page_of(*a);
+                    let tl = match prev {
+                        Some((p, l)) if p == page => l,
+                        _ => {
+                            let Some(l) =
+                                page_lat.iter().find(|&&(p, _)| p == page).map(|&(_, l)| l)
+                            else {
+                                return Err(SimError::Accounting {
+                                    cycle: self.clock,
+                                    detail: format!(
+                                        "mem op touched page {page} that was never translated"
+                                    ),
+                                });
+                            };
+                            prev = Some((page, l));
+                            l
+                        }
+                    };
+                    let dl = self.mem.access(sm, *a) + cc;
+                    total = total.max(tl + dl);
+                }
+                self.blocks[b].warps[w].phase = WarpPhase::MemWait;
+                self.cross(ShardEffect::WakeWarp { at: self.clock + total, block: b, warp: w });
             }
-            self.blocks[b].warps[w].phase = WarpPhase::MemWait;
-            self.cross(ShardEffect::WakeWarp { at: self.clock + total, block: b, warp: w });
             page_lat.clear();
             self.scratch_page_lat = page_lat;
             self.scratch_faulted = faulted;
         } else {
+            // A faulting op pushes into the wheel and emits a probe below:
+            // replay any deferred data-path work first so push and probe
+            // order match the serial engine.
+            self.flush_mem_batch()?;
             // The warp stalls on its faulting pages. Replay is per-lane, as
             // on real hardware: lanes whose pages were resident complete
             // now, and only the faulted addresses re-issue — this also

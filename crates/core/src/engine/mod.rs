@@ -23,8 +23,9 @@
 //!   the next pending UVM interaction (batch window, PCIe completion,
 //!   fault-servicing occupancy, controller tick).
 //! * [`parallel`] — the sharded executor: a pool of shard workers that
-//!   prefabricate warp streams ahead of the coordinator, bit-identical to
-//!   the serial path for every thread count.
+//!   prefabricate warp streams ahead of the coordinator and replay
+//!   bank-partitioned data-path batches at the cycle barrier,
+//!   bit-identical to the serial path for every thread count.
 //! * [`builder`] — [`Simulation`] / [`SimulationBuilder`], including the
 //!   [`threads`](SimulationBuilder::threads) knob.
 
@@ -49,16 +50,16 @@ use batmem_sim::ops::{Kernel, KernelSpec, Workload};
 use batmem_sim::sm::{Occupancy, Sm};
 use batmem_types::dense::{PageMap, PageSet};
 use batmem_types::probe::{ProbeEvent, ProbeHub, SharedProbes};
-use batmem_types::{AuditLevel, Cycle, PageId, SimConfig, SimError};
+use batmem_types::{AuditLevel, Cycle, PageId, SimConfig, SimError, VirtAddr};
 use batmem_uvm::{
     AdaptiveSignals, CoalesceStrategy, EvictionStrategy, FaultServicingModel, InjectConfig,
     OversubscriptionHandler, Prefetcher, UvmEvent, UvmRuntime,
 };
 use batmem_vmem::Mmu;
 
-use boundary::{ImmediateBoundary, ShardBoundary, ShardEffect};
-use parallel::ShardPool;
-use window::WindowTracker;
+use boundary::{merge_log, ImmediateBoundary, RecordingBoundary, ShardBoundary, ShardEffect};
+use parallel::{run_bank, BankJob, BankResult, ShardPool};
+use window::{BankLoad, WindowTracker};
 
 use std::sync::Arc;
 
@@ -70,6 +71,15 @@ enum Event {
     SwitchInDone { sm: usize, block: usize },
     Sample,
     EtcTick,
+}
+
+/// One deferred (non-faulted) memory operation: its warp plus the start
+/// of its access run in the batch's flat access list (it extends to the
+/// next op's start, or the list's end).
+struct DeferredOp {
+    block: usize,
+    warp: usize,
+    start: usize,
 }
 
 struct Engine {
@@ -114,6 +124,20 @@ struct Engine {
     waiter_pool: Vec<Vec<(usize, usize)>>,
     scratch_page_lat: Vec<(PageId, Cycle)>,
     scratch_faulted: Vec<(PageId, Cycle)>,
+    // The deferred data-path batch (threads > 1 only; serial runs keep the
+    // inline path and never populate these). Non-faulted mem ops of one
+    // cycle collect here and replay — bank-parallel above the dispatch
+    // threshold — at the cycle barrier (`flush_mem_batch`).
+    batch_ops: Vec<DeferredOp>,
+    batch_accesses: Vec<(u16, VirtAddr, Cycle)>,
+    batch_bank: Vec<u32>,
+    batch_lat: Vec<Cycle>,
+    // Per-bank fan-out scratch, all recycled: arrival-order queues, replay
+    // outputs, and merge cursors.
+    bank_queues: Vec<Vec<(u16, VirtAddr)>>,
+    bank_lat: Vec<Vec<Cycle>>,
+    bank_cursor: Vec<usize>,
+    bank_load: BankLoad,
     // metrics
     finished_at: Option<Cycle>,
     memory_pages: Option<u64>,
@@ -173,6 +197,7 @@ impl Engine {
         // size the same-cycle ring for that burst up front.
         let max_warps = num_sms * (cfg.gpu.threads_per_sm / cfg.gpu.warp_size).max(1) as usize;
         let pool = (threads > 1).then(|| ShardPool::spawn(threads - 1));
+        let num_banks = mem.num_banks();
         Self {
             cfg,
             clock: 0,
@@ -216,6 +241,14 @@ impl Engine {
             waiter_pool: Vec::new(),
             scratch_page_lat: Vec::new(),
             scratch_faulted: Vec::new(),
+            batch_ops: Vec::new(),
+            batch_accesses: Vec::new(),
+            batch_bank: Vec::new(),
+            batch_lat: Vec::new(),
+            bank_queues: (0..num_banks).map(|_| Vec::new()).collect(),
+            bank_lat: (0..num_banks).map(|_| Vec::new()).collect(),
+            bank_cursor: vec![0; num_banks],
+            bank_load: BankLoad::default(),
         }
     }
 
@@ -233,6 +266,130 @@ impl Engine {
     fn cross(&mut self, effect: ShardEffect) {
         self.window.note(self.clock, &effect);
         self.boundary.cross(&mut self.events, effect);
+    }
+
+    /// Replays the deferred data-path batch at the cycle barrier.
+    ///
+    /// Deferred accesses replay in arrival (pop) order against the caches
+    /// — bank-partitioned across the shard workers when the batch clears
+    /// [`MemConfig::bank_dispatch_min`](batmem_types::config::MemConfig),
+    /// serially on the coordinator otherwise — and the resulting wakes
+    /// merge into the wheel in op order through a [`RecordingBoundary`]
+    /// log, reproducing the serial engine's `(time, seq)` push order
+    /// exactly. Partitioning by bank preserves per-set access order (a
+    /// line's bank is a pure function of its address), so every hit/miss,
+    /// latency, and LRU update is bit-identical to the serial replay no
+    /// matter how the banks are scheduled.
+    fn flush_mem_batch(&mut self) -> Result<(), SimError> {
+        if self.batch_ops.is_empty() {
+            return Ok(());
+        }
+        debug_assert!(self.pool.is_some(), "serial runs never defer mem ops");
+        let banks = self.mem.num_banks();
+        let fan_out = banks > 1
+            && self.pool.is_some()
+            && self.batch_accesses.len() >= self.cfg.mem.bank_dispatch_min as usize;
+        self.bank_load.note_flush(fan_out);
+        debug_assert!(self.batch_lat.is_empty());
+        if fan_out {
+            // Partition by bank, preserving arrival order within each bank.
+            for &(sm, addr, _) in &self.batch_accesses {
+                let bank = self.mem.bank_of(addr);
+                self.batch_bank.push(bank as u32);
+                self.bank_queues[bank].push((sm, addr));
+            }
+            self.bank_load.note_counts(&self.bank_queues);
+            // Ship every non-empty bank but the first to the workers; the
+            // coordinator replays that first one itself while they run.
+            // Which thread replays which bank never affects the outcome.
+            let mut inline_bank = None;
+            let mut outstanding = 0usize;
+            for bank in 0..banks {
+                if self.bank_queues[bank].is_empty() {
+                    continue;
+                }
+                if inline_bank.is_none() {
+                    inline_bank = Some(bank);
+                    continue;
+                }
+                let job = BankJob {
+                    view: self.mem.detach_bank(bank),
+                    queue: std::mem::take(&mut self.bank_queues[bank]),
+                    latencies: std::mem::take(&mut self.bank_lat[bank]),
+                };
+                match self.pool.as_mut().expect("fan-out requires a pool").dispatch_bank(job) {
+                    None => outstanding += 1,
+                    // The worker died (the run is about to be reported
+                    // wedged); the replay completed inline instead.
+                    Some(result) => self.finish_bank(result),
+                }
+            }
+            if let Some(bank) = inline_bank {
+                let job = BankJob {
+                    view: self.mem.detach_bank(bank),
+                    queue: std::mem::take(&mut self.bank_queues[bank]),
+                    latencies: std::mem::take(&mut self.bank_lat[bank]),
+                };
+                let result = run_bank(job);
+                self.finish_bank(result);
+            }
+            while outstanding > 0 {
+                let clock = self.clock;
+                let result =
+                    self.pool.as_mut().expect("fan-out requires a pool").collect_bank(clock)?;
+                self.finish_bank(result);
+                outstanding -= 1;
+            }
+            // Stitch per-bank latencies back into arrival order.
+            for &bank in &self.batch_bank {
+                let cursor = &mut self.bank_cursor[bank as usize];
+                self.batch_lat.push(self.bank_lat[bank as usize][*cursor]);
+                *cursor += 1;
+            }
+            for bank in 0..banks {
+                debug_assert_eq!(self.bank_cursor[bank], self.bank_lat[bank].len());
+                self.bank_lat[bank].clear();
+                self.bank_cursor[bank] = 0;
+            }
+            self.batch_bank.clear();
+        } else {
+            // Below the dispatch threshold (or a single bank): replay the
+            // whole batch serially — identical outcome, no fan-out cost.
+            for &(sm, addr, _) in &self.batch_accesses {
+                let lat = self.mem.access(sm as usize, addr);
+                self.batch_lat.push(lat);
+            }
+        }
+        // Emit each op's wake at its max (translation + data) latency, in
+        // op order, through the recording boundary + merge — the same seam
+        // prefabricated activation wakes use.
+        let mut rec = RecordingBoundary::new();
+        for (i, op) in self.batch_ops.iter().enumerate() {
+            let end =
+                self.batch_ops.get(i + 1).map_or(self.batch_accesses.len(), |next| next.start);
+            let mut total: Cycle = 0;
+            for k in op.start..end {
+                let (_, _, tl_cc) = self.batch_accesses[k];
+                total = total.max(tl_cc + self.batch_lat[k]);
+            }
+            rec.record(ShardEffect::MemDone { at: total, block: op.block, warp: op.warp });
+        }
+        merge_log(&mut self.events, self.clock, rec.into_log(), |slot| slot);
+        self.batch_ops.clear();
+        self.batch_accesses.clear();
+        self.batch_lat.clear();
+        Ok(())
+    }
+
+    /// Reattaches a replayed bank and parks its buffers for the merge.
+    fn finish_bank(&mut self, result: BankResult) {
+        let bank = result.view.bank();
+        self.mem.attach_bank(result.view);
+        let mut queue = result.queue;
+        queue.clear();
+        self.bank_queues[bank] = queue;
+        debug_assert!(self.bank_lat[bank].is_empty());
+        self.bank_lat[bank] = result.latencies;
     }
 
     /// Everything that counts as forward progress for the watchdog: warp
@@ -284,6 +441,8 @@ impl Engine {
                     horizon.map_or("∞".to_string(), |h| h.to_string()),
                 ));
             }
+            s.push_str("; ");
+            s.push_str(&self.bank_load.describe());
         }
         s
     }
@@ -317,9 +476,23 @@ impl Engine {
         let budget = self.cfg.watchdog_event_budget;
         let mut last_sig = self.progress_signature();
         let mut stagnant: u64 = 0;
-        while let Some((t, ev)) = self.events.pop() {
+        loop {
+            // The cycle barrier: deferred data-path work must replay
+            // before the clock can advance past it (its wakes may precede
+            // whatever is queued next) and before the queue can drain.
+            if !self.batch_ops.is_empty() && self.events.peek_time() != Some(self.clock) {
+                self.flush_mem_batch()?;
+            }
+            let Some((t, ev)) = self.events.pop() else { break };
             debug_assert!(t >= self.clock, "time went backwards");
             self.clock = t;
+            // Any non-wake handler may push events, emit probes, or touch
+            // shared state the deferred accesses were ordered against:
+            // flush first so the (time, seq) order matches the serial
+            // engine's direct pushes.
+            if !matches!(ev, Event::WarpWake { .. }) {
+                self.flush_mem_batch()?;
+            }
             match ev {
                 Event::WarpWake { block, warp } => self.on_warp_wake(block, warp)?,
                 Event::RaiseFault { page } => self.on_raise_fault(page)?,
@@ -367,6 +540,7 @@ impl Engine {
                 }
             }
         }
+        debug_assert!(self.batch_ops.is_empty(), "deferred mem ops survived the drain");
         if self.blocks_remaining > 0 || self.kernel_idx < self.workload.num_kernels() {
             return Err(SimError::Deadlock { cycle: self.clock, detail: self.describe_stuck() });
         }
@@ -400,6 +574,19 @@ impl Engine {
                 }
             });
         }
+        let l2d = self.mem.l2_stats();
+        let l2d_banks = self.mem.l2_bank_stats();
+        self.probes.emit_with(self.clock.max(finished_at), || {
+            let total: u64 = l2d_banks.iter().map(|s| s.accesses()).sum();
+            let hottest = l2d_banks.iter().map(|s| s.accesses()).max().unwrap_or(0);
+            ProbeEvent::DataPathSummary {
+                l2_hits: l2d.hits,
+                l2_misses: l2d.misses,
+                l2_conflict_evictions: l2d.conflict_evictions,
+                l2_banks: l2d_banks.len() as u32,
+                l2_hot_bank_pct: (hottest * 100).checked_div(total).unwrap_or(0) as u32,
+            }
+        });
         self.probes.finish(finished_at);
         Ok(RunMetrics {
             cycles: finished_at,
@@ -413,7 +600,8 @@ impl Engine {
             uvm: self.uvm.stats(),
             mmu: mmu_stats,
             l1d: self.mem.l1_stats(),
-            l2d: self.mem.l2_stats(),
+            l2d,
+            l2d_banks,
             ctx_switches: self.ctx_switches,
             ctx_switch_cycles: self.ctx_switch_cycles,
             final_oversub_degree: self.oversub.degree(),

@@ -62,6 +62,43 @@ impl WindowTracker {
     }
 }
 
+/// Running diagnostics of the bank-parallel data path: how many cycle
+/// batches have flushed, how many fanned out to bank workers (the rest
+/// replayed inline below the dispatch threshold), and the per-bank queue
+/// occupancy of the most recent fan-out. Reported by
+/// [`super::Engine::describe_stuck`], where a skewed bank distribution
+/// explains why fan-out bought nothing on a wedged or slow run.
+#[derive(Debug, Default)]
+pub(super) struct BankLoad {
+    flushes: u64,
+    dispatched: u64,
+    last_counts: Vec<usize>,
+}
+
+impl BankLoad {
+    /// Records one batch flush and whether it fanned out to workers.
+    pub(super) fn note_flush(&mut self, dispatched: bool) {
+        self.flushes += 1;
+        if dispatched {
+            self.dispatched += 1;
+        }
+    }
+
+    /// Snapshots the per-bank queue lengths of a fan-out.
+    pub(super) fn note_counts<T>(&mut self, queues: &[Vec<T>]) {
+        self.last_counts.clear();
+        self.last_counts.extend(queues.iter().map(Vec::len));
+    }
+
+    /// One-line occupancy report for wedged-run diagnostics.
+    pub(super) fn describe(&self) -> String {
+        format!(
+            "{} data-path flushes ({} fanned out), last fan-out bank occupancy {:?}",
+            self.flushes, self.dispatched, self.last_counts
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -95,5 +132,19 @@ mod tests {
         }
         // Only the final entry can still be pending.
         assert!(w.pending.len() <= 2, "heap retained stale entries: {}", w.pending.len());
+    }
+
+    #[test]
+    fn bank_load_tracks_flushes_and_last_occupancy() {
+        let mut b = BankLoad::default();
+        assert_eq!(b.flushes, 0);
+        b.note_flush(false);
+        b.note_counts::<u32>(&[vec![], vec![]]);
+        b.note_flush(true);
+        b.note_counts(&[vec![1u32, 2], vec![3]]);
+        assert_eq!(b.flushes, 2);
+        let report = b.describe();
+        assert!(report.contains("2 data-path flushes (1 fanned out)"), "{report}");
+        assert!(report.contains("[2, 1]"), "{report}");
     }
 }

@@ -160,6 +160,20 @@ pub fn event_to_json(at: Cycle, event: &ProbeEvent) -> String {
                 ",\"batches\":{batches},\"faults\":{faults},\"occupancy_cycles\":{occupancy_cycles}"
             );
         }
+        ProbeEvent::DataPathSummary {
+            l2_hits,
+            l2_misses,
+            l2_conflict_evictions,
+            l2_banks,
+            l2_hot_bank_pct,
+        } => {
+            let _ = write!(
+                s,
+                ",\"l2_hits\":{l2_hits},\"l2_misses\":{l2_misses},\
+                 \"l2_conflict_evictions\":{l2_conflict_evictions},\"l2_banks\":{l2_banks},\
+                 \"l2_hot_bank_pct\":{l2_hot_bank_pct}"
+            );
+        }
         // `ProbeEvent` is non_exhaustive: future variants export their
         // kind with no payload until this encoder learns them.
         _ => {}
@@ -567,6 +581,10 @@ pub struct MetricsRow {
     pub coalesces: u64,
     /// Large-page demotions (splinters) over the run.
     pub splinters: u64,
+    /// L2 misses that evicted a resident line from a full set.
+    pub l2_conflict_evictions: u64,
+    /// Share of L2 accesses landing on the busiest bank, in percent.
+    pub l2_hot_bank_pct: u64,
 }
 
 impl MetricsRow {
@@ -575,13 +593,13 @@ impl MetricsRow {
         "label,cycles,kernels,batches,faults_raised,faults_absorbed,prefetches,migrations,\
          migrated_bytes,evictions,forced_pinned_evictions,premature_evictions,warp_stalls,\
          warp_resumes,ctx_switches,ctx_switch_cycles,watchdog_ticks,l1_tlb_hits,l1_tlb_misses,\
-         large_tlb_hits,walks,coalesces,splinters"
+         large_tlb_hits,walks,coalesces,splinters,l2_conflict_evictions,l2_hot_bank_pct"
     }
 
     /// One CSV row (label first, counters in header order).
     pub fn to_csv_row(&self) -> String {
         format!(
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
             self.label,
             self.cycles,
             self.kernels,
@@ -605,6 +623,8 @@ impl MetricsRow {
             self.walks,
             self.coalesces,
             self.splinters,
+            self.l2_conflict_evictions,
+            self.l2_hot_bank_pct,
         )
     }
 
@@ -616,17 +636,18 @@ impl MetricsRow {
     /// sweep artifact store round-trips rows through this, so resume can
     /// merge completed cells without re-running them.
     ///
-    /// Returns `None` when the text has neither 22 (current layout) nor 16
-    /// (pre-translation-columns layout) trailing integers — i.e. a
-    /// truncated or corrupt record. Rows written before the translation
-    /// columns existed parse with those six counters as zero, so archived
-    /// sweep stores stay readable.
+    /// Returns `None` when the text has neither 24 (current layout), 22
+    /// (pre-bank-columns layout), nor 16 (pre-translation-columns layout)
+    /// trailing integers — i.e. a truncated or corrupt record. Rows written
+    /// before the newer columns existed parse with those counters as zero,
+    /// so archived sweep stores stay readable.
     pub fn parse_csv_row(line: &str) -> Option<Self> {
         let fields: Vec<&str> = line.trim_end_matches(['\r', '\n']).split(',').collect();
-        // The legacy fallback only applies to rows too short to hold the
-        // current layout; a corrupt current-layout row must fail, not have
-        // its leading counters reinterpreted as label text.
-        Self::parse_fields(&fields, 22)
+        // Each legacy fallback only applies to rows too short to hold the
+        // next-newer layout; a corrupt current-layout row must fail, not
+        // have its leading counters reinterpreted as label text.
+        Self::parse_fields(&fields, 24)
+            .or_else(|| if fields.len() < 25 { Self::parse_fields(&fields, 22) } else { None })
             .or_else(|| if fields.len() < 23 { Self::parse_fields(&fields, 16) } else { None })
     }
 
@@ -635,11 +656,11 @@ impl MetricsRow {
             return None;
         }
         let label = fields[..fields.len() - counters].join(",");
-        let mut nums = [0u64; 22];
+        let mut nums = [0u64; 24];
         for (slot, text) in nums.iter_mut().zip(&fields[fields.len() - counters..]) {
             *slot = text.parse().ok()?;
         }
-        let [cycles, kernels, batches, faults_raised, faults_absorbed, prefetches, migrations, migrated_bytes, evictions, forced_pinned_evictions, premature_evictions, warp_stalls, warp_resumes, ctx_switches, ctx_switch_cycles, watchdog_ticks, l1_tlb_hits, l1_tlb_misses, large_tlb_hits, walks, coalesces, splinters] =
+        let [cycles, kernels, batches, faults_raised, faults_absorbed, prefetches, migrations, migrated_bytes, evictions, forced_pinned_evictions, premature_evictions, warp_stalls, warp_resumes, ctx_switches, ctx_switch_cycles, watchdog_ticks, l1_tlb_hits, l1_tlb_misses, large_tlb_hits, walks, coalesces, splinters, l2_conflict_evictions, l2_hot_bank_pct] =
             nums;
         Some(Self {
             label,
@@ -665,6 +686,8 @@ impl MetricsRow {
             walks,
             coalesces,
             splinters,
+            l2_conflict_evictions,
+            l2_hot_bank_pct,
         })
     }
 
@@ -677,7 +700,8 @@ impl MetricsRow {
              \"premature_evictions\":{},\"warp_stalls\":{},\"warp_resumes\":{},\
              \"ctx_switches\":{},\"ctx_switch_cycles\":{},\"watchdog_ticks\":{},\
              \"l1_tlb_hits\":{},\"l1_tlb_misses\":{},\"large_tlb_hits\":{},\"walks\":{},\
-             \"coalesces\":{},\"splinters\":{}}}",
+             \"coalesces\":{},\"splinters\":{},\"l2_conflict_evictions\":{},\
+             \"l2_hot_bank_pct\":{}}}",
             json_escape(&self.label),
             self.cycles,
             self.kernels,
@@ -701,6 +725,8 @@ impl MetricsRow {
             self.walks,
             self.coalesces,
             self.splinters,
+            self.l2_conflict_evictions,
+            self.l2_hot_bank_pct,
         )
     }
 }
@@ -807,6 +833,11 @@ impl Probe for MetricsSink {
                 row.coalesces = coalesces;
                 row.splinters = splinters;
             }
+            ProbeEvent::DataPathSummary { l2_conflict_evictions, l2_hot_bank_pct, .. } => {
+                // Emitted once at end of run with absolute totals.
+                row.l2_conflict_evictions = l2_conflict_evictions;
+                row.l2_hot_bank_pct = u64::from(l2_hot_bank_pct);
+            }
             _ => {}
         }
     }
@@ -899,6 +930,13 @@ mod tests {
                 splinters: 6,
             },
             ProbeEvent::FaultServicingSummary { batches: 1, faults: 2, occupancy_cycles: 3 },
+            ProbeEvent::DataPathSummary {
+                l2_hits: 1,
+                l2_misses: 2,
+                l2_conflict_evictions: 3,
+                l2_banks: 8,
+                l2_hot_bank_pct: 13,
+            },
         ];
         for ev in events {
             let json = event_to_json(42, &ev);
@@ -1022,6 +1060,8 @@ mod tests {
             walks: 22,
             coalesces: 23,
             splinters: 24,
+            l2_conflict_evictions: 25,
+            l2_hot_bank_pct: 26,
         };
         let parsed = MetricsRow::parse_csv_row(&row.to_csv_row()).unwrap();
         assert_eq!(parsed, row);
@@ -1045,5 +1085,19 @@ mod tests {
         assert_eq!(parsed.watchdog_ticks, 18);
         assert_eq!(parsed.l1_tlb_hits, 0);
         assert_eq!(parsed.splinters, 0);
+    }
+
+    #[test]
+    fn legacy_22_counter_rows_still_parse() {
+        // Rows archived before the bank columns existed carry 22 counters;
+        // they must keep parsing (bank counters read as zero).
+        let legacy =
+            "BFS-TTC/TO+UE@s8,123,4,5,6,7,8,9,10,11,12,13,14,15,16,17,18,19,20,21,22,23,24";
+        let parsed = MetricsRow::parse_csv_row(legacy).unwrap();
+        assert_eq!(parsed.label, "BFS-TTC/TO+UE@s8");
+        assert_eq!(parsed.cycles, 123);
+        assert_eq!(parsed.splinters, 24);
+        assert_eq!(parsed.l2_conflict_evictions, 0);
+        assert_eq!(parsed.l2_hot_bank_pct, 0);
     }
 }

@@ -1,0 +1,128 @@
+//! Oracle tests for the bank-partitioned data path.
+//!
+//! The engine's bank-parallel mem-op execution (DESIGN.md §14) rests on
+//! one claim: partitioning a cycle batch's accesses by L2 bank and
+//! replaying each bank's slice serially **in arrival order** produces the
+//! exact per-access latencies and cache statistics of the serial
+//! [`MemPath`], for any bank count. These tests pin that claim directly
+//! against the serial path as oracle, without the engine in the loop.
+
+use batmem_sim::cache::{DataCache, MemPath};
+use batmem_types::config::{CacheGeometry, MemConfig};
+use batmem_types::{Cycle, VirtAddr};
+use proptest::prelude::*;
+
+/// Small geometry so random streams actually collide: 8 L1 sets (4-way),
+/// 32 L2 sets (8-way), shared 128 B lines. Banks up to 8 divide both set
+/// counts, matching the validation rule in `MemConfig`.
+fn config(banks: u32) -> MemConfig {
+    MemConfig {
+        l1d: CacheGeometry { capacity_bytes: 4096, ways: 4, line_shift: 7, hit_latency: 4 },
+        l2d: CacheGeometry { capacity_bytes: 32 * 1024, ways: 8, line_shift: 7, hit_latency: 30 },
+        dram_latency: 200,
+        l2_banks: banks,
+        bank_dispatch_min: 1,
+    }
+}
+
+const NUM_SMS: u16 = 4;
+
+/// Serial oracle: drive the stream through `MemPath::access` in order.
+fn serial_latencies(banks: u32, stream: &[(u16, VirtAddr)]) -> (Vec<Cycle>, MemPath) {
+    let mut mem = MemPath::new(&config(banks), NUM_SMS);
+    let lat =
+        stream.iter().map(|&(sm, addr)| mem.access(usize::from(sm), addr)).collect();
+    (lat, mem)
+}
+
+/// The engine's replay schedule: partition by bank preserving arrival
+/// order, detach each bank, replay its slice, reattach, then stitch the
+/// per-bank latency vectors back into stream order with per-bank cursors
+/// — exactly what `Engine::flush_mem_batch` does.
+fn banked_latencies(banks: u32, stream: &[(u16, VirtAddr)]) -> (Vec<Cycle>, MemPath) {
+    let mut mem = MemPath::new(&config(banks), NUM_SMS);
+    let n = mem.num_banks();
+    let mut queues: Vec<Vec<(u16, VirtAddr)>> = vec![Vec::new(); n];
+    let mut which: Vec<usize> = Vec::with_capacity(stream.len());
+    for &(sm, addr) in stream {
+        let b = mem.bank_of(addr);
+        which.push(b);
+        queues[b].push((sm, addr));
+    }
+    let mut per_bank: Vec<Vec<Cycle>> = vec![Vec::new(); n];
+    for (b, queue) in queues.iter().enumerate() {
+        let mut view = mem.detach_bank(b);
+        view.replay(queue, &mut per_bank[b]);
+        mem.attach_bank(view);
+    }
+    let mut cursors = vec![0usize; n];
+    let mut lat = Vec::with_capacity(stream.len());
+    for &b in &which {
+        lat.push(per_bank[b][cursors[b]]);
+        cursors[b] += 1;
+    }
+    (lat, mem)
+}
+
+proptest! {
+    /// The tentpole oracle: for every bank count, the partitioned replay
+    /// reproduces the serial path's per-access latencies *and* cache
+    /// statistics — and every bank count agrees with the single-bank
+    /// reference, so banking itself never changes an outcome either.
+    #[test]
+    fn bank_partitioned_replay_matches_serial_mem_path(
+        stream in prop::collection::vec(
+            ((0u16..NUM_SMS), (0u64..64 * 1024).prop_map(VirtAddr::new)),
+            1..400,
+        ),
+    ) {
+        let (reference, _) = serial_latencies(1, &stream);
+        for banks in [1u32, 2, 4, 8] {
+            let (serial, serial_mem) = serial_latencies(banks, &stream);
+            let (replayed, replayed_mem) = banked_latencies(banks, &stream);
+            prop_assert_eq!(&serial, &reference, "banks={} serial vs 1-bank", banks);
+            prop_assert_eq!(&replayed, &serial, "banks={} replay vs serial", banks);
+            prop_assert_eq!(
+                replayed_mem.l1_stats(), serial_mem.l1_stats(),
+                "banks={} L1 stats", banks
+            );
+            prop_assert_eq!(
+                replayed_mem.l2_stats(), serial_mem.l2_stats(),
+                "banks={} L2 stats", banks
+            );
+            prop_assert_eq!(
+                replayed_mem.l2_bank_stats(), serial_mem.l2_bank_stats(),
+                "banks={} per-bank L2 stats", banks
+            );
+        }
+    }
+
+    /// Banked `DataCache` construction is invisible to hit/miss outcomes:
+    /// the same access stream sees the same per-access result for any
+    /// bank count, and the per-bank stats always sum to the totals.
+    #[test]
+    fn banked_data_cache_is_invisible_to_outcomes(
+        addrs in prop::collection::vec(0u64..32 * 1024, 1..300),
+    ) {
+        let geom = CacheGeometry {
+            capacity_bytes: 32 * 1024,
+            ways: 8,
+            line_shift: 7,
+            hit_latency: 30,
+        };
+        let mut reference = DataCache::new(geom);
+        let outcomes: Vec<bool> =
+            addrs.iter().map(|&a| reference.access(VirtAddr::new(a))).collect();
+        for banks in [2u32, 4, 8] {
+            let mut banked = DataCache::with_banks(geom, banks);
+            for (&a, &expect) in addrs.iter().zip(&outcomes) {
+                prop_assert_eq!(banked.access(VirtAddr::new(a)), expect, "banks={}", banks);
+            }
+            prop_assert_eq!(banked.stats(), reference.stats(), "banks={} totals", banks);
+            let per_bank = banked.bank_stats();
+            prop_assert_eq!(per_bank.len(), banks as usize);
+            let summed: u64 = per_bank.iter().map(|s| s.accesses()).sum();
+            prop_assert_eq!(summed, addrs.len() as u64, "banks={} access sum", banks);
+        }
+    }
+}

@@ -90,3 +90,45 @@ fn coalescing_gpu_driven_combo_is_bit_identical_across_thread_counts() {
         assert_identical(&serial, &sharded, "greedy+gpu-driven", threads);
     }
 }
+
+#[test]
+fn forced_bank_dispatch_is_bit_identical_across_thread_counts() {
+    // `bank_dispatch_min = 1` forces every deferred cycle batch through
+    // the bank-partitioned fan-out path (DESIGN.md §14) — the realistic
+    // default threshold would let small batches replay inline and leave
+    // the worker protocol unexercised at this scale. Crossed with bank
+    // counts to cover the dispatch round-robin at both extremes.
+    let graph = Arc::new(gen::rmat(SCALE, EDGE_FACTOR, SEED));
+    let run = |threads: usize, banks: u32| {
+        let workload = registry::build("BFS-TTC", Arc::clone(&graph)).expect("known workload");
+        let tracer = Tracer::bounded(1 << 22);
+        let mut config = batmem_types::SimConfig::default();
+        config.mem.l2_banks = banks;
+        config.mem.bank_dispatch_min = 1;
+        config.policy = policies::preset(ConfigName::ToUe).0;
+        let metrics = Simulation::builder()
+            .config(config)
+            .memory_ratio(0.5)
+            .threads(threads)
+            .probe(tracer.clone())
+            .try_run(workload)
+            .expect("simulation succeeds");
+        assert_eq!(tracer.dropped(), 0, "trace must be lossless for the diff");
+        (metrics, tracer.to_jsonl())
+    };
+    // The serial reference is recomputed per bank count: banking never
+    // changes an access outcome, but the per-bank stat vectors it reports
+    // legitimately differ in shape.
+    for banks in [2u32, 8] {
+        let serial = run(1, banks);
+        for threads in [2usize, 8] {
+            let sharded = run(threads, banks);
+            assert_identical(
+                &serial,
+                &sharded,
+                &format!("forced dispatch, {banks} banks"),
+                threads,
+            );
+        }
+    }
+}
